@@ -1,0 +1,399 @@
+//! The §5 case study: real-time ocean environment alerts with remote sensors.
+//!
+//! 100 DART-style data buoys in the Pacific send sensor readings over the
+//! Iridium constellation once per second. The readings are fed to a
+//! stacked-LSTM inference service and the predictions are forwarded to the
+//! 200 ships and islands nearest to the originating sensor. Two deployments
+//! are compared: central processing at the Pacific Tsunami Warning Center on
+//! Ford Island, Hawaii, and processing directly on the buoy's current uplink
+//! satellite (Fig. 11).
+
+use crate::lstm::StackedLstm;
+use crate::workload::{assign_sink_groups, dart_ground_stations, MessageHeader};
+use celestial::testbed::{AppContext, GuestApplication};
+use celestial_constellation::{GroundStation, Shell};
+use celestial_netem::packet::Packet;
+use celestial_sgp4::WalkerShell;
+use celestial_sim::metrics::LatencyRecorder;
+use celestial_sim::SimRng;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimDuration;
+use celestial_types::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where the inference service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DartDeployment {
+    /// Central processing at the Pacific Tsunami Warning Center (Ford
+    /// Island, Hawaii).
+    Central,
+    /// Processing on each buoy's current uplink satellite.
+    Satellite,
+}
+
+/// Configuration of the DART experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DartConfig {
+    /// Where inference runs.
+    pub deployment: DartDeployment,
+    /// Number of sensor buoys.
+    pub buoy_count: u32,
+    /// Number of data sinks (ships and islands).
+    pub sink_count: u32,
+    /// Number of sinks in each buoy's vicinity group.
+    pub group_size: usize,
+    /// Interval between sensor readings (1 s in the paper).
+    pub send_interval: SimDuration,
+    /// Wire size of one sensor reading in bytes.
+    pub reading_size_bytes: u64,
+    /// Wire size of one inference result in bytes.
+    pub result_size_bytes: u64,
+    /// Length of the feature sequence fed to the LSTM per inference.
+    pub sequence_length: usize,
+    /// Name of the central processing ground station.
+    pub central_name: String,
+    /// Seed for the scenario's ground-station placement and LSTM weights.
+    pub scenario_seed: u64,
+}
+
+impl DartConfig {
+    /// The configuration used in the paper's §5 case study.
+    pub fn new(deployment: DartDeployment) -> Self {
+        DartConfig {
+            deployment,
+            buoy_count: 100,
+            sink_count: 200,
+            group_size: 3,
+            send_interval: SimDuration::from_secs(1),
+            reading_size_bytes: 128,
+            result_size_bytes: 64,
+            sequence_length: 16,
+            central_name: "ford-island-ptwc".to_owned(),
+            scenario_seed: 2022,
+        }
+    }
+
+    /// A reduced configuration for quick tests: fewer buoys and sinks.
+    pub fn reduced(deployment: DartDeployment, buoys: u32, sinks: u32) -> Self {
+        DartConfig {
+            buoy_count: buoys,
+            sink_count: sinks,
+            ..DartConfig::new(deployment)
+        }
+    }
+
+    /// The Iridium shell of the §5 scenario: 66 satellites, 6 planes, 780 km,
+    /// polar orbit, 180° arc of ascending nodes, 100 Mb/s ISLs, 88 Kb/s
+    /// ground links for remote sensing.
+    pub fn iridium_shell() -> Shell {
+        Shell::from_walker(WalkerShell::iridium())
+            .with_isl_bandwidth(Bandwidth::from_mbps(100))
+            .with_ground_link_bandwidth(Bandwidth::from_kbps(88))
+            .with_min_elevation_deg(10.0)
+            .with_resources(celestial_types::MachineResources::paper_sensor())
+    }
+
+    /// The ground stations of the scenario: buoys, sinks and the warning
+    /// center, generated deterministically from the scenario seed.
+    pub fn ground_stations(&self) -> Vec<GroundStation> {
+        let mut rng = SimRng::seed_from_u64(self.scenario_seed);
+        dart_ground_stations(self.buoy_count, self.sink_count, &mut rng)
+    }
+}
+
+const KIND_READING: u8 = 1;
+const KIND_RESULT: u8 = 2;
+const TAG_SENSE: u64 = 1;
+
+/// Per-sink result of the experiment: where the sink is and the latency of
+/// the alerts it received.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkResult {
+    /// Name of the sink ground station.
+    pub name: String,
+    /// Position of the sink.
+    pub position: Geodetic,
+    /// Mean end-to-end latency of received alerts in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Number of alerts received.
+    pub alerts: usize,
+}
+
+/// The DART experiment application.
+#[derive(Debug)]
+pub struct DartExperiment {
+    config: DartConfig,
+    lstm: StackedLstm,
+    buoys: Vec<NodeId>,
+    sinks: Vec<NodeId>,
+    sink_positions: Vec<Geodetic>,
+    central: Option<NodeId>,
+    /// Sinks in each buoy's vicinity (indices into `sinks`).
+    groups: Vec<Vec<usize>>,
+    sequence: u64,
+    /// End-to-end latency per sink index.
+    sink_latencies: BTreeMap<usize, LatencyRecorder>,
+    /// Number of readings processed by the inference service.
+    inferences: u64,
+    /// Sum of inference outputs, to keep the LSTM computation observable.
+    inference_checksum: f64,
+}
+
+impl DartExperiment {
+    /// Creates the experiment for the given configuration.
+    pub fn new(config: DartConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.scenario_seed ^ 0x5eed);
+        let lstm = StackedLstm::dart_default(&mut rng);
+        DartExperiment {
+            config,
+            lstm,
+            buoys: Vec::new(),
+            sinks: Vec::new(),
+            sink_positions: Vec::new(),
+            central: None,
+            groups: Vec::new(),
+            sequence: 0,
+            sink_latencies: BTreeMap::new(),
+            inferences: 0,
+            inference_checksum: 0.0,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &DartConfig {
+        &self.config
+    }
+
+    /// Number of inferences the service performed.
+    pub fn inference_count(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Per-sink mean end-to-end latency, the data series of Fig. 11.
+    pub fn sink_results(&self) -> Vec<SinkResult> {
+        self.sink_latencies
+            .iter()
+            .filter(|(_, recorder)| !recorder.is_empty())
+            .map(|(sink_index, recorder)| SinkResult {
+                name: format!("sink-{sink_index}"),
+                position: self.sink_positions[*sink_index],
+                mean_latency_ms: recorder.summary().mean,
+                alerts: recorder.len(),
+            })
+            .collect()
+    }
+
+    /// All alert latencies across all sinks, in milliseconds.
+    pub fn all_latencies_ms(&self) -> Vec<f64> {
+        self.sink_latencies
+            .values()
+            .flat_map(|r| r.samples_ms().to_vec())
+            .collect()
+    }
+
+    fn run_inference(&mut self, header: &MessageHeader) {
+        // Synthesize the feature sequence the buoy's reading represents and
+        // run the real LSTM forward pass.
+        let sequence: Vec<Vec<f64>> = (0..self.config.sequence_length)
+            .map(|step| {
+                (0..8)
+                    .map(|f| {
+                        ((header.origin as f64 + 1.0) * (step as f64 + 1.0) * (f as f64 + 1.0))
+                            .sin()
+                    })
+                    .collect()
+            })
+            .collect();
+        let output = self.lstm.predict(&sequence);
+        self.inference_checksum += output.iter().sum::<f64>();
+        self.inferences += 1;
+    }
+
+    fn forward_results(
+        &mut self,
+        processor: NodeId,
+        header: &MessageHeader,
+        ctx: &mut AppContext<'_>,
+    ) {
+        let buoy_index = header.origin as usize;
+        let Some(group) = self.groups.get(buoy_index) else { return };
+        let result_header = MessageHeader {
+            kind: KIND_RESULT,
+            ..*header
+        };
+        for sink_index in group.clone() {
+            ctx.send(
+                processor,
+                self.sinks[sink_index],
+                self.config.result_size_bytes,
+                result_header.encode(),
+            );
+        }
+    }
+}
+
+impl GuestApplication for DartExperiment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        let stations = ctx.database().ground_stations().to_vec();
+        for (i, station) in stations.iter().enumerate() {
+            let node = NodeId::ground_station(i as u32);
+            if station.name.starts_with("buoy-") {
+                self.buoys.push(node);
+            } else if station.name.starts_with("sink-") {
+                self.sinks.push(node);
+                self.sink_positions.push(station.position);
+            }
+        }
+        self.central = ctx.ground_station(&self.config.central_name);
+        assert_eq!(self.buoys.len() as u32, self.config.buoy_count);
+        assert_eq!(self.sinks.len() as u32, self.config.sink_count);
+
+        let buoy_positions: Vec<Geodetic> = stations
+            .iter()
+            .filter(|s| s.name.starts_with("buoy-"))
+            .map(|s| s.position)
+            .collect();
+        self.groups = assign_sink_groups(&buoy_positions, &self.sink_positions, self.config.group_size);
+
+        if let Some(central) = self.central {
+            ctx.set_cpu_load(central, 0.5);
+        }
+        ctx.set_timer(self.config.send_interval, TAG_SENSE);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut AppContext<'_>) {
+        if tag != TAG_SENSE {
+            return;
+        }
+        // Every buoy transmits its latest reading.
+        for (i, buoy) in self.buoys.clone().into_iter().enumerate() {
+            let destination = match self.config.deployment {
+                DartDeployment::Central => self.central,
+                DartDeployment::Satellite => ctx.best_uplink(buoy),
+            };
+            let Some(destination) = destination else { continue };
+            let header = MessageHeader {
+                kind: KIND_READING,
+                origin: i as u32,
+                sent_at_micros: ctx.now().as_micros(),
+                sequence: self.sequence,
+            };
+            self.sequence += 1;
+            ctx.send(buoy, destination, self.config.reading_size_bytes, header.encode());
+        }
+        ctx.set_timer(self.config.send_interval, TAG_SENSE);
+    }
+
+    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+        let Some(header) = MessageHeader::decode(&message.payload) else {
+            return;
+        };
+        match header.kind {
+            KIND_READING => {
+                // Inference runs wherever the reading arrived: the central
+                // server or the uplink satellite.
+                self.run_inference(&header);
+                self.forward_results(message.destination, &header, ctx);
+            }
+            KIND_RESULT => {
+                let Some(sink_index) = self.sinks.iter().position(|s| *s == message.destination)
+                else {
+                    return;
+                };
+                // End-to-end latency from the sensor reading leaving the buoy
+                // to the alert arriving at the sink, plus the ~2 ms of
+                // processing the paper measures for the inference service.
+                let network_ms = ctx
+                    .now()
+                    .duration_since(celestial_types::time::SimInstant::from_micros(
+                        header.sent_at_micros,
+                    ))
+                    .as_millis_f64();
+                let processing_ms = self.lstm.inference_cpu_seconds(self.config.sequence_length, 100e6)
+                    * 1e3;
+                self.sink_latencies
+                    .entry(sink_index)
+                    .or_default()
+                    .record_millis(network_ms + processing_ms);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial::config::{HostConfig, TestbedConfig};
+    use celestial::testbed::Testbed;
+    use celestial_constellation::BoundingBox;
+
+    fn run(deployment: DartDeployment, duration_s: f64) -> DartExperiment {
+        let config = DartConfig::reduced(deployment, 20, 40);
+        let testbed_config = TestbedConfig::builder()
+            .seed(5)
+            .update_interval_s(5.0)
+            .duration_s(duration_s)
+            .shell(DartConfig::iridium_shell())
+            .ground_stations(config.ground_stations())
+            .bounding_box(BoundingBox::whole_earth())
+            .hosts(vec![HostConfig::default(); 4])
+            .build()
+            .unwrap();
+        let mut testbed = Testbed::new(&testbed_config).unwrap();
+        let mut app = DartExperiment::new(config);
+        testbed.run(&mut app).unwrap();
+        app
+    }
+
+    #[test]
+    fn central_deployment_delivers_alerts_with_plausible_latency() {
+        let app = run(DartDeployment::Central, 30.0);
+        assert!(app.inference_count() > 100, "inferences {}", app.inference_count());
+        let results = app.sink_results();
+        assert!(!results.is_empty());
+        let latencies = app.all_latencies_ms();
+        let stats = celestial_sim::metrics::summarize(&latencies);
+        // The paper reports 22–183 ms mean end-to-end latency for central
+        // processing; individual samples include the 88 Kb/s serialisation.
+        assert!(stats.mean > 15.0 && stats.mean < 350.0, "mean {}", stats.mean);
+    }
+
+    #[test]
+    fn satellite_deployment_reduces_latency_compared_to_central() {
+        let central = run(DartDeployment::Central, 30.0);
+        let satellite = run(DartDeployment::Satellite, 30.0);
+        let central_mean = celestial_sim::metrics::summarize(&central.all_latencies_ms()).mean;
+        let satellite_mean = celestial_sim::metrics::summarize(&satellite.all_latencies_ms()).mean;
+        assert!(
+            satellite_mean < central_mean,
+            "satellite {satellite_mean} ms vs central {central_mean} ms"
+        );
+    }
+
+    #[test]
+    fn sink_results_report_positions_and_alert_counts() {
+        let app = run(DartDeployment::Central, 20.0);
+        for result in app.sink_results() {
+            assert!(result.alerts > 0);
+            assert!(result.mean_latency_ms > 0.0);
+            assert!(result.name.starts_with("sink-"));
+            let lon = result.position.longitude_deg();
+            assert!(!(-110.0..130.0).contains(&lon), "sink outside the Pacific: {lon}");
+        }
+    }
+
+    #[test]
+    fn config_helpers_describe_the_paper_scenario() {
+        let config = DartConfig::new(DartDeployment::Central);
+        assert_eq!(config.buoy_count, 100);
+        assert_eq!(config.sink_count, 200);
+        let shell = DartConfig::iridium_shell();
+        assert_eq!(shell.satellite_count(), 66);
+        assert!(shell.has_seam());
+        assert_eq!(shell.isl_bandwidth, Bandwidth::from_mbps(100));
+        assert_eq!(config.ground_stations().len(), 301);
+    }
+}

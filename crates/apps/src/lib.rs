@@ -1,0 +1,39 @@
+//! Evaluation applications for the Celestial LEO edge testbed.
+//!
+//! The paper evaluates Celestial with two guest applications, both
+//! reproduced here on top of the [`celestial`] testbed runtime:
+//!
+//! * [`meetup`] — the §4 multi-user video conference in West Africa: three
+//!   clients stream video through a bridge server that either runs in the
+//!   Johannesburg cloud datacenter or on the currently optimal satellite,
+//!   selected by a tracking service every five seconds (Figs. 4–6).
+//! * [`dart`] — the §5 DART-inspired real-time ocean environment alert
+//!   system: 100 buoys in the Pacific send sensor readings over the Iridium
+//!   constellation, a stacked-LSTM inference service (implemented from
+//!   scratch in [`lstm`]) predicts environmental events, and results are
+//!   forwarded to 200 ships and islands, either from a central processing
+//!   location on Ford Island or directly on the satellites (Fig. 11).
+//! * [`workload`] — constant-bit-rate traffic sources and scenario
+//!   generators shared by both applications.
+//!
+//! # Examples
+//!
+//! ```
+//! use celestial_apps::meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};
+//!
+//! let config = MeetupConfig::new(BridgeDeployment::Satellite);
+//! let experiment = MeetupExperiment::new(config);
+//! assert_eq!(experiment.config().client_names.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dart;
+pub mod lstm;
+pub mod meetup;
+pub mod workload;
+
+pub use dart::{DartConfig, DartDeployment, DartExperiment};
+pub use lstm::StackedLstm;
+pub use meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};

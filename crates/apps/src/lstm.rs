@@ -1,0 +1,267 @@
+//! A stacked LSTM network implemented from scratch.
+//!
+//! The §5 case study processes sensor readings "with an LSTM neural network"
+//! (a TensorFlow stacked LSTM in the original). This module provides the
+//! inference path of such a network — real matrix arithmetic, not a stub — so
+//! the DART application performs genuine computation whose cost maps onto the
+//! ~2 ms of processing latency the paper reports.
+
+use celestial_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One LSTM layer: input, forget, cell and output gates over an input vector
+/// and the previous hidden state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmLayer {
+    input_size: usize,
+    hidden_size: usize,
+    /// Input weights, `4 * hidden x input`, gate-major (i, f, g, o).
+    w_input: Vec<f64>,
+    /// Recurrent weights, `4 * hidden x hidden`.
+    w_recurrent: Vec<f64>,
+    /// Biases, `4 * hidden`.
+    bias: Vec<f64>,
+}
+
+impl LstmLayer {
+    /// Creates a layer with small random weights drawn from the given
+    /// generator (Xavier-style scaling).
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut SimRng) -> Self {
+        let scale = (1.0 / (input_size + hidden_size) as f64).sqrt();
+        let mut init = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.uniform_range(-scale, scale)).collect()
+        };
+        LstmLayer {
+            input_size,
+            hidden_size,
+            w_input: init(4 * hidden_size * input_size),
+            w_recurrent: init(4 * hidden_size * hidden_size),
+            bias: init(4 * hidden_size),
+        }
+    }
+
+    /// The hidden-state size of this layer.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Runs one time step, updating hidden and cell state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input, hidden or cell slices have the wrong length.
+    pub fn step(&self, input: &[f64], hidden: &mut [f64], cell: &mut [f64]) {
+        assert_eq!(input.len(), self.input_size, "input size mismatch");
+        assert_eq!(hidden.len(), self.hidden_size, "hidden size mismatch");
+        assert_eq!(cell.len(), self.hidden_size, "cell size mismatch");
+        let h = self.hidden_size;
+        // gates = W_x · x + W_h · h + b, laid out as [i, f, g, o].
+        let mut gates = self.bias.clone();
+        for (row, gate) in gates.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            let w_in = &self.w_input[row * self.input_size..(row + 1) * self.input_size];
+            for (w, x) in w_in.iter().zip(input) {
+                acc += w * x;
+            }
+            let w_rec = &self.w_recurrent[row * h..(row + 1) * h];
+            for (w, hprev) in w_rec.iter().zip(hidden.iter()) {
+                acc += w * hprev;
+            }
+            *gate += acc;
+        }
+        for j in 0..h {
+            let i_gate = sigmoid(gates[j]);
+            let f_gate = sigmoid(gates[h + j]);
+            let g_gate = gates[2 * h + j].tanh();
+            let o_gate = sigmoid(gates[3 * h + j]);
+            cell[j] = f_gate * cell[j] + i_gate * g_gate;
+            hidden[j] = o_gate * cell[j].tanh();
+        }
+    }
+
+    /// Approximate number of floating-point operations per time step.
+    pub fn flops_per_step(&self) -> u64 {
+        // Two multiply-adds per weight, plus the elementwise gate math.
+        (8 * self.hidden_size * (self.input_size + self.hidden_size) + 30 * self.hidden_size) as u64
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A stacked LSTM with a dense output layer, as used by the DART inference
+/// service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackedLstm {
+    layers: Vec<LstmLayer>,
+    /// Dense output weights, `outputs x hidden`.
+    w_out: Vec<f64>,
+    outputs: usize,
+}
+
+impl StackedLstm {
+    /// Creates a stacked LSTM with the given input size, hidden sizes (one
+    /// per layer) and output size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden_sizes` is empty.
+    pub fn new(input_size: usize, hidden_sizes: &[usize], outputs: usize, rng: &mut SimRng) -> Self {
+        assert!(!hidden_sizes.is_empty(), "at least one LSTM layer is required");
+        let mut layers = Vec::with_capacity(hidden_sizes.len());
+        let mut in_size = input_size;
+        for &h in hidden_sizes {
+            layers.push(LstmLayer::new(in_size, h, rng));
+            in_size = h;
+        }
+        let last_hidden = *hidden_sizes.last().expect("non-empty");
+        let scale = (1.0 / last_hidden as f64).sqrt();
+        let w_out = (0..outputs * last_hidden)
+            .map(|_| rng.uniform_range(-scale, scale))
+            .collect();
+        StackedLstm {
+            layers,
+            w_out,
+            outputs,
+        }
+    }
+
+    /// The default DART inference network: two stacked layers of 32 units
+    /// over 8-feature sensor readings, predicting 2 outputs (event
+    /// probability and severity).
+    pub fn dart_default(rng: &mut SimRng) -> Self {
+        StackedLstm::new(8, &[32, 32], 2, rng)
+    }
+
+    /// Number of stacked layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs inference over a sequence of feature vectors and returns the
+    /// dense output computed from the final hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature vector does not match the input size.
+    pub fn predict(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        let mut hidden: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.hidden_size()])
+            .collect();
+        let mut cell = hidden.clone();
+        for features in sequence {
+            let mut input = features.clone();
+            for (i, layer) in self.layers.iter().enumerate() {
+                layer.step(&input, &mut hidden[i], &mut cell[i]);
+                input = hidden[i].clone();
+            }
+        }
+        let last = hidden.last().expect("at least one layer");
+        (0..self.outputs)
+            .map(|o| {
+                self.w_out[o * last.len()..(o + 1) * last.len()]
+                    .iter()
+                    .zip(last)
+                    .map(|(w, h)| w * h)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Approximate floating-point operations for one inference over a
+    /// sequence of the given length.
+    pub fn flops(&self, sequence_length: usize) -> u64 {
+        let per_step: u64 = self.layers.iter().map(LstmLayer::flops_per_step).sum();
+        per_step * sequence_length as u64
+            + (2 * self.outputs * self.layers.last().map(|l| l.hidden_size()).unwrap_or(0)) as u64
+    }
+
+    /// The single-core CPU time of one inference in seconds, assuming the
+    /// given sustained throughput in floating-point operations per second.
+    /// With the default DART network, a 16-step sequence and a modest
+    /// 100 MFLOP/s satellite computer this is on the order of the ~2 ms
+    /// processing latency the paper reports.
+    pub fn inference_cpu_seconds(&self, sequence_length: usize, flops_per_second: f64) -> f64 {
+        assert!(flops_per_second > 0.0, "throughput must be positive");
+        self.flops(sequence_length) as f64 / flops_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(42)
+    }
+
+    fn sequence(len: usize, size: usize, value: f64) -> Vec<Vec<f64>> {
+        (0..len).map(|i| vec![value * (i + 1) as f64 / len as f64; size]).collect()
+    }
+
+    #[test]
+    fn prediction_has_the_requested_shape_and_is_finite() {
+        let lstm = StackedLstm::new(4, &[16, 8], 3, &mut rng());
+        assert_eq!(lstm.layer_count(), 2);
+        let out = lstm.predict(&sequence(10, 4, 0.5));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn inference_is_deterministic_for_the_same_weights() {
+        let lstm = StackedLstm::dart_default(&mut rng());
+        let a = lstm.predict(&sequence(16, 8, 1.0));
+        let b = lstm.predict(&sequence(16, 8, 1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let lstm = StackedLstm::dart_default(&mut rng());
+        let calm = lstm.predict(&sequence(16, 8, 0.01));
+        let storm = lstm.predict(&sequence(16, 8, 5.0));
+        assert_ne!(calm, storm);
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        // tanh-bounded cell outputs keep the hidden state in [-1, 1] even for
+        // large inputs over long sequences.
+        let layer = LstmLayer::new(2, 8, &mut rng());
+        let mut hidden = vec![0.0; 8];
+        let mut cell = vec![0.0; 8];
+        for _ in 0..500 {
+            layer.step(&[100.0, -100.0], &mut hidden, &mut cell);
+        }
+        assert!(hidden.iter().all(|h| h.abs() <= 1.0));
+    }
+
+    #[test]
+    fn flops_and_processing_time_are_plausible() {
+        let lstm = StackedLstm::dart_default(&mut rng());
+        let flops = lstm.flops(16);
+        assert!(flops > 100_000, "flops {flops}");
+        let seconds = lstm.inference_cpu_seconds(16, 100e6);
+        // Around 2 ms on a constrained satellite computer.
+        assert!(seconds > 0.0005 && seconds < 0.01, "inference takes {seconds}s");
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let layer = LstmLayer::new(4, 4, &mut rng());
+        let mut hidden = vec![0.0; 4];
+        let mut cell = vec![0.0; 4];
+        layer.step(&[1.0], &mut hidden, &mut cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LSTM layer")]
+    fn empty_stack_is_rejected() {
+        StackedLstm::new(4, &[], 1, &mut rng());
+    }
+}

@@ -1,0 +1,227 @@
+//! Workload generators and scenario helpers shared by the evaluation
+//! applications.
+
+use celestial_constellation::GroundStation;
+use celestial_sim::SimRng;
+use celestial_types::geo::Geodetic;
+use celestial_types::time::SimDuration;
+use celestial_types::{Bandwidth, MachineResources};
+use serde::{Deserialize, Serialize};
+
+/// A constant-bit-rate traffic source, e.g. one WebRTC video stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbrSource {
+    /// Target bit rate in bits per second.
+    pub bitrate_bps: u64,
+    /// Interval between packets.
+    pub packet_interval: SimDuration,
+}
+
+impl CbrSource {
+    /// Creates a source with the given bit rate and packet interval.
+    pub fn new(bitrate_bps: u64, packet_interval: SimDuration) -> Self {
+        CbrSource {
+            bitrate_bps,
+            packet_interval,
+        }
+    }
+
+    /// The video stream of the §4 meetup scenario: 2.6 Mb/s in 20 ms frames.
+    pub fn paper_video_stream() -> Self {
+        CbrSource::new(2_600_000, SimDuration::from_millis(20))
+    }
+
+    /// The size in bytes of each packet so that the configured bit rate is
+    /// met at the configured interval.
+    pub fn packet_size_bytes(&self) -> u64 {
+        (self.bitrate_bps as f64 * self.packet_interval.as_secs_f64() / 8.0).round() as u64
+    }
+
+    /// Number of packets sent over the given duration.
+    pub fn packets_over(&self, duration: SimDuration) -> u64 {
+        if self.packet_interval.is_zero() {
+            return 0;
+        }
+        duration.as_micros() / self.packet_interval.as_micros()
+    }
+}
+
+/// Serialisable application message header used by both evaluation
+/// applications: who originally sent the message and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageHeader {
+    /// Message kind discriminator, application-defined.
+    pub kind: u8,
+    /// Index of the originating node within the application's own numbering.
+    pub origin: u32,
+    /// Send time in microseconds of simulated time.
+    pub sent_at_micros: u64,
+    /// Sequence number from the originator.
+    pub sequence: u64,
+}
+
+impl MessageHeader {
+    /// Serialises the header into a fixed-size byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(21);
+        bytes.push(self.kind);
+        bytes.extend_from_slice(&self.origin.to_le_bytes());
+        bytes.extend_from_slice(&self.sent_at_micros.to_le_bytes());
+        bytes.extend_from_slice(&self.sequence.to_le_bytes());
+        bytes
+    }
+
+    /// Parses a header from bytes produced by [`encode`](Self::encode).
+    ///
+    /// Returns `None` if the slice is too short.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 21 {
+            return None;
+        }
+        Some(MessageHeader {
+            kind: bytes[0],
+            origin: u32::from_le_bytes(bytes[1..5].try_into().ok()?),
+            sent_at_micros: u64::from_le_bytes(bytes[5..13].try_into().ok()?),
+            sequence: u64::from_le_bytes(bytes[13..21].try_into().ok()?),
+        })
+    }
+}
+
+/// Generates the DART scenario's ground stations: `buoy_count` sensor buoys
+/// and `sink_count` data sinks (ships and islands) spread over the Pacific,
+/// plus the Pacific Tsunami Warning Center on Ford Island as the final
+/// station. Buoys and sinks use the 88 Kb/s Iridium remote-sensing link rate;
+/// the warning center gets a 100 Mb/s link and server-class resources.
+pub fn dart_ground_stations(buoy_count: u32, sink_count: u32, rng: &mut SimRng) -> Vec<GroundStation> {
+    let mut stations = Vec::with_capacity((buoy_count + sink_count + 1) as usize);
+    for i in 0..buoy_count {
+        let position = random_pacific_position(rng);
+        stations.push(
+            GroundStation::new(format!("buoy-{i}"), position)
+                .with_resources(MachineResources::paper_sensor())
+                .with_bandwidth(Bandwidth::from_kbps(88))
+                .with_min_elevation_deg(10.0),
+        );
+    }
+    for i in 0..sink_count {
+        let position = random_pacific_position(rng);
+        stations.push(
+            GroundStation::new(format!("sink-{i}"), position)
+                .with_resources(MachineResources::paper_sensor())
+                .with_bandwidth(Bandwidth::from_kbps(88))
+                .with_min_elevation_deg(10.0),
+        );
+    }
+    stations.push(
+        GroundStation::new("ford-island-ptwc", Geodetic::new(21.3649, -157.9779, 0.0))
+            .with_resources(MachineResources::paper_central_server())
+            .with_bandwidth(Bandwidth::from_mbps(100))
+            .with_min_elevation_deg(10.0),
+    );
+    stations
+}
+
+/// Draws a position in the Pacific basin: longitudes from 135° E eastwards
+/// across the antimeridian to 115° W, latitudes between 45° S and 55° N.
+fn random_pacific_position(rng: &mut SimRng) -> Geodetic {
+    let latitude = rng.uniform_range(-45.0, 55.0);
+    // 135 .. 245 degrees east, normalised to (-180, 180].
+    let longitude = rng.uniform_range(135.0, 245.0);
+    Geodetic::new(latitude, longitude, 0.0)
+}
+
+/// Assigns each buoy the `group_size` nearest sinks (by great-circle
+/// distance), the "ships and islands in the vicinity of the sensor" of the
+/// paper's §5 scenario.
+pub fn assign_sink_groups(
+    buoys: &[Geodetic],
+    sinks: &[Geodetic],
+    group_size: usize,
+) -> Vec<Vec<usize>> {
+    buoys
+        .iter()
+        .map(|buoy| {
+            let mut by_distance: Vec<(usize, f64)> = sinks
+                .iter()
+                .enumerate()
+                .map(|(i, sink)| (i, buoy.great_circle_distance_km(sink)))
+                .collect();
+            by_distance.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"));
+            by_distance.into_iter().take(group_size).map(|(i, _)| i).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_stream_matches_the_paper_rate() {
+        let stream = CbrSource::paper_video_stream();
+        assert_eq!(stream.packet_size_bytes(), 6_500);
+        assert_eq!(stream.packets_over(SimDuration::from_secs(1)), 50);
+        // 50 packets of 6,500 bytes per second is 2.6 Mb/s.
+        assert_eq!(stream.packet_size_bytes() * 50 * 8, 2_600_000);
+    }
+
+    #[test]
+    fn message_header_round_trips() {
+        let header = MessageHeader {
+            kind: 2,
+            origin: 77,
+            sent_at_micros: 123_456_789,
+            sequence: 42,
+        };
+        let encoded = header.encode();
+        assert_eq!(MessageHeader::decode(&encoded), Some(header));
+        assert_eq!(MessageHeader::decode(&encoded[..10]), None);
+    }
+
+    #[test]
+    fn dart_stations_have_the_paper_population_and_link_rates() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let stations = dart_ground_stations(100, 200, &mut rng);
+        assert_eq!(stations.len(), 301);
+        assert_eq!(stations.iter().filter(|s| s.name.starts_with("buoy-")).count(), 100);
+        assert_eq!(stations.iter().filter(|s| s.name.starts_with("sink-")).count(), 200);
+        assert_eq!(stations.last().unwrap().name, "ford-island-ptwc");
+        assert_eq!(stations[0].bandwidth, Some(Bandwidth::from_kbps(88)));
+        assert_eq!(
+            stations.last().unwrap().bandwidth,
+            Some(Bandwidth::from_mbps(100))
+        );
+        // All stations are in the Pacific basin.
+        for station in &stations {
+            let lon = station.position.longitude_deg();
+            assert!(
+                !( -110.0..130.0).contains(&lon),
+                "{} at longitude {lon} is outside the Pacific",
+                station.name
+            );
+        }
+    }
+
+    #[test]
+    fn dart_stations_are_deterministic_per_seed() {
+        let a = dart_ground_stations(10, 10, &mut SimRng::seed_from_u64(1));
+        let b = dart_ground_stations(10, 10, &mut SimRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sink_groups_pick_the_nearest_sinks() {
+        let buoys = vec![Geodetic::new(0.0, 180.0, 0.0)];
+        let sinks = vec![
+            Geodetic::new(0.0, 179.0, 0.0),  // ~111 km away
+            Geodetic::new(20.0, 160.0, 0.0), // far
+            Geodetic::new(1.0, -180.0, 0.0), // ~111 km away (across the antimeridian)
+            Geodetic::new(-40.0, 200.0, 0.0),
+        ];
+        let groups = assign_sink_groups(&buoys, &sinks, 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        assert!(groups[0].contains(&0));
+        assert!(groups[0].contains(&2));
+    }
+}

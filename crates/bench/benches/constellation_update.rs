@@ -1,0 +1,72 @@
+//! E10: constellation update time.
+//!
+//! The paper claims the Constellation Calculation completes "within one
+//! second even on a standard laptop" for the full phase-I Starlink
+//! constellation. This bench measures one full state computation (positions,
+//! ISLs, ground links, graph construction) for the first shell and the full
+//! five-shell constellation, plus the coordinator's per-pair programme.
+
+use celestial::Coordinator;
+use celestial_constellation::{BoundingBox, Constellation, GroundStation, Shell};
+use celestial_sgp4::WalkerShell;
+use celestial_types::geo::Geodetic;
+use celestial_types::time::SimDuration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn ground_stations() -> Vec<GroundStation> {
+    vec![
+        GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)),
+        GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)),
+        GroundStation::new("yaounde", Geodetic::new(3.848, 11.5021, 0.0)),
+        GroundStation::new("johannesburg", Geodetic::new(-26.2041, 28.0473, 0.0)),
+    ]
+}
+
+fn constellation(shells: usize) -> Constellation {
+    Constellation::builder()
+        .shells(
+            WalkerShell::starlink_phase1()
+                .into_iter()
+                .take(shells)
+                .map(Shell::from_walker),
+        )
+        .ground_stations(ground_stations())
+        .bounding_box(BoundingBox::west_africa())
+        .build()
+        .expect("valid constellation")
+}
+
+fn bench_state_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constellation_state");
+    group.sample_size(10);
+    for shells in [1usize, 5] {
+        let constellation = constellation(shells);
+        group.bench_function(format!("starlink_{shells}_shells"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 2.0;
+                constellation.state_at(t).expect("state")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coordinator_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinator_update");
+    group.sample_size(10);
+    group.bench_function("update_and_programme_shell1", |b| {
+        b.iter_batched(
+            || Coordinator::new(constellation(1), SimDuration::from_secs(2)),
+            |mut coordinator| {
+                coordinator.update(0.0).expect("update");
+                coordinator.network_programme().expect("programme")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_computation, bench_coordinator_update);
+criterion_main!(benches);

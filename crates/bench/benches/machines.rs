@@ -1,0 +1,69 @@
+//! E12 (machines): microVM lifecycle churn and snapshot diffing, the
+//! per-update work of the machine managers and the coordinator.
+
+use celestial_constellation::{BoundingBox, Constellation, ConstellationSnapshot, GroundStation, Shell};
+use celestial_machines::{FirecrackerModel, Host, MicroVm};
+use celestial_sgp4::WalkerShell;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::{HostId, MachineId, NodeId};
+use celestial_types::resources::MachineResources;
+use celestial_types::time::SimInstant;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_boot_suspend_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machines");
+    group.bench_function("boot_suspend_resume_100_microvms", |b| {
+        b.iter_batched(
+            || {
+                let mut host = Host::n2_highcpu_32(HostId(0)).with_model(FirecrackerModel::default());
+                for i in 0..100u64 {
+                    host.place(MicroVm::new(
+                        MachineId(i),
+                        NodeId::satellite(0, i as u32),
+                        MachineResources::paper_satellite(),
+                    ))
+                    .expect("place");
+                }
+                host
+            },
+            |mut host| {
+                let machine_ids: Vec<MachineId> = host.machines().map(|m| m.id()).collect();
+                for id in &machine_ids {
+                    let vm = host.machine_mut(*id).expect("machine");
+                    let ready = vm.boot(SimInstant::EPOCH).expect("boot");
+                    vm.finish_boot(ready).expect("finish boot");
+                    vm.suspend().expect("suspend");
+                    vm.resume().expect("resume");
+                }
+                host.memory_utilization()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_snapshot_diffing(c: &mut Criterion) {
+    let constellation = Constellation::builder()
+        .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6, -0.19, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .build()
+        .expect("valid constellation");
+    let s0 = ConstellationSnapshot::from_state(&constellation.state_at(0.0).expect("state"));
+    let s1 = ConstellationSnapshot::from_state(&constellation.state_at(2.0).expect("state"));
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(20);
+    group.bench_function("diff_starlink_shell1_2s_apart", |b| {
+        b.iter(|| s0.diff(&s1));
+    });
+    group.bench_function("apply_diff", |b| {
+        let diff = s0.diff(&s1);
+        b.iter(|| s0.apply(&diff));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_boot_suspend_cycle, bench_snapshot_diffing);
+criterion_main!(benches);

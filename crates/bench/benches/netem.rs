@@ -1,0 +1,50 @@
+//! E12 (network): throughput of the netem queueing-discipline model and of
+//! per-pair rule reprogramming, the operations the machine managers perform
+//! on every constellation update and for every application packet.
+
+use celestial_netem::packet::Packet;
+use celestial_netem::qdisc::NetemQdisc;
+use celestial_netem::TrafficControl;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use celestial_types::{Bandwidth, Latency};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_qdisc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netem_qdisc");
+    group.bench_function("process_packet", |b| {
+        let mut qdisc = NetemQdisc::new(Latency::from_millis_f64(8.0), Bandwidth::from_gbps(10));
+        let packet = Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 1), 1_250);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 20_000;
+            qdisc.process(&packet, SimInstant::from_micros(t), &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_tc_reprogramming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_control");
+    group.bench_function("reprogram_1000_pairs", |b| {
+        let mut tc = TrafficControl::new();
+        b.iter(|| {
+            for i in 0..1000u32 {
+                tc.set_link(
+                    NodeId::ground_station(i % 10),
+                    NodeId::satellite(0, i),
+                    Latency::from_millis_f64(f64::from(i % 40)),
+                    Bandwidth::from_gbps(10),
+                );
+            }
+            tc.rule_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qdisc, bench_tc_reprogramming);
+criterion_main!(benches);

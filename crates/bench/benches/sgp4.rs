@@ -1,0 +1,44 @@
+//! E12 (orbital mechanics): SGP4-class propagation throughput — the inner
+//! loop of every constellation update (one propagation per satellite per
+//! update).
+
+use celestial_sgp4::{Propagator, WalkerShell};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_propagation(c: &mut Criterion) {
+    let shell = WalkerShell::starlink_shell1();
+    let propagators: Vec<Propagator> = shell
+        .satellite_elements()
+        .into_iter()
+        .map(Propagator::new)
+        .collect();
+
+    let mut group = c.benchmark_group("sgp4");
+    group.throughput(Throughput::Elements(propagators.len() as u64));
+    group.bench_function("propagate_starlink_shell1_one_step", |b| {
+        let mut minutes = 0.0;
+        b.iter(|| {
+            minutes += 1.0 / 30.0;
+            propagators
+                .iter()
+                .map(|p| p.propagate_minutes(minutes).expect("propagation").position_eci.x)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_single_propagation(c: &mut Criterion) {
+    let elements = WalkerShell::iridium().satellite_elements();
+    let propagator = Propagator::new(elements[0].clone());
+    c.bench_function("sgp4_single_satellite", |b| {
+        let mut minutes = 0.0;
+        b.iter(|| {
+            minutes += 0.1;
+            propagator.propagate_minutes(minutes).expect("propagation")
+        });
+    });
+}
+
+criterion_group!(benches, bench_propagation, bench_single_propagation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E12 (end to end): full testbed steps — how much wall-clock time one second
+//! of emulated §4 workload costs, including constellation updates, machine
+//! lifecycle, network shaping and application traffic.
+
+use celestial::config::{HostConfig, TestbedConfig};
+use celestial::testbed::Testbed;
+use celestial_apps::meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};
+use celestial_constellation::{BoundingBox, Shell};
+use celestial_sgp4::WalkerShell;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn config(duration_s: f64) -> TestbedConfig {
+    TestbedConfig::builder()
+        .seed(1)
+        .update_interval_s(2.0)
+        .duration_s(duration_s)
+        .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+        .ground_stations(MeetupConfig::ground_stations())
+        .bounding_box(BoundingBox::west_africa())
+        .hosts(vec![HostConfig::default(); 3])
+        .build()
+        .expect("valid configuration")
+}
+
+fn bench_testbed_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(10);
+    group.bench_function("meetup_10s_satellite_bridge", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Testbed::new(&config(10.0)).expect("testbed"),
+                    MeetupExperiment::new(MeetupConfig::new(BridgeDeployment::Satellite)),
+                )
+            },
+            |(mut testbed, mut app)| {
+                testbed.run(&mut app).expect("run");
+                app.all_latencies_ms().len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_testbed_construction(c: &mut Criterion) {
+    c.bench_function("testbed_construction_starlink_shell1", |b| {
+        let cfg = config(10.0);
+        b.iter(|| Testbed::new(&cfg).expect("testbed"));
+    });
+}
+
+criterion_group!(benches, bench_testbed_run, bench_testbed_construction);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! Constellation visualisation.
+//!
+//! Celestial ships an optional animation component that visualises the
+//! constellation during an emulation run (the paper's Fig. 1 was produced by
+//! it). This module renders a computed [`ConstellationState`] to an
+//! equirectangular SVG map — satellites, ground stations, ISLs and
+//! ground-station links — and to a compact text summary for terminals. The
+//! figure harness uses it to regenerate Fig. 1 (Starlink phase I) and Fig. 10
+//! (Iridium with DART ground stations).
+
+use crate::constellation::ConstellationState;
+use crate::links::LinkKind;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Options controlling the SVG rendering.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Width of the SVG canvas in pixels (height is width / 2).
+    pub width: u32,
+    /// Whether to draw inter-satellite links.
+    pub draw_isls: bool,
+    /// Whether to draw ground-station links.
+    pub draw_ground_links: bool,
+    /// Radius of satellite markers in pixels.
+    pub satellite_radius: f64,
+    /// Radius of ground-station markers in pixels.
+    pub ground_station_radius: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 1200,
+            draw_isls: true,
+            draw_ground_links: true,
+            satellite_radius: 1.5,
+            ground_station_radius: 3.0,
+        }
+    }
+}
+
+/// Colours assigned to shells, cycling for constellations with many shells.
+const SHELL_COLORS: [&str; 6] = [
+    "#1fb7b2", // turquoise
+    "#ff8c42", // orange
+    "#3066be", // blue
+    "#e84393", // pink
+    "#2ecc71", // green
+    "#9b59b6", // purple
+];
+
+fn project(position: &Geodetic, width: f64) -> (f64, f64) {
+    let height = width / 2.0;
+    let x = (position.longitude_deg() + 180.0) / 360.0 * width;
+    let y = (90.0 - position.latitude_deg()) / 180.0 * height;
+    (x, y)
+}
+
+/// Renders the constellation state to an equirectangular SVG document.
+pub fn render_svg(state: &ConstellationState, options: &RenderOptions) -> String {
+    let width = options.width as f64;
+    let height = width / 2.0;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="#0b1026"/>"##
+    );
+    // Graticule every 30 degrees.
+    for lon in (-180..=180).step_by(30) {
+        let x = (lon as f64 + 180.0) / 360.0 * width;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="0" x2="{x:.1}" y2="{height}" stroke="#1c2340" stroke-width="0.5"/>"##
+        );
+    }
+    for lat in (-90..=90).step_by(30) {
+        let y = (90.0 - lat as f64) / 180.0 * height;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="0" y1="{y:.1}" x2="{width}" y2="{y:.1}" stroke="#1c2340" stroke-width="0.5"/>"##
+        );
+    }
+
+    // Links first so markers are drawn on top.
+    for link in &state.links {
+        let draw = match link.kind {
+            LinkKind::Isl => options.draw_isls,
+            LinkKind::GroundStationLink => options.draw_ground_links,
+        };
+        if !draw {
+            continue;
+        }
+        let (Ok(pa), Ok(pb)) = (state.position(link.a), state.position(link.b)) else {
+            continue;
+        };
+        let ga = pa.to_geodetic();
+        let gb = pb.to_geodetic();
+        // Skip links that wrap around the antimeridian to avoid lines across
+        // the whole map.
+        if (ga.longitude_deg() - gb.longitude_deg()).abs() > 180.0 {
+            continue;
+        }
+        let (x1, y1) = project(&ga, width);
+        let (x2, y2) = project(&gb, width);
+        let (color, opacity) = match link.kind {
+            LinkKind::Isl => {
+                let shell = link
+                    .a
+                    .as_satellite()
+                    .map(|s| s.shell.index())
+                    .unwrap_or_default();
+                (SHELL_COLORS[shell % SHELL_COLORS.len()], 0.35)
+            }
+            LinkKind::GroundStationLink => ("#7CFC00", 0.8),
+        };
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="0.6" opacity="{opacity}"/>"##
+        );
+    }
+
+    // Satellites.
+    for idx in 0..state.satellite_count() {
+        let node = state.node_id(idx).expect("index in range");
+        let Ok(pos) = state.position(node) else { continue };
+        let geo = pos.to_geodetic();
+        let (x, y) = project(&geo, width);
+        let shell = node.as_satellite().map(|s| s.shell.index()).unwrap_or(0);
+        let color = SHELL_COLORS[shell % SHELL_COLORS.len()];
+        let r = options.satellite_radius;
+        let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"/>"##);
+    }
+
+    // Ground stations.
+    for idx in 0..state.ground_station_count() {
+        let node = NodeId::ground_station(idx as u32);
+        let Ok(pos) = state.position(node) else { continue };
+        let geo = pos.to_geodetic();
+        let (x, y) = project(&geo, width);
+        let r = options.ground_station_radius;
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="none" stroke="#ffffff" stroke-width="1.2"/>"##
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a compact text summary of the constellation state, suitable for
+/// logging from the coordinator or the figure harness.
+pub fn render_summary(state: &ConstellationState) -> String {
+    let isls = state
+        .links
+        .iter()
+        .filter(|l| l.kind == LinkKind::Isl)
+        .count();
+    let gsls = state.links.len() - isls;
+    let active = state.active_satellites().len();
+    format!(
+        "t={:.1}s: {} satellites ({} active), {} ground stations, {} ISLs, {} ground links",
+        state.time_seconds,
+        state.satellite_count(),
+        active,
+        state.ground_station_count(),
+        isls,
+        gsls
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Constellation;
+    use crate::ground_station::presets;
+    use crate::shell::Shell;
+    use celestial_sgp4::WalkerShell;
+
+    fn state() -> ConstellationState {
+        Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 3, 5)))
+            .ground_station(presets::accra())
+            .build()
+            .unwrap()
+            .state_at(0.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn svg_contains_markers_for_every_node() {
+        let s = state();
+        let svg = render_svg(&s, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, s.satellite_count() + s.ground_station_count());
+    }
+
+    #[test]
+    fn link_drawing_can_be_disabled() {
+        let s = state();
+        let with_links = render_svg(&s, &RenderOptions::default());
+        let without_links = render_svg(
+            &s,
+            &RenderOptions {
+                draw_isls: false,
+                draw_ground_links: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(with_links.matches("<line").count() > without_links.matches("<line").count());
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let s = state();
+        let summary = render_summary(&s);
+        assert!(summary.contains("15 satellites"));
+        assert!(summary.contains("1 ground stations"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Geographical bounding boxes.
+//!
+//! Celestial's bounding box (§3.3) limits which satellite servers are
+//! *active* (emulated as running microVMs): satellites whose sub-satellite
+//! point lies outside the box are suspended and resumed when they re-enter.
+//! The bounding box never affects network path calculation — packets may
+//! still be routed over suspended satellites' positions — it only reduces the
+//! host resources required.
+
+use celestial_types::geo::{normalize_longitude, Geodetic};
+use serde::{Deserialize, Serialize};
+
+/// A latitude/longitude bounding box on the Earth's surface.
+///
+/// The box may cross the antimeridian: if `lon_min > lon_max` it covers the
+/// longitudes from `lon_min` eastwards across 180° to `lon_max` (this is how
+/// a Pacific-centred box, as used in the §5 case study, is expressed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southern edge in degrees latitude.
+    pub lat_min: f64,
+    /// Northern edge in degrees latitude.
+    pub lat_max: f64,
+    /// Western edge in degrees longitude (may exceed `lon_max` for boxes
+    /// crossing the antimeridian).
+    pub lon_min: f64,
+    /// Eastern edge in degrees longitude.
+    pub lon_max: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from its southern, northern, western and
+    /// eastern edges (degrees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat_min > lat_max` or any latitude is outside [-90, 90].
+    pub fn new(lat_min: f64, lat_max: f64, lon_min: f64, lon_max: f64) -> Self {
+        assert!(lat_min <= lat_max, "lat_min must not exceed lat_max");
+        assert!(
+            (-90.0..=90.0).contains(&lat_min) && (-90.0..=90.0).contains(&lat_max),
+            "latitudes must be within [-90, 90]"
+        );
+        // Normalise longitudes to (-180, 180], but keep a western edge given
+        // as -180 at -180: a box spanning the full longitude range must not
+        // degenerate into an empty one.
+        let western_edge_at_antimeridian = lon_min <= -180.0;
+        let mut lon_min = normalize_longitude(lon_min);
+        let lon_max = normalize_longitude(lon_max);
+        if western_edge_at_antimeridian {
+            lon_min = -180.0;
+        }
+        BoundingBox {
+            lat_min,
+            lat_max,
+            lon_min,
+            lon_max,
+        }
+    }
+
+    /// A bounding box covering the entire Earth: nothing is ever suspended.
+    pub fn whole_earth() -> Self {
+        BoundingBox {
+            lat_min: -90.0,
+            lat_max: 90.0,
+            lon_min: -180.0,
+            lon_max: 180.0,
+        }
+    }
+
+    /// The bounding box over West Africa used in the paper's §4 evaluation
+    /// (clients in Accra, Abuja and Yaoundé; the Johannesburg datacenter is
+    /// deliberately outside — only satellites over the clients are emulated).
+    pub fn west_africa() -> Self {
+        BoundingBox::new(-5.0, 20.0, -10.0, 20.0)
+    }
+
+    /// A Pacific-centred bounding box (crossing the antimeridian) large
+    /// enough to contain the §5 DART buoys, ships and islands.
+    pub fn pacific() -> Self {
+        BoundingBox::new(-50.0, 62.0, 130.0, -110.0)
+    }
+
+    /// Whether this box crosses the antimeridian.
+    pub fn crosses_antimeridian(&self) -> bool {
+        self.lon_min > self.lon_max
+    }
+
+    /// Returns `true` if the given position lies inside the box (altitude is
+    /// ignored — the box constrains the sub-satellite point).
+    pub fn contains(&self, position: &Geodetic) -> bool {
+        let lat = position.latitude_deg();
+        if lat < self.lat_min || lat > self.lat_max {
+            return false;
+        }
+        let lon = position.longitude_deg();
+        if self.crosses_antimeridian() {
+            lon >= self.lon_min || lon <= self.lon_max
+        } else {
+            lon >= self.lon_min && lon <= self.lon_max
+        }
+    }
+
+    /// The fraction of the Earth's surface area covered by the box, in
+    /// `[0, 1]`. Used by the resource estimator to predict how many satellite
+    /// microVMs will be active at once.
+    pub fn area_fraction(&self) -> f64 {
+        let lat_span = (self.lat_max.to_radians().sin() - self.lat_min.to_radians().sin()) / 2.0;
+        let lon_span_deg = if self.crosses_antimeridian() {
+            360.0 - (self.lon_min - self.lon_max)
+        } else {
+            self.lon_max - self.lon_min
+        };
+        (lat_span * lon_span_deg / 360.0).clamp(0.0, 1.0)
+    }
+
+    /// Grows the box by `margin_deg` degrees in every direction, clamping
+    /// latitudes to the poles.
+    pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
+        let lon_min = self.lon_min - margin_deg;
+        let lon_max = self.lon_max + margin_deg;
+        // If the expansion makes the box wrap the entire globe, use the full
+        // longitude range.
+        let covers_all = !self.crosses_antimeridian() && (lon_max - lon_min) >= 360.0;
+        BoundingBox {
+            lat_min: (self.lat_min - margin_deg).max(-90.0),
+            lat_max: (self.lat_max + margin_deg).min(90.0),
+            lon_min: if covers_all { -180.0 } else { normalize_longitude(lon_min) },
+            lon_max: if covers_all { 180.0 } else { normalize_longitude(lon_max) },
+        }
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        BoundingBox::whole_earth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn whole_earth_contains_everything() {
+        let b = BoundingBox::whole_earth();
+        assert!(b.contains(&Geodetic::new(89.0, 179.0, 0.0)));
+        assert!(b.contains(&Geodetic::new(-89.0, -179.0, 0.0)));
+        assert!((b.area_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn west_africa_box_contains_the_clients_but_not_johannesburg() {
+        let b = BoundingBox::west_africa();
+        assert!(b.contains(&Geodetic::new(5.6037, -0.187, 0.0))); // Accra
+        assert!(b.contains(&Geodetic::new(9.0765, 7.3986, 0.0))); // Abuja
+        assert!(b.contains(&Geodetic::new(3.848, 11.5021, 0.0))); // Yaoundé
+        assert!(!b.contains(&Geodetic::new(-26.2041, 28.0473, 0.0))); // Johannesburg
+    }
+
+    #[test]
+    fn pacific_box_crosses_the_antimeridian() {
+        let b = BoundingBox::pacific();
+        assert!(b.crosses_antimeridian());
+        assert!(b.contains(&Geodetic::new(21.36, -157.98, 0.0))); // Hawaii
+        assert!(b.contains(&Geodetic::new(35.0, 140.0, 0.0))); // Japan
+        assert!(b.contains(&Geodetic::new(0.0, 180.0, 0.0))); // dateline
+        assert!(!b.contains(&Geodetic::new(0.0, 0.0, 0.0))); // Gulf of Guinea
+        assert!(!b.contains(&Geodetic::new(48.0, 11.0, 0.0))); // Munich
+    }
+
+    #[test]
+    fn area_fraction_of_a_hemisphere() {
+        let northern = BoundingBox::new(0.0, 90.0, -180.0, 180.0);
+        assert!((northern.area_fraction() - 0.5).abs() < 1e-9);
+        let eastern = BoundingBox::new(-90.0, 90.0, 0.0, 180.0);
+        assert!((eastern.area_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_grows_and_clamps() {
+        let b = BoundingBox::new(80.0, 89.0, 10.0, 20.0).expanded(5.0);
+        assert_eq!(b.lat_max, 90.0);
+        assert_eq!(b.lat_min, 75.0);
+        assert_eq!(b.lon_min, 5.0);
+        assert_eq!(b.lon_max, 25.0);
+        let all = BoundingBox::new(-10.0, 10.0, -179.0, 179.0).expanded(10.0);
+        assert!(all.contains(&Geodetic::new(0.0, 180.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lat_min")]
+    fn inverted_latitudes_panic() {
+        BoundingBox::new(10.0, -10.0, 0.0, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn area_fraction_is_monotone_in_latitude_span(
+            lat_min in -80.0f64..0.0,
+            lat_max in 0.0f64..80.0,
+            grow in 1.0f64..9.0,
+        ) {
+            let small = BoundingBox::new(lat_min, lat_max, -30.0, 30.0);
+            let large = BoundingBox::new(lat_min - grow, lat_max + grow, -30.0, 30.0);
+            prop_assert!(large.area_fraction() >= small.area_fraction());
+        }
+
+        #[test]
+        fn expanded_box_contains_original_points(
+            lat in -60.0f64..60.0,
+            lon in -150.0f64..150.0,
+            margin in 0.0f64..20.0,
+        ) {
+            let b = BoundingBox::new(lat - 5.0, lat + 5.0, lon - 5.0, lon + 5.0);
+            let point = Geodetic::new(lat, lon, 0.0);
+            prop_assert!(b.contains(&point));
+            prop_assert!(b.expanded(margin).contains(&point));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Ground stations: fixed Earth-bound servers (clients, datacenters, sensors).
+
+use celestial_types::geo::{Cartesian, Geodetic};
+use celestial_types::{Bandwidth, MachineResources};
+use serde::{Deserialize, Serialize};
+
+/// A ground station in the constellation configuration.
+///
+/// Ground stations cover everything Earth-bound in the testbed: user
+/// equipment, cloud datacenters with satellite uplinks (as in the paper's §4
+/// Johannesburg datacenter), remote sensor buoys and data sinks (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundStation {
+    /// Human-readable name (used in configuration and result reporting).
+    pub name: String,
+    /// Geodetic position of the station.
+    pub position: Geodetic,
+    /// Resources of the ground station server microVM.
+    pub resources: MachineResources,
+    /// Uplink/downlink bandwidth of the station's ground-to-satellite link.
+    /// `None` means the shell's default ground-link bandwidth applies.
+    pub bandwidth: Option<Bandwidth>,
+    /// Minimum elevation override for this station. `None` means the shell's
+    /// minimum elevation applies.
+    pub min_elevation_deg: Option<f64>,
+}
+
+impl GroundStation {
+    /// Creates a ground station with default (client-sized) resources and the
+    /// shell-default link parameters.
+    pub fn new(name: impl Into<String>, position: Geodetic) -> Self {
+        GroundStation {
+            name: name.into(),
+            position,
+            resources: MachineResources::paper_client(),
+            bandwidth: None,
+            min_elevation_deg: None,
+        }
+    }
+
+    /// Sets the machine resources, returning the modified station.
+    pub fn with_resources(mut self, resources: MachineResources) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Sets a station-specific ground-link bandwidth, returning the modified
+    /// station.
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = Some(bandwidth);
+        self
+    }
+
+    /// Sets a station-specific minimum elevation, returning the modified
+    /// station.
+    pub fn with_min_elevation_deg(mut self, elevation: f64) -> Self {
+        self.min_elevation_deg = Some(elevation);
+        self
+    }
+
+    /// The station's position in the Earth-fixed Cartesian frame.
+    pub fn position_ecef(&self) -> Cartesian {
+        self.position.to_cartesian()
+    }
+}
+
+/// Well-known ground stations used by the paper's evaluation scenarios.
+pub mod presets {
+    use super::GroundStation;
+    use celestial_types::geo::Geodetic;
+    use celestial_types::MachineResources;
+
+    /// Accra, Ghana — client in the §4 meetup scenario.
+    pub fn accra() -> GroundStation {
+        GroundStation::new("accra", Geodetic::new(5.6037, -0.1870, 0.0))
+    }
+
+    /// Abuja, Nigeria — client in the §4 meetup scenario.
+    pub fn abuja() -> GroundStation {
+        GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0))
+    }
+
+    /// Yaoundé, Cameroon — client in the §4 meetup scenario.
+    pub fn yaounde() -> GroundStation {
+        GroundStation::new("yaounde", Geodetic::new(3.8480, 11.5021, 0.0))
+    }
+
+    /// Johannesburg, South Africa — the nearest cloud datacenter in the §4
+    /// meetup scenario, assumed to have its own satellite antenna.
+    pub fn johannesburg_datacenter() -> GroundStation {
+        GroundStation::new("johannesburg-dc", Geodetic::new(-26.2041, 28.0473, 0.0))
+            .with_resources(MachineResources::paper_central_server())
+    }
+
+    /// Ford Island, Hawaii — the Pacific Tsunami Warning Center, the central
+    /// processing location of the §5 DART case study.
+    pub fn ford_island() -> GroundStation {
+        GroundStation::new("ford-island-ptwc", Geodetic::new(21.3649, -157.9779, 0.0))
+            .with_resources(MachineResources::paper_central_server())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_types::constants::EARTH_RADIUS_KM;
+
+    #[test]
+    fn preset_clients_are_in_west_africa() {
+        for gst in [presets::accra(), presets::abuja(), presets::yaounde()] {
+            assert!(gst.position.latitude_deg() > 0.0 && gst.position.latitude_deg() < 12.0);
+            assert!(gst.position.longitude_deg() > -2.0 && gst.position.longitude_deg() < 13.0);
+        }
+    }
+
+    #[test]
+    fn johannesburg_is_far_from_the_clients() {
+        let jnb = presets::johannesburg_datacenter();
+        let accra = presets::accra();
+        let d = jnb.position.great_circle_distance_km(&accra.position);
+        // Roughly 4,500 km as the crow flies.
+        assert!(d > 4_000.0 && d < 5_500.0, "distance {d}");
+    }
+
+    #[test]
+    fn position_ecef_is_on_the_surface() {
+        let gst = presets::ford_island();
+        assert!((gst.position_ecef().norm() - EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    fn builders_override_defaults() {
+        let gst = GroundStation::new("buoy", Geodetic::new(0.0, -150.0, 0.0))
+            .with_resources(MachineResources::paper_sensor())
+            .with_bandwidth(celestial_types::Bandwidth::from_kbps(88))
+            .with_min_elevation_deg(10.0);
+        assert_eq!(gst.resources.vcpus, 1);
+        assert_eq!(gst.bandwidth.unwrap().as_bps(), 88_000);
+        assert_eq!(gst.min_elevation_deg, Some(10.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Inter-satellite link topology (+GRID).
+//!
+//! The paper assumes ISLs arranged in a +GRID pattern (§2.1): every satellite
+//! keeps a laser link to its predecessor and successor within its orbital
+//! plane and to one neighbour in each of the two closest adjacent planes.
+//! Iridium-style shells whose ascending nodes only span a 180° arc have a
+//! *seam* between the first and last plane — those satellites move in
+//! opposite directions, so no cross-seam ISLs exist (§5, Fig. 10).
+//!
+//! A nominally present +GRID link can still be unavailable at a given moment
+//! if the straight line between the two satellites dips into the atmosphere
+//! (e.g. a cross-plane link between satellites near opposite sides of their
+//! planes); availability is checked against the shell's atmosphere cutoff.
+
+use crate::shell::Shell;
+use celestial_types::geo::Cartesian;
+use serde::{Deserialize, Serialize};
+
+/// A candidate ISL within a shell, identified by the shell-wide indices of
+/// its two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IslCandidate {
+    /// Index of the first satellite within the shell.
+    pub a: u32,
+    /// Index of the second satellite within the shell.
+    pub b: u32,
+    /// Whether the link connects two satellites of the same plane
+    /// (intra-plane) or adjacent planes (cross-plane).
+    pub intra_plane: bool,
+}
+
+/// Computes the +GRID ISL candidates of a shell.
+///
+/// Every undirected link is reported exactly once (`a < b`). For shells with
+/// a single plane only intra-plane links are generated; for shells with two
+/// planes each satellite links to its counterpart in the other plane once.
+/// Seam shells (arc of ascending nodes < 360°) omit links between the first
+/// and last plane.
+pub fn plus_grid_candidates(shell: &Shell) -> Vec<IslCandidate> {
+    let planes = shell.walker.planes;
+    let per_plane = shell.walker.satellites_per_plane;
+    let mut links = Vec::new();
+    if per_plane == 0 || planes == 0 {
+        return links;
+    }
+
+    for plane in 0..planes {
+        for slot in 0..per_plane {
+            let here = shell.walker.satellite_index(plane, slot);
+
+            // Intra-plane link to the successor in the same plane. With only
+            // one satellite in the plane there is no link; with two, linking
+            // each to its successor would duplicate the single link, so only
+            // generate it from slot 0.
+            if per_plane > 1 && !(per_plane == 2 && slot == 1) {
+                let next = shell.walker.satellite_index(plane, slot + 1);
+                links.push(order(IslCandidate {
+                    a: here,
+                    b: next,
+                    intra_plane: true,
+                }));
+            }
+
+            // Cross-plane link to the same slot of the next plane. The last
+            // plane wraps to plane 0 unless the shell has a seam; with two
+            // planes, only generate from plane 0 to avoid duplicates.
+            let is_last_plane = plane == planes - 1;
+            let seam_blocked = is_last_plane && shell.has_seam();
+            let duplicate_two_planes = planes == 2 && plane == 1;
+            let single_plane = planes == 1;
+            if !single_plane && !seam_blocked && !duplicate_two_planes {
+                let neighbour = shell.walker.satellite_index(plane + 1, slot);
+                links.push(order(IslCandidate {
+                    a: here,
+                    b: neighbour,
+                    intra_plane: false,
+                }));
+            }
+        }
+    }
+    links
+}
+
+fn order(candidate: IslCandidate) -> IslCandidate {
+    if candidate.a <= candidate.b {
+        candidate
+    } else {
+        IslCandidate {
+            a: candidate.b,
+            b: candidate.a,
+            intra_plane: candidate.intra_plane,
+        }
+    }
+}
+
+/// Returns `true` if an ISL between satellites at the given Earth-centred
+/// positions is available, i.e. its line of sight stays above
+/// `atmosphere_cutoff_km`.
+pub fn isl_available(a: &Cartesian, b: &Cartesian, atmosphere_cutoff_km: f64) -> bool {
+    a.segment_min_altitude_km(b) >= atmosphere_cutoff_km
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::geo::Geodetic;
+    use std::collections::HashSet;
+
+    fn shell(planes: u32, per_plane: u32) -> Shell {
+        Shell::from_walker(WalkerShell::new(550.0, 53.0, planes, per_plane))
+    }
+
+    fn degree_counts(candidates: &[IslCandidate], total: u32) -> Vec<usize> {
+        let mut degrees = vec![0usize; total as usize];
+        for c in candidates {
+            degrees[c.a as usize] += 1;
+            degrees[c.b as usize] += 1;
+        }
+        degrees
+    }
+
+    #[test]
+    fn plus_grid_gives_degree_four_for_large_shells() {
+        let s = shell(6, 8);
+        let candidates = plus_grid_candidates(&s);
+        // Every satellite has exactly 4 ISLs: 2 intra-plane + 2 cross-plane.
+        let degrees = degree_counts(&candidates, s.satellite_count());
+        assert!(degrees.iter().all(|&d| d == 4), "degrees {degrees:?}");
+        // Total number of links is 2 * N (each satellite contributes two new
+        // links in an undirected 4-regular graph).
+        assert_eq!(candidates.len() as u32, 2 * s.satellite_count());
+    }
+
+    #[test]
+    fn no_duplicate_links_are_generated() {
+        let s = shell(8, 12);
+        let candidates = plus_grid_candidates(&s);
+        let unique: HashSet<(u32, u32)> = candidates.iter().map(|c| (c.a, c.b)).collect();
+        assert_eq!(unique.len(), candidates.len());
+        assert!(candidates.iter().all(|c| c.a < c.b));
+    }
+
+    #[test]
+    fn seam_shell_has_no_links_between_first_and_last_plane() {
+        let s = Shell::from_walker(WalkerShell::iridium());
+        let candidates = plus_grid_candidates(&s);
+        let per_plane = s.walker.satellites_per_plane;
+        let planes = s.walker.planes;
+        for c in &candidates {
+            let plane_a = c.a / per_plane;
+            let plane_b = c.b / per_plane;
+            let crosses_seam = (plane_a == 0 && plane_b == planes - 1)
+                || (plane_b == 0 && plane_a == planes - 1);
+            assert!(!crosses_seam, "seam-crossing link {c:?}");
+        }
+        // Satellites in the seam planes have degree 3, all others degree 4.
+        let degrees = degree_counts(&candidates, s.satellite_count());
+        for (idx, d) in degrees.iter().enumerate() {
+            let plane = idx as u32 / per_plane;
+            if plane == 0 || plane == planes - 1 {
+                assert_eq!(*d, 3, "satellite {idx} in seam plane");
+            } else {
+                assert_eq!(*d, 4, "satellite {idx} in inner plane");
+            }
+        }
+    }
+
+    #[test]
+    fn single_plane_shell_is_a_ring() {
+        let s = shell(1, 6);
+        let candidates = plus_grid_candidates(&s);
+        assert_eq!(candidates.len(), 6);
+        assert!(candidates.iter().all(|c| c.intra_plane));
+        let degrees = degree_counts(&candidates, 6);
+        assert!(degrees.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn two_satellite_plane_has_single_link() {
+        let s = shell(1, 2);
+        let candidates = plus_grid_candidates(&s);
+        assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn two_plane_shell_has_no_duplicate_cross_links() {
+        let s = shell(2, 4);
+        let candidates = plus_grid_candidates(&s);
+        let unique: HashSet<(u32, u32)> = candidates.iter().map(|c| (c.a, c.b)).collect();
+        assert_eq!(unique.len(), candidates.len());
+        let cross: Vec<_> = candidates.iter().filter(|c| !c.intra_plane).collect();
+        // 4 cross-plane links, one per slot, not 8.
+        assert_eq!(cross.len(), 4);
+    }
+
+    #[test]
+    fn isl_availability_depends_on_line_of_sight() {
+        let a = Geodetic::new(0.0, 0.0, 550.0).to_cartesian();
+        let near = Geodetic::new(0.0, 10.0, 550.0).to_cartesian();
+        let antipodal = Geodetic::new(0.0, 180.0, 550.0).to_cartesian();
+        assert!(isl_available(&a, &near, 80.0));
+        assert!(!isl_available(&a, &antipodal, 80.0));
+    }
+
+    #[test]
+    fn starlink_shell1_link_count() {
+        let s = Shell::from_walker(WalkerShell::starlink_shell1());
+        let candidates = plus_grid_candidates(&s);
+        // 1584 satellites, 4-regular +GRID: 3168 undirected links.
+        assert_eq!(candidates.len(), 3168);
+    }
+}

@@ -1,0 +1,140 @@
+//! Network links between nodes of the emulated topology.
+
+use celestial_types::ids::NodeId;
+use celestial_types::{Bandwidth, Latency};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a network link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// An inter-satellite laser link between two satellites of the same
+    /// shell (intra-plane or between adjacent planes, following +GRID).
+    Isl,
+    /// A radio link between a ground station and its uplink satellite.
+    GroundStationLink,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Isl => write!(f, "ISL"),
+            LinkKind::GroundStationLink => write!(f, "GSL"),
+        }
+    }
+}
+
+/// An available (bidirectional) network link between two nodes, with the
+/// physical properties the network emulation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint of the link.
+    pub b: NodeId,
+    /// The kind of the link.
+    pub kind: LinkKind,
+    /// Straight-line distance between the endpoints in kilometres.
+    pub distance_km: f64,
+    /// One-way propagation latency at the speed of light in vacuum.
+    pub latency: Latency,
+    /// Configured bandwidth of the link.
+    pub bandwidth: Bandwidth,
+}
+
+impl Link {
+    /// Creates a link between `a` and `b` with the latency implied by its
+    /// distance.
+    pub fn new(a: NodeId, b: NodeId, kind: LinkKind, distance_km: f64, bandwidth: Bandwidth) -> Self {
+        Link {
+            a,
+            b,
+            kind,
+            distance_km,
+            latency: Latency::from_distance_km(distance_km),
+            bandwidth,
+        }
+    }
+
+    /// Returns the endpoints as a tuple ordered `(min, max)` so that a link
+    /// and its reverse compare equal as keys.
+    pub fn canonical_endpoints(&self) -> (NodeId, NodeId) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+
+    /// Returns the opposite endpoint of `node`, or `None` if `node` is not an
+    /// endpoint of this link.
+    pub fn other_endpoint(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} <-> {} ({:.1} km, {}, {})",
+            self.kind, self.a, self.b, self.distance_km, self.latency, self.bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_latency_follows_distance() {
+        let link = Link::new(
+            NodeId::satellite(0, 0),
+            NodeId::satellite(0, 1),
+            LinkKind::Isl,
+            2_997.92458,
+            Bandwidth::from_gbps(10),
+        );
+        assert_eq!(link.latency.as_micros(), 10_000);
+    }
+
+    #[test]
+    fn canonical_endpoints_are_order_independent() {
+        let a = NodeId::satellite(0, 3);
+        let b = NodeId::ground_station(1);
+        let l1 = Link::new(a, b, LinkKind::GroundStationLink, 1000.0, Bandwidth::from_gbps(10));
+        let l2 = Link::new(b, a, LinkKind::GroundStationLink, 1000.0, Bandwidth::from_gbps(10));
+        assert_eq!(l1.canonical_endpoints(), l2.canonical_endpoints());
+    }
+
+    #[test]
+    fn other_endpoint_lookup() {
+        let a = NodeId::satellite(0, 3);
+        let b = NodeId::satellite(0, 4);
+        let link = Link::new(a, b, LinkKind::Isl, 500.0, Bandwidth::from_gbps(10));
+        assert_eq!(link.other_endpoint(a), Some(b));
+        assert_eq!(link.other_endpoint(b), Some(a));
+        assert_eq!(link.other_endpoint(NodeId::ground_station(0)), None);
+    }
+
+    #[test]
+    fn display_contains_kind_and_endpoints() {
+        let link = Link::new(
+            NodeId::satellite(0, 0),
+            NodeId::ground_station(2),
+            LinkKind::GroundStationLink,
+            1234.5,
+            Bandwidth::from_mbps(100),
+        );
+        let text = link.to_string();
+        assert!(text.contains("GSL"));
+        assert!(text.contains("gst 2"));
+    }
+}

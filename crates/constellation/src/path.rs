@@ -1,0 +1,374 @@
+//! Shortest network paths within the constellation.
+//!
+//! Celestial computes the shortest paths between nodes and their end-to-end
+//! latencies with efficient implementations of Dijkstra's algorithm and the
+//! Floyd–Warshall algorithm (§3.1). Dijkstra (run once per source of
+//! interest) is the default because constellation graphs are sparse — the
+//! +GRID topology gives every satellite degree four — while Floyd–Warshall is
+//! provided for complete all-pairs matrices on smaller topologies and as the
+//! reference implementation in tests.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Edge-weight type used by the path computation: one-way latency in
+/// microseconds.
+pub type Cost = u64;
+
+/// Marker for an unreachable node pair.
+pub const UNREACHABLE: Cost = Cost::MAX;
+
+/// A weighted undirected graph over the nodes of the emulated topology.
+///
+/// Node indices are assigned by the caller (the constellation assigns
+/// satellites first, then ground stations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkGraph {
+    adjacency: Vec<Vec<(usize, Cost)>>,
+    edge_count: usize,
+}
+
+impl NetworkGraph {
+    /// Creates a graph with `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        NetworkGraph {
+            adjacency: vec![Vec::new(); node_count],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds an undirected edge between `a` and `b` with the given cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize, cost: Cost) {
+        assert!(a < self.node_count() && b < self.node_count(), "node index out of range");
+        self.adjacency[a].push((b, cost));
+        self.adjacency[b].push((a, cost));
+        self.edge_count += 1;
+    }
+
+    /// The neighbours of node `n` with their edge costs.
+    pub fn neighbors(&self, n: usize) -> &[(usize, Cost)] {
+        &self.adjacency[n]
+    }
+
+    /// Runs Dijkstra's algorithm from `source`, returning the distance to
+    /// every node and the predecessor of every node on its shortest path.
+    pub fn dijkstra(&self, source: usize) -> (Vec<Cost>, Vec<Option<usize>>) {
+        let n = self.node_count();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0;
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adjacency[u] {
+                let candidate = d.saturating_add(w);
+                if candidate < dist[v] {
+                    dist[v] = candidate;
+                    prev[v] = Some(u);
+                    heap.push(Reverse((candidate, v)));
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Computes all-pairs shortest paths with Dijkstra run from every source.
+    pub fn all_pairs_dijkstra(&self) -> ShortestPaths {
+        let n = self.node_count();
+        let mut dist = Vec::with_capacity(n);
+        let mut next = vec![vec![None; n]; n];
+        for source in 0..n {
+            let (d, prev) = self.dijkstra(source);
+            // Convert the predecessor tree into a next-hop row by walking
+            // each destination back towards the source.
+            for target in 0..n {
+                if target == source || d[target] == UNREACHABLE {
+                    continue;
+                }
+                let mut hop = target;
+                while let Some(p) = prev[hop] {
+                    if p == source {
+                        break;
+                    }
+                    hop = p;
+                }
+                next[source][target] = Some(hop);
+            }
+            dist.push(d);
+        }
+        ShortestPaths { dist, next }
+    }
+
+    /// Computes all-pairs shortest paths with the Floyd–Warshall algorithm.
+    pub fn floyd_warshall(&self) -> ShortestPaths {
+        let n = self.node_count();
+        let mut dist = vec![vec![UNREACHABLE; n]; n];
+        let mut next: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        for (u, edges) in self.adjacency.iter().enumerate() {
+            for &(v, w) in edges {
+                if w < dist[u][v] {
+                    dist[u][v] = w;
+                    next[u][v] = Some(v);
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i][k];
+                if dik == UNREACHABLE {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = dist[k][j];
+                    if dkj == UNREACHABLE {
+                        continue;
+                    }
+                    let through_k = dik + dkj;
+                    if through_k < dist[i][j] {
+                        dist[i][j] = through_k;
+                        next[i][j] = next[i][k];
+                    }
+                }
+            }
+        }
+        ShortestPaths { dist, next }
+    }
+
+    /// Computes all-pairs shortest paths with the requested algorithm.
+    pub fn shortest_paths(&self, algorithm: PathAlgorithm) -> ShortestPaths {
+        match algorithm {
+            PathAlgorithm::Dijkstra => self.all_pairs_dijkstra(),
+            PathAlgorithm::FloydWarshall => self.floyd_warshall(),
+        }
+    }
+}
+
+/// The shortest-path algorithm used for the all-pairs computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PathAlgorithm {
+    /// Per-source Dijkstra: the default; best for the sparse +GRID graphs.
+    #[default]
+    Dijkstra,
+    /// Floyd–Warshall: cubic in the node count, useful for small topologies
+    /// and as a cross-check.
+    FloydWarshall,
+}
+
+/// All-pairs shortest-path result: distances and next hops.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShortestPaths {
+    dist: Vec<Vec<Cost>>,
+    next: Vec<Vec<Option<usize>>>,
+}
+
+impl ShortestPaths {
+    /// The latency (microseconds) of the shortest path from `a` to `b`, or
+    /// `None` if `b` is unreachable from `a`.
+    pub fn latency_micros(&self, a: usize, b: usize) -> Option<Cost> {
+        let d = self.dist[a][b];
+        if d == UNREACHABLE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The next hop on the shortest path from `a` towards `b`.
+    pub fn next_hop(&self, a: usize, b: usize) -> Option<usize> {
+        self.next[a][b]
+    }
+
+    /// The full node sequence of the shortest path from `a` to `b`,
+    /// including both endpoints, or `None` if unreachable.
+    pub fn path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        self.latency_micros(a, b)?;
+        let mut path = vec![a];
+        let mut here = a;
+        // A shortest path visits each node at most once, so bound the loop.
+        for _ in 0..self.dist.len() {
+            let hop = self.next[here][b]?;
+            path.push(hop);
+            if hop == b {
+                return Some(path);
+            }
+            here = hop;
+        }
+        None
+    }
+
+    /// Number of nodes covered by this result.
+    pub fn node_count(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line_graph(n: usize) -> NetworkGraph {
+        let mut g = NetworkGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 10);
+        }
+        g
+    }
+
+    #[test]
+    fn dijkstra_on_a_line() {
+        let g = line_graph(5);
+        let (dist, prev) = g.dijkstra(0);
+        assert_eq!(dist, vec![0, 10, 20, 30, 40]);
+        assert_eq!(prev[4], Some(3));
+        assert_eq!(prev[0], None);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_reported() {
+        let mut g = NetworkGraph::new(4);
+        g.add_edge(0, 1, 5);
+        // Nodes 2 and 3 are isolated from 0 and 1.
+        g.add_edge(2, 3, 5);
+        let paths = g.all_pairs_dijkstra();
+        assert_eq!(paths.latency_micros(0, 1), Some(5));
+        assert_eq!(paths.latency_micros(0, 2), None);
+        assert_eq!(paths.path(0, 3), None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_lower_total_cost() {
+        // 0 -10- 1 -10- 2 and a direct expensive edge 0 -50- 2.
+        let mut g = NetworkGraph::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 10);
+        g.add_edge(0, 2, 50);
+        let paths = g.all_pairs_dijkstra();
+        assert_eq!(paths.latency_micros(0, 2), Some(20));
+        assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+        let fw = g.floyd_warshall();
+        assert_eq!(fw.latency_micros(0, 2), Some(20));
+        assert_eq!(fw.path(0, 2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = line_graph(3);
+        let paths = g.all_pairs_dijkstra();
+        assert_eq!(paths.path(1, 1), Some(vec![1]));
+        assert_eq!(paths.latency_micros(1, 1), Some(0));
+    }
+
+    #[test]
+    fn path_endpoints_and_continuity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 30;
+        let mut g = NetworkGraph::new(n);
+        // A ring plus random chords, always connected.
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, rng.gen_range(1..100));
+        }
+        for _ in 0..40 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                g.add_edge(a, b, rng.gen_range(1..100));
+            }
+        }
+        let paths = g.all_pairs_dijkstra();
+        for a in 0..n {
+            for b in 0..n {
+                let p = paths.path(a, b).expect("connected graph");
+                assert_eq!(*p.first().unwrap(), a);
+                assert_eq!(*p.last().unwrap(), b);
+                // Consecutive nodes must be adjacent in the graph.
+                for w in p.windows(2) {
+                    assert!(g.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adding_edge_out_of_range_panics() {
+        let mut g = NetworkGraph::new(2);
+        g.add_edge(0, 5, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn dijkstra_equals_floyd_warshall(seed in 0u64..1000, n in 2usize..25, extra in 0usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = NetworkGraph::new(n);
+            // Random connected-ish graph: a spanning chain plus random edges.
+            for i in 1..n {
+                let parent = rng.gen_range(0..i);
+                g.add_edge(parent, i, rng.gen_range(1..1000));
+            }
+            for _ in 0..extra {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    g.add_edge(a, b, rng.gen_range(1..1000));
+                }
+            }
+            let d = g.all_pairs_dijkstra();
+            let fw = g.floyd_warshall();
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(d.latency_micros(a, b), fw.latency_micros(a, b));
+                }
+            }
+        }
+
+        #[test]
+        fn triangle_inequality_holds(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 12;
+            let mut g = NetworkGraph::new(n);
+            for i in 1..n {
+                let parent = rng.gen_range(0..i);
+                g.add_edge(parent, i, rng.gen_range(1..100));
+            }
+            let paths = g.all_pairs_dijkstra();
+            for a in 0..n {
+                for b in 0..n {
+                    for c in 0..n {
+                        let ab = paths.latency_micros(a, b).unwrap();
+                        let bc = paths.latency_micros(b, c).unwrap();
+                        let ac = paths.latency_micros(a, c).unwrap();
+                        prop_assert!(ac <= ab + bc);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Constellation shells: Walker parameters plus network and compute settings.
+
+use celestial_sgp4::{OrbitalElements, WalkerShell};
+use celestial_types::constants::{ATMOSPHERE_CUTOFF_KM, DEFAULT_MIN_ELEVATION_DEG};
+use celestial_types::{Bandwidth, MachineResources};
+use serde::{Deserialize, Serialize};
+
+/// One shell of a constellation: the orbital layout of its satellites plus
+/// the network and compute parameters that apply to every satellite server in
+/// the shell.
+///
+/// Celestial's configuration file groups exactly these parameters per shell:
+/// orbital parameters, ISL bandwidth, ground-link bandwidth, the minimum
+/// elevation for ground-station uplinks, and the machine resources of the
+/// shell's satellite servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shell {
+    /// The Walker layout of the shell.
+    pub walker: WalkerShell,
+    /// Bandwidth of inter-satellite links within and between planes.
+    pub isl_bandwidth: Bandwidth,
+    /// Bandwidth of ground-to-satellite links for stations using this shell.
+    pub ground_link_bandwidth: Bandwidth,
+    /// Minimum elevation (degrees above the horizon) for a ground station to
+    /// use a satellite of this shell as its uplink.
+    pub min_elevation_deg: f64,
+    /// Minimum altitude (km) of the line of sight between two satellites for
+    /// an ISL to be available; below this the atmosphere refracts the laser.
+    pub atmosphere_cutoff_km: f64,
+    /// Resources allocated to each satellite server microVM of this shell.
+    pub resources: MachineResources,
+}
+
+impl Shell {
+    /// Creates a shell from a Walker layout with the default network
+    /// parameters used throughout the paper's §4 evaluation: 10 Gb/s ISLs and
+    /// ground links, 25° minimum elevation and an 80 km atmosphere cutoff.
+    pub fn from_walker(walker: WalkerShell) -> Self {
+        Shell {
+            walker,
+            isl_bandwidth: Bandwidth::from_gbps(10),
+            ground_link_bandwidth: Bandwidth::from_gbps(10),
+            min_elevation_deg: DEFAULT_MIN_ELEVATION_DEG,
+            atmosphere_cutoff_km: ATMOSPHERE_CUTOFF_KM,
+            resources: MachineResources::paper_satellite(),
+        }
+    }
+
+    /// Sets the ISL bandwidth, returning the modified shell.
+    pub fn with_isl_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.isl_bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the ground-link bandwidth, returning the modified shell.
+    pub fn with_ground_link_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.ground_link_bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the minimum uplink elevation in degrees, returning the modified
+    /// shell.
+    pub fn with_min_elevation_deg(mut self, elevation: f64) -> Self {
+        self.min_elevation_deg = elevation;
+        self
+    }
+
+    /// Sets the per-satellite machine resources, returning the modified
+    /// shell.
+    pub fn with_resources(mut self, resources: MachineResources) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Number of satellites in this shell.
+    pub fn satellite_count(&self) -> u32 {
+        self.walker.total_satellites()
+    }
+
+    /// Generates the orbital elements of every satellite in the shell.
+    pub fn satellite_elements(&self) -> Vec<OrbitalElements> {
+        self.walker.satellite_elements()
+    }
+
+    /// Whether the shell's ascending nodes span only part of the equator
+    /// (< 360°), as in Iridium-style constellations. Such shells have a
+    /// *seam*: the first and last plane move in opposite directions and keep
+    /// no ISLs between each other.
+    pub fn has_seam(&self) -> bool {
+        self.walker.arc_of_ascending_nodes_deg < 359.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shell_parameters_match_the_paper() {
+        let shell = Shell::from_walker(WalkerShell::starlink_shell1());
+        assert_eq!(shell.isl_bandwidth, Bandwidth::from_gbps(10));
+        assert_eq!(shell.ground_link_bandwidth, Bandwidth::from_gbps(10));
+        assert_eq!(shell.resources.vcpus, 2);
+        assert_eq!(shell.resources.memory_mib, 512);
+        assert!(!shell.has_seam());
+    }
+
+    #[test]
+    fn iridium_shell_has_a_seam() {
+        let shell = Shell::from_walker(WalkerShell::iridium());
+        assert!(shell.has_seam());
+        assert_eq!(shell.satellite_count(), 66);
+    }
+
+    #[test]
+    fn builder_methods_override_defaults() {
+        let shell = Shell::from_walker(WalkerShell::iridium())
+            .with_isl_bandwidth(Bandwidth::from_mbps(100))
+            .with_ground_link_bandwidth(Bandwidth::from_kbps(88))
+            .with_min_elevation_deg(10.0)
+            .with_resources(MachineResources::paper_sensor());
+        assert_eq!(shell.isl_bandwidth, Bandwidth::from_mbps(100));
+        assert_eq!(shell.ground_link_bandwidth, Bandwidth::from_kbps(88));
+        assert_eq!(shell.min_elevation_deg, 10.0);
+        assert_eq!(shell.resources.vcpus, 1);
+    }
+
+    #[test]
+    fn elements_count_matches_satellite_count() {
+        let shell = Shell::from_walker(WalkerShell::new(550.0, 53.0, 4, 5));
+        assert_eq!(shell.satellite_elements().len() as u32, shell.satellite_count());
+    }
+}

@@ -1,0 +1,453 @@
+//! The Celestial configuration file.
+//!
+//! All parameters of a testbed run are passed in a single file (§3.1): the
+//! orbital parameters of every shell, network bandwidths, machine resources,
+//! ground stations, the bounding box, the update interval and the host fleet.
+//! This module defines the strongly typed configuration and its construction
+//! from the TOML subset parsed by [`crate::toml`], plus a builder API for
+//! constructing configurations programmatically.
+
+use crate::toml::{self, TableExt, TomlTable};
+use celestial_constellation::{BoundingBox, GroundStation, PathAlgorithm, Shell};
+use celestial_sgp4::WalkerShell;
+use celestial_types::constants::DEFAULT_MIN_ELEVATION_DEG;
+use celestial_types::geo::Geodetic;
+use celestial_types::{Bandwidth, Error, MachineResources, Result};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one Celestial host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Number of physical CPU cores of the host.
+    pub cores: u32,
+    /// Memory of the host in MiB.
+    pub memory_mib: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        // The GCP N2-highcpu-32 instances used in the paper's evaluation.
+        HostConfig {
+            cores: 32,
+            memory_mib: 32 * 1024,
+        }
+    }
+}
+
+/// The complete configuration of a testbed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Seed for all randomised behaviour; fixing it makes runs repeatable.
+    pub seed: u64,
+    /// Interval at which the coordinator recomputes the constellation, in
+    /// seconds (the paper uses 2 s in §4 and 5 s in §5).
+    pub update_interval_s: f64,
+    /// Total experiment duration in seconds.
+    pub duration_s: f64,
+    /// Interval at which host utilisation is sampled, in seconds.
+    pub utilization_sample_interval_s: f64,
+    /// The constellation shells.
+    pub shells: Vec<Shell>,
+    /// The ground stations.
+    pub ground_stations: Vec<GroundStation>,
+    /// The bounding box limiting which satellites are emulated.
+    pub bounding_box: BoundingBox,
+    /// The shortest-path algorithm used for all-pairs computations.
+    pub path_algorithm: PathAlgorithm,
+    /// The hosts the testbed runs on.
+    pub hosts: Vec<HostConfig>,
+    /// Whether suspended microVMs return their memory (virtio ballooning).
+    pub ballooning: bool,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 0,
+            update_interval_s: 2.0,
+            duration_s: 600.0,
+            utilization_sample_interval_s: 1.0,
+            shells: Vec::new(),
+            ground_stations: Vec::new(),
+            bounding_box: BoundingBox::whole_earth(),
+            path_algorithm: PathAlgorithm::Dijkstra,
+            hosts: vec![HostConfig::default(); 3],
+            ballooning: false,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Parses a configuration from Celestial's TOML format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on syntax errors, missing required keys or
+    /// semantically invalid values.
+    pub fn from_toml(input: &str) -> Result<Self> {
+        let table = toml::parse(input)?;
+        let mut config = TestbedConfig {
+            seed: table.get_i64("seed").unwrap_or(0) as u64,
+            update_interval_s: table.get_f64("update-interval-s").unwrap_or(2.0),
+            duration_s: table.get_f64("duration-s").unwrap_or(600.0),
+            utilization_sample_interval_s: table
+                .get_f64("utilization-sample-interval-s")
+                .unwrap_or(1.0),
+            ballooning: table.get_bool("ballooning").unwrap_or(false),
+            ..TestbedConfig::default()
+        };
+
+        if let Some(value) = table.get("path-algorithm") {
+            config.path_algorithm = match value.as_str() {
+                Some("dijkstra") => PathAlgorithm::Dijkstra,
+                Some("floyd-warshall") => PathAlgorithm::FloydWarshall,
+                other => {
+                    return Err(Error::config(format!(
+                        "unknown path-algorithm {other:?}; expected \"dijkstra\" or \"floyd-warshall\""
+                    )))
+                }
+            };
+        }
+
+        if let Some(bbox) = table.get("bounding-box").and_then(|v| v.as_table()) {
+            config.bounding_box = BoundingBox::new(
+                bbox.require_f64("lat-min")?,
+                bbox.require_f64("lat-max")?,
+                bbox.require_f64("lon-min")?,
+                bbox.require_f64("lon-max")?,
+            );
+        }
+
+        if let Some(shells) = table.get("shell").and_then(|v| v.as_table_array()) {
+            for shell in shells {
+                config.shells.push(parse_shell(shell)?);
+            }
+        }
+        if let Some(stations) = table.get("ground-station").and_then(|v| v.as_table_array()) {
+            for gst in stations {
+                config.ground_stations.push(parse_ground_station(gst)?);
+            }
+        }
+        if let Some(hosts) = table.get("host").and_then(|v| v.as_table_array()) {
+            config.hosts = hosts
+                .iter()
+                .map(|h| HostConfig {
+                    cores: h.get_i64("cores").unwrap_or(32) as u32,
+                    memory_mib: h.get_i64("memory-mib").unwrap_or(32 * 1024) as u64,
+                })
+                .collect();
+        }
+
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the configuration cannot produce a
+    /// runnable testbed.
+    pub fn validate(&self) -> Result<()> {
+        if self.shells.is_empty() {
+            return Err(Error::config("at least one shell is required"));
+        }
+        if self.update_interval_s <= 0.0 {
+            return Err(Error::config("update-interval-s must be positive"));
+        }
+        if self.duration_s <= 0.0 {
+            return Err(Error::config("duration-s must be positive"));
+        }
+        if self.hosts.is_empty() {
+            return Err(Error::config("at least one host is required"));
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for gst in &self.ground_stations {
+            if !names.insert(gst.name.clone()) {
+                return Err(Error::config(format!(
+                    "duplicate ground station name '{}'",
+                    gst.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts building a configuration programmatically.
+    pub fn builder() -> TestbedConfigBuilder {
+        TestbedConfigBuilder::default()
+    }
+}
+
+fn parse_shell(table: &TomlTable) -> Result<Shell> {
+    let altitude = table.require_f64("altitude-km")?;
+    let inclination = table.require_f64("inclination-deg")?;
+    let planes = table
+        .get_i64("planes")
+        .ok_or_else(|| Error::config("shell is missing 'planes'"))? as u32;
+    let per_plane = table
+        .get_i64("satellites-per-plane")
+        .ok_or_else(|| Error::config("shell is missing 'satellites-per-plane'"))?
+        as u32;
+    let mut walker = WalkerShell::new(altitude, inclination, planes, per_plane);
+    if let Some(arc) = table.get_f64("arc-of-ascending-nodes-deg") {
+        walker = walker.with_arc_of_ascending_nodes(arc);
+    }
+    if let Some(phase) = table.get_i64("phase-offset") {
+        walker = walker.with_phase_offset(phase as u32);
+    }
+    let mut shell = Shell::from_walker(walker);
+    if let Some(bw) = table.get_i64("isl-bandwidth-kbps") {
+        shell = shell.with_isl_bandwidth(Bandwidth::from_kbps(bw as u64));
+    }
+    if let Some(bw) = table.get_i64("ground-link-bandwidth-kbps") {
+        shell = shell.with_ground_link_bandwidth(Bandwidth::from_kbps(bw as u64));
+    }
+    shell = shell.with_min_elevation_deg(
+        table
+            .get_f64("min-elevation-deg")
+            .unwrap_or(DEFAULT_MIN_ELEVATION_DEG),
+    );
+    let vcpus = table.get_i64("vcpus").unwrap_or(2) as u32;
+    let memory = table.get_i64("memory-mib").unwrap_or(512) as u64;
+    shell = shell.with_resources(MachineResources::new(vcpus, memory));
+    Ok(shell)
+}
+
+fn parse_ground_station(table: &TomlTable) -> Result<GroundStation> {
+    let name = table
+        .get_str("name")
+        .ok_or_else(|| Error::config("ground station is missing 'name'"))?;
+    let lat = table.require_f64("lat")?;
+    let lon = table.require_f64("lon")?;
+    let mut gst = GroundStation::new(name, Geodetic::new(lat, lon, 0.0));
+    if let (Some(vcpus), Some(memory)) = (table.get_i64("vcpus"), table.get_i64("memory-mib")) {
+        gst = gst.with_resources(MachineResources::new(vcpus as u32, memory as u64));
+    }
+    if let Some(bw) = table.get_i64("bandwidth-kbps") {
+        gst = gst.with_bandwidth(Bandwidth::from_kbps(bw as u64));
+    }
+    if let Some(elev) = table.get_f64("min-elevation-deg") {
+        gst = gst.with_min_elevation_deg(elev);
+    }
+    Ok(gst)
+}
+
+/// Builder for [`TestbedConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct TestbedConfigBuilder {
+    config: TestbedConfig,
+}
+
+impl TestbedConfigBuilder {
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the constellation update interval in seconds.
+    pub fn update_interval_s(mut self, interval: f64) -> Self {
+        self.config.update_interval_s = interval;
+        self
+    }
+
+    /// Sets the experiment duration in seconds.
+    pub fn duration_s(mut self, duration: f64) -> Self {
+        self.config.duration_s = duration;
+        self
+    }
+
+    /// Adds a shell.
+    pub fn shell(mut self, shell: Shell) -> Self {
+        self.config.shells.push(shell);
+        self
+    }
+
+    /// Adds several shells.
+    pub fn shells(mut self, shells: impl IntoIterator<Item = Shell>) -> Self {
+        self.config.shells.extend(shells);
+        self
+    }
+
+    /// Adds a ground station.
+    pub fn ground_station(mut self, gst: GroundStation) -> Self {
+        self.config.ground_stations.push(gst);
+        self
+    }
+
+    /// Adds several ground stations.
+    pub fn ground_stations(mut self, stations: impl IntoIterator<Item = GroundStation>) -> Self {
+        self.config.ground_stations.extend(stations);
+        self
+    }
+
+    /// Sets the bounding box.
+    pub fn bounding_box(mut self, bbox: BoundingBox) -> Self {
+        self.config.bounding_box = bbox;
+        self
+    }
+
+    /// Sets the shortest-path algorithm.
+    pub fn path_algorithm(mut self, algorithm: PathAlgorithm) -> Self {
+        self.config.path_algorithm = algorithm;
+        self
+    }
+
+    /// Sets the host fleet.
+    pub fn hosts(mut self, hosts: Vec<HostConfig>) -> Self {
+        self.config.hosts = hosts;
+        self
+    }
+
+    /// Enables or disables virtio ballooning for suspended machines.
+    pub fn ballooning(mut self, enabled: bool) -> Self {
+        self.config.ballooning = enabled;
+        self
+    }
+
+    /// Finishes building and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the configuration is invalid.
+    pub fn build(self) -> Result<TestbedConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+seed = 42
+update-interval-s = 2.0
+duration-s = 600.0
+path-algorithm = "dijkstra"
+
+[bounding-box]
+lat-min = -5.0
+lat-max = 25.0
+lon-min = -15.0
+lon-max = 25.0
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+[[shell]]
+altitude-km = 550.0
+inclination-deg = 53.0
+planes = 72
+satellites-per-plane = 22
+phase-offset = 17
+isl-bandwidth-kbps = 10000000
+vcpus = 2
+memory-mib = 512
+
+[[ground-station]]
+name = "accra"
+lat = 5.6037
+lon = -0.187
+vcpus = 4
+memory-mib = 4096
+
+[[ground-station]]
+name = "johannesburg-dc"
+lat = -26.2041
+lon = 28.0473
+vcpus = 8
+memory-mib = 8192
+min-elevation-deg = 30.0
+"#;
+
+    #[test]
+    fn parses_the_example_configuration() {
+        let config = TestbedConfig::from_toml(EXAMPLE).expect("valid config");
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.update_interval_s, 2.0);
+        assert_eq!(config.hosts.len(), 2);
+        assert_eq!(config.shells.len(), 1);
+        assert_eq!(config.shells[0].satellite_count(), 1584);
+        assert_eq!(config.shells[0].isl_bandwidth, Bandwidth::from_gbps(10));
+        assert_eq!(config.shells[0].resources.memory_mib, 512);
+        assert_eq!(config.ground_stations.len(), 2);
+        assert_eq!(config.ground_stations[0].name, "accra");
+        assert_eq!(config.ground_stations[1].min_elevation_deg, Some(30.0));
+        assert!(!config.bounding_box.contains(
+            &Geodetic::new(-26.2, 28.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn missing_shell_fields_are_reported() {
+        let bad = "[[shell]]\naltitude-km = 550.0";
+        let err = TestbedConfig::from_toml(bad).unwrap_err();
+        assert!(err.to_string().contains("inclination-deg"));
+    }
+
+    #[test]
+    fn empty_configuration_is_invalid() {
+        assert!(TestbedConfig::from_toml("").is_err());
+    }
+
+    #[test]
+    fn unknown_path_algorithm_is_rejected() {
+        let bad = "path-algorithm = \"bellman-ford\"\n[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2";
+        assert!(TestbedConfig::from_toml(bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_ground_station_names_are_rejected() {
+        let config = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .ground_station(GroundStation::new("a", Geodetic::new(0.0, 0.0, 0.0)))
+            .ground_station(GroundStation::new("a", Geodetic::new(1.0, 1.0, 0.0)))
+            .build();
+        assert!(config.is_err());
+    }
+
+    #[test]
+    fn builder_produces_valid_configurations() {
+        let config = TestbedConfig::builder()
+            .seed(7)
+            .update_interval_s(5.0)
+            .duration_s(900.0)
+            .shell(Shell::from_walker(WalkerShell::iridium()))
+            .ground_station(GroundStation::new("ptwc", Geodetic::new(21.36, -157.98, 0.0)))
+            .bounding_box(BoundingBox::pacific())
+            .path_algorithm(PathAlgorithm::Dijkstra)
+            .hosts(vec![HostConfig::default(); 4])
+            .ballooning(true)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.shells[0].satellite_count(), 66);
+        assert!(config.ballooning);
+    }
+
+    #[test]
+    fn invalid_intervals_are_rejected() {
+        let result = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .update_interval_s(0.0)
+            .build();
+        assert!(result.is_err());
+        let result = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .duration_s(-1.0)
+            .build();
+        assert!(result.is_err());
+        let result = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .hosts(Vec::new())
+            .build();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The Celestial coordinator.
+//!
+//! The coordinator is the central component of Celestial's architecture
+//! (Fig. 2): it runs the Constellation Calculation at a fixed update
+//! interval, keeps the information database current, diffs consecutive
+//! states, and derives the per-pair network programming that the machine
+//! managers on each host apply.
+
+use crate::database::InfoDatabase;
+use celestial_constellation::{
+    Constellation, ConstellationDiff, ConstellationSnapshot, LinkKind,
+};
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimDuration;
+use celestial_types::{Bandwidth, Latency, Result};
+use std::collections::BTreeMap;
+
+/// One entry of the per-pair network programme: the end-to-end latency and
+/// bottleneck bandwidth the machine managers must emulate between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairProgram {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way end-to-end latency of the current shortest path.
+    pub latency: Latency,
+    /// Bottleneck bandwidth along that path.
+    pub bandwidth: Bandwidth,
+}
+
+/// The central coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    constellation: Constellation,
+    update_interval: SimDuration,
+    database: InfoDatabase,
+    previous: Option<ConstellationSnapshot>,
+    updates: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for the given constellation with the given
+    /// update interval.
+    pub fn new(constellation: Constellation, update_interval: SimDuration) -> Self {
+        let database = InfoDatabase::new(
+            constellation.shells().to_vec(),
+            constellation.ground_stations().to_vec(),
+        );
+        Coordinator {
+            constellation,
+            update_interval,
+            database,
+            previous: None,
+            updates: 0,
+        }
+    }
+
+    /// The configured update interval.
+    pub fn update_interval(&self) -> SimDuration {
+        self.update_interval
+    }
+
+    /// The constellation driven by this coordinator.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// The information database (backing the info API and DNS).
+    pub fn database(&self) -> &InfoDatabase {
+        &self.database
+    }
+
+    /// Number of completed updates.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Runs one constellation update at `t_seconds` of simulated time and
+    /// returns the change set relative to the previous update.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the orbital propagation fails.
+    pub fn update(&mut self, t_seconds: f64) -> Result<ConstellationDiff> {
+        let state = self.constellation.state_at(t_seconds)?;
+        let snapshot = ConstellationSnapshot::from_state(&state);
+        let diff = match &self.previous {
+            Some(previous) => previous.diff(&snapshot),
+            None => ConstellationSnapshot::default().diff(&snapshot),
+        };
+        self.previous = Some(snapshot);
+        self.database.update(state);
+        self.updates += 1;
+        Ok(diff)
+    }
+
+    /// Computes the per-pair network programme for the current state: the
+    /// end-to-end latency and bottleneck bandwidth between every pair of
+    /// ground stations and between every ground station and every *active*
+    /// satellite (satellites outside the bounding box carry traffic on paths
+    /// but host no workloads, so pairs ending at them need no programming).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened yet.
+    pub fn network_programme(&self) -> Result<Vec<PairProgram>> {
+        let state = self
+            .database
+            .state()
+            .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
+
+        // Bandwidth of each direct link, keyed by canonical node-index pair.
+        let mut link_bandwidth: BTreeMap<(usize, usize), Bandwidth> = BTreeMap::new();
+        for link in &state.links {
+            let a = state.node_index(link.a)?;
+            let b = state.node_index(link.b)?;
+            let key = if a <= b { (a, b) } else { (b, a) };
+            // Ground-station links may appear once per shell; keep the widest.
+            let entry = link_bandwidth.entry(key).or_insert(Bandwidth::ZERO);
+            if link.bandwidth > *entry {
+                *entry = link.bandwidth;
+            }
+        }
+
+        let gst_count = state.ground_station_count();
+        let gst_nodes: Vec<NodeId> = (0..gst_count as u32).map(NodeId::ground_station).collect();
+        let active_sats: Vec<NodeId> = state
+            .active_satellites()
+            .into_iter()
+            .map(NodeId::Satellite)
+            .collect();
+
+        let mut programme = Vec::new();
+        for (i, gst) in gst_nodes.iter().enumerate() {
+            let source = state.node_index(*gst)?;
+            let (dist, prev) = state.graph().dijkstra(source);
+            let mut targets: Vec<NodeId> = Vec::new();
+            targets.extend(gst_nodes.iter().skip(i + 1).copied());
+            targets.extend(active_sats.iter().copied());
+            for target_node in targets {
+                let target = state.node_index(target_node)?;
+                if dist[target] == celestial_constellation::path::UNREACHABLE {
+                    continue;
+                }
+                // Walk the predecessor chain to find the bottleneck bandwidth.
+                let mut bandwidth = Bandwidth::from_gbps(u64::MAX / 1_000_000_000);
+                let mut here = target;
+                while here != source {
+                    let Some(parent) = prev[here] else { break };
+                    let key = if parent <= here { (parent, here) } else { (here, parent) };
+                    if let Some(bw) = link_bandwidth.get(&key) {
+                        bandwidth = bandwidth.bottleneck(*bw);
+                    }
+                    here = parent;
+                }
+                programme.push(PairProgram {
+                    a: *gst,
+                    b: target_node,
+                    latency: Latency::from_micros(dist[target]),
+                    bandwidth,
+                });
+            }
+        }
+        Ok(programme)
+    }
+
+    /// The number of ground-station links currently available, useful for
+    /// logging and the figure harness.
+    pub fn ground_link_count(&self) -> usize {
+        self.database
+            .state()
+            .map(|s| {
+                s.links
+                    .iter()
+                    .filter(|l| l.kind == LinkKind::GroundStationLink)
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_constellation::{BoundingBox, GroundStation, Shell};
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::geo::Geodetic;
+
+    fn coordinator() -> Coordinator {
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        Coordinator::new(constellation, SimDuration::from_secs(2))
+    }
+
+    #[test]
+    fn first_update_reports_every_machine_and_link_as_new() {
+        let mut c = coordinator();
+        assert_eq!(c.update_count(), 0);
+        let diff = c.update(0.0).unwrap();
+        assert_eq!(diff.machines_added.len(), 194);
+        assert!(!diff.links_added.is_empty());
+        assert!(diff.links_removed.is_empty());
+        assert_eq!(c.update_count(), 1);
+        assert!(c.database().state().is_some());
+    }
+
+    #[test]
+    fn subsequent_updates_produce_incremental_diffs() {
+        let mut c = coordinator();
+        c.update(0.0).unwrap();
+        let diff = c.update(2.0).unwrap();
+        // After two seconds nothing is added or removed wholesale, but link
+        // latencies change.
+        assert!(diff.machines_added.is_empty());
+        assert!(diff.machines_removed.is_empty());
+        assert!(!diff.links_changed.is_empty() || !diff.links_added.is_empty());
+    }
+
+    #[test]
+    fn network_programme_covers_ground_station_pairs_and_uplinks() {
+        // The full first Starlink shell guarantees that both ground stations
+        // have a satellite in view at the epoch.
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut c = Coordinator::new(constellation, SimDuration::from_secs(2));
+        assert!(c.network_programme().is_err());
+        c.update(0.0).unwrap();
+        let programme = c.network_programme().unwrap();
+        assert!(!programme.is_empty());
+        // The gst-gst pair appears exactly once.
+        let gst_pairs: Vec<_> = programme
+            .iter()
+            .filter(|p| p.a.is_ground_station() && p.b.is_ground_station())
+            .collect();
+        assert_eq!(gst_pairs.len(), 1);
+        let pair = gst_pairs[0];
+        // Accra–Abuja over 550 km satellites: a few milliseconds one way.
+        assert!(pair.latency.as_millis_f64() > 2.0 && pair.latency.as_millis_f64() < 40.0);
+        assert_eq!(pair.bandwidth, Bandwidth::from_gbps(10));
+        // Every other entry targets an active satellite.
+        assert!(programme
+            .iter()
+            .filter(|p| !(p.a.is_ground_station() && p.b.is_ground_station()))
+            .all(|p| p.b.is_satellite()));
+    }
+
+    #[test]
+    fn ground_link_count_is_positive_after_update() {
+        let mut c = coordinator();
+        assert_eq!(c.ground_link_count(), 0);
+        c.update(0.0).unwrap();
+        assert!(c.ground_link_count() > 0);
+        assert_eq!(c.update_interval(), SimDuration::from_secs(2));
+        assert_eq!(c.constellation().satellite_count(), 192);
+    }
+}

@@ -1,0 +1,193 @@
+//! The coordinator's information database.
+//!
+//! Celestial's coordinator keeps a central database with satellite positions,
+//! constellation information and network paths, updated by the Constellation
+//! Calculation on every tick; the per-host HTTP servers answer application
+//! queries from it (§3.2). [`InfoDatabase`] is that database.
+
+use celestial_constellation::{ConstellationState, GroundStation, Shell};
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
+use celestial_types::{Error, Latency, Result};
+
+/// The central database behind the info API.
+#[derive(Debug, Clone)]
+pub struct InfoDatabase {
+    shells: Vec<Shell>,
+    ground_stations: Vec<GroundStation>,
+    state: Option<ConstellationState>,
+}
+
+impl InfoDatabase {
+    /// Creates the database for a constellation's static configuration.
+    pub fn new(shells: Vec<Shell>, ground_stations: Vec<GroundStation>) -> Self {
+        InfoDatabase {
+            shells,
+            ground_stations,
+            state: None,
+        }
+    }
+
+    /// Replaces the dynamic state after a constellation update.
+    pub fn update(&mut self, state: ConstellationState) {
+        self.state = Some(state);
+    }
+
+    /// The latest constellation state, if an update has happened.
+    pub fn state(&self) -> Option<&ConstellationState> {
+        self.state.as_ref()
+    }
+
+    /// The simulated time of the latest update, in seconds.
+    pub fn updated_at_seconds(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.time_seconds)
+    }
+
+    /// The static shell configuration.
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// The static ground-station configuration.
+    pub fn ground_stations(&self) -> &[GroundStation] {
+        &self.ground_stations
+    }
+
+    /// The ground station with the given name.
+    pub fn ground_station_by_name(&self, name: &str) -> Option<(GroundStationId, &GroundStation)> {
+        self.ground_stations
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GroundStationId(i as u32), g))
+    }
+
+    fn require_state(&self) -> Result<&ConstellationState> {
+        self.state
+            .as_ref()
+            .ok_or_else(|| Error::InfoApi("no constellation update has happened yet".to_owned()))
+    }
+
+    /// The current geodetic position of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened or the node is unknown.
+    pub fn position(&self, node: NodeId) -> Result<Geodetic> {
+        let state = self.require_state()?;
+        Ok(state.position(node)?.to_geodetic())
+    }
+
+    /// Whether a satellite is currently active (inside the bounding box).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened or the satellite is unknown.
+    pub fn is_active(&self, sat: SatelliteId) -> Result<bool> {
+        self.require_state()?.is_active(sat)
+    }
+
+    /// The satellites currently visible from a ground station.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened.
+    pub fn visible_satellites(&self, gst: GroundStationId) -> Result<Vec<SatelliteId>> {
+        Ok(self.require_state()?.visible_satellites(gst))
+    }
+
+    /// The one-way shortest-path latency between two nodes, if they are
+    /// currently connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened or either node is unknown.
+    pub fn path_latency(&self, a: NodeId, b: NodeId) -> Result<Option<Latency>> {
+        self.require_state()?.latency_between(a, b)
+    }
+
+    /// The node sequence of the current shortest path between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened or either node is unknown.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        self.require_state()?.path_between(a, b)
+    }
+
+    /// Total number of satellites across all shells.
+    pub fn satellite_count(&self) -> u32 {
+        self.shells.iter().map(Shell::satellite_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_constellation::Constellation;
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::MachineResources;
+
+    fn database_with_state() -> InfoDatabase {
+        let shell = Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16));
+        let gst = GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0))
+            .with_resources(MachineResources::paper_client());
+        let constellation = Constellation::builder()
+            .shell(shell.clone())
+            .ground_station(gst.clone())
+            .build()
+            .unwrap();
+        let mut db = InfoDatabase::new(vec![shell], vec![gst]);
+        db.update(constellation.state_at(0.0).unwrap());
+        db
+    }
+
+    #[test]
+    fn queries_fail_before_the_first_update() {
+        let db = InfoDatabase::new(Vec::new(), Vec::new());
+        assert!(db.position(NodeId::ground_station(0)).is_err());
+        assert!(db.path_latency(NodeId::ground_station(0), NodeId::ground_station(1)).is_err());
+        assert!(db.state().is_none());
+        assert!(db.updated_at_seconds().is_none());
+    }
+
+    #[test]
+    fn positions_and_visibility_after_update() {
+        let db = database_with_state();
+        assert_eq!(db.updated_at_seconds(), Some(0.0));
+        assert_eq!(db.satellite_count(), 192);
+        let accra = db.position(NodeId::ground_station(0)).unwrap();
+        assert!((accra.latitude_deg() - 5.6037).abs() < 1e-6);
+        let visible = db.visible_satellites(GroundStationId(0)).unwrap();
+        // The dense test shell guarantees at least one satellite in view.
+        assert!(!visible.is_empty());
+        let sat = visible[0];
+        assert!(db.is_active(sat).unwrap());
+        let sat_pos = db.position(NodeId::Satellite(sat)).unwrap();
+        assert!((sat_pos.altitude_km() - 550.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn paths_between_ground_station_and_satellite() {
+        let db = database_with_state();
+        let visible = db.visible_satellites(GroundStationId(0)).unwrap();
+        let sat = NodeId::Satellite(visible[0]);
+        let gst = NodeId::ground_station(0);
+        let latency = db.path_latency(gst, sat).unwrap().expect("connected");
+        assert!(latency.as_millis_f64() > 1.0 && latency.as_millis_f64() < 10.0);
+        let path = db.path(gst, sat).unwrap().expect("connected");
+        assert_eq!(path.first(), Some(&gst));
+        assert_eq!(path.last(), Some(&sat));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let db = database_with_state();
+        let (id, gst) = db.ground_station_by_name("accra").unwrap();
+        assert_eq!(id, GroundStationId(0));
+        assert_eq!(gst.name, "accra");
+        assert!(db.ground_station_by_name("lagos").is_none());
+        assert_eq!(db.shells().len(), 1);
+        assert_eq!(db.ground_stations().len(), 1);
+    }
+}

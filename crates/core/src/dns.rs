@@ -1,0 +1,175 @@
+//! The Celestial DNS service.
+//!
+//! Every Celestial host runs a small DNS server so that applications can
+//! resolve microVM addresses through friendly names instead of knowing the IP
+//! address calculation (§3.2): `878.0.celestial` is satellite 878 of shell 0,
+//! `1.gst.celestial` is the second ground station, and — as a convenience of
+//! this reproduction — ground stations can also be resolved by their
+//! configured name, e.g. `accra.gst.celestial`.
+
+use crate::ipam::{IpAddressManager, VirtualIp};
+use celestial_types::ids::NodeId;
+use celestial_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// The DNS service resolving `*.celestial` names to virtual addresses.
+#[derive(Debug, Clone, Default)]
+pub struct DnsService {
+    ipam: IpAddressManager,
+    /// Ground-station names in configuration order.
+    ground_station_names: BTreeMap<String, u32>,
+    shell_sizes: Vec<u32>,
+}
+
+impl DnsService {
+    /// Creates the DNS service for a constellation with the given shell sizes
+    /// and ground-station names (in configuration order).
+    pub fn new(shell_sizes: Vec<u32>, ground_station_names: Vec<String>) -> Self {
+        DnsService {
+            ipam: IpAddressManager::new(shell_sizes.len() as u16),
+            ground_station_names: ground_station_names
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| (name, i as u32))
+                .collect(),
+            shell_sizes,
+        }
+    }
+
+    /// Resolves a `*.celestial` name to the node it refers to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NameResolution`] for names outside the `.celestial`
+    /// zone, malformed names, or nodes that do not exist.
+    pub fn resolve_node(&self, name: &str) -> Result<NodeId> {
+        let name = name.trim().trim_end_matches('.');
+        let Some(stem) = name.strip_suffix(".celestial") else {
+            return Err(Error::NameResolution(format!(
+                "'{name}' is not in the .celestial zone"
+            )));
+        };
+        let parts: Vec<&str> = stem.split('.').collect();
+        match parts.as_slice() {
+            [index, "gst"] => {
+                let idx = if let Ok(numeric) = index.parse::<u32>() {
+                    numeric
+                } else {
+                    *self.ground_station_names.get(*index).ok_or_else(|| {
+                        Error::NameResolution(format!("unknown ground station '{index}'"))
+                    })?
+                };
+                if idx as usize >= self.ground_station_names.len() {
+                    return Err(Error::NameResolution(format!(
+                        "ground station {idx} does not exist"
+                    )));
+                }
+                Ok(NodeId::ground_station(idx))
+            }
+            [sat, shell] => {
+                let sat: u32 = sat.parse().map_err(|_| {
+                    Error::NameResolution(format!("invalid satellite index in '{name}'"))
+                })?;
+                let shell: u16 = shell.parse().map_err(|_| {
+                    Error::NameResolution(format!("invalid shell index in '{name}'"))
+                })?;
+                let size = self.shell_sizes.get(shell as usize).ok_or_else(|| {
+                    Error::NameResolution(format!("shell {shell} does not exist"))
+                })?;
+                if sat >= *size {
+                    return Err(Error::NameResolution(format!(
+                        "satellite {sat} does not exist in shell {shell}"
+                    )));
+                }
+                Ok(NodeId::satellite(shell, sat))
+            }
+            _ => Err(Error::NameResolution(format!("malformed name '{name}'"))),
+        }
+    }
+
+    /// Resolves a `*.celestial` name to the guest IP address of its machine
+    /// (an A-record lookup).
+    ///
+    /// # Errors
+    ///
+    /// See [`resolve_node`](DnsService::resolve_node).
+    pub fn resolve(&self, name: &str) -> Result<VirtualIp> {
+        let node = self.resolve_node(name)?;
+        self.ipam.guest_address(node)
+    }
+
+    /// The canonical DNS name of a node.
+    pub fn name_of(&self, node: NodeId) -> String {
+        node.dns_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dns() -> DnsService {
+        DnsService::new(
+            vec![1584, 1600],
+            vec!["accra".to_owned(), "abuja".to_owned(), "yaounde".to_owned()],
+        )
+    }
+
+    #[test]
+    fn resolves_satellites_by_index_and_shell() {
+        let dns = dns();
+        assert_eq!(
+            dns.resolve_node("878.0.celestial").unwrap(),
+            NodeId::satellite(0, 878)
+        );
+        assert_eq!(
+            dns.resolve_node("12.1.celestial").unwrap(),
+            NodeId::satellite(1, 12)
+        );
+        let ip = dns.resolve("878.0.celestial").unwrap();
+        assert_eq!(ip.to_string(), "10.0.13.186");
+    }
+
+    #[test]
+    fn resolves_ground_stations_by_index_and_name() {
+        let dns = dns();
+        assert_eq!(
+            dns.resolve_node("1.gst.celestial").unwrap(),
+            NodeId::ground_station(1)
+        );
+        assert_eq!(
+            dns.resolve_node("accra.gst.celestial").unwrap(),
+            NodeId::ground_station(0)
+        );
+        assert_eq!(
+            dns.resolve("yaounde.gst.celestial").unwrap(),
+            dns.resolve("2.gst.celestial").unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_names() {
+        let dns = dns();
+        assert!(dns.resolve_node("example.com").is_err());
+        assert!(dns.resolve_node("9999.0.celestial").is_err());
+        assert!(dns.resolve_node("0.7.celestial").is_err());
+        assert!(dns.resolve_node("lagos.gst.celestial").is_err());
+        assert!(dns.resolve_node("5.gst.celestial").is_err());
+        assert!(dns.resolve_node("a.b.c.celestial").is_err());
+        assert!(dns.resolve_node("celestial").is_err());
+    }
+
+    #[test]
+    fn trailing_dot_and_whitespace_are_tolerated() {
+        let dns = dns();
+        assert!(dns.resolve_node(" 0.0.celestial. ").is_ok());
+    }
+
+    #[test]
+    fn name_of_round_trips_through_resolution() {
+        let dns = dns();
+        for node in [NodeId::satellite(1, 7), NodeId::ground_station(2)] {
+            assert_eq!(dns.resolve_node(&dns.name_of(node)).unwrap(), node);
+        }
+    }
+}

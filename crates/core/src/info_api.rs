@@ -1,0 +1,308 @@
+//! The HTTP-style info API exposed to emulated machines.
+//!
+//! Every Celestial host runs an HTTP server that lets guest applications
+//! query satellite positions, network paths, constellation information and
+//! their own identity, backed by the coordinator's database (§3.2). This
+//! module reproduces that API: requests are expressed as paths (exactly as an
+//! application would issue them against the HTTP server) and answered with
+//! JSON documents.
+
+use crate::database::InfoDatabase;
+use celestial_types::ids::NodeId;
+use celestial_types::{Error, Result};
+use serde_json::{json, Value};
+
+/// A request to the info API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InfoRequest {
+    /// `GET /self` — information about the requesting machine.
+    SelfInfo,
+    /// `GET /info` — constellation summary: shells, satellite counts, ground
+    /// stations.
+    Info,
+    /// `GET /shell/{shell}` — information about one shell.
+    Shell(u16),
+    /// `GET /sat/{shell}/{sat}` — position and activity of one satellite.
+    Satellite(u16, u32),
+    /// `GET /gst/{name}` — information about a ground station by name.
+    GroundStation(String),
+    /// `GET /path/{source}/{target}` — the current shortest path and latency
+    /// between two nodes, named by their DNS names without the `.celestial`
+    /// suffix (e.g. `/path/878.0/accra.gst`).
+    Path(String, String),
+}
+
+impl InfoRequest {
+    /// Parses a request path such as `/sat/0/878` or `/path/0.0/1.gst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InfoApi`] for unknown routes or malformed parameters.
+    pub fn parse(path: &str) -> Result<Self> {
+        let parts: Vec<&str> = path.trim().trim_matches('/').split('/').collect();
+        match parts.as_slice() {
+            ["self"] => Ok(InfoRequest::SelfInfo),
+            ["info"] => Ok(InfoRequest::Info),
+            ["shell", shell] => Ok(InfoRequest::Shell(parse_num(shell)?)),
+            ["sat", shell, sat] => Ok(InfoRequest::Satellite(parse_num(shell)?, parse_num(sat)?)),
+            ["gst", name] => Ok(InfoRequest::GroundStation((*name).to_owned())),
+            ["path", source, target] => {
+                Ok(InfoRequest::Path((*source).to_owned(), (*target).to_owned()))
+            }
+            _ => Err(Error::InfoApi(format!("unknown route '{path}'"))),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T> {
+    text.parse::<T>()
+        .map_err(|_| Error::InfoApi(format!("invalid numeric parameter '{text}'")))
+}
+
+/// The info API server handling requests against a database.
+#[derive(Debug, Clone)]
+pub struct InfoApi<'a> {
+    database: &'a InfoDatabase,
+}
+
+impl<'a> InfoApi<'a> {
+    /// Creates an API handler over the given database.
+    pub fn new(database: &'a InfoDatabase) -> Self {
+        InfoApi { database }
+    }
+
+    /// Handles a request issued by `requester` (the emulated machine asking),
+    /// returning the JSON response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InfoApi`] for unknown entities or an uninitialised
+    /// database.
+    pub fn handle(&self, requester: NodeId, request: &InfoRequest) -> Result<Value> {
+        match request {
+            InfoRequest::SelfInfo => self.node_info(requester),
+            InfoRequest::Info => Ok(json!({
+                "shells": self.database.shells().iter().enumerate().map(|(i, s)| json!({
+                    "shell": i,
+                    "altitude_km": s.walker.altitude_km,
+                    "inclination_deg": s.walker.inclination_deg,
+                    "planes": s.walker.planes,
+                    "satellites_per_plane": s.walker.satellites_per_plane,
+                    "satellites": s.satellite_count(),
+                })).collect::<Vec<_>>(),
+                "satellites": self.database.satellite_count(),
+                "ground_stations": self.database.ground_stations().iter().map(|g| g.name.clone()).collect::<Vec<_>>(),
+                "updated_at_s": self.database.updated_at_seconds(),
+            })),
+            InfoRequest::Shell(shell) => {
+                let s = self
+                    .database
+                    .shells()
+                    .get(*shell as usize)
+                    .ok_or_else(|| Error::InfoApi(format!("shell {shell} does not exist")))?;
+                Ok(json!({
+                    "shell": shell,
+                    "altitude_km": s.walker.altitude_km,
+                    "inclination_deg": s.walker.inclination_deg,
+                    "planes": s.walker.planes,
+                    "satellites_per_plane": s.walker.satellites_per_plane,
+                    "arc_of_ascending_nodes_deg": s.walker.arc_of_ascending_nodes_deg,
+                    "isl_bandwidth_bps": s.isl_bandwidth.as_bps(),
+                    "min_elevation_deg": s.min_elevation_deg,
+                    "vcpus": s.resources.vcpus,
+                    "memory_mib": s.resources.memory_mib,
+                }))
+            }
+            InfoRequest::Satellite(shell, sat) => {
+                self.node_info(NodeId::satellite(*shell, *sat))
+            }
+            InfoRequest::GroundStation(name) => {
+                let (id, _) = self
+                    .database
+                    .ground_station_by_name(name)
+                    .ok_or_else(|| Error::InfoApi(format!("ground station '{name}' does not exist")))?;
+                self.node_info(NodeId::GroundStation(id))
+            }
+            InfoRequest::Path(source, target) => {
+                let a = self.parse_node(source)?;
+                let b = self.parse_node(target)?;
+                let latency = self.database.path_latency(a, b)?;
+                let path = self.database.path(a, b)?;
+                Ok(json!({
+                    "source": a.dns_name(),
+                    "target": b.dns_name(),
+                    "connected": latency.is_some(),
+                    "latency_ms": latency.map(|l| l.as_millis_f64()),
+                    "path": path.map(|nodes| nodes.iter().map(|n| n.dns_name()).collect::<Vec<_>>()),
+                }))
+            }
+        }
+    }
+
+    /// Handles a request given as a raw path string.
+    ///
+    /// # Errors
+    ///
+    /// See [`handle`](InfoApi::handle) and [`InfoRequest::parse`].
+    pub fn handle_path(&self, requester: NodeId, path: &str) -> Result<Value> {
+        self.handle(requester, &InfoRequest::parse(path)?)
+    }
+
+    fn parse_node(&self, name: &str) -> Result<NodeId> {
+        // Accept DNS-style stems: "<index>.<shell>" or "<name|index>.gst".
+        let parts: Vec<&str> = name.split('.').collect();
+        match parts.as_slice() {
+            [gst, "gst"] => {
+                if let Ok(index) = gst.parse::<u32>() {
+                    if (index as usize) < self.database.ground_stations().len() {
+                        return Ok(NodeId::ground_station(index));
+                    }
+                    return Err(Error::InfoApi(format!("ground station {index} does not exist")));
+                }
+                let (id, _) = self
+                    .database
+                    .ground_station_by_name(gst)
+                    .ok_or_else(|| Error::InfoApi(format!("ground station '{gst}' does not exist")))?;
+                Ok(NodeId::GroundStation(id))
+            }
+            [sat, shell] => {
+                let sat = parse_num::<u32>(sat)?;
+                let shell = parse_num::<u16>(shell)?;
+                Ok(NodeId::satellite(shell, sat))
+            }
+            _ => Err(Error::InfoApi(format!("cannot parse node '{name}'"))),
+        }
+    }
+
+    fn node_info(&self, node: NodeId) -> Result<Value> {
+        let position = self.database.position(node)?;
+        let active = match node {
+            NodeId::Satellite(sat) => self.database.is_active(sat)?,
+            NodeId::GroundStation(_) => true,
+        };
+        let name = match node {
+            NodeId::GroundStation(gst) => self
+                .database
+                .ground_stations()
+                .get(gst.index())
+                .map(|g| g.name.clone()),
+            NodeId::Satellite(_) => None,
+        };
+        Ok(json!({
+            "identifier": node.dns_name(),
+            "kind": if node.is_satellite() { "satellite" } else { "ground_station" },
+            "name": name,
+            "active": active,
+            "position": {
+                "latitude_deg": position.latitude_deg(),
+                "longitude_deg": position.longitude_deg(),
+                "altitude_km": position.altitude_km(),
+            },
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_constellation::{Constellation, GroundStation, Shell};
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::geo::Geodetic;
+
+    fn database() -> InfoDatabase {
+        let shell = Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16));
+        let gst = GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0));
+        let constellation = Constellation::builder()
+            .shell(shell.clone())
+            .ground_station(gst.clone())
+            .build()
+            .unwrap();
+        let mut db = InfoDatabase::new(vec![shell], vec![gst]);
+        db.update(constellation.state_at(0.0).unwrap());
+        db
+    }
+
+    #[test]
+    fn request_parsing() {
+        assert_eq!(InfoRequest::parse("/self").unwrap(), InfoRequest::SelfInfo);
+        assert_eq!(InfoRequest::parse("/info").unwrap(), InfoRequest::Info);
+        assert_eq!(InfoRequest::parse("/shell/2").unwrap(), InfoRequest::Shell(2));
+        assert_eq!(
+            InfoRequest::parse("/sat/0/878").unwrap(),
+            InfoRequest::Satellite(0, 878)
+        );
+        assert_eq!(
+            InfoRequest::parse("/gst/accra").unwrap(),
+            InfoRequest::GroundStation("accra".to_owned())
+        );
+        assert_eq!(
+            InfoRequest::parse("/path/0.0/accra.gst").unwrap(),
+            InfoRequest::Path("0.0".to_owned(), "accra.gst".to_owned())
+        );
+        assert!(InfoRequest::parse("/bogus").is_err());
+        assert!(InfoRequest::parse("/sat/x/1").is_err());
+    }
+
+    #[test]
+    fn self_info_describes_the_requester() {
+        let db = database();
+        let api = InfoApi::new(&db);
+        let response = api.handle_path(NodeId::ground_station(0), "/self").unwrap();
+        assert_eq!(response["identifier"], "0.gst.celestial");
+        assert_eq!(response["kind"], "ground_station");
+        assert_eq!(response["name"], "accra");
+        assert_eq!(response["active"], true);
+        assert!((response["position"]["latitude_deg"].as_f64().unwrap() - 5.6037).abs() < 1e-6);
+    }
+
+    #[test]
+    fn info_and_shell_routes() {
+        let db = database();
+        let api = InfoApi::new(&db);
+        let info = api.handle_path(NodeId::ground_station(0), "/info").unwrap();
+        assert_eq!(info["satellites"], 192);
+        assert_eq!(info["ground_stations"][0], "accra");
+        let shell = api.handle_path(NodeId::ground_station(0), "/shell/0").unwrap();
+        assert_eq!(shell["planes"], 12);
+        assert!(api.handle_path(NodeId::ground_station(0), "/shell/3").is_err());
+    }
+
+    #[test]
+    fn satellite_route_reports_position_and_activity() {
+        let db = database();
+        let api = InfoApi::new(&db);
+        let sat = api.handle_path(NodeId::ground_station(0), "/sat/0/5").unwrap();
+        assert_eq!(sat["kind"], "satellite");
+        let altitude = sat["position"]["altitude_km"].as_f64().unwrap();
+        assert!((altitude - 550.0).abs() < 5.0);
+        assert!(api.handle_path(NodeId::ground_station(0), "/sat/0/9999").is_err());
+    }
+
+    #[test]
+    fn path_route_reports_latency_and_hops() {
+        let db = database();
+        let api = InfoApi::new(&db);
+        let visible = db
+            .visible_satellites(celestial_types::ids::GroundStationId(0))
+            .unwrap();
+        let sat = visible[0];
+        let path = api
+            .handle_path(
+                NodeId::ground_station(0),
+                &format!("/path/accra.gst/{}.{}", sat.index, sat.shell.0),
+            )
+            .unwrap();
+        assert_eq!(path["connected"], true);
+        assert!(path["latency_ms"].as_f64().unwrap() > 0.0);
+        let hops = path["path"].as_array().unwrap();
+        assert_eq!(hops.first().unwrap(), "0.gst.celestial");
+        // Numeric ground-station references work too.
+        let by_index = api
+            .handle_path(NodeId::ground_station(0), "/path/0.gst/0.gst")
+            .unwrap();
+        assert_eq!(by_index["latency_ms"], 0.0);
+        assert!(api
+            .handle_path(NodeId::ground_station(0), "/path/lagos.gst/0.gst")
+            .is_err());
+    }
+}

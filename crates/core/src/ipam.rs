@@ -1,0 +1,167 @@
+//! IP address management for emulated machines.
+//!
+//! Celestial assigns every microVM a virtual network interface with an
+//! address derived from its identity, so that addresses are predictable and
+//! applications can be pointed at them through DNS without knowing the
+//! underlying calculation (§3.2). The scheme reproduced here mirrors the
+//! original: the `10.0.0.0/8` space is divided per shell, every machine gets
+//! a /30 subnet containing its gateway (tap) address and its guest address.
+
+use celestial_types::ids::NodeId;
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtualIp(pub u32);
+
+impl VirtualIp {
+    /// The four dotted-quad octets of the address.
+    pub fn octets(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for VirtualIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// The /30 subnet assigned to one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSubnet {
+    /// The network base address of the /30.
+    pub network: VirtualIp,
+    /// The host-side gateway (tap device) address.
+    pub gateway: VirtualIp,
+    /// The guest address applications connect to.
+    pub guest: VirtualIp,
+}
+
+/// The index of the ground-station "shell" in the addressing scheme: ground
+/// stations use the shell number after the last satellite shell, matching the
+/// original implementation where `gst` is addressed as its own group.
+const GROUND_STATION_GROUP: u32 = 0xFF;
+
+/// The IP address manager.
+///
+/// Addresses are computed, not allocated, so the manager needs no state
+/// beyond the number of shells it validates against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct IpAddressManager {
+    shell_count: u16,
+}
+
+impl IpAddressManager {
+    /// Creates an address manager for a constellation with `shell_count`
+    /// shells.
+    pub fn new(shell_count: u16) -> Self {
+        IpAddressManager { shell_count }
+    }
+
+    /// The /30 subnet of a node's machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] if the node's shell is out of range or
+    /// the node index does not fit the addressing scheme (2^14 machines per
+    /// group).
+    pub fn subnet(&self, node: NodeId) -> Result<MachineSubnet> {
+        let (group, index) = match node {
+            NodeId::Satellite(sat) => {
+                if sat.shell.0 >= self.shell_count {
+                    return Err(Error::unknown_node(format!("{sat}")));
+                }
+                (u32::from(sat.shell.0), sat.index)
+            }
+            NodeId::GroundStation(gst) => (GROUND_STATION_GROUP, gst.0),
+        };
+        if index >= (1 << 14) {
+            return Err(Error::unknown_node(format!(
+                "node index {index} exceeds the addressing scheme"
+            )));
+        }
+        // 10.group.0.0/16, 4 addresses per machine.
+        let network = (10u32 << 24) | (group << 16) | (index << 2);
+        Ok(MachineSubnet {
+            network: VirtualIp(network),
+            gateway: VirtualIp(network + 1),
+            guest: VirtualIp(network + 2),
+        })
+    }
+
+    /// The guest address of a node's machine (the address DNS resolves to).
+    ///
+    /// # Errors
+    ///
+    /// See [`subnet`](IpAddressManager::subnet).
+    pub fn guest_address(&self, node: NodeId) -> Result<VirtualIp> {
+        Ok(self.subnet(node)?.guest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn satellite_addresses_follow_the_scheme() {
+        let ipam = IpAddressManager::new(2);
+        let subnet = ipam.subnet(NodeId::satellite(0, 0)).unwrap();
+        assert_eq!(subnet.network.to_string(), "10.0.0.0");
+        assert_eq!(subnet.gateway.to_string(), "10.0.0.1");
+        assert_eq!(subnet.guest.to_string(), "10.0.0.2");
+        let sat878 = ipam.subnet(NodeId::satellite(0, 878)).unwrap();
+        assert_eq!(sat878.guest.to_string(), "10.0.13.186");
+        let shell1 = ipam.subnet(NodeId::satellite(1, 0)).unwrap();
+        assert_eq!(shell1.guest.to_string(), "10.1.0.2");
+    }
+
+    #[test]
+    fn ground_stations_use_their_own_group() {
+        let ipam = IpAddressManager::new(1);
+        let gst = ipam.subnet(NodeId::ground_station(3)).unwrap();
+        assert_eq!(gst.guest.to_string(), "10.255.0.14");
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected() {
+        let ipam = IpAddressManager::new(1);
+        assert!(ipam.subnet(NodeId::satellite(1, 0)).is_err());
+        assert!(ipam.subnet(NodeId::satellite(0, 1 << 14)).is_err());
+    }
+
+    #[test]
+    fn display_formats_dotted_quads() {
+        let ip = VirtualIp(0x0A01_0203);
+        assert_eq!(ip.octets(), [10, 1, 2, 3]);
+        assert_eq!(ip.to_string(), "10.1.2.3");
+    }
+
+    proptest! {
+        #[test]
+        fn addresses_are_unique_across_nodes(
+            shell_a in 0u16..5, index_a in 0u32..2000,
+            shell_b in 0u16..5, index_b in 0u32..2000,
+            gst in 0u32..500,
+        ) {
+            let ipam = IpAddressManager::new(5);
+            let a = ipam.guest_address(NodeId::satellite(shell_a, index_a)).unwrap();
+            let b = ipam.guest_address(NodeId::satellite(shell_b, index_b)).unwrap();
+            let g = ipam.guest_address(NodeId::ground_station(gst)).unwrap();
+            if (shell_a, index_a) != (shell_b, index_b) {
+                prop_assert_ne!(a, b);
+            } else {
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_ne!(a, g);
+            // Gateway and guest never collide.
+            let subnet = ipam.subnet(NodeId::satellite(shell_a, index_a)).unwrap();
+            prop_assert_ne!(subnet.gateway, subnet.guest);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The per-host machine manager.
+//!
+//! Each Celestial host runs a machine manager that creates Firecracker
+//! microVMs, suspends and resumes them as the coordinator's updates demand,
+//! reboots them on demand (fault injection), and keeps the host's traffic
+//! shaping in sync (Fig. 2). In this reproduction the network shaping is
+//! applied centrally by the testbed (the rule table is shared), so the
+//! machine manager focuses on machine lifecycle and host accounting.
+
+use celestial_machines::{FirecrackerModel, Host, MicroVm};
+use celestial_types::ids::{HostId, MachineId, NodeId};
+use celestial_types::resources::MachineResources;
+use celestial_types::time::SimInstant;
+use celestial_types::{Error, Result};
+
+/// The utilisation sample a machine manager reports for its host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// CPU utilisation of the host in `[0, 1]`.
+    pub cpu: f64,
+    /// Memory utilisation of the host in `[0, 1]`.
+    pub memory: f64,
+    /// Number of Firecracker processes currently alive on the host.
+    pub firecracker_processes: usize,
+    /// Memory used by microVMs (excluding the manager) in MiB.
+    pub microvm_memory_mib: u64,
+}
+
+/// The machine manager of one host.
+#[derive(Debug, Clone)]
+pub struct MachineManager {
+    host: Host,
+    next_machine_id: u64,
+}
+
+impl MachineManager {
+    /// Creates a machine manager for a host with the given capacity.
+    pub fn new(host_id: HostId, cores: u32, memory_mib: u64, model: FirecrackerModel) -> Self {
+        MachineManager {
+            host: Host::new(host_id, cores, memory_mib).with_model(model),
+            next_machine_id: u64::from(host_id.0) << 32,
+        }
+    }
+
+    /// The host this manager controls.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The host identifier.
+    pub fn host_id(&self) -> HostId {
+        self.host.id()
+    }
+
+    /// Whether this manager already has a machine for `node`.
+    pub fn has_machine(&self, node: NodeId) -> bool {
+        self.host.machine_for_node(node).is_some()
+    }
+
+    /// Whether the machine for `node` is currently running.
+    pub fn is_running(&self, node: NodeId) -> bool {
+        self.host
+            .machine_for_node(node)
+            .map(|m| m.state().is_running())
+            .unwrap_or(false)
+    }
+
+    /// Creates a machine for `node` (without booting it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::HostCapacity`] if the host cannot fit the machine or
+    /// the node already has one.
+    pub fn create_machine(&mut self, node: NodeId, resources: MachineResources) -> Result<MachineId> {
+        let id = MachineId(self.next_machine_id);
+        self.next_machine_id += 1;
+        let boot_delay = self.host.model().boot_delay(&resources);
+        let vm = MicroVm::new(id, node, resources).with_boot_delay(boot_delay);
+        self.host.place(vm)?;
+        Ok(id)
+    }
+
+    /// Creates (if needed) and boots the machine for `node`, returning the
+    /// instant its boot completes. If the machine is suspended it is resumed
+    /// instead, completing immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the machine cannot be created or the lifecycle
+    /// transition is invalid.
+    pub fn activate(
+        &mut self,
+        node: NodeId,
+        resources: &MachineResources,
+        now: SimInstant,
+    ) -> Result<SimInstant> {
+        if !self.has_machine(node) {
+            self.create_machine(node, resources.clone())?;
+        }
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .expect("machine was just created");
+        match vm.state() {
+            celestial_machines::MachineState::Suspended => {
+                vm.resume()?;
+                Ok(now)
+            }
+            celestial_machines::MachineState::Running => Ok(now),
+            celestial_machines::MachineState::Booting => {
+                Ok(vm.ready_at().unwrap_or(now))
+            }
+            _ => vm.boot(now),
+        }
+    }
+
+    /// Completes the boot of the machine for `node` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node has no machine. A machine that is no
+    /// longer booting (e.g. it was suspended or failed while booting) is left
+    /// untouched.
+    pub fn finish_boot(&mut self, node: NodeId, now: SimInstant) -> Result<()> {
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .ok_or_else(|| Error::unknown_node(format!("{node}")))?;
+        if vm.state().is_booting() {
+            vm.finish_boot(now)?;
+        }
+        Ok(())
+    }
+
+    /// Suspends the machine for `node` (it left the bounding box). Machines
+    /// that are not running are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node has no machine.
+    pub fn suspend(&mut self, node: NodeId) -> Result<()> {
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .ok_or_else(|| Error::unknown_node(format!("{node}")))?;
+        if vm.state().is_running() {
+            vm.suspend()?;
+        }
+        Ok(())
+    }
+
+    /// Crashes the machine for `node` (fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node has no machine or the machine is not
+    /// currently booted.
+    pub fn fail(&mut self, node: NodeId) -> Result<()> {
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .ok_or_else(|| Error::unknown_node(format!("{node}")))?;
+        vm.fail()
+    }
+
+    /// Sets the guest CPU load of the machine for `node` (no-op when the
+    /// machine does not exist or is not running).
+    pub fn set_cpu_load(&mut self, node: NodeId, load: f64) {
+        if let Some(vm) = self.host.machine_for_node_mut(node) {
+            vm.set_cpu_load(load);
+        }
+    }
+
+    /// Samples the host's utilisation.
+    pub fn sample(&self) -> UtilizationSample {
+        UtilizationSample {
+            cpu: self.host.cpu_utilization(),
+            memory: self.host.memory_utilization(),
+            firecracker_processes: self.host.firecracker_process_count(),
+            microvm_memory_mib: self.host.microvm_memory_mib(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> MachineManager {
+        MachineManager::new(HostId(0), 32, 32 * 1024, FirecrackerModel::default())
+    }
+
+    #[test]
+    fn activate_boots_new_machines_and_resumes_suspended_ones() {
+        let mut m = manager();
+        let node = NodeId::satellite(0, 7);
+        let resources = MachineResources::paper_satellite();
+        let ready = m.activate(node, &resources, SimInstant::EPOCH).unwrap();
+        assert!(ready > SimInstant::EPOCH);
+        assert!(m.has_machine(node));
+        assert!(!m.is_running(node));
+        m.finish_boot(node, ready).unwrap();
+        assert!(m.is_running(node));
+
+        m.suspend(node).unwrap();
+        assert!(!m.is_running(node));
+        let resumed_at = m.activate(node, &resources, SimInstant::from_secs_f64(50.0)).unwrap();
+        assert_eq!(resumed_at, SimInstant::from_secs_f64(50.0));
+        assert!(m.is_running(node));
+    }
+
+    #[test]
+    fn activate_is_idempotent_for_running_machines() {
+        let mut m = manager();
+        let node = NodeId::ground_station(0);
+        let resources = MachineResources::paper_client();
+        let ready = m.activate(node, &resources, SimInstant::EPOCH).unwrap();
+        m.finish_boot(node, ready).unwrap();
+        let again = m.activate(node, &resources, SimInstant::from_secs_f64(1.0)).unwrap();
+        assert_eq!(again, SimInstant::from_secs_f64(1.0));
+        assert_eq!(m.host().machine_count(), 1);
+    }
+
+    #[test]
+    fn suspend_and_finish_boot_require_an_existing_machine() {
+        let mut m = manager();
+        assert!(m.suspend(NodeId::satellite(0, 0)).is_err());
+        assert!(m.finish_boot(NodeId::satellite(0, 0), SimInstant::EPOCH).is_err());
+        assert!(m.fail(NodeId::satellite(0, 0)).is_err());
+    }
+
+    #[test]
+    fn fault_injection_and_reboot() {
+        let mut m = manager();
+        let node = NodeId::satellite(0, 1);
+        let resources = MachineResources::paper_satellite();
+        let ready = m.activate(node, &resources, SimInstant::EPOCH).unwrap();
+        m.finish_boot(node, ready).unwrap();
+        m.fail(node).unwrap();
+        assert!(!m.is_running(node));
+        // Re-activating a failed machine reboots it.
+        let ready2 = m.activate(node, &resources, SimInstant::from_secs_f64(5.0)).unwrap();
+        assert!(ready2 > SimInstant::from_secs_f64(5.0));
+        m.finish_boot(node, ready2).unwrap();
+        assert!(m.is_running(node));
+    }
+
+    #[test]
+    fn utilisation_samples_reflect_machine_activity() {
+        let mut m = manager();
+        let idle = m.sample();
+        assert!(idle.cpu < 0.01);
+        assert_eq!(idle.firecracker_processes, 0);
+        for i in 0..10 {
+            let node = NodeId::satellite(0, i);
+            let ready = m
+                .activate(node, &MachineResources::paper_satellite(), SimInstant::EPOCH)
+                .unwrap();
+            m.finish_boot(node, ready).unwrap();
+            m.set_cpu_load(node, 0.5);
+        }
+        let busy = m.sample();
+        assert!(busy.cpu > idle.cpu);
+        assert!(busy.memory > idle.memory);
+        assert_eq!(busy.firecracker_processes, 10);
+        // 10 satellites at 25 % residency of 512 MiB plus VMM overhead.
+        assert!(busy.microvm_memory_mib > 1_000);
+    }
+
+    #[test]
+    fn machine_ids_are_scoped_per_host() {
+        let mut a = MachineManager::new(HostId(0), 32, 32 * 1024, FirecrackerModel::default());
+        let mut b = MachineManager::new(HostId(1), 32, 32 * 1024, FirecrackerModel::default());
+        let id_a = a
+            .create_machine(NodeId::ground_station(0), MachineResources::default())
+            .unwrap();
+        let id_b = b
+            .create_machine(NodeId::ground_station(1), MachineResources::default())
+            .unwrap();
+        assert_ne!(id_a, id_b);
+    }
+}

@@ -1,0 +1,107 @@
+//! cgroup-style CPU quotas.
+//!
+//! Celestial isolates each microVM in a dedicated cgroup to control the CPU
+//! cycles a satellite server may use (§3.1), making it possible to emulate
+//! severely constrained hardware. The quota model here answers the question
+//! the testbed runtime needs: *how long does a given amount of guest
+//! computation take on this machine?*
+
+use celestial_types::resources::MachineResources;
+use celestial_types::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A CPU quota in the style of cgroup v2 `cpu.max`: a share of the allocated
+/// vCPUs that the machine may actually use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuQuota {
+    /// Number of vCPUs allocated to the machine.
+    pub vcpus: u32,
+    /// Fraction of each vCPU the cgroup allows, in `(0, 1]`. 1.0 means the
+    /// machine may use its vCPUs fully.
+    pub share: f64,
+}
+
+impl CpuQuota {
+    /// Creates an unrestricted quota for the given resources.
+    pub fn unrestricted(resources: &MachineResources) -> Self {
+        CpuQuota {
+            vcpus: resources.vcpus,
+            share: 1.0,
+        }
+    }
+
+    /// Creates a quota restricted to `share` of each allocated vCPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not in `(0, 1]`.
+    pub fn restricted(resources: &MachineResources, share: f64) -> Self {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0, 1]");
+        CpuQuota {
+            vcpus: resources.vcpus,
+            share,
+        }
+    }
+
+    /// The effective number of CPU cores available to the machine.
+    pub fn effective_cores(&self) -> f64 {
+        f64::from(self.vcpus) * self.share
+    }
+
+    /// The wall-clock (virtual) time needed to execute `cpu_seconds` of
+    /// single-threaded-equivalent work that parallelises over at most
+    /// `parallelism` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_seconds` is negative or `parallelism` is zero.
+    pub fn execution_time(&self, cpu_seconds: f64, parallelism: u32) -> SimDuration {
+        assert!(cpu_seconds >= 0.0, "work must be non-negative");
+        assert!(parallelism > 0, "parallelism must be positive");
+        let usable = self.effective_cores().min(f64::from(parallelism));
+        SimDuration::from_secs_f64(cpu_seconds / usable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_quota_uses_all_vcpus() {
+        let quota = CpuQuota::unrestricted(&MachineResources::new(4, 1024));
+        assert_eq!(quota.effective_cores(), 4.0);
+        // 8 CPU-seconds of perfectly parallel work on 4 cores takes 2 s.
+        assert_eq!(quota.execution_time(8.0, 8), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn single_threaded_work_ignores_extra_cores() {
+        let quota = CpuQuota::unrestricted(&MachineResources::new(4, 1024));
+        assert_eq!(quota.execution_time(3.0, 1), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn restricted_quota_slows_execution_proportionally() {
+        let resources = MachineResources::new(2, 512);
+        let full = CpuQuota::unrestricted(&resources);
+        let half = CpuQuota::restricted(&resources, 0.5);
+        let work = 1.0;
+        assert_eq!(
+            half.execution_time(work, 2).as_micros(),
+            full.execution_time(work, 2).as_micros() * 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share")]
+    fn zero_share_is_rejected() {
+        CpuQuota::restricted(&MachineResources::new(1, 128), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_is_rejected() {
+        CpuQuota::unrestricted(&MachineResources::new(1, 128)).execution_time(1.0, 0);
+    }
+}

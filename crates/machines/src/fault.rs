@@ -1,0 +1,213 @@
+//! Fault injection.
+//!
+//! Satellite servers are exposed to single-event upsets from cosmic radiation
+//! (§2.3); HPE's Spaceborne Computer experience shows these manifest as
+//! temporary performance degradation or full shutdowns. Celestial lets users
+//! terminate and reboot machines through its API to model such faults. The
+//! [`FaultInjector`] generates those events stochastically from a
+//! radiation-induced failure rate, or accepts manually scripted events.
+
+use celestial_types::ids::NodeId;
+use celestial_types::time::{SimDuration, SimInstant};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The machine crashes and reboots after the outage duration.
+    CrashAndReboot,
+    /// The machine crashes permanently (no automatic reboot).
+    PermanentFailure,
+    /// The machine's CPU is degraded to the given share of its quota for the
+    /// outage duration (e.g. error-correction overhead after an upset).
+    Degradation {
+        /// Remaining CPU share in `(0, 1)`.
+        cpu_share_percent: u8,
+    },
+}
+
+/// One injected fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The node whose machine is affected.
+    pub node: NodeId,
+    /// When the fault strikes.
+    pub at: SimInstant,
+    /// What happens.
+    pub kind: FaultKind,
+    /// When the machine recovers (reboots or regains full speed). `None` for
+    /// permanent failures.
+    pub recover_at: Option<SimInstant>,
+}
+
+/// Configuration and generator for stochastic fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// Mean number of radiation-induced crashes per machine per simulated
+    /// hour.
+    pub crashes_per_machine_hour: f64,
+    /// Mean outage duration after a crash (reboot plus recovery).
+    pub mean_outage: SimDuration,
+    /// Fraction of crashes that are permanent (the machine does not come
+    /// back without operator intervention).
+    pub permanent_fraction: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given crash rate and a 30-second mean
+    /// outage.
+    pub fn new(crashes_per_machine_hour: f64) -> Self {
+        FaultInjector {
+            crashes_per_machine_hour,
+            mean_outage: SimDuration::from_secs(30),
+            permanent_fraction: 0.0,
+        }
+    }
+
+    /// Sets the mean outage duration, returning the modified injector.
+    pub fn with_mean_outage(mut self, outage: SimDuration) -> Self {
+        self.mean_outage = outage;
+        self
+    }
+
+    /// Sets the fraction of permanent failures, returning the modified
+    /// injector.
+    pub fn with_permanent_fraction(mut self, fraction: f64) -> Self {
+        self.permanent_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the fault schedule for one experiment: for every node, crash
+    /// times follow a Poisson process with the configured rate over
+    /// `[0, duration]`, with exponentially distributed outages.
+    pub fn schedule<R: Rng + ?Sized>(
+        &self,
+        nodes: &[NodeId],
+        duration: SimDuration,
+        rng: &mut R,
+    ) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        if self.crashes_per_machine_hour <= 0.0 {
+            return events;
+        }
+        let mean_interarrival_secs = 3600.0 / self.crashes_per_machine_hour;
+        for node in nodes {
+            let mut t = 0.0;
+            loop {
+                // Exponential inter-arrival times.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -mean_interarrival_secs * u.ln();
+                if t >= duration.as_secs_f64() {
+                    break;
+                }
+                let at = SimInstant::from_secs_f64(t);
+                let permanent = rng.gen::<f64>() < self.permanent_fraction;
+                if permanent {
+                    events.push(FaultEvent {
+                        node: *node,
+                        at,
+                        kind: FaultKind::PermanentFailure,
+                        recover_at: None,
+                    });
+                    break;
+                }
+                let outage_secs = {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    -self.mean_outage.as_secs_f64() * u.ln()
+                };
+                events.push(FaultEvent {
+                    node: *node,
+                    at,
+                    kind: FaultKind::CrashAndReboot,
+                    recover_at: Some(at + SimDuration::from_secs_f64(outage_secs)),
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(|i| NodeId::satellite(0, i)).collect()
+    }
+
+    #[test]
+    fn zero_rate_produces_no_faults() {
+        let injector = FaultInjector::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(injector
+            .schedule(&nodes(100), SimDuration::from_secs(3600), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn fault_rate_is_roughly_respected() {
+        // 2 crashes per machine-hour over 100 machines for one hour ≈ 200
+        // events.
+        let injector = FaultInjector::new(2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = injector.schedule(&nodes(100), SimDuration::from_secs(3600), &mut rng);
+        assert!((150..250).contains(&events.len()), "events {}", events.len());
+    }
+
+    #[test]
+    fn events_are_sorted_and_within_the_experiment() {
+        let injector = FaultInjector::new(5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let duration = SimDuration::from_secs(600);
+        let events = injector.schedule(&nodes(20), duration, &mut rng);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &events {
+            assert!(e.at.as_secs_f64() <= duration.as_secs_f64());
+            if let Some(recover) = e.recover_at {
+                assert!(recover > e.at);
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_failures_have_no_recovery() {
+        let injector = FaultInjector::new(3.0).with_permanent_fraction(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = injector.schedule(&nodes(50), SimDuration::from_secs(3600), &mut rng);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| e.kind == FaultKind::PermanentFailure && e.recover_at.is_none()));
+        // At most one permanent failure per machine.
+        assert!(events.len() <= 50);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let injector = FaultInjector::new(1.0).with_mean_outage(SimDuration::from_secs(10));
+        let a = injector.schedule(
+            &nodes(10),
+            SimDuration::from_secs(1800),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = injector.schedule(
+            &nodes(10),
+            SimDuration::from_secs(1800),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a, b);
+    }
+}

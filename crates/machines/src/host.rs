@@ -1,0 +1,343 @@
+//! Celestial hosts.
+//!
+//! A host is one physical or cloud server running a machine manager and a set
+//! of microVMs. Hosts can be over-provisioned — the paper deliberately runs
+//! an experiment that Celestial estimates at 137 cores on 96 cores (§4.1) —
+//! so placement is only limited by memory, while CPU is tracked as
+//! utilisation.
+
+use crate::firecracker::FirecrackerModel;
+use crate::machine::{MachineState, MicroVm};
+use celestial_types::ids::{HostId, MachineId, NodeId};
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One Celestial host with its capacity and the microVMs placed on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    id: HostId,
+    cores: u32,
+    memory_mib: u64,
+    model: FirecrackerModel,
+    machines: BTreeMap<MachineId, MicroVm>,
+    node_index: BTreeMap<NodeId, MachineId>,
+    /// CPU fraction consumed by the machine manager itself (the paper
+    /// measures ~0.2 % steady-state).
+    manager_cpu_fraction: f64,
+    /// Memory consumed by the machine manager in MiB.
+    manager_memory_mib: u64,
+}
+
+impl Host {
+    /// Creates a host with the given core count and memory.
+    pub fn new(id: HostId, cores: u32, memory_mib: u64) -> Self {
+        Host {
+            id,
+            cores,
+            memory_mib,
+            model: FirecrackerModel::default(),
+            machines: BTreeMap::new(),
+            node_index: BTreeMap::new(),
+            manager_cpu_fraction: 0.002,
+            manager_memory_mib: 1024,
+        }
+    }
+
+    /// A GCP `N2-highcpu-32` instance as used in the paper's evaluation:
+    /// 32 cores, 32 GiB memory.
+    pub fn n2_highcpu_32(id: HostId) -> Self {
+        Host::new(id, 32, 32 * 1024)
+    }
+
+    /// Overrides the Firecracker resource model, returning the modified host.
+    pub fn with_model(mut self, model: FirecrackerModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The host identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Total memory in MiB.
+    pub fn memory_mib(&self) -> u64 {
+        self.memory_mib
+    }
+
+    /// The Firecracker resource model used for accounting.
+    pub fn model(&self) -> &FirecrackerModel {
+        &self.model
+    }
+
+    /// Number of machines placed on this host (in any state).
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of machines whose Firecracker process currently exists
+    /// (booting, running or suspended) — the `# Firecracker processes` series
+    /// of Figs. 7 and 8.
+    pub fn firecracker_process_count(&self) -> usize {
+        self.machines
+            .values()
+            .filter(|m| m.state().holds_memory())
+            .count()
+    }
+
+    /// Places a machine on this host.
+    ///
+    /// Both CPU and memory are freely over-provisioned — Celestial relies on
+    /// microVMs using far less than their allocation (Firecracker backs guest
+    /// memory lazily), and the paper deliberately runs an estimated 137 cores
+    /// of machines on 96 physical cores. Placement is therefore refused only
+    /// when the node already has a machine on this host; sizing the fleet is
+    /// the resource estimator's job, not an admission check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::HostCapacity`] if the node already has a machine on
+    /// this host.
+    pub fn place(&mut self, vm: MicroVm) -> Result<()> {
+        if self.node_index.contains_key(&vm.node()) {
+            return Err(Error::HostCapacity(format!(
+                "{} already has a machine on {}",
+                vm.node(),
+                self.id
+            )));
+        }
+        self.node_index.insert(vm.node(), vm.id());
+        self.machines.insert(vm.id(), vm);
+        Ok(())
+    }
+
+    /// Sum of memory allocated to machines on this host in MiB (the worst
+    /// case if every guest touched all of its memory).
+    pub fn allocated_memory_mib(&self) -> u64 {
+        self.machines
+            .values()
+            .map(|m| m.resources().memory_mib)
+            .sum()
+    }
+
+    /// Removes a machine from the host, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] if no machine with this identifier is
+    /// placed here.
+    pub fn remove(&mut self, id: MachineId) -> Result<MicroVm> {
+        let vm = self
+            .machines
+            .remove(&id)
+            .ok_or_else(|| Error::unknown_node(format!("{id} on {}", self.id)))?;
+        self.node_index.remove(&vm.node());
+        Ok(vm)
+    }
+
+    /// The machine backing `node`, if it is placed on this host.
+    pub fn machine_for_node(&self, node: NodeId) -> Option<&MicroVm> {
+        self.node_index.get(&node).and_then(|id| self.machines.get(id))
+    }
+
+    /// Mutable access to the machine backing `node`.
+    pub fn machine_for_node_mut(&mut self, node: NodeId) -> Option<&mut MicroVm> {
+        let id = self.node_index.get(&node)?;
+        self.machines.get_mut(id)
+    }
+
+    /// Immutable access to a machine by identifier.
+    pub fn machine(&self, id: MachineId) -> Option<&MicroVm> {
+        self.machines.get(&id)
+    }
+
+    /// Mutable access to a machine by identifier.
+    pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut MicroVm> {
+        self.machines.get_mut(&id)
+    }
+
+    /// Iterates over all machines on the host.
+    pub fn machines(&self) -> impl Iterator<Item = &MicroVm> {
+        self.machines.values()
+    }
+
+    /// Mutably iterates over all machines on the host.
+    pub fn machines_mut(&mut self) -> impl Iterator<Item = &mut MicroVm> {
+        self.machines.values_mut()
+    }
+
+    /// The nodes of all machines on the host.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.node_index.keys().copied().collect()
+    }
+
+    /// Sum of vCPUs allocated to machines on this host (the quantity the
+    /// resource estimator compares against physical cores).
+    pub fn allocated_vcpus(&self) -> u32 {
+        self.machines.values().map(|m| m.resources().vcpus).sum()
+    }
+
+    /// The CPU utilisation of the host in `[0, 1]`: guest load of the
+    /// microVMs (weighted by their vCPU allocation, capped at the physical
+    /// core count) plus the machine manager overhead, plus a small boot cost
+    /// for machines currently booting.
+    pub fn cpu_utilization(&self) -> f64 {
+        let guest: f64 = self
+            .machines
+            .values()
+            .map(|m| match m.state() {
+                MachineState::Running => m.cpu_load() * f64::from(m.resources().vcpus),
+                // Booting a microVM briefly costs about one core.
+                MachineState::Booting => 1.0,
+                _ => 0.0,
+            })
+            .sum();
+        ((guest / f64::from(self.cores)) + self.manager_cpu_fraction).min(1.0)
+    }
+
+    /// The memory utilisation of the host in `[0, 1]`, following the
+    /// Firecracker memory model (suspended machines keep their memory unless
+    /// ballooning is enabled).
+    pub fn memory_utilization(&self) -> f64 {
+        let used: u64 = self
+            .machines
+            .values()
+            .map(|m| self.model.memory_footprint_mib(m))
+            .sum::<u64>()
+            + self.manager_memory_mib;
+        (used as f64 / self.memory_mib as f64).min(1.0)
+    }
+
+    /// Memory used by microVMs only (excluding the machine manager), in MiB.
+    pub fn microvm_memory_mib(&self) -> u64 {
+        self.machines
+            .values()
+            .map(|m| self.model.memory_footprint_mib(m))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_types::resources::MachineResources;
+    use celestial_types::time::SimInstant;
+
+    fn vm(id: u64, node: NodeId, resources: MachineResources) -> MicroVm {
+        MicroVm::new(MachineId(id), node, resources)
+    }
+
+    fn booted(mut m: MicroVm) -> MicroVm {
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        m
+    }
+
+    #[test]
+    fn placement_tracks_allocations_without_rejecting_overprovisioning() {
+        let mut host = Host::new(HostId(0), 4, 4096);
+        host.place(vm(0, NodeId::satellite(0, 0), MachineResources::new(2, 2048)))
+            .unwrap();
+        // Memory can be over-provisioned: a second large machine is accepted
+        // and the allocation accounting reflects it.
+        host.place(vm(1, NodeId::satellite(0, 1), MachineResources::new(2, 2048)))
+            .unwrap();
+        host.place(vm(2, NodeId::satellite(0, 2), MachineResources::new(1, 512)))
+            .unwrap();
+        assert_eq!(host.machine_count(), 3);
+        assert_eq!(host.allocated_memory_mib(), 4608);
+        assert!(host.allocated_memory_mib() > host.memory_mib());
+    }
+
+    #[test]
+    fn cpu_can_be_overprovisioned() {
+        let mut host = Host::n2_highcpu_32(HostId(0));
+        // 40 satellites with 2 vCPUs each: 80 vCPUs on 32 cores.
+        for i in 0..40 {
+            host.place(vm(
+                i,
+                NodeId::satellite(0, i as u32),
+                MachineResources::new(2, 512),
+            ))
+            .unwrap();
+        }
+        assert_eq!(host.allocated_vcpus(), 80);
+        assert!(host.allocated_vcpus() > host.cores());
+    }
+
+    #[test]
+    fn duplicate_node_placement_is_rejected() {
+        let mut host = Host::n2_highcpu_32(HostId(0));
+        host.place(vm(0, NodeId::satellite(0, 0), MachineResources::new(1, 128)))
+            .unwrap();
+        assert!(host
+            .place(vm(1, NodeId::satellite(0, 0), MachineResources::new(1, 128)))
+            .is_err());
+    }
+
+    #[test]
+    fn utilization_reflects_machine_states_and_load() {
+        let mut host = Host::n2_highcpu_32(HostId(0));
+        for i in 0..8 {
+            let mut m = booted(vm(i, NodeId::satellite(0, i as u32), MachineResources::new(2, 512)));
+            m.set_cpu_load(0.5);
+            host.place(m).unwrap();
+        }
+        // 8 machines * 2 vCPUs * 0.5 load = 8 cores of 32 → 25 % plus manager.
+        let cpu = host.cpu_utilization();
+        assert!((cpu - 0.252).abs() < 0.01, "cpu {cpu}");
+        // Memory: 8 * 133 MiB resident + 1024 MiB manager out of 32 GiB ≈ 6.4 %.
+        let mem = host.memory_utilization();
+        assert!((mem - 0.064).abs() < 0.01, "mem {mem}");
+        assert_eq!(host.firecracker_process_count(), 8);
+    }
+
+    #[test]
+    fn suspended_machines_keep_memory_but_not_cpu() {
+        let mut host = Host::n2_highcpu_32(HostId(0));
+        let mut m = booted(vm(0, NodeId::satellite(0, 0), MachineResources::new(2, 2048)));
+        m.set_cpu_load(1.0);
+        host.place(m).unwrap();
+        let busy_cpu = host.cpu_utilization();
+        let busy_mem = host.memory_utilization();
+        host.machine_for_node_mut(NodeId::satellite(0, 0))
+            .unwrap()
+            .suspend()
+            .unwrap();
+        assert!(host.cpu_utilization() < busy_cpu);
+        assert_eq!(host.memory_utilization(), busy_mem);
+        assert_eq!(host.firecracker_process_count(), 1);
+    }
+
+    #[test]
+    fn remove_returns_the_machine() {
+        let mut host = Host::n2_highcpu_32(HostId(0));
+        host.place(vm(7, NodeId::ground_station(0), MachineResources::new(1, 128)))
+            .unwrap();
+        let removed = host.remove(MachineId(7)).unwrap();
+        assert_eq!(removed.node(), NodeId::ground_station(0));
+        assert_eq!(host.machine_count(), 0);
+        assert!(host.remove(MachineId(7)).is_err());
+        assert!(host.machine_for_node(NodeId::ground_station(0)).is_none());
+    }
+
+    #[test]
+    fn accessors_work() {
+        let mut host = Host::n2_highcpu_32(HostId(3));
+        assert_eq!(host.id(), HostId(3));
+        assert_eq!(host.cores(), 32);
+        assert_eq!(host.memory_mib(), 32 * 1024);
+        host.place(vm(1, NodeId::ground_station(1), MachineResources::new(1, 128)))
+            .unwrap();
+        assert!(host.machine(MachineId(1)).is_some());
+        assert!(host.machine_mut(MachineId(1)).is_some());
+        assert_eq!(host.nodes(), vec![NodeId::ground_station(1)]);
+        assert_eq!(host.machines().count(), 1);
+    }
+}

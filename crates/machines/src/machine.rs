@@ -1,0 +1,374 @@
+//! The microVM lifecycle.
+
+use celestial_types::ids::{MachineId, NodeId};
+use celestial_types::resources::MachineResources;
+use celestial_types::time::{SimDuration, SimInstant};
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The lifecycle state of a microVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineState {
+    /// Defined but never booted; consumes no host resources.
+    Created,
+    /// Boot in progress (Firecracker boots in a fraction of a second).
+    Booting,
+    /// Running and able to execute guest work.
+    Running,
+    /// Suspended because its satellite left the bounding box. The microVM's
+    /// memory stays allocated on the host unless ballooning is enabled.
+    Suspended,
+    /// Stopped by the user or the testbed; can be booted again.
+    Stopped,
+    /// Crashed, e.g. through injected radiation faults; must be rebooted.
+    Failed,
+}
+
+impl MachineState {
+    /// True while the boot sequence is running.
+    pub fn is_booting(&self) -> bool {
+        matches!(self, MachineState::Booting)
+    }
+
+    /// True if guest work can execute right now.
+    pub fn is_running(&self) -> bool {
+        matches!(self, MachineState::Running)
+    }
+
+    /// True if the machine has booted at some point and still holds host
+    /// memory (running or suspended).
+    pub fn holds_memory(&self) -> bool {
+        matches!(
+            self,
+            MachineState::Booting | MachineState::Running | MachineState::Suspended
+        )
+    }
+}
+
+impl fmt::Display for MachineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            MachineState::Created => "created",
+            MachineState::Booting => "booting",
+            MachineState::Running => "running",
+            MachineState::Suspended => "suspended",
+            MachineState::Stopped => "stopped",
+            MachineState::Failed => "failed",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// An emulated Firecracker microVM backing one satellite or ground-station
+/// server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroVm {
+    id: MachineId,
+    node: NodeId,
+    resources: MachineResources,
+    state: MachineState,
+    boot_delay: SimDuration,
+    ready_at: Option<SimInstant>,
+    /// Fraction of the machine's allocated vCPUs currently used by guest
+    /// work, in `[0, 1]`; set by the testbed runtime and read by the host
+    /// utilisation accounting.
+    cpu_load: f64,
+    boots: u32,
+    failures: u32,
+}
+
+impl MicroVm {
+    /// Default Firecracker boot delay: roughly an eighth of a second, well
+    /// within the "sub-second boot time" the paper relies on.
+    pub const DEFAULT_BOOT_DELAY: SimDuration = SimDuration::from_millis(125);
+
+    /// Creates a machine in the [`MachineState::Created`] state.
+    pub fn new(id: MachineId, node: NodeId, resources: MachineResources) -> Self {
+        MicroVm {
+            id,
+            node,
+            resources,
+            state: MachineState::Created,
+            boot_delay: Self::DEFAULT_BOOT_DELAY,
+            ready_at: None,
+            cpu_load: 0.0,
+            boots: 0,
+            failures: 0,
+        }
+    }
+
+    /// Overrides the boot delay, returning the modified machine.
+    pub fn with_boot_delay(mut self, delay: SimDuration) -> Self {
+        self.boot_delay = delay;
+        self
+    }
+
+    /// The machine identifier.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The node this machine backs.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The machine's resource allocation.
+    pub fn resources(&self) -> &MachineResources {
+        &self.resources
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> MachineState {
+        self.state
+    }
+
+    /// When the in-progress boot finishes, if a boot is in progress.
+    pub fn ready_at(&self) -> Option<SimInstant> {
+        self.ready_at
+    }
+
+    /// The fraction of the machine's vCPUs currently used by guest work.
+    pub fn cpu_load(&self) -> f64 {
+        self.cpu_load
+    }
+
+    /// Sets the guest CPU load (clamped to `[0, 1]`). Ignored unless the
+    /// machine is running.
+    pub fn set_cpu_load(&mut self, load: f64) {
+        if self.state.is_running() {
+            self.cpu_load = load.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Number of completed boots.
+    pub fn boot_count(&self) -> u32 {
+        self.boots
+    }
+
+    /// Number of failures injected into this machine.
+    pub fn failure_count(&self) -> u32 {
+        self.failures
+    }
+
+    /// Starts booting the machine at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] unless the machine is currently
+    /// created, stopped or failed.
+    pub fn boot(&mut self, now: SimInstant) -> Result<SimInstant> {
+        match self.state {
+            MachineState::Created | MachineState::Stopped | MachineState::Failed => {
+                self.state = MachineState::Booting;
+                let ready = now + self.boot_delay;
+                self.ready_at = Some(ready);
+                Ok(ready)
+            }
+            other => Err(Error::MachineState(format!(
+                "cannot boot {} while {other}",
+                self.id
+            ))),
+        }
+    }
+
+    /// Completes the boot at `now` (which must not precede the boot's ready
+    /// time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] if the machine is not booting or the
+    /// boot has not finished yet.
+    pub fn finish_boot(&mut self, now: SimInstant) -> Result<()> {
+        match (self.state, self.ready_at) {
+            (MachineState::Booting, Some(ready)) if now >= ready => {
+                self.state = MachineState::Running;
+                self.ready_at = None;
+                self.boots += 1;
+                Ok(())
+            }
+            (MachineState::Booting, Some(ready)) => Err(Error::MachineState(format!(
+                "boot of {} finishes at {ready}, not {now}",
+                self.id
+            ))),
+            _ => Err(Error::MachineState(format!(
+                "{} is not booting",
+                self.id
+            ))),
+        }
+    }
+
+    /// Suspends a running machine (its satellite left the bounding box).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] unless the machine is running.
+    pub fn suspend(&mut self) -> Result<()> {
+        if self.state.is_running() {
+            self.state = MachineState::Suspended;
+            self.cpu_load = 0.0;
+            Ok(())
+        } else {
+            Err(Error::MachineState(format!(
+                "cannot suspend {} while {}",
+                self.id, self.state
+            )))
+        }
+    }
+
+    /// Resumes a suspended machine. Resuming is immediate — Firecracker keeps
+    /// the VM's memory resident, so no boot is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] unless the machine is suspended.
+    pub fn resume(&mut self) -> Result<()> {
+        if self.state == MachineState::Suspended {
+            self.state = MachineState::Running;
+            Ok(())
+        } else {
+            Err(Error::MachineState(format!(
+                "cannot resume {} while {}",
+                self.id, self.state
+            )))
+        }
+    }
+
+    /// Stops the machine (graceful shutdown requested through the API).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] if the machine was never booted or has
+    /// already stopped or failed.
+    pub fn stop(&mut self) -> Result<()> {
+        match self.state {
+            MachineState::Running | MachineState::Suspended | MachineState::Booting => {
+                self.state = MachineState::Stopped;
+                self.ready_at = None;
+                self.cpu_load = 0.0;
+                Ok(())
+            }
+            other => Err(Error::MachineState(format!(
+                "cannot stop {} while {other}",
+                self.id
+            ))),
+        }
+    }
+
+    /// Crashes the machine, e.g. through an injected radiation fault. Valid
+    /// in any state that holds memory; a failed machine must be rebooted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] if the machine is not currently booted.
+    pub fn fail(&mut self) -> Result<()> {
+        if self.state.holds_memory() {
+            self.state = MachineState::Failed;
+            self.ready_at = None;
+            self.cpu_load = 0.0;
+            self.failures += 1;
+            Ok(())
+        } else {
+            Err(Error::MachineState(format!(
+                "cannot fail {} while {}",
+                self.id, self.state
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> MicroVm {
+        MicroVm::new(
+            MachineId(1),
+            NodeId::satellite(0, 1),
+            MachineResources::paper_satellite(),
+        )
+    }
+
+    #[test]
+    fn boot_sequence_takes_the_boot_delay() {
+        let mut m = vm();
+        assert_eq!(m.state(), MachineState::Created);
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        assert_eq!(ready, SimInstant::EPOCH + MicroVm::DEFAULT_BOOT_DELAY);
+        assert!(m.state().is_booting());
+        // Completing too early is rejected.
+        assert!(m.finish_boot(SimInstant::EPOCH).is_err());
+        m.finish_boot(ready).unwrap();
+        assert!(m.state().is_running());
+        assert_eq!(m.boot_count(), 1);
+    }
+
+    #[test]
+    fn suspend_resume_cycle() {
+        let mut m = vm();
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        m.set_cpu_load(0.8);
+        m.suspend().unwrap();
+        assert_eq!(m.state(), MachineState::Suspended);
+        assert_eq!(m.cpu_load(), 0.0);
+        assert!(m.state().holds_memory());
+        m.resume().unwrap();
+        assert!(m.state().is_running());
+        // Double resume is invalid.
+        assert!(m.resume().is_err());
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut m = vm();
+        assert!(m.suspend().is_err());
+        assert!(m.resume().is_err());
+        assert!(m.stop().is_err());
+        assert!(m.fail().is_err());
+        assert!(m.finish_boot(SimInstant::EPOCH).is_err());
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        assert!(m.boot(SimInstant::EPOCH).is_err());
+        m.finish_boot(ready).unwrap();
+        assert!(m.boot(SimInstant::EPOCH).is_err());
+    }
+
+    #[test]
+    fn failure_and_reboot_model_radiation_faults() {
+        let mut m = vm();
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        m.fail().unwrap();
+        assert_eq!(m.state(), MachineState::Failed);
+        assert_eq!(m.failure_count(), 1);
+        assert!(!m.state().holds_memory());
+        // A failed machine can be booted again (reboot through the API).
+        let ready2 = m.boot(SimInstant::from_secs_f64(10.0)).unwrap();
+        m.finish_boot(ready2).unwrap();
+        assert_eq!(m.boot_count(), 2);
+    }
+
+    #[test]
+    fn cpu_load_only_applies_while_running() {
+        let mut m = vm();
+        m.set_cpu_load(0.9);
+        assert_eq!(m.cpu_load(), 0.0);
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        m.set_cpu_load(1.7);
+        assert_eq!(m.cpu_load(), 1.0);
+        m.stop().unwrap();
+        assert_eq!(m.cpu_load(), 0.0);
+    }
+
+    #[test]
+    fn stopping_and_restarting() {
+        let mut m = vm().with_boot_delay(SimDuration::from_millis(50));
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        assert_eq!(ready, SimInstant::from_millis(50));
+        m.stop().unwrap();
+        assert_eq!(m.state(), MachineState::Stopped);
+        assert!(m.boot(SimInstant::from_millis(60)).is_ok());
+    }
+}

@@ -1,0 +1,256 @@
+//! Placement of machines onto hosts.
+//!
+//! Celestial distributes microVMs across its hosts (§3.3). Two policies are
+//! provided: round-robin (the default, which spreads load evenly and is what
+//! the original implementation does) and memory-aware best-fit bin packing.
+//! Experiments can also pin specific nodes to specific hosts — the paper pins
+//! all three clients of the §4 evaluation to one host so they can share a PTP
+//! clock.
+
+use celestial_types::ids::{HostId, NodeId};
+use celestial_types::resources::MachineResources;
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The placement policy used for nodes that are not explicitly pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlacementPolicy {
+    /// Assign machines to hosts in rotation.
+    #[default]
+    RoundRobin,
+    /// Assign each machine to the host with the most free memory remaining
+    /// (best fit by remaining capacity).
+    MemoryAware,
+}
+
+/// A host's capacity as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostCapacity {
+    /// The host identifier.
+    pub host: HostId,
+    /// Physical cores (informational; CPU may be over-provisioned).
+    pub cores: u32,
+    /// Memory available for microVMs in MiB.
+    pub memory_mib: u64,
+}
+
+/// The scheduler computing a machine-to-host placement.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    policy: PlacementPolicy,
+    hosts: Vec<HostCapacity>,
+    pinned: BTreeMap<NodeId, HostId>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over the given hosts with the given policy.
+    pub fn new(policy: PlacementPolicy, hosts: Vec<HostCapacity>) -> Self {
+        Scheduler {
+            policy,
+            hosts,
+            pinned: BTreeMap::new(),
+        }
+    }
+
+    /// Pins a node to a specific host, overriding the policy.
+    pub fn pin(&mut self, node: NodeId, host: HostId) {
+        self.pinned.insert(node, host);
+    }
+
+    /// The hosts known to the scheduler.
+    pub fn hosts(&self) -> &[HostCapacity] {
+        &self.hosts
+    }
+
+    /// Computes a placement for the given `(node, resources)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::HostCapacity`] if there are no hosts, a pinned host
+    /// does not exist, or the machines cannot fit into the hosts' memory.
+    pub fn place(
+        &self,
+        machines: &[(NodeId, MachineResources)],
+    ) -> Result<BTreeMap<NodeId, HostId>> {
+        if self.hosts.is_empty() {
+            return Err(Error::HostCapacity("no hosts available".to_owned()));
+        }
+        let mut remaining: BTreeMap<HostId, u64> = self
+            .hosts
+            .iter()
+            .map(|h| (h.host, h.memory_mib))
+            .collect();
+        let mut placement = BTreeMap::new();
+
+        // Pinned nodes first.
+        for (node, resources) in machines {
+            if let Some(host) = self.pinned.get(node) {
+                let free = remaining
+                    .get_mut(host)
+                    .ok_or_else(|| Error::HostCapacity(format!("pinned host {host} does not exist")))?;
+                if *free < resources.memory_mib {
+                    return Err(Error::HostCapacity(format!(
+                        "pinned host {host} cannot fit {node} ({} MiB requested, {} MiB free)",
+                        resources.memory_mib, free
+                    )));
+                }
+                *free -= resources.memory_mib;
+                placement.insert(*node, *host);
+            }
+        }
+
+        // Remaining nodes by policy.
+        let mut rr_cursor = 0usize;
+        for (node, resources) in machines {
+            if placement.contains_key(node) {
+                continue;
+            }
+            let host = match self.policy {
+                PlacementPolicy::RoundRobin => {
+                    // Try hosts in rotation starting from the cursor until one
+                    // has room.
+                    let mut chosen = None;
+                    for offset in 0..self.hosts.len() {
+                        let candidate = self.hosts[(rr_cursor + offset) % self.hosts.len()].host;
+                        if remaining[&candidate] >= resources.memory_mib {
+                            chosen = Some(candidate);
+                            rr_cursor = (rr_cursor + offset + 1) % self.hosts.len();
+                            break;
+                        }
+                    }
+                    chosen
+                }
+                PlacementPolicy::MemoryAware => remaining
+                    .iter()
+                    .filter(|(_, free)| **free >= resources.memory_mib)
+                    .max_by_key(|(_, free)| **free)
+                    .map(|(host, _)| *host),
+            };
+            let host = host.ok_or_else(|| {
+                Error::HostCapacity(format!(
+                    "no host can fit {node} ({} MiB requested)",
+                    resources.memory_mib
+                ))
+            })?;
+            *remaining.get_mut(&host).expect("host exists") -= resources.memory_mib;
+            placement.insert(*node, host);
+        }
+
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hosts(n: u32, memory_mib: u64) -> Vec<HostCapacity> {
+        (0..n)
+            .map(|i| HostCapacity {
+                host: HostId(i),
+                cores: 32,
+                memory_mib,
+            })
+            .collect()
+    }
+
+    fn satellites(n: u32) -> Vec<(NodeId, MachineResources)> {
+        (0..n)
+            .map(|i| (NodeId::satellite(0, i), MachineResources::new(2, 512)))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_spreads_machines_evenly() {
+        let scheduler = Scheduler::new(PlacementPolicy::RoundRobin, hosts(3, 32 * 1024));
+        let placement = scheduler.place(&satellites(30)).unwrap();
+        let mut counts = BTreeMap::new();
+        for host in placement.values() {
+            *counts.entry(*host).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        assert!(counts.values().all(|c| *c == 10));
+    }
+
+    #[test]
+    fn memory_aware_fills_the_emptiest_host_first() {
+        let mut capacities = hosts(2, 8 * 1024);
+        capacities[1].memory_mib = 32 * 1024;
+        let scheduler = Scheduler::new(PlacementPolicy::MemoryAware, capacities);
+        let placement = scheduler.place(&satellites(4)).unwrap();
+        // All four fit comfortably into the big host before it drops below
+        // the small one's free memory.
+        let on_big = placement.values().filter(|h| **h == HostId(1)).count();
+        assert!(on_big >= 3);
+    }
+
+    #[test]
+    fn pinning_overrides_the_policy() {
+        let mut scheduler = Scheduler::new(PlacementPolicy::RoundRobin, hosts(3, 32 * 1024));
+        let clients: Vec<(NodeId, MachineResources)> = (0..3)
+            .map(|i| (NodeId::ground_station(i), MachineResources::paper_client()))
+            .collect();
+        // Pin all clients to host 0 so they can share a PTP clock, as in §4.1.
+        for (node, _) in &clients {
+            scheduler.pin(*node, HostId(0));
+        }
+        let placement = scheduler.place(&clients).unwrap();
+        assert!(placement.values().all(|h| *h == HostId(0)));
+    }
+
+    #[test]
+    fn placement_fails_when_memory_is_exhausted() {
+        let scheduler = Scheduler::new(PlacementPolicy::RoundRobin, hosts(1, 1024));
+        let err = scheduler.place(&satellites(3)).unwrap_err();
+        assert!(matches!(err, Error::HostCapacity(_)));
+    }
+
+    #[test]
+    fn missing_pinned_host_is_an_error() {
+        let mut scheduler = Scheduler::new(PlacementPolicy::RoundRobin, hosts(1, 32 * 1024));
+        scheduler.pin(NodeId::ground_station(0), HostId(9));
+        let err = scheduler
+            .place(&[(NodeId::ground_station(0), MachineResources::default())])
+            .unwrap_err();
+        assert!(err.to_string().contains("does not exist"));
+    }
+
+    #[test]
+    fn no_hosts_is_an_error() {
+        let scheduler = Scheduler::new(PlacementPolicy::RoundRobin, Vec::new());
+        assert!(scheduler.place(&satellites(1)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn all_machines_are_placed_within_capacity(
+            machine_count in 1u32..60,
+            host_count in 1u32..6,
+            memory_aware in proptest::bool::ANY,
+        ) {
+            let policy = if memory_aware {
+                PlacementPolicy::MemoryAware
+            } else {
+                PlacementPolicy::RoundRobin
+            };
+            let capacities = hosts(host_count, 64 * 1024);
+            let scheduler = Scheduler::new(policy, capacities.clone());
+            let machines = satellites(machine_count);
+            if let Ok(placement) = scheduler.place(&machines) {
+                prop_assert_eq!(placement.len(), machine_count as usize);
+                // Per-host memory stays within capacity.
+                let mut used: BTreeMap<HostId, u64> = BTreeMap::new();
+                for (node, host) in &placement {
+                    let resources = &machines.iter().find(|(n, _)| n == node).unwrap().1;
+                    *used.entry(*host).or_insert(0) += resources.memory_mib;
+                }
+                for (host, mem) in used {
+                    let cap = capacities.iter().find(|h| h.host == host).unwrap().memory_mib;
+                    prop_assert!(mem <= cap);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Network emulation substrate for the Celestial LEO edge testbed.
+//!
+//! The original Celestial shapes traffic between microVMs with the Linux
+//! traffic-control subsystem: a `tc-netem` queueing discipline per directed
+//! machine pair injects the one-way delay computed by the constellation
+//! calculation (with 0.1 ms accuracy) and a token-bucket filter caps the
+//! bandwidth. Hosts are joined by a WireGuard overlay whose physical latency
+//! is compensated when programming the emulated delays.
+//!
+//! This crate models those mechanisms faithfully but in virtual time:
+//!
+//! * [`qdisc`] — a netem-compatible queueing discipline (delay, jitter,
+//!   loss, duplication, corruption, reordering) combined with a token-bucket
+//!   rate limiter,
+//! * [`packet`] — the unit of traffic,
+//! * [`tc`] — the per-pair traffic-control front-end programmed by the
+//!   machine managers,
+//! * [`overlay`] — the host overlay network (WireGuard stand-in) and its
+//!   latency compensation,
+//! * [`network`] — the virtual network assembling all of the above, used by
+//!   the testbed runtime to deliver application messages.
+//!
+//! # Examples
+//!
+//! ```
+//! use celestial_netem::qdisc::NetemQdisc;
+//! use celestial_netem::packet::Packet;
+//! use celestial_types::ids::NodeId;
+//! use celestial_types::time::SimInstant;
+//! use celestial_types::{Bandwidth, Latency};
+//!
+//! let mut qdisc = NetemQdisc::new(Latency::from_millis_f64(8.0), Bandwidth::from_mbps(10));
+//! let packet = Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 1), 1_250);
+//! let mut rng = celestial_sim_rng();
+//! let outcome = qdisc.process(&packet, SimInstant::EPOCH, &mut rng);
+//! // 8 ms propagation + 1 ms serialisation at 10 Mb/s.
+//! assert_eq!(outcome.deliveries()[0].as_millis(), 9);
+//! # fn celestial_sim_rng() -> impl rand::Rng { rand::rngs::mock::StepRng::new(1, 0) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod overlay;
+pub mod packet;
+pub mod qdisc;
+pub mod tc;
+
+pub use network::VirtualNetwork;
+pub use overlay::HostOverlay;
+pub use packet::Packet;
+pub use qdisc::{NetemQdisc, QdiscOutcome};
+pub use tc::TrafficControl;

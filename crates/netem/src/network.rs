@@ -1,0 +1,232 @@
+//! The assembled virtual network.
+//!
+//! [`VirtualNetwork`] combines the per-pair traffic-control rules with the
+//! host overlay: an emulated transmission experiences the programmed netem
+//! delay and rate limit, plus the physical latency of the host overlay if the
+//! two machines are placed on different hosts — exactly the two components a
+//! packet traverses in the original Celestial. The coordinator compensates
+//! the programmed delay for the overlay latency, so the end-to-end latency an
+//! application observes matches the constellation calculation.
+
+use crate::overlay::HostOverlay;
+use crate::packet::Packet;
+use crate::tc::TrafficControl;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use celestial_types::{Bandwidth, Latency};
+use rand::Rng;
+
+/// The virtual network connecting all emulated machines.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualNetwork {
+    tc: TrafficControl,
+    overlay: HostOverlay,
+    /// Counters for observability.
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl VirtualNetwork {
+    /// Creates a network with no reachable pairs and a single-host overlay.
+    pub fn new() -> Self {
+        VirtualNetwork {
+            tc: TrafficControl::new(),
+            overlay: HostOverlay::new(1),
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a network on top of the given host overlay.
+    pub fn with_overlay(overlay: HostOverlay) -> Self {
+        VirtualNetwork {
+            overlay,
+            ..VirtualNetwork::new()
+        }
+    }
+
+    /// The traffic-control rule table (shared with the machine managers).
+    pub fn tc(&self) -> &TrafficControl {
+        &self.tc
+    }
+
+    /// Mutable access to the traffic-control rule table.
+    pub fn tc_mut(&mut self) -> &mut TrafficControl {
+        &mut self.tc
+    }
+
+    /// The host overlay.
+    pub fn overlay(&self) -> &HostOverlay {
+        &self.overlay
+    }
+
+    /// Mutable access to the host overlay.
+    pub fn overlay_mut(&mut self) -> &mut HostOverlay {
+        &mut self.overlay
+    }
+
+    /// Programs a node pair with a *target* end-to-end latency: the
+    /// programmed netem delay is compensated for the host overlay latency
+    /// between the nodes' hosts and quantized to the 0.1 ms granularity at
+    /// which `tc-netem` is programmed, as the Celestial coordinator does.
+    pub fn program_pair(&mut self, a: NodeId, b: NodeId, target: Latency, bandwidth: Bandwidth) {
+        let compensated = self.overlay.compensated_delay(target, a, b).quantized_tenth_ms();
+        self.tc.set_link(a, b, compensated, bandwidth);
+    }
+
+    /// Removes the rules for a pair, making it unreachable.
+    pub fn unprogram_pair(&mut self, a: NodeId, b: NodeId) {
+        self.tc.remove_link(a, b);
+    }
+
+    /// True if traffic can currently flow from `from` to `to`.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.tc.is_reachable(from, to)
+    }
+
+    /// Sends a packet at `now`, returning the arrival instants and packet
+    /// copies that will be delivered to the destination. An empty vector
+    /// means the packet was dropped or the destination is unreachable.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        packet: &Packet,
+        now: SimInstant,
+        rng: &mut R,
+    ) -> Vec<(SimInstant, Packet)> {
+        self.sent += 1;
+        let Some(outcome) = self.tc.process(packet, now, rng) else {
+            self.dropped += 1;
+            return Vec::new();
+        };
+        if outcome.is_dropped() {
+            self.dropped += 1;
+            return Vec::new();
+        }
+        // The physical overlay hop underneath the emulated link.
+        let underlay = self
+            .overlay
+            .underlay_latency(packet.source, packet.destination)
+            .to_duration();
+        let deliveries: Vec<(SimInstant, Packet)> = outcome
+            .into_packets()
+            .into_iter()
+            .map(|(offset, p)| (now + offset + underlay, p))
+            .collect();
+        self.delivered += deliveries.len() as u64;
+        deliveries
+    }
+
+    /// The observed end-to-end latency a packet would experience right now
+    /// from `from` to `to` (programmed delay plus overlay latency), ignoring
+    /// serialisation and queueing. `None` if unreachable.
+    pub fn effective_latency(&self, from: NodeId, to: NodeId) -> Option<Latency> {
+        let programmed = self.tc.delay(from, to)?;
+        Some(programmed + self.overlay.underlay_latency(from, to))
+    }
+
+    /// Counters: `(sent, delivered, dropped)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.sent, self.delivered, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_types::ids::HostId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn end_to_end_latency_matches_target_across_hosts() {
+        // Two machines on different hosts with 0.2 ms physical latency; the
+        // target emulated latency is 8 ms.
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(1));
+        let mut net = VirtualNetwork::with_overlay(overlay);
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(8.0),
+            Bandwidth::from_gbps(10),
+        );
+        let packet = Packet::new(NodeId::ground_station(0), NodeId::ground_station(1), 1_250);
+        let deliveries = net.send(&packet, SimInstant::EPOCH, &mut rng());
+        assert_eq!(deliveries.len(), 1);
+        // Programmed delay is compensated to 7.8 ms; the overlay adds 0.2 ms
+        // back, so the observed latency is the 8 ms target (plus the 1 µs
+        // serialisation of 1250 B at 10 Gb/s).
+        let arrival_ms = deliveries[0].0.as_secs_f64() * 1e3;
+        assert!((arrival_ms - 8.0).abs() < 0.01, "arrival {arrival_ms} ms");
+        assert_eq!(
+            net.effective_latency(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::from_millis_f64(8.0))
+        );
+    }
+
+    #[test]
+    fn same_host_pairs_are_not_compensated() {
+        let mut overlay = HostOverlay::new(1);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(0));
+        let mut net = VirtualNetwork::with_overlay(overlay);
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(5.0),
+            Bandwidth::from_gbps(10),
+        );
+        assert_eq!(
+            net.tc().delay(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::from_millis_f64(5.0))
+        );
+    }
+
+    #[test]
+    fn unreachable_pairs_drop_packets() {
+        let mut net = VirtualNetwork::new();
+        let packet = Packet::new(NodeId::ground_station(0), NodeId::ground_station(1), 100);
+        assert!(net.send(&packet, SimInstant::EPOCH, &mut rng()).is_empty());
+        assert!(!net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+        assert_eq!(net.counters(), (1, 0, 1));
+        assert_eq!(net.effective_latency(NodeId::ground_station(0), NodeId::ground_station(1)), None);
+    }
+
+    #[test]
+    fn unprogramming_a_pair_cuts_traffic() {
+        let mut net = VirtualNetwork::new();
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(1.0),
+            Bandwidth::from_gbps(1),
+        );
+        assert!(net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+        net.unprogram_pair(NodeId::ground_station(0), NodeId::ground_station(1));
+        assert!(!net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+    }
+
+    #[test]
+    fn counters_track_deliveries() {
+        let mut net = VirtualNetwork::new();
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(1.0),
+            Bandwidth::from_gbps(1),
+        );
+        let packet = Packet::new(NodeId::ground_station(0), NodeId::ground_station(1), 100);
+        let mut r = rng();
+        for _ in 0..10 {
+            net.send(&packet, SimInstant::EPOCH, &mut r);
+        }
+        assert_eq!(net.counters(), (10, 10, 0));
+    }
+}

@@ -1,0 +1,198 @@
+//! The host overlay network.
+//!
+//! Celestial connects its hosts with a WireGuard overlay so that microVMs on
+//! different hosts can reach each other (§3.3). The physical latency between
+//! hosts (e.g. 0.2 ms between cloud instances in the same zone, §4.1) is
+//! measured and *subtracted* from the emulated link delay so that the
+//! end-to-end latency seen by applications matches the constellation
+//! calculation. This module models the host mesh, the machine-to-host
+//! placement and the latency compensation.
+
+use celestial_types::ids::{HostId, NodeId};
+use celestial_types::Latency;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The host overlay: hosts, their pairwise physical latencies, and the
+/// placement of emulated machines onto hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HostOverlay {
+    hosts: Vec<HostId>,
+    /// Physical one-way latency between host pairs (canonical order).
+    latencies: BTreeMap<(HostId, HostId), Latency>,
+    /// Default latency for host pairs without an explicit measurement.
+    default_latency: Latency,
+    /// Placement of nodes onto hosts.
+    placement: BTreeMap<NodeId, HostId>,
+}
+
+impl HostOverlay {
+    /// Creates an overlay with the given number of hosts and a default
+    /// inter-host latency (0.2 ms, the figure measured in the paper's
+    /// evaluation, unless overridden per pair).
+    pub fn new(host_count: u32) -> Self {
+        HostOverlay {
+            hosts: (0..host_count).map(HostId).collect(),
+            latencies: BTreeMap::new(),
+            default_latency: Latency::from_micros(200),
+            placement: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the default inter-host latency, returning the modified overlay.
+    pub fn with_default_latency(mut self, latency: Latency) -> Self {
+        self.default_latency = latency;
+        self
+    }
+
+    /// The hosts of the overlay.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Number of hosts in the overlay.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Records the measured one-way latency between two hosts.
+    pub fn set_host_latency(&mut self, a: HostId, b: HostId, latency: Latency) {
+        self.latencies.insert(canonical(a, b), latency);
+    }
+
+    /// The physical one-way latency between two hosts (zero within a host).
+    pub fn host_latency(&self, a: HostId, b: HostId) -> Latency {
+        if a == b {
+            Latency::ZERO
+        } else {
+            self.latencies
+                .get(&canonical(a, b))
+                .copied()
+                .unwrap_or(self.default_latency)
+        }
+    }
+
+    /// Places a node's machine onto a host.
+    pub fn place(&mut self, node: NodeId, host: HostId) {
+        self.placement.insert(node, host);
+    }
+
+    /// The host a node's machine is placed on, if it has been placed.
+    pub fn host_of(&self, node: NodeId) -> Option<HostId> {
+        self.placement.get(&node).copied()
+    }
+
+    /// Number of placed machines.
+    pub fn placed_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// All nodes placed on the given host.
+    pub fn nodes_on(&self, host: HostId) -> Vec<NodeId> {
+        self.placement
+            .iter()
+            .filter(|(_, h)| **h == host)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// The physical latency underneath an emulated link between two nodes:
+    /// zero if they share a host, the host-pair latency otherwise, and zero
+    /// if either is unplaced.
+    pub fn underlay_latency(&self, a: NodeId, b: NodeId) -> Latency {
+        match (self.host_of(a), self.host_of(b)) {
+            (Some(ha), Some(hb)) => self.host_latency(ha, hb),
+            _ => Latency::ZERO,
+        }
+    }
+
+    /// Compensates a target end-to-end latency for the physical latency that
+    /// already exists between the hosts of the two nodes, as Celestial does
+    /// when programming `tc`. Saturates at zero when the physical latency
+    /// exceeds the target (the paper notes the emulation is only faithful
+    /// when host latency is small compared to the emulated delays).
+    pub fn compensated_delay(&self, target: Latency, a: NodeId, b: NodeId) -> Latency {
+        target.saturating_sub(self.underlay_latency(a, b))
+    }
+}
+
+fn canonical(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_host_has_zero_underlay_latency() {
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(0));
+        assert_eq!(
+            overlay.underlay_latency(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Latency::ZERO
+        );
+    }
+
+    #[test]
+    fn cross_host_latency_defaults_to_measured_zone_latency() {
+        let mut overlay = HostOverlay::new(3);
+        overlay.place(NodeId::satellite(0, 0), HostId(0));
+        overlay.place(NodeId::satellite(0, 1), HostId(2));
+        assert_eq!(
+            overlay.underlay_latency(NodeId::satellite(0, 0), NodeId::satellite(0, 1)),
+            Latency::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn explicit_host_latency_overrides_default_symmetrically() {
+        let mut overlay = HostOverlay::new(2);
+        overlay.set_host_latency(HostId(0), HostId(1), Latency::from_micros(500));
+        assert_eq!(overlay.host_latency(HostId(0), HostId(1)), Latency::from_micros(500));
+        assert_eq!(overlay.host_latency(HostId(1), HostId(0)), Latency::from_micros(500));
+        assert_eq!(overlay.host_latency(HostId(1), HostId(1)), Latency::ZERO);
+    }
+
+    #[test]
+    fn compensation_subtracts_underlay_and_saturates() {
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(1));
+        let target = Latency::from_millis_f64(8.0);
+        assert_eq!(
+            overlay.compensated_delay(target, NodeId::ground_station(0), NodeId::ground_station(1)),
+            Latency::from_micros(7_800)
+        );
+        // A target below the physical latency saturates to zero.
+        let tiny = Latency::from_micros(100);
+        assert_eq!(
+            overlay.compensated_delay(tiny, NodeId::ground_station(0), NodeId::ground_station(1)),
+            Latency::ZERO
+        );
+        // Unplaced nodes are not compensated.
+        assert_eq!(
+            overlay.compensated_delay(target, NodeId::ground_station(0), NodeId::ground_station(9)),
+            target
+        );
+    }
+
+    #[test]
+    fn placement_queries() {
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::satellite(0, 0), HostId(0));
+        overlay.place(NodeId::satellite(0, 1), HostId(1));
+        overlay.place(NodeId::ground_station(0), HostId(1));
+        assert_eq!(overlay.placed_count(), 3);
+        assert_eq!(overlay.host_of(NodeId::satellite(0, 0)), Some(HostId(0)));
+        assert_eq!(overlay.host_of(NodeId::satellite(0, 5)), None);
+        let on_host1 = overlay.nodes_on(HostId(1));
+        assert_eq!(on_host1.len(), 2);
+        assert_eq!(overlay.host_count(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! The unit of emulated traffic.
+
+use bytes::Bytes;
+use celestial_types::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PACKET_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A packet (or, for the application layer, a message) travelling through the
+/// emulated network.
+///
+/// The payload is reference-counted ([`Bytes`]), so duplicating a packet for
+/// netem's duplication feature or a video bridge's fan-out does not copy the
+/// data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique identifier of the packet, assigned at creation.
+    pub id: u64,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Size on the wire in bytes (includes headers, may exceed the payload).
+    pub size_bytes: u64,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Whether the packet was corrupted in transit (netem corruption).
+    pub corrupted: bool,
+}
+
+impl Packet {
+    /// Creates a packet of `size_bytes` with an empty payload.
+    pub fn new(source: NodeId, destination: NodeId, size_bytes: u64) -> Self {
+        Packet {
+            id: NEXT_PACKET_ID.fetch_add(1, Ordering::Relaxed),
+            source,
+            destination,
+            size_bytes,
+            payload: Bytes::new(),
+            corrupted: false,
+        }
+    }
+
+    /// Creates a packet carrying `payload`; the wire size is the payload size
+    /// plus a fixed 64-byte header allowance.
+    pub fn with_payload(source: NodeId, destination: NodeId, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
+        Packet {
+            id: NEXT_PACKET_ID.fetch_add(1, Ordering::Relaxed),
+            source,
+            destination,
+            size_bytes: payload.len() as u64 + 64,
+            payload,
+            corrupted: false,
+        }
+    }
+
+    /// Creates a packet with an explicit wire size and a (typically much
+    /// smaller) application payload. This is how guest applications model
+    /// large transmissions — e.g. a 6.5 kB video frame — while only carrying
+    /// the metadata they need in the payload.
+    pub fn with_size_and_payload(
+        source: NodeId,
+        destination: NodeId,
+        size_bytes: u64,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Packet {
+            id: NEXT_PACKET_ID.fetch_add(1, Ordering::Relaxed),
+            source,
+            destination,
+            size_bytes,
+            payload: payload.into(),
+            corrupted: false,
+        }
+    }
+
+    /// Returns a duplicate of this packet with a fresh identifier, as created
+    /// by netem packet duplication or an application-level fan-out.
+    pub fn duplicate(&self) -> Packet {
+        Packet {
+            id: NEXT_PACKET_ID.fetch_add(1, Ordering::Relaxed),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy marked as corrupted.
+    pub fn corrupt(&self) -> Packet {
+        Packet {
+            corrupted: true,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packet {} {} -> {} ({} B{})",
+            self.id,
+            self.source,
+            self.destination,
+            self.size_bytes,
+            if self.corrupted { ", corrupted" } else { "" }
+        )
+    }
+}
+
+/// A serialisable record of a delivered packet, used by the testbed runtime
+/// to hand messages to guest applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Identifier of the delivered packet.
+    pub packet_id: u64,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Wire size in bytes.
+    pub size_bytes: u64,
+    /// Whether the packet arrived corrupted.
+    pub corrupted: bool,
+}
+
+impl From<&Packet> for Delivery {
+    fn from(packet: &Packet) -> Self {
+        Delivery {
+            packet_id: packet.id,
+            source: packet.source,
+            destination: packet.destination,
+            size_bytes: packet.size_bytes,
+            corrupted: packet.corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_get_unique_ids() {
+        let a = Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 1), 100);
+        let b = Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 1), 100);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn payload_packets_account_for_headers() {
+        let p = Packet::with_payload(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            vec![0u8; 1000],
+        );
+        assert_eq!(p.size_bytes, 1064);
+        assert_eq!(p.payload.len(), 1000);
+    }
+
+    #[test]
+    fn duplicates_share_payload_but_not_id() {
+        let p = Packet::with_payload(NodeId::ground_station(0), NodeId::satellite(0, 0), "hello");
+        let d = p.duplicate();
+        assert_ne!(p.id, d.id);
+        assert_eq!(p.payload, d.payload);
+        assert_eq!(p.size_bytes, d.size_bytes);
+    }
+
+    #[test]
+    fn corruption_marks_the_copy_only() {
+        let p = Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 0), 10);
+        let c = p.corrupt();
+        assert!(c.corrupted);
+        assert!(!p.corrupted);
+        let delivery = Delivery::from(&c);
+        assert!(delivery.corrupted);
+        assert_eq!(delivery.packet_id, c.id);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = Packet::new(NodeId::ground_station(2), NodeId::satellite(1, 3), 42);
+        let text = p.to_string();
+        assert!(text.contains("gst 2"));
+        assert!(text.contains("sat 1/3"));
+        assert!(text.contains("42 B"));
+    }
+}

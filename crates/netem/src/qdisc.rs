@@ -1,0 +1,401 @@
+//! A netem-compatible queueing discipline with token-bucket rate limiting.
+//!
+//! Celestial programs `tc-netem` with a delay per directed machine pair and a
+//! token-bucket filter with the link bandwidth. netem's advanced features —
+//! jitter, loss, duplication, corruption, reordering — are not used by
+//! Celestial today but are explicitly called out in the paper (§3.1, §6.5) as
+//! easy extensions; they are implemented here so that future experiments can
+//! enable them per link.
+
+use crate::packet::Packet;
+use celestial_types::time::{SimDuration, SimInstant};
+use celestial_types::{Bandwidth, Latency};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a netem queueing discipline (the stateless part).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetemConfig {
+    /// Base one-way delay added to every packet.
+    pub delay: Latency,
+    /// Standard deviation of normally distributed jitter added to the delay,
+    /// in milliseconds. Zero disables jitter.
+    pub jitter_ms: f64,
+    /// Probability in `[0, 1]` that a packet is dropped.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a packet is duplicated.
+    pub duplicate: f64,
+    /// Probability in `[0, 1]` that a packet is delivered with corrupted
+    /// payload.
+    pub corrupt: f64,
+    /// Probability in `[0, 1]` that a packet skips the delay queue and is
+    /// delivered ahead of earlier packets (netem-style reordering).
+    pub reorder: f64,
+    /// Link bandwidth used for the token-bucket rate limiter.
+    pub rate: Bandwidth,
+}
+
+impl NetemConfig {
+    /// A queueing discipline that only delays and rate-limits, the
+    /// configuration Celestial uses in production.
+    pub fn delay_and_rate(delay: Latency, rate: Bandwidth) -> Self {
+        NetemConfig {
+            delay,
+            jitter_ms: 0.0,
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            rate,
+        }
+    }
+
+    /// Validates that all probabilities are within `[0, 1]` and the jitter is
+    /// non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("loss", self.loss),
+            ("duplicate", self.duplicate),
+            ("corrupt", self.corrupt),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("{name} probability {value} outside [0, 1]"));
+            }
+        }
+        if self.jitter_ms < 0.0 || !self.jitter_ms.is_finite() {
+            return Err(format!("jitter {} must be non-negative", self.jitter_ms));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetemConfig {
+    fn default() -> Self {
+        NetemConfig::delay_and_rate(Latency::ZERO, Bandwidth::from_gbps(10))
+    }
+}
+
+/// The outcome of pushing one packet through a qdisc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QdiscOutcome {
+    deliveries: Vec<(SimDuration, Packet)>,
+}
+
+impl QdiscOutcome {
+    /// The delivery offsets (relative to the enqueue time) of every copy of
+    /// the packet that will arrive. Empty if the packet was dropped.
+    pub fn deliveries(&self) -> Vec<SimDuration> {
+        self.deliveries.iter().map(|(d, _)| *d).collect()
+    }
+
+    /// The `(offset, packet)` pairs that will arrive.
+    pub fn packets(&self) -> &[(SimDuration, Packet)] {
+        &self.deliveries
+    }
+
+    /// Consumes the outcome, returning the `(offset, packet)` pairs.
+    pub fn into_packets(self) -> Vec<(SimDuration, Packet)> {
+        self.deliveries
+    }
+
+    /// True if the packet was dropped (by loss or a zero-bandwidth link).
+    pub fn is_dropped(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+}
+
+/// A stateful netem queueing discipline for one direction of one link.
+///
+/// The state is the token-bucket serialisation horizon: packets are
+/// serialised one after another at the link rate, so a burst experiences
+/// growing queueing delay exactly as it would behind a real `tbf`/netem pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetemQdisc {
+    config: NetemConfig,
+    busy_until: SimInstant,
+}
+
+impl NetemQdisc {
+    /// Creates a qdisc that delays by `delay` and rate-limits to `rate`.
+    pub fn new(delay: Latency, rate: Bandwidth) -> Self {
+        NetemQdisc {
+            config: NetemConfig::delay_and_rate(delay, rate),
+            busy_until: SimInstant::EPOCH,
+        }
+    }
+
+    /// Creates a qdisc from a full netem configuration.
+    pub fn with_config(config: NetemConfig) -> Self {
+        NetemQdisc {
+            config,
+            busy_until: SimInstant::EPOCH,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &NetemConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. when the constellation update changes
+    /// the pair's latency), keeping the serialisation state.
+    pub fn reconfigure(&mut self, config: NetemConfig) {
+        self.config = config;
+    }
+
+    /// Updates only delay and rate, the fields Celestial reprograms every
+    /// constellation update.
+    pub fn set_delay_and_rate(&mut self, delay: Latency, rate: Bandwidth) {
+        self.config.delay = delay;
+        self.config.rate = rate;
+    }
+
+    /// The instant until which the link's transmitter is busy serialising
+    /// previously enqueued packets.
+    pub fn busy_until(&self) -> SimInstant {
+        self.busy_until
+    }
+
+    /// Pushes a packet into the qdisc at `now`, returning when (and how many
+    /// times) it will be delivered.
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        packet: &Packet,
+        now: SimInstant,
+        rng: &mut R,
+    ) -> QdiscOutcome {
+        // A zero-bandwidth link cannot carry traffic at all.
+        let Some(tx_time) = self.config.rate.transmission_time(packet.size_bytes) else {
+            return QdiscOutcome { deliveries: Vec::new() };
+        };
+
+        // Random loss.
+        if self.config.loss > 0.0 && rng.gen::<f64>() < self.config.loss {
+            return QdiscOutcome { deliveries: Vec::new() };
+        }
+
+        // Token-bucket serialisation: packets queue behind each other.
+        let start = self.busy_until.max(now);
+        let finished = start + tx_time;
+        self.busy_until = finished;
+        let serialisation = finished.duration_since(now);
+
+        // Propagation delay plus optional jitter.
+        let mut delay_ms = self.config.delay.as_millis_f64();
+        if self.config.jitter_ms > 0.0 {
+            delay_ms += sample_normal(rng, 0.0, self.config.jitter_ms);
+        }
+        // Reordering: a reordered packet skips the delay line entirely.
+        if self.config.reorder > 0.0 && rng.gen::<f64>() < self.config.reorder {
+            delay_ms = 0.0;
+        }
+        let delay = SimDuration::from_millis_f64(delay_ms.max(0.0));
+        let total = serialisation + delay;
+
+        // Corruption.
+        let delivered = if self.config.corrupt > 0.0 && rng.gen::<f64>() < self.config.corrupt {
+            packet.corrupt()
+        } else {
+            packet.clone()
+        };
+
+        let mut deliveries = vec![(total, delivered)];
+
+        // Duplication: the duplicate is serialised right after the original.
+        if self.config.duplicate > 0.0 && rng.gen::<f64>() < self.config.duplicate {
+            let dup_finish = self.busy_until + tx_time;
+            self.busy_until = dup_finish;
+            let dup_total = dup_finish.duration_since(now) + delay;
+            deliveries.push((dup_total, packet.duplicate()));
+        }
+
+        QdiscOutcome { deliveries }
+    }
+}
+
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_types::ids::NodeId;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn packet(size: u64) -> Packet {
+        Packet::new(NodeId::ground_station(0), NodeId::satellite(0, 0), size)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn delay_and_serialisation_add_up() {
+        let mut q = NetemQdisc::new(Latency::from_millis_f64(8.0), Bandwidth::from_mbps(10));
+        let outcome = q.process(&packet(1_250), SimInstant::EPOCH, &mut rng());
+        // 1250 B at 10 Mb/s = 1 ms serialisation, plus 8 ms delay.
+        assert_eq!(outcome.deliveries(), vec![SimDuration::from_millis(9)]);
+        assert!(!outcome.is_dropped());
+    }
+
+    #[test]
+    fn bursts_queue_behind_each_other() {
+        let mut q = NetemQdisc::new(Latency::ZERO, Bandwidth::from_mbps(10));
+        let mut r = rng();
+        // Three 1250-byte packets at t=0: serialisation finishes at 1, 2, 3 ms.
+        let offsets: Vec<u64> = (0..3)
+            .map(|_| {
+                q.process(&packet(1_250), SimInstant::EPOCH, &mut r).deliveries()[0].as_millis()
+            })
+            .collect();
+        assert_eq!(offsets, vec![1, 2, 3]);
+        assert_eq!(q.busy_until(), SimInstant::from_millis(3));
+        // Once the link drains, a later packet sees only its own time.
+        let later = q
+            .process(&packet(1_250), SimInstant::from_millis(100), &mut r)
+            .deliveries()[0];
+        assert_eq!(later, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_bandwidth_drops_everything() {
+        let mut q = NetemQdisc::new(Latency::from_millis_f64(5.0), Bandwidth::ZERO);
+        let outcome = q.process(&packet(100), SimInstant::EPOCH, &mut rng());
+        assert!(outcome.is_dropped());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let config = NetemConfig {
+            loss: 1.0,
+            ..NetemConfig::delay_and_rate(Latency::ZERO, Bandwidth::from_gbps(10))
+        };
+        let mut q = NetemQdisc::with_config(config);
+        for _ in 0..50 {
+            assert!(q.process(&packet(100), SimInstant::EPOCH, &mut rng()).is_dropped());
+        }
+    }
+
+    #[test]
+    fn partial_loss_drops_roughly_the_configured_fraction() {
+        let config = NetemConfig {
+            loss: 0.3,
+            ..NetemConfig::delay_and_rate(Latency::ZERO, Bandwidth::from_gbps(10))
+        };
+        let mut q = NetemQdisc::with_config(config);
+        let mut r = rng();
+        let dropped = (0..10_000)
+            .filter(|_| q.process(&packet(100), SimInstant::EPOCH, &mut r).is_dropped())
+            .count();
+        assert!((2_700..3_300).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn duplication_produces_two_deliveries() {
+        let config = NetemConfig {
+            duplicate: 1.0,
+            ..NetemConfig::delay_and_rate(Latency::from_millis_f64(2.0), Bandwidth::from_mbps(10))
+        };
+        let mut q = NetemQdisc::with_config(config);
+        let outcome = q.process(&packet(1_250), SimInstant::EPOCH, &mut rng());
+        let deliveries = outcome.deliveries();
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries[1] > deliveries[0]);
+        // The two copies have distinct packet ids.
+        let ids: Vec<u64> = outcome.packets().iter().map(|(_, p)| p.id).collect();
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn corruption_marks_the_delivered_packet() {
+        let config = NetemConfig {
+            corrupt: 1.0,
+            ..NetemConfig::delay_and_rate(Latency::ZERO, Bandwidth::from_gbps(10))
+        };
+        let mut q = NetemQdisc::with_config(config);
+        let outcome = q.process(&packet(100), SimInstant::EPOCH, &mut rng());
+        assert!(outcome.packets()[0].1.corrupted);
+    }
+
+    #[test]
+    fn jitter_spreads_delays_around_the_base() {
+        let config = NetemConfig {
+            jitter_ms: 1.0,
+            ..NetemConfig::delay_and_rate(Latency::from_millis_f64(10.0), Bandwidth::from_gbps(10))
+        };
+        let mut q = NetemQdisc::with_config(config);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..2_000)
+            .map(|i| {
+                // Enqueue each packet at a distinct time so serialisation
+                // queueing does not accumulate.
+                let t = SimInstant::from_millis(i * 10);
+                q.process(&packet(100), t, &mut r).deliveries()[0].as_millis_f64()
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        let spread = samples.iter().cloned().fold(f64::MIN, f64::max)
+            - samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.0, "spread {spread}");
+    }
+
+    #[test]
+    fn reconfigure_updates_delay_without_losing_queue_state() {
+        let mut q = NetemQdisc::new(Latency::from_millis_f64(5.0), Bandwidth::from_mbps(10));
+        let mut r = rng();
+        q.process(&packet(12_500), SimInstant::EPOCH, &mut r); // 10 ms serialisation
+        let busy = q.busy_until();
+        q.set_delay_and_rate(Latency::from_millis_f64(2.0), Bandwidth::from_mbps(10));
+        assert_eq!(q.busy_until(), busy);
+        assert_eq!(q.config().delay, Latency::from_millis_f64(2.0));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_probabilities() {
+        let mut config = NetemConfig::default();
+        assert!(config.validate().is_ok());
+        config.loss = 1.5;
+        assert!(config.validate().is_err());
+        config.loss = 0.0;
+        config.jitter_ms = -1.0;
+        assert!(config.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn delivery_times_are_never_negative_and_monotone_per_link(
+            sizes in prop::collection::vec(64u64..10_000, 1..20),
+            delay_ms in 0.0f64..100.0,
+        ) {
+            let mut q = NetemQdisc::new(
+                Latency::from_millis_f64(delay_ms),
+                Bandwidth::from_mbps(10),
+            );
+            let mut r = rng();
+            let mut last_serialisation_end = SimInstant::EPOCH;
+            for size in sizes {
+                let outcome = q.process(&packet(size), SimInstant::EPOCH, &mut r);
+                prop_assert!(!outcome.is_dropped());
+                // The serialisation horizon only moves forward.
+                prop_assert!(q.busy_until() >= last_serialisation_end);
+                last_serialisation_end = q.busy_until();
+                for d in outcome.deliveries() {
+                    prop_assert!(d.as_millis_f64() >= delay_ms);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The per-pair traffic-control front-end.
+//!
+//! Celestial's machine managers program the Linux traffic-control subsystem
+//! with one rule per directed microVM pair: the one-way delay computed by the
+//! constellation calculation (quantized to 0.1 ms) and the bandwidth of the
+//! bottleneck link on the path. Pairs without a rule are unreachable — e.g. a
+//! ground station that currently sees no satellite. [`TrafficControl`] is the
+//! in-memory equivalent of that rule table.
+
+use crate::qdisc::{NetemConfig, NetemQdisc, QdiscOutcome};
+use crate::packet::Packet;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use celestial_types::{Bandwidth, Latency};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The traffic-control rule table of the emulation: one netem qdisc per
+/// directed node pair.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficControl {
+    rules: BTreeMap<(NodeId, NodeId), NetemQdisc>,
+}
+
+impl TrafficControl {
+    /// Creates an empty rule table (every pair unreachable).
+    pub fn new() -> Self {
+        TrafficControl::default()
+    }
+
+    /// Programs both directions of a pair with the same delay and bandwidth,
+    /// as Celestial does for the symmetric satellite links. Existing queue
+    /// state for the pair is preserved.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, delay: Latency, bandwidth: Bandwidth) {
+        self.set_directed(a, b, delay, bandwidth);
+        self.set_directed(b, a, delay, bandwidth);
+    }
+
+    /// Programs a single direction of a pair.
+    pub fn set_directed(&mut self, from: NodeId, to: NodeId, delay: Latency, bandwidth: Bandwidth) {
+        self.rules
+            .entry((from, to))
+            .and_modify(|q| q.set_delay_and_rate(delay, bandwidth))
+            .or_insert_with(|| NetemQdisc::new(delay, bandwidth));
+    }
+
+    /// Programs a single direction with a full netem configuration
+    /// (loss, duplication, …), replacing any previous rule for the pair.
+    pub fn set_directed_config(&mut self, from: NodeId, to: NodeId, config: NetemConfig) {
+        self.rules.insert((from, to), NetemQdisc::with_config(config));
+    }
+
+    /// Removes both directions of a pair, making it unreachable.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        self.rules.remove(&(a, b));
+        self.rules.remove(&(b, a));
+    }
+
+    /// Removes every rule involving `node` (used when a machine is removed).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.rules.retain(|(from, to), _| *from != node && *to != node);
+    }
+
+    /// True if traffic can flow from `from` to `to`.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.rules.contains_key(&(from, to))
+    }
+
+    /// The programmed one-way delay from `from` to `to`, if reachable.
+    pub fn delay(&self, from: NodeId, to: NodeId) -> Option<Latency> {
+        self.rules.get(&(from, to)).map(|q| q.config().delay)
+    }
+
+    /// The programmed bandwidth from `from` to `to`, if reachable.
+    pub fn bandwidth(&self, from: NodeId, to: NodeId) -> Option<Bandwidth> {
+        self.rules.get(&(from, to)).map(|q| q.config().rate)
+    }
+
+    /// Number of directed rules currently programmed.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Pushes a packet through the rule for `(packet.source, packet.destination)`.
+    ///
+    /// Returns `None` if the pair is unreachable; otherwise the qdisc outcome.
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        packet: &Packet,
+        now: SimInstant,
+        rng: &mut R,
+    ) -> Option<QdiscOutcome> {
+        self.rules
+            .get_mut(&(packet.source, packet.destination))
+            .map(|qdisc| qdisc.process(packet, now, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gst(i: u32) -> NodeId {
+        NodeId::ground_station(i)
+    }
+
+    #[test]
+    fn unprogrammed_pairs_are_unreachable() {
+        let tc = TrafficControl::new();
+        assert!(!tc.is_reachable(gst(0), gst(1)));
+        assert_eq!(tc.rule_count(), 0);
+        assert_eq!(tc.delay(gst(0), gst(1)), None);
+    }
+
+    #[test]
+    fn set_link_programs_both_directions() {
+        let mut tc = TrafficControl::new();
+        tc.set_link(gst(0), gst(1), Latency::from_millis_f64(5.0), Bandwidth::from_mbps(100));
+        assert!(tc.is_reachable(gst(0), gst(1)));
+        assert!(tc.is_reachable(gst(1), gst(0)));
+        assert_eq!(tc.rule_count(), 2);
+        assert_eq!(tc.delay(gst(1), gst(0)), Some(Latency::from_millis_f64(5.0)));
+        assert_eq!(tc.bandwidth(gst(0), gst(1)), Some(Bandwidth::from_mbps(100)));
+    }
+
+    #[test]
+    fn asymmetric_rules_are_possible() {
+        let mut tc = TrafficControl::new();
+        tc.set_directed(gst(0), gst(1), Latency::from_millis_f64(5.0), Bandwidth::from_kbps(88));
+        assert!(tc.is_reachable(gst(0), gst(1)));
+        assert!(!tc.is_reachable(gst(1), gst(0)));
+    }
+
+    #[test]
+    fn reprogramming_updates_parameters_in_place() {
+        let mut tc = TrafficControl::new();
+        tc.set_link(gst(0), gst(1), Latency::from_millis_f64(5.0), Bandwidth::from_mbps(10));
+        tc.set_link(gst(0), gst(1), Latency::from_millis_f64(7.0), Bandwidth::from_mbps(10));
+        assert_eq!(tc.rule_count(), 2);
+        assert_eq!(tc.delay(gst(0), gst(1)), Some(Latency::from_millis_f64(7.0)));
+    }
+
+    #[test]
+    fn removal_makes_pairs_unreachable_again() {
+        let mut tc = TrafficControl::new();
+        tc.set_link(gst(0), gst(1), Latency::ZERO, Bandwidth::from_mbps(10));
+        tc.set_link(gst(0), gst(2), Latency::ZERO, Bandwidth::from_mbps(10));
+        tc.remove_link(gst(0), gst(1));
+        assert!(!tc.is_reachable(gst(0), gst(1)));
+        assert!(tc.is_reachable(gst(0), gst(2)));
+        tc.remove_node(gst(0));
+        assert_eq!(tc.rule_count(), 0);
+    }
+
+    #[test]
+    fn processing_applies_the_programmed_delay() {
+        let mut tc = TrafficControl::new();
+        tc.set_link(gst(0), gst(1), Latency::from_millis_f64(16.0), Bandwidth::from_gbps(10));
+        let packet = Packet::new(gst(0), gst(1), 1_250);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = tc.process(&packet, SimInstant::EPOCH, &mut rng).expect("reachable");
+        assert_eq!(outcome.deliveries()[0].as_millis(), 16);
+        let unreachable = Packet::new(gst(0), gst(2), 1_250);
+        assert!(tc.process(&unreachable, SimInstant::EPOCH, &mut rng).is_none());
+    }
+
+    #[test]
+    fn full_config_rules_apply_loss() {
+        let mut tc = TrafficControl::new();
+        let config = NetemConfig {
+            loss: 1.0,
+            ..NetemConfig::delay_and_rate(Latency::ZERO, Bandwidth::from_gbps(1))
+        };
+        tc.set_directed_config(gst(0), gst(1), config);
+        let packet = Packet::new(gst(0), gst(1), 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = tc.process(&packet, SimInstant::EPOCH, &mut rng).expect("reachable");
+        assert!(outcome.is_dropped());
+    }
+}

@@ -1,0 +1,189 @@
+//! Classical orbital elements.
+//!
+//! The propagator and the Walker-shell generator both describe a satellite by
+//! its classical (Keplerian) elements at an epoch. Mean motion is stored in
+//! revolutions per day, the unit used by two-line element sets.
+
+use celestial_types::constants::{DEG_TO_RAD, EARTH_MU_KM3_S2, EARTH_RADIUS_KM, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Classical orbital elements of a satellite at a reference epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrbitalElements {
+    /// Satellite name or catalogue designation.
+    pub name: String,
+    /// Orbit inclination in degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node in degrees.
+    pub raan_deg: f64,
+    /// Orbit eccentricity (dimensionless, `[0, 1)`).
+    pub eccentricity: f64,
+    /// Argument of perigee in degrees.
+    pub argument_of_perigee_deg: f64,
+    /// Mean anomaly at epoch in degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion in revolutions per day.
+    pub mean_motion_rev_per_day: f64,
+    /// First derivative of mean motion divided by two (rev/day²), the drag
+    /// term carried by TLEs. Zero for generated shells.
+    pub mean_motion_dot: f64,
+    /// B* drag coefficient in inverse Earth radii (as carried by TLEs).
+    pub bstar: f64,
+    /// Epoch of the elements, expressed in minutes relative to the testbed's
+    /// simulation epoch. Generated shells use zero; TLE-derived elements keep
+    /// their offset so that satellites loaded from different TLE epochs stay
+    /// consistent.
+    pub epoch_offset_min: f64,
+}
+
+impl OrbitalElements {
+    /// Creates circular-orbit elements for a generated constellation shell.
+    ///
+    /// `altitude_km` is the shell altitude above the mean Earth radius;
+    /// `raan_deg`/`mean_anomaly_deg` position the satellite within its plane.
+    pub fn circular(
+        name: impl Into<String>,
+        altitude_km: f64,
+        inclination_deg: f64,
+        raan_deg: f64,
+        mean_anomaly_deg: f64,
+    ) -> Self {
+        OrbitalElements {
+            name: name.into(),
+            inclination_deg,
+            raan_deg,
+            eccentricity: 0.0,
+            argument_of_perigee_deg: 0.0,
+            mean_anomaly_deg,
+            mean_motion_rev_per_day: mean_motion_from_altitude(altitude_km),
+            mean_motion_dot: 0.0,
+            bstar: 0.0,
+            epoch_offset_min: 0.0,
+        }
+    }
+
+    /// Semi-major axis of the orbit in kilometres, derived from the mean
+    /// motion via Kepler's third law.
+    pub fn semi_major_axis_km(&self) -> f64 {
+        semi_major_axis_from_mean_motion(self.mean_motion_rev_per_day)
+    }
+
+    /// Mean altitude of the orbit above the mean Earth radius in kilometres.
+    pub fn mean_altitude_km(&self) -> f64 {
+        self.semi_major_axis_km() - EARTH_RADIUS_KM
+    }
+
+    /// Orbital period in minutes.
+    pub fn period_minutes(&self) -> f64 {
+        24.0 * 60.0 / self.mean_motion_rev_per_day
+    }
+
+    /// Mean motion in radians per minute.
+    pub fn mean_motion_rad_per_min(&self) -> f64 {
+        self.mean_motion_rev_per_day * 2.0 * std::f64::consts::PI / (24.0 * 60.0)
+    }
+
+    /// Inclination in radians.
+    pub fn inclination_rad(&self) -> f64 {
+        self.inclination_deg * DEG_TO_RAD
+    }
+
+    /// Validates that the elements describe a propagatable LEO orbit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the eccentricity is outside `[0, 1)`,
+    /// the mean motion is non-positive, or the perigee lies below the Earth's
+    /// surface.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.eccentricity) {
+            return Err(format!("eccentricity {} outside [0, 1)", self.eccentricity));
+        }
+        if self.mean_motion_rev_per_day <= 0.0 {
+            return Err(format!(
+                "mean motion {} rev/day is not positive",
+                self.mean_motion_rev_per_day
+            ));
+        }
+        let perigee = self.semi_major_axis_km() * (1.0 - self.eccentricity) - EARTH_RADIUS_KM;
+        if perigee < 0.0 {
+            return Err(format!("perigee altitude {perigee:.1} km is below the surface"));
+        }
+        Ok(())
+    }
+}
+
+/// Computes the mean motion (revolutions per day) of a circular orbit at the
+/// given altitude above the mean Earth radius.
+pub fn mean_motion_from_altitude(altitude_km: f64) -> f64 {
+    let a = EARTH_RADIUS_KM + altitude_km;
+    let n_rad_s = (EARTH_MU_KM3_S2 / (a * a * a)).sqrt();
+    n_rad_s * SECONDS_PER_DAY / (2.0 * std::f64::consts::PI)
+}
+
+/// Computes the semi-major axis (kilometres) corresponding to a mean motion
+/// in revolutions per day.
+pub fn semi_major_axis_from_mean_motion(mean_motion_rev_per_day: f64) -> f64 {
+    let n_rad_s = mean_motion_rev_per_day * 2.0 * std::f64::consts::PI / SECONDS_PER_DAY;
+    (EARTH_MU_KM3_S2 / (n_rad_s * n_rad_s)).cbrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starlink_altitude_gives_plausible_period() {
+        // Starlink shell 1 at 550 km: ~95.6-minute period, ~15.05 rev/day.
+        let n = mean_motion_from_altitude(550.0);
+        assert!((15.0..15.2).contains(&n), "mean motion {n}");
+        let e = OrbitalElements::circular("s", 550.0, 53.0, 0.0, 0.0);
+        assert!((e.period_minutes() - 95.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn iridium_altitude_gives_plausible_period() {
+        // Iridium at 780 km: ~100.4-minute period.
+        let e = OrbitalElements::circular("i", 780.0, 90.0, 0.0, 0.0);
+        assert!((e.period_minutes() - 100.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn iss_mean_motion_round_trip() {
+        // The ISS completes ~15.5 revolutions per day at ~420 km.
+        let a = semi_major_axis_from_mean_motion(15.5);
+        assert!((a - EARTH_RADIUS_KM - 410.0).abs() < 30.0, "a = {a}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_elements() {
+        let mut e = OrbitalElements::circular("s", 550.0, 53.0, 0.0, 0.0);
+        assert!(e.validate().is_ok());
+        e.eccentricity = 1.5;
+        assert!(e.validate().is_err());
+        e.eccentricity = 0.0;
+        e.mean_motion_rev_per_day = 0.0;
+        assert!(e.validate().is_err());
+        // An extremely eccentric LEO orbit dips below the surface.
+        let mut low = OrbitalElements::circular("s", 300.0, 53.0, 0.0, 0.0);
+        low.eccentricity = 0.2;
+        assert!(low.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn altitude_mean_motion_round_trip(alt in 200.0f64..2000.0) {
+            let n = mean_motion_from_altitude(alt);
+            let a = semi_major_axis_from_mean_motion(n);
+            prop_assert!((a - EARTH_RADIUS_KM - alt).abs() < 1e-6);
+        }
+
+        #[test]
+        fn higher_orbits_are_slower(alt1 in 200.0f64..1000.0, delta in 1.0f64..1000.0) {
+            let n1 = mean_motion_from_altitude(alt1);
+            let n2 = mean_motion_from_altitude(alt1 + delta);
+            prop_assert!(n2 < n1);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Coordinate frames.
+//!
+//! Orbit propagation produces positions in an Earth-centred inertial frame
+//! (TEME for SGP4); ground stations and link geometry live in the rotating
+//! Earth-centred, Earth-fixed (ECEF) frame. The two frames are related by a
+//! rotation around the Earth's axis by the Greenwich mean sidereal time
+//! (GMST).
+//!
+//! The testbed defines its own simulation epoch: at simulation time zero the
+//! inertial and Earth-fixed frames coincide (GMST = 0). Elements loaded from
+//! TLEs can carry an epoch offset so that real constellations remain mutually
+//! consistent.
+
+use celestial_types::constants::EARTH_ROTATION_RAD_S;
+use celestial_types::geo::{Cartesian, Geodetic};
+
+/// Greenwich mean sidereal time (radians) at `minutes_since_epoch` minutes of
+/// simulated time, with GMST defined to be zero at the simulation epoch.
+pub fn gmst_rad(minutes_since_epoch: f64) -> f64 {
+    let seconds = minutes_since_epoch * 60.0;
+    let angle = EARTH_ROTATION_RAD_S * seconds;
+    angle.rem_euclid(2.0 * std::f64::consts::PI)
+}
+
+/// Rotates an inertial (TEME/ECI) position into the Earth-fixed (ECEF) frame
+/// at the given simulated time.
+pub fn eci_to_ecef(position_eci: Cartesian, minutes_since_epoch: f64) -> Cartesian {
+    let theta = gmst_rad(minutes_since_epoch);
+    let (sin_t, cos_t) = theta.sin_cos();
+    Cartesian {
+        x: cos_t * position_eci.x + sin_t * position_eci.y,
+        y: -sin_t * position_eci.x + cos_t * position_eci.y,
+        z: position_eci.z,
+    }
+}
+
+/// Rotates an Earth-fixed (ECEF) position into the inertial (TEME/ECI) frame
+/// at the given simulated time.
+pub fn ecef_to_eci(position_ecef: Cartesian, minutes_since_epoch: f64) -> Cartesian {
+    let theta = gmst_rad(minutes_since_epoch);
+    let (sin_t, cos_t) = theta.sin_cos();
+    Cartesian {
+        x: cos_t * position_ecef.x - sin_t * position_ecef.y,
+        y: sin_t * position_ecef.x + cos_t * position_ecef.y,
+        z: position_ecef.z,
+    }
+}
+
+/// Converts an Earth-fixed position to geodetic coordinates (spherical Earth).
+pub fn ecef_to_geodetic(position_ecef: Cartesian) -> Geodetic {
+    position_ecef.to_geodetic()
+}
+
+/// Converts a geodetic position to the Earth-fixed frame (spherical Earth).
+pub fn geodetic_to_ecef(position: Geodetic) -> Cartesian {
+    position.to_cartesian()
+}
+
+/// The sub-satellite point: the geodetic position directly beneath an
+/// inertial-frame satellite position at the given simulated time.
+pub fn subsatellite_point(position_eci: Cartesian, minutes_since_epoch: f64) -> Geodetic {
+    let ecef = eci_to_ecef(position_eci, minutes_since_epoch);
+    let geo = ecef.to_geodetic();
+    Geodetic::new(geo.latitude_deg(), geo.longitude_deg(), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_types::constants::EARTH_RADIUS_KM;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frames_coincide_at_epoch() {
+        let p = Cartesian::new(7000.0, 100.0, -40.0);
+        assert_eq!(eci_to_ecef(p, 0.0), p);
+        assert_eq!(ecef_to_eci(p, 0.0), p);
+    }
+
+    #[test]
+    fn earth_rotates_eastwards() {
+        // A point fixed in inertial space appears to move westwards (towards
+        // smaller longitude) in the Earth-fixed frame as time advances.
+        let p = Geodetic::new(0.0, 0.0, 550.0).to_cartesian();
+        let after = eci_to_ecef(p, 10.0).to_geodetic();
+        assert!(after.longitude_deg() < 0.0);
+        assert!(after.longitude_deg() > -5.0);
+    }
+
+    #[test]
+    fn sidereal_day_is_about_23_hours_56_minutes() {
+        // GMST should wrap back to ~0 after one sidereal day (~1436.07 min).
+        let sidereal_day_min = 2.0 * std::f64::consts::PI / EARTH_ROTATION_RAD_S / 60.0;
+        assert!((sidereal_day_min - 1436.0).abs() < 0.5);
+        let gmst = gmst_rad(sidereal_day_min);
+        assert!(gmst < 1e-6 || gmst > 2.0 * std::f64::consts::PI - 1e-6);
+    }
+
+    #[test]
+    fn subsatellite_point_has_zero_altitude() {
+        let p = Geodetic::new(30.0, 60.0, 550.0).to_cartesian();
+        let ssp = subsatellite_point(p, 0.0);
+        assert_eq!(ssp.altitude_km(), 0.0);
+        assert!((ssp.latitude_deg() - 30.0).abs() < 1e-6);
+        assert!((ssp.longitude_deg() - 60.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn eci_ecef_round_trip(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.0,
+            alt in 200.0f64..2000.0,
+            minutes in 0.0f64..10000.0,
+        ) {
+            let p = Geodetic::new(lat, lon, alt).to_cartesian();
+            let back = ecef_to_eci(eci_to_ecef(p, minutes), minutes);
+            prop_assert!(back.distance_to(&p) < 1e-6);
+        }
+
+        #[test]
+        fn rotation_preserves_norm(minutes in 0.0f64..10000.0) {
+            let p = Cartesian::new(EARTH_RADIUS_KM + 550.0, 123.0, -456.0);
+            let rotated = eci_to_ecef(p, minutes);
+            prop_assert!((rotated.norm() - p.norm()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Kepler's equation and anomaly conversions.
+//!
+//! Orbit propagation advances the *mean anomaly* linearly in time; to obtain
+//! a position the mean anomaly must be converted into the *eccentric anomaly*
+//! (by solving Kepler's equation `M = E - e sin E`) and then into the *true
+//! anomaly*.
+
+/// Solves Kepler's equation `M = E - e·sin(E)` for the eccentric anomaly `E`
+/// using Newton–Raphson iteration.
+///
+/// `mean_anomaly_rad` may be any real number; the returned eccentric anomaly
+/// is congruent to it modulo 2π. `eccentricity` must be in `[0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `eccentricity` is outside `[0, 1)` (hyperbolic and parabolic
+/// orbits are not meaningful for LEO constellations).
+pub fn solve_kepler(mean_anomaly_rad: f64, eccentricity: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&eccentricity),
+        "eccentricity must be in [0, 1) for closed orbits"
+    );
+    let m = mean_anomaly_rad;
+    // A good starting guess: E ≈ M for small e, E ≈ π for large e.
+    let mut e_anom = if eccentricity < 0.8 { m } else { std::f64::consts::PI };
+    for _ in 0..50 {
+        let f = e_anom - eccentricity * e_anom.sin() - m;
+        let f_prime = 1.0 - eccentricity * e_anom.cos();
+        let delta = f / f_prime;
+        e_anom -= delta;
+        if delta.abs() < 1e-12 {
+            break;
+        }
+    }
+    e_anom
+}
+
+/// Converts an eccentric anomaly to the true anomaly for the given
+/// eccentricity.
+pub fn eccentric_to_true_anomaly(eccentric_anomaly_rad: f64, eccentricity: f64) -> f64 {
+    let half = eccentric_anomaly_rad / 2.0;
+    let factor = ((1.0 + eccentricity) / (1.0 - eccentricity)).sqrt();
+    2.0 * (factor * half.tan()).atan()
+}
+
+/// Converts a true anomaly to the eccentric anomaly for the given
+/// eccentricity.
+pub fn true_to_eccentric_anomaly(true_anomaly_rad: f64, eccentricity: f64) -> f64 {
+    let half = true_anomaly_rad / 2.0;
+    let factor = ((1.0 - eccentricity) / (1.0 + eccentricity)).sqrt();
+    2.0 * (factor * half.tan()).atan()
+}
+
+/// Converts an eccentric anomaly to the mean anomaly via Kepler's equation.
+pub fn eccentric_to_mean_anomaly(eccentric_anomaly_rad: f64, eccentricity: f64) -> f64 {
+    eccentric_anomaly_rad - eccentricity * eccentric_anomaly_rad.sin()
+}
+
+/// Normalises an angle in radians to the interval `[0, 2π)`.
+pub fn wrap_two_pi(angle_rad: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = angle_rad % two_pi;
+    if a < 0.0 {
+        a += two_pi;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn circular_orbit_anomalies_are_identical() {
+        for m in [0.0, 0.5, 1.0, 3.0, 6.0] {
+            let e_anom = solve_kepler(m, 0.0);
+            assert!((e_anom - m).abs() < 1e-12);
+            assert!((eccentric_to_true_anomaly(e_anom, 0.0) - wrapped_diff(m)).abs() < 1e-9);
+        }
+    }
+
+    fn wrapped_diff(m: f64) -> f64 {
+        // eccentric_to_true_anomaly returns values in (-π, π]; compare in
+        // that range.
+        let a = wrap_two_pi(m);
+        if a > std::f64::consts::PI {
+            a - 2.0 * std::f64::consts::PI
+        } else {
+            a
+        }
+    }
+
+    #[test]
+    fn kepler_solution_satisfies_equation() {
+        let e = 0.3;
+        for i in 0..100 {
+            let m = i as f64 * 0.0628;
+            let e_anom = solve_kepler(m, e);
+            let residual = e_anom - e * e_anom.sin() - m;
+            assert!(residual.abs() < 1e-10, "residual {residual} at M={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eccentricity")]
+    fn hyperbolic_orbit_rejected() {
+        solve_kepler(1.0, 1.5);
+    }
+
+    #[test]
+    fn wrap_two_pi_behaviour() {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        assert!((wrap_two_pi(-0.1) - (two_pi - 0.1)).abs() < 1e-12);
+        assert!((wrap_two_pi(two_pi + 0.25) - 0.25).abs() < 1e-12);
+        assert_eq!(wrap_two_pi(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn anomaly_round_trip(m in 0.0f64..6.28, e in 0.0f64..0.9) {
+            let e_anom = solve_kepler(m, e);
+            let back = eccentric_to_mean_anomaly(e_anom, e);
+            prop_assert!((wrap_two_pi(back) - wrap_two_pi(m)).abs() < 1e-8);
+        }
+
+        #[test]
+        fn true_eccentric_round_trip(nu in -3.0f64..3.0, e in 0.0f64..0.9) {
+            let e_anom = true_to_eccentric_anomaly(nu, e);
+            let back = eccentric_to_true_anomaly(e_anom, e);
+            prop_assert!((back - nu).abs() < 1e-9);
+        }
+    }
+}

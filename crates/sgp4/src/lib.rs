@@ -1,0 +1,49 @@
+//! Orbital mechanics substrate for the Celestial LEO edge testbed.
+//!
+//! Celestial's Constellation Calculation is built on the SGP4 simplified
+//! perturbations model: satellite state can be supplied as NORAD two-line
+//! element sets or generated from simple shell parameters (altitude,
+//! inclination, number of planes, satellites per plane). This crate provides:
+//!
+//! * [`tle`] — parsing and validation of two-line element sets,
+//! * [`elements`] — classical orbital elements and conversions to/from mean
+//!   motion,
+//! * [`kepler`] — a Kepler-equation solver,
+//! * [`propagator`] — an SGP4-class propagator with secular J2 perturbations
+//!   and an atmospheric-drag term,
+//! * [`frames`] — coordinate frames (TEME/ECI ↔ ECEF ↔ geodetic, GMST),
+//! * [`walker`] — Walker-delta shell generation, including Iridium-style
+//!   constellations that spread ascending nodes over a 180° arc.
+//!
+//! # Examples
+//!
+//! ```
+//! use celestial_sgp4::walker::WalkerShell;
+//! use celestial_sgp4::propagator::Propagator;
+//!
+//! // One plane of the first Starlink shell.
+//! let shell = WalkerShell::new(550.0, 53.0, 1, 22);
+//! let elements = shell.satellite_elements();
+//! assert_eq!(elements.len(), 22);
+//!
+//! let propagator = Propagator::new(elements[0].clone());
+//! let state = propagator.propagate_minutes(10.0).unwrap();
+//! // The satellite stays near its 550 km shell altitude.
+//! let altitude = state.position_eci.norm() - celestial_types::constants::EARTH_RADIUS_KM;
+//! assert!((altitude - 550.0).abs() < 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elements;
+pub mod frames;
+pub mod kepler;
+pub mod propagator;
+pub mod tle;
+pub mod walker;
+
+pub use elements::OrbitalElements;
+pub use propagator::{Propagator, SatelliteState};
+pub use tle::Tle;
+pub use walker::WalkerShell;

@@ -1,0 +1,326 @@
+//! An SGP4-class orbit propagator.
+//!
+//! Celestial extends the SILLEO-SCNS constellation calculation with the SGP4
+//! simplified perturbations model. This reproduction implements the dominant
+//! terms of that model for low-Earth orbits:
+//!
+//! * two-body Keplerian motion,
+//! * secular J2 perturbations of the right ascension of the ascending node,
+//!   the argument of perigee and the mean anomaly (nodal regression and
+//!   apsidal rotation — the effects that shape constellation ground tracks),
+//! * a first-order atmospheric-drag term from the TLE `n-dot`/B* fields.
+//!
+//! Short-periodic corrections of the full SGP4 model are omitted; for the
+//! 500–1500 km constellation shells the testbed emulates they amount to a few
+//! kilometres of position error (microseconds of link latency), far below the
+//! millisecond resolution of the network emulation. The propagator's accuracy
+//! is validated against analytic values in the unit tests and against the
+//! nodal-regression rate expected for sun-synchronous orbits.
+
+use crate::elements::OrbitalElements;
+use crate::kepler::{eccentric_to_true_anomaly, solve_kepler, wrap_two_pi};
+use celestial_types::constants::{DEG_TO_RAD, EARTH_J2, EARTH_MU_KM3_S2, EARTH_RADIUS_KM};
+use celestial_types::geo::Cartesian;
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// The instantaneous state of a satellite produced by the propagator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SatelliteState {
+    /// Position in the inertial (TEME/ECI) frame, kilometres.
+    pub position_eci: Cartesian,
+    /// Velocity in the inertial frame, kilometres per second.
+    pub velocity_eci: Cartesian,
+}
+
+/// An orbit propagator for a single satellite.
+///
+/// The propagator pre-computes the secular perturbation rates at construction
+/// so that each [`propagate_minutes`](Propagator::propagate_minutes) call is a
+/// small, allocation-free computation — the constellation calculation calls
+/// it for every satellite at every update step.
+#[derive(Debug, Clone)]
+pub struct Propagator {
+    elements: OrbitalElements,
+    // Pre-computed quantities.
+    semi_major_axis_km: f64,
+    mean_motion_rad_min: f64,
+    raan_rate_rad_min: f64,
+    argp_rate_rad_min: f64,
+    mean_anomaly_rate_correction: f64,
+}
+
+impl Propagator {
+    /// Creates a propagator for the given orbital elements.
+    pub fn new(elements: OrbitalElements) -> Self {
+        let a = elements.semi_major_axis_km();
+        let n = elements.mean_motion_rad_per_min();
+        let e = elements.eccentricity;
+        let i = elements.inclination_rad();
+        let p = a * (1.0 - e * e);
+        // Secular J2 rates (rad per minute).
+        let j2_factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_KM / p).powi(2) * n;
+        let raan_rate = -j2_factor * i.cos();
+        let argp_rate = j2_factor * (2.0 - 2.5 * i.sin().powi(2));
+        let mean_anomaly_corr =
+            j2_factor * (1.0 - 1.5 * i.sin().powi(2)) * (1.0 - e * e).sqrt();
+        Propagator {
+            semi_major_axis_km: a,
+            mean_motion_rad_min: n,
+            raan_rate_rad_min: raan_rate,
+            argp_rate_rad_min: argp_rate,
+            mean_anomaly_rate_correction: mean_anomaly_corr,
+            elements,
+        }
+    }
+
+    /// Returns the orbital elements this propagator was built from.
+    pub fn elements(&self) -> &OrbitalElements {
+        &self.elements
+    }
+
+    /// The nodal regression rate in degrees per day (useful for validation
+    /// and for designing sun-synchronous shells).
+    pub fn raan_rate_deg_per_day(&self) -> f64 {
+        self.raan_rate_rad_min * 24.0 * 60.0 / DEG_TO_RAD
+    }
+
+    /// Propagates the orbit to `minutes` minutes of simulated time and
+    /// returns the satellite's inertial position and velocity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Propagation`] if the orbit has decayed below the
+    /// Earth's surface (e.g. through the drag term) or the elements are
+    /// otherwise unpropagatable.
+    pub fn propagate_minutes(&self, minutes: f64) -> Result<SatelliteState> {
+        let e = self.elements.eccentricity;
+        let tsince = minutes - self.elements.epoch_offset_min;
+
+        // Drag: the TLE carries n-dot/2 in rev/day^2; integrate it to adjust
+        // the mean motion and semi-major axis.
+        let n0_rev_day = self.elements.mean_motion_rev_per_day;
+        let ndot2 = self.elements.mean_motion_dot;
+        let tsince_days = tsince / (24.0 * 60.0);
+        let n_rev_day = n0_rev_day + 2.0 * ndot2 * tsince_days;
+        if n_rev_day <= 0.0 {
+            return Err(Error::Propagation(format!(
+                "mean motion became non-positive for {}",
+                self.elements.name
+            )));
+        }
+        let a = if ndot2 == 0.0 {
+            self.semi_major_axis_km
+        } else {
+            crate::elements::semi_major_axis_from_mean_motion(n_rev_day)
+        };
+        if a * (1.0 - e) < EARTH_RADIUS_KM {
+            return Err(Error::Propagation(format!(
+                "orbit of {} decayed below the surface",
+                self.elements.name
+            )));
+        }
+
+        let n_rad_min = if ndot2 == 0.0 {
+            self.mean_motion_rad_min
+        } else {
+            n_rev_day * 2.0 * std::f64::consts::PI / (24.0 * 60.0)
+        };
+
+        // Secular element updates.
+        let m0 = self.elements.mean_anomaly_deg * DEG_TO_RAD;
+        let mean_anomaly = wrap_two_pi(
+            m0 + (n_rad_min + self.mean_anomaly_rate_correction) * tsince,
+        );
+        let raan = wrap_two_pi(
+            self.elements.raan_deg * DEG_TO_RAD + self.raan_rate_rad_min * tsince,
+        );
+        let argp = wrap_two_pi(
+            self.elements.argument_of_perigee_deg * DEG_TO_RAD + self.argp_rate_rad_min * tsince,
+        );
+        let inclination = self.elements.inclination_rad();
+
+        // Position in the orbital plane.
+        let eccentric_anomaly = solve_kepler(mean_anomaly, e);
+        let true_anomaly = eccentric_to_true_anomaly(eccentric_anomaly, e);
+        let r = a * (1.0 - e * eccentric_anomaly.cos());
+        let p = a * (1.0 - e * e);
+        let h = (EARTH_MU_KM3_S2 * p).sqrt();
+
+        let (sin_nu, cos_nu) = true_anomaly.sin_cos();
+        let x_orb = r * cos_nu;
+        let y_orb = r * sin_nu;
+        let vx_orb = -(EARTH_MU_KM3_S2 / h) * sin_nu;
+        let vy_orb = (EARTH_MU_KM3_S2 / h) * (e + cos_nu);
+
+        // Rotate from the perifocal frame into the inertial frame.
+        let (sin_raan, cos_raan) = raan.sin_cos();
+        let (sin_argp, cos_argp) = argp.sin_cos();
+        let (sin_i, cos_i) = inclination.sin_cos();
+
+        let r11 = cos_raan * cos_argp - sin_raan * sin_argp * cos_i;
+        let r12 = -cos_raan * sin_argp - sin_raan * cos_argp * cos_i;
+        let r21 = sin_raan * cos_argp + cos_raan * sin_argp * cos_i;
+        let r22 = -sin_raan * sin_argp + cos_raan * cos_argp * cos_i;
+        let r31 = sin_argp * sin_i;
+        let r32 = cos_argp * sin_i;
+
+        let position_eci = Cartesian::new(
+            r11 * x_orb + r12 * y_orb,
+            r21 * x_orb + r22 * y_orb,
+            r31 * x_orb + r32 * y_orb,
+        );
+        let velocity_eci = Cartesian::new(
+            r11 * vx_orb + r12 * vy_orb,
+            r21 * vx_orb + r22 * vy_orb,
+            r31 * vx_orb + r32 * vy_orb,
+        );
+
+        Ok(SatelliteState {
+            position_eci,
+            velocity_eci,
+        })
+    }
+
+    /// Propagates the orbit to `seconds` seconds of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// See [`propagate_minutes`](Propagator::propagate_minutes).
+    pub fn propagate_seconds(&self, seconds: f64) -> Result<SatelliteState> {
+        self.propagate_minutes(seconds / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tle::Tle;
+    use proptest::prelude::*;
+
+    fn starlink_elements() -> OrbitalElements {
+        OrbitalElements::circular("starlink", 550.0, 53.0, 30.0, 45.0)
+    }
+
+    #[test]
+    fn circular_orbit_stays_at_altitude() {
+        let prop = Propagator::new(starlink_elements());
+        for minutes in [0.0, 10.0, 47.8, 95.6, 500.0] {
+            let state = prop.propagate_minutes(minutes).expect("propagation");
+            let altitude = state.position_eci.norm() - EARTH_RADIUS_KM;
+            assert!(
+                (altitude - 550.0).abs() < 1.0,
+                "altitude {altitude} at t={minutes}"
+            );
+        }
+    }
+
+    #[test]
+    fn orbital_speed_matches_vis_viva() {
+        let prop = Propagator::new(starlink_elements());
+        let state = prop.propagate_minutes(12.3).expect("propagation");
+        let r = state.position_eci.norm();
+        let expected_speed = (EARTH_MU_KM3_S2 / r).sqrt();
+        let speed = state.velocity_eci.norm();
+        assert!(
+            (speed - expected_speed).abs() < 0.01,
+            "speed {speed}, expected {expected_speed}"
+        );
+        // The paper quotes >27,000 km/h for LEO satellites.
+        assert!(speed * 3600.0 > 27_000.0);
+    }
+
+    #[test]
+    fn period_returns_to_start() {
+        let elements = starlink_elements();
+        let period = elements.period_minutes();
+        let prop = Propagator::new(elements);
+        let start = prop.propagate_minutes(0.0).expect("propagation");
+        let after = prop.propagate_minutes(period).expect("propagation");
+        // J2 causes a slow drift, but one orbit later the satellite should be
+        // within a few kilometres of its starting point.
+        assert!(start.position_eci.distance_to(&after.position_eci) < 60.0);
+    }
+
+    #[test]
+    fn velocity_is_perpendicular_to_position_for_circular_orbit() {
+        let prop = Propagator::new(starlink_elements());
+        let state = prop.propagate_minutes(33.0).expect("propagation");
+        let cos_angle = state.position_eci.dot(&state.velocity_eci)
+            / (state.position_eci.norm() * state.velocity_eci.norm());
+        assert!(cos_angle.abs() < 1e-6);
+    }
+
+    #[test]
+    fn nodal_regression_for_polar_orbit_is_zero() {
+        let polar = OrbitalElements::circular("iridium", 780.0, 90.0, 0.0, 0.0);
+        let prop = Propagator::new(polar);
+        assert!(prop.raan_rate_deg_per_day().abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodal_regression_for_starlink_is_about_five_degrees_per_day() {
+        // At 550 km / 53° inclination the J2 regression is roughly -5°/day
+        // (westwards).
+        let prop = Propagator::new(starlink_elements());
+        let rate = prop.raan_rate_deg_per_day();
+        assert!(rate < -4.0 && rate > -6.0, "rate {rate}");
+    }
+
+    #[test]
+    fn inclination_bounds_latitude() {
+        let prop = Propagator::new(starlink_elements());
+        for i in 0..200 {
+            let state = prop.propagate_minutes(i as f64).expect("propagation");
+            let lat = state.position_eci.to_geodetic().latitude_deg();
+            assert!(lat.abs() <= 53.5, "latitude {lat} exceeds inclination");
+        }
+    }
+
+    #[test]
+    fn iss_tle_propagates_to_iss_altitude() {
+        let tle = Tle::parse(
+            "ISS (ZARYA)",
+            "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+            "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537",
+        )
+        .expect("valid TLE");
+        let prop = Propagator::new(tle.to_elements(0.0));
+        let state = prop.propagate_minutes(0.0).expect("propagation");
+        let altitude = state.position_eci.norm() - EARTH_RADIUS_KM;
+        assert!((300.0..450.0).contains(&altitude), "altitude {altitude}");
+    }
+
+    #[test]
+    fn decayed_orbit_is_reported() {
+        let mut elements = OrbitalElements::circular("decaying", 200.0, 53.0, 0.0, 0.0);
+        // An absurdly large drag term wipes the orbit out within a day.
+        elements.mean_motion_dot = -4.0;
+        let prop = Propagator::new(elements);
+        let result = prop.propagate_minutes(3_000.0);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn propagate_seconds_matches_minutes() {
+        let prop = Propagator::new(starlink_elements());
+        let a = prop.propagate_minutes(2.0).expect("propagation");
+        let b = prop.propagate_seconds(120.0).expect("propagation");
+        assert!(a.position_eci.distance_to(&b.position_eci) < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn altitude_stays_bounded_for_any_time(
+            minutes in 0.0f64..3000.0,
+            raan in 0.0f64..360.0,
+            anomaly in 0.0f64..360.0,
+        ) {
+            let elements = OrbitalElements::circular("p", 1110.0, 53.8, raan, anomaly);
+            let prop = Propagator::new(elements);
+            let state = prop.propagate_minutes(minutes).unwrap();
+            let altitude = state.position_eci.norm() - EARTH_RADIUS_KM;
+            prop_assert!((altitude - 1110.0).abs() < 5.0);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Two-line element set (TLE) parsing.
+//!
+//! Celestial can load real constellations from the NORAD TLE database. A TLE
+//! consists of an optional name line followed by two 69-character data lines
+//! with a modulo-10 checksum each. This parser extracts the fields required
+//! for propagation and converts them into [`OrbitalElements`].
+
+use crate::elements::OrbitalElements;
+use celestial_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A parsed two-line element set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tle {
+    /// Satellite name (line 0), or the catalogue number when absent.
+    pub name: String,
+    /// NORAD catalogue number.
+    pub catalog_number: u32,
+    /// Epoch year (full four-digit year).
+    pub epoch_year: u32,
+    /// Epoch day of year including fractional part.
+    pub epoch_day: f64,
+    /// First derivative of mean motion divided by two, rev/day².
+    pub mean_motion_dot: f64,
+    /// B* drag term in inverse Earth radii.
+    pub bstar: f64,
+    /// Inclination in degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node in degrees.
+    pub raan_deg: f64,
+    /// Eccentricity.
+    pub eccentricity: f64,
+    /// Argument of perigee in degrees.
+    pub argument_of_perigee_deg: f64,
+    /// Mean anomaly in degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion in revolutions per day.
+    pub mean_motion_rev_per_day: f64,
+    /// Revolution number at epoch.
+    pub revolution_number: u32,
+}
+
+impl Tle {
+    /// Parses a TLE from a name line and two data lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Tle`] if either line is malformed, has the wrong line
+    /// number, or fails its checksum.
+    pub fn parse(name: &str, line1: &str, line2: &str) -> Result<Self> {
+        let l1 = validate_line(line1, '1')?;
+        let l2 = validate_line(line2, '2')?;
+
+        let catalog_number = parse_field::<u32>(&l1, 2, 7, "catalog number")?;
+        let epoch_year_short = parse_field::<u32>(&l1, 18, 20, "epoch year")?;
+        let epoch_year = if epoch_year_short < 57 {
+            2000 + epoch_year_short
+        } else {
+            1900 + epoch_year_short
+        };
+        let epoch_day = parse_field::<f64>(&l1, 20, 32, "epoch day")?;
+        let mean_motion_dot = parse_signed_decimal(&l1, 33, 43, "mean motion derivative")?;
+        let bstar = parse_implied_decimal(&l1, 53, 61, "bstar")?;
+
+        let inclination_deg = parse_field::<f64>(&l2, 8, 16, "inclination")?;
+        let raan_deg = parse_field::<f64>(&l2, 17, 25, "raan")?;
+        let ecc_digits = field(&l2, 26, 33).trim().to_owned();
+        let eccentricity = format!("0.{ecc_digits}")
+            .parse::<f64>()
+            .map_err(|_| Error::Tle(format!("invalid eccentricity field '{ecc_digits}'")))?;
+        let argument_of_perigee_deg = parse_field::<f64>(&l2, 34, 42, "argument of perigee")?;
+        let mean_anomaly_deg = parse_field::<f64>(&l2, 43, 51, "mean anomaly")?;
+        let mean_motion_rev_per_day = parse_field::<f64>(&l2, 52, 63, "mean motion")?;
+        let revolution_number = field(&l2, 63, 68)
+            .trim()
+            .parse::<u32>()
+            .unwrap_or(0);
+
+        let name = if name.trim().is_empty() {
+            format!("NORAD {catalog_number}")
+        } else {
+            name.trim().to_owned()
+        };
+
+        Ok(Tle {
+            name,
+            catalog_number,
+            epoch_year,
+            epoch_day,
+            mean_motion_dot,
+            bstar,
+            inclination_deg,
+            raan_deg,
+            eccentricity,
+            argument_of_perigee_deg,
+            mean_anomaly_deg,
+            mean_motion_rev_per_day,
+            revolution_number,
+        })
+    }
+
+    /// Parses every TLE contained in a text document of the format published
+    /// by CelesTrak: repeated groups of a name line and two data lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn parse_document(text: &str) -> Result<Vec<Tle>> {
+        let lines: Vec<&str> = text
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        let mut result = Vec::new();
+        let mut i = 0;
+        while i < lines.len() {
+            if lines[i].starts_with("1 ") {
+                if i + 1 >= lines.len() {
+                    return Err(Error::Tle("dangling line 1 at end of document".to_owned()));
+                }
+                result.push(Tle::parse("", lines[i], lines[i + 1])?);
+                i += 2;
+            } else {
+                if i + 2 >= lines.len() {
+                    return Err(Error::Tle(format!(
+                        "incomplete TLE group starting at '{}'",
+                        lines[i]
+                    )));
+                }
+                result.push(Tle::parse(lines[i], lines[i + 1], lines[i + 2])?);
+                i += 3;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Converts the TLE into [`OrbitalElements`] with the given epoch offset
+    /// (minutes relative to the simulation epoch).
+    pub fn to_elements(&self, epoch_offset_min: f64) -> OrbitalElements {
+        OrbitalElements {
+            name: self.name.clone(),
+            inclination_deg: self.inclination_deg,
+            raan_deg: self.raan_deg,
+            eccentricity: self.eccentricity,
+            argument_of_perigee_deg: self.argument_of_perigee_deg,
+            mean_anomaly_deg: self.mean_anomaly_deg,
+            mean_motion_rev_per_day: self.mean_motion_rev_per_day,
+            mean_motion_dot: self.mean_motion_dot,
+            bstar: self.bstar,
+            epoch_offset_min,
+        }
+    }
+}
+
+/// Computes the modulo-10 checksum of a TLE line (excluding the final
+/// checksum character): digits count as their value, minus signs count as 1,
+/// everything else counts as 0.
+pub fn line_checksum(line: &str) -> u32 {
+    line.chars()
+        .take(68)
+        .map(|c| match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            '-' => 1,
+            _ => 0,
+        })
+        .sum::<u32>()
+        % 10
+}
+
+fn validate_line(line: &str, expected_number: char) -> Result<String> {
+    let line = line.trim_end();
+    if line.len() < 69 {
+        return Err(Error::Tle(format!(
+            "line {expected_number} is {} characters long, expected 69",
+            line.len()
+        )));
+    }
+    if !line.starts_with(expected_number) {
+        return Err(Error::Tle(format!(
+            "expected line number {expected_number}, found '{}'",
+            &line[..1]
+        )));
+    }
+    let declared: u32 = line[68..69]
+        .parse()
+        .map_err(|_| Error::Tle(format!("line {expected_number} has non-numeric checksum")))?;
+    let computed = line_checksum(line);
+    if declared != computed {
+        return Err(Error::Tle(format!(
+            "line {expected_number} checksum mismatch: declared {declared}, computed {computed}"
+        )));
+    }
+    Ok(line.to_owned())
+}
+
+fn field(line: &str, start: usize, end: usize) -> &str {
+    &line[start..end.min(line.len())]
+}
+
+fn parse_field<T: std::str::FromStr>(
+    line: &str,
+    start: usize,
+    end: usize,
+    what: &str,
+) -> Result<T> {
+    field(line, start, end)
+        .trim()
+        .parse::<T>()
+        .map_err(|_| Error::Tle(format!("invalid {what} field '{}'", field(line, start, end))))
+}
+
+/// Parses a field such as ` .00002182` or `-.00001234` (decimal with implied
+/// leading zero).
+fn parse_signed_decimal(line: &str, start: usize, end: usize, what: &str) -> Result<f64> {
+    let raw = field(line, start, end).trim();
+    if raw.is_empty() {
+        return Ok(0.0);
+    }
+    let normalized = if let Some(rest) = raw.strip_prefix('-') {
+        format!("-0{rest}")
+    } else if let Some(rest) = raw.strip_prefix('+') {
+        format!("0{rest}")
+    } else if raw.starts_with('.') {
+        format!("0{raw}")
+    } else {
+        raw.to_owned()
+    };
+    normalized
+        .parse::<f64>()
+        .map_err(|_| Error::Tle(format!("invalid {what} field '{raw}'")))
+}
+
+/// Parses a TLE "implied decimal point with exponent" field such as
+/// ` 29599-4` meaning `0.29599e-4` or `-11606-4` meaning `-0.11606e-4`.
+fn parse_implied_decimal(line: &str, start: usize, end: usize, what: &str) -> Result<f64> {
+    let raw = field(line, start, end).trim();
+    if raw.is_empty() || raw == "00000-0" || raw == "00000+0" {
+        return Ok(0.0);
+    }
+    let (sign, rest) = match raw.strip_prefix('-') {
+        Some(rest) => (-1.0, rest),
+        None => (1.0, raw.strip_prefix('+').unwrap_or(raw)),
+    };
+    // The exponent sign is the last '+' or '-' in the remaining string.
+    let exp_pos = rest
+        .rfind(['+', '-'])
+        .ok_or_else(|| Error::Tle(format!("invalid {what} field '{raw}'")))?;
+    let mantissa_digits = &rest[..exp_pos];
+    let exponent: i32 = rest[exp_pos..]
+        .parse()
+        .map_err(|_| Error::Tle(format!("invalid {what} exponent '{raw}'")))?;
+    let mantissa: f64 = format!("0.{mantissa_digits}")
+        .parse()
+        .map_err(|_| Error::Tle(format!("invalid {what} mantissa '{raw}'")))?;
+    Ok(sign * mantissa * 10f64.powi(exponent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The canonical ISS TLE used by the SGP4 reference papers.
+    const ISS_NAME: &str = "ISS (ZARYA)";
+    const ISS_L1: &str =
+        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+    const ISS_L2: &str =
+        "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+    #[test]
+    fn parses_iss_tle() {
+        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2).expect("valid TLE");
+        assert_eq!(tle.catalog_number, 25544);
+        assert_eq!(tle.epoch_year, 2008);
+        assert!((tle.epoch_day - 264.51782528).abs() < 1e-9);
+        assert!((tle.inclination_deg - 51.6416).abs() < 1e-9);
+        assert!((tle.raan_deg - 247.4627).abs() < 1e-9);
+        assert!((tle.eccentricity - 0.0006703).abs() < 1e-10);
+        assert!((tle.mean_motion_rev_per_day - 15.72125391).abs() < 1e-7);
+        assert!((tle.mean_motion_dot - (-0.00002182)).abs() < 1e-10);
+        assert!((tle.bstar - (-0.11606e-4)).abs() < 1e-10);
+        assert_eq!(tle.name, "ISS (ZARYA)");
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut corrupted = ISS_L1.to_owned();
+        corrupted.replace_range(20..21, "9");
+        let err = Tle::parse(ISS_NAME, &corrupted, ISS_L2).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn rejects_wrong_line_number() {
+        let err = Tle::parse(ISS_NAME, ISS_L2, ISS_L1).unwrap_err();
+        assert!(err.to_string().contains("expected line number"));
+    }
+
+    #[test]
+    fn rejects_short_line() {
+        let err = Tle::parse(ISS_NAME, "1 25544U", ISS_L2).unwrap_err();
+        assert!(err.to_string().contains("characters long"));
+    }
+
+    #[test]
+    fn parses_document_with_and_without_names() {
+        let doc = format!("{ISS_NAME}\n{ISS_L1}\n{ISS_L2}\n{ISS_L1}\n{ISS_L2}\n");
+        let tles = Tle::parse_document(&doc).expect("valid document");
+        assert_eq!(tles.len(), 2);
+        assert_eq!(tles[0].name, "ISS (ZARYA)");
+        assert_eq!(tles[1].name, "NORAD 25544");
+    }
+
+    #[test]
+    fn incomplete_document_is_rejected() {
+        let doc = format!("{ISS_NAME}\n{ISS_L1}\n");
+        assert!(Tle::parse_document(&doc).is_err());
+    }
+
+    #[test]
+    fn to_elements_preserves_fields() {
+        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2).expect("valid TLE");
+        let elements = tle.to_elements(5.0);
+        assert_eq!(elements.name, "ISS (ZARYA)");
+        assert_eq!(elements.epoch_offset_min, 5.0);
+        assert!((elements.inclination_deg - 51.6416).abs() < 1e-9);
+        assert!(elements.validate().is_ok());
+        // The ISS orbits at roughly 340-420 km.
+        assert!((300.0..450.0).contains(&elements.mean_altitude_km()));
+    }
+
+    #[test]
+    fn implied_decimal_parsing() {
+        assert!((parse_implied_decimal(" 29599-4", 0, 8, "t").unwrap() - 0.29599e-4).abs() < 1e-12);
+        assert!(
+            (parse_implied_decimal("-11606-4", 0, 8, "t").unwrap() - (-0.11606e-4)).abs() < 1e-12
+        );
+        assert_eq!(parse_implied_decimal(" 00000-0", 0, 8, "t").unwrap(), 0.0);
+        assert!((parse_implied_decimal(" 12345+1", 0, 8, "t").unwrap() - 1.2345).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checksum_of_reference_lines() {
+        assert_eq!(line_checksum(ISS_L1), 7);
+        assert_eq!(line_checksum(ISS_L2), 7);
+    }
+}

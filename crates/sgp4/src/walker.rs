@@ -1,0 +1,253 @@
+//! Walker-delta constellation shell generation.
+//!
+//! Celestial generates satellite shells from simple parameters — altitude,
+//! inclination, number of planes and satellites per plane — exactly as
+//! provided in its configuration file, instead of requiring TLEs for
+//! not-yet-launched constellations. Shells follow the Walker-delta pattern:
+//! orbital planes evenly spaced around the equator, satellites evenly spaced
+//! within each plane, and an optional phase offset between adjacent planes.
+//!
+//! Iridium-style "star" constellations spread their ascending nodes over a
+//! 180° arc instead of 360°, so that ascending and descending passes cover
+//! the two halves of the globe; the paper's §5 case study relies on this (it
+//! is the reason there are no ISLs between the first and last Iridium plane).
+
+use crate::elements::OrbitalElements;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one constellation shell, generated Walker-style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkerShell {
+    /// Shell altitude above the mean Earth radius in kilometres.
+    pub altitude_km: f64,
+    /// Orbital inclination in degrees.
+    pub inclination_deg: f64,
+    /// Number of orbital planes in the shell.
+    pub planes: u32,
+    /// Number of satellites per plane.
+    pub satellites_per_plane: u32,
+    /// Arc over which the ascending nodes of the planes are spread, in
+    /// degrees. 360 for Walker-delta constellations such as Starlink, 180 for
+    /// Walker-star / polar constellations such as Iridium.
+    pub arc_of_ascending_nodes_deg: f64,
+    /// Relative phasing between satellites in adjacent planes, as a Walker
+    /// phasing factor `F` in `[0, planes)`. Satellite `k` of plane `p` gets an
+    /// extra mean anomaly of `360° · F · p / (planes · satellites_per_plane)`.
+    pub phase_offset: u32,
+    /// Orbit eccentricity; zero (circular) for all constellations the paper
+    /// considers.
+    pub eccentricity: f64,
+}
+
+impl WalkerShell {
+    /// Creates a Walker-delta shell (ascending nodes spread over 360°) with
+    /// no inter-plane phasing and circular orbits.
+    pub fn new(altitude_km: f64, inclination_deg: f64, planes: u32, satellites_per_plane: u32) -> Self {
+        WalkerShell {
+            altitude_km,
+            inclination_deg,
+            planes,
+            satellites_per_plane,
+            arc_of_ascending_nodes_deg: 360.0,
+            phase_offset: 0,
+            eccentricity: 0.0,
+        }
+    }
+
+    /// Sets the arc of ascending nodes, returning the modified shell.
+    pub fn with_arc_of_ascending_nodes(mut self, arc_deg: f64) -> Self {
+        self.arc_of_ascending_nodes_deg = arc_deg;
+        self
+    }
+
+    /// Sets the Walker phasing factor, returning the modified shell.
+    pub fn with_phase_offset(mut self, phase_offset: u32) -> Self {
+        self.phase_offset = phase_offset;
+        self
+    }
+
+    /// Total number of satellites in the shell.
+    pub fn total_satellites(&self) -> u32 {
+        self.planes * self.satellites_per_plane
+    }
+
+    /// The plane index of the satellite with the given shell-wide index
+    /// (plane-major numbering).
+    pub fn plane_of(&self, satellite_index: u32) -> u32 {
+        satellite_index / self.satellites_per_plane
+    }
+
+    /// The in-plane position index of the satellite with the given shell-wide
+    /// index.
+    pub fn index_in_plane(&self, satellite_index: u32) -> u32 {
+        satellite_index % self.satellites_per_plane
+    }
+
+    /// The shell-wide index of the satellite at `(plane, index_in_plane)`,
+    /// wrapping both coordinates (so `plane = planes` refers to plane 0).
+    pub fn satellite_index(&self, plane: u32, index_in_plane: u32) -> u32 {
+        let p = plane % self.planes;
+        let i = index_in_plane % self.satellites_per_plane;
+        p * self.satellites_per_plane + i
+    }
+
+    /// Generates the orbital elements of every satellite in the shell, in
+    /// plane-major order (all satellites of plane 0 first).
+    pub fn satellite_elements(&self) -> Vec<OrbitalElements> {
+        let mut elements = Vec::with_capacity(self.total_satellites() as usize);
+        for plane in 0..self.planes {
+            let raan =
+                self.arc_of_ascending_nodes_deg * plane as f64 / self.planes as f64;
+            for slot in 0..self.satellites_per_plane {
+                let base_anomaly = 360.0 * slot as f64 / self.satellites_per_plane as f64;
+                let phase = 360.0 * self.phase_offset as f64 * plane as f64
+                    / (self.planes as f64 * self.satellites_per_plane as f64);
+                let mean_anomaly = (base_anomaly + phase).rem_euclid(360.0);
+                let mut e = OrbitalElements::circular(
+                    format!("shell-sat {plane}-{slot}"),
+                    self.altitude_km,
+                    self.inclination_deg,
+                    raan,
+                    mean_anomaly,
+                );
+                e.eccentricity = self.eccentricity;
+                elements.push(e);
+            }
+        }
+        elements
+    }
+
+    /// The Starlink phase-I constellation as described in the paper's Fig. 1:
+    /// five shells with 1584, 1600, 400, 375 and 450 satellites.
+    pub fn starlink_phase1() -> Vec<WalkerShell> {
+        vec![
+            WalkerShell::new(550.0, 53.0, 72, 22).with_phase_offset(17),
+            WalkerShell::new(1110.0, 53.8, 32, 50).with_phase_offset(17),
+            WalkerShell::new(1130.0, 74.0, 8, 50).with_phase_offset(5),
+            WalkerShell::new(1275.0, 81.0, 5, 75).with_phase_offset(3),
+            WalkerShell::new(1325.0, 70.0, 6, 75).with_phase_offset(4),
+        ]
+    }
+
+    /// The first (densest, lowest) Starlink shell only: 72 planes of 22
+    /// satellites at 550 km and 53° inclination.
+    pub fn starlink_shell1() -> WalkerShell {
+        WalkerShell::new(550.0, 53.0, 72, 22).with_phase_offset(17)
+    }
+
+    /// The Iridium constellation used in the paper's §5 case study: a single
+    /// shell of 66 satellites in 6 planes at 780 km, polar orbit (90°
+    /// inclination), ascending nodes spread over a 180° arc.
+    pub fn iridium() -> WalkerShell {
+        WalkerShell::new(780.0, 90.0, 6, 11)
+            .with_arc_of_ascending_nodes(180.0)
+            .with_phase_offset(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::Propagator;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starlink_phase1_satellite_counts_match_figure_1() {
+        let shells = WalkerShell::starlink_phase1();
+        let counts: Vec<u32> = shells.iter().map(WalkerShell::total_satellites).collect();
+        assert_eq!(counts, vec![1584, 1600, 400, 375, 450]);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total, 4409);
+    }
+
+    #[test]
+    fn iridium_has_66_satellites_in_6_planes() {
+        let iridium = WalkerShell::iridium();
+        assert_eq!(iridium.total_satellites(), 66);
+        assert_eq!(iridium.planes, 6);
+        assert_eq!(iridium.arc_of_ascending_nodes_deg, 180.0);
+        // Adjacent Iridium planes are 30° apart in RAAN (180 / 6).
+        let elements = iridium.satellite_elements();
+        let raan_plane0 = elements[0].raan_deg;
+        let raan_plane1 = elements[11].raan_deg;
+        assert!((raan_plane1 - raan_plane0 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elements_are_generated_in_plane_major_order() {
+        let shell = WalkerShell::new(550.0, 53.0, 3, 4);
+        let elements = shell.satellite_elements();
+        assert_eq!(elements.len(), 12);
+        // First four share the RAAN of plane 0.
+        for e in &elements[0..4] {
+            assert_eq!(e.raan_deg, 0.0);
+        }
+        // Next four are plane 1 at 120°.
+        for e in &elements[4..8] {
+            assert!((e.raan_deg - 120.0).abs() < 1e-9);
+        }
+        // Within a plane, mean anomalies are evenly spaced by 90°.
+        assert!((elements[1].mean_anomaly_deg - elements[0].mean_anomaly_deg - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_mapping_round_trips_and_wraps() {
+        let shell = WalkerShell::new(550.0, 53.0, 5, 7);
+        for idx in 0..shell.total_satellites() {
+            let plane = shell.plane_of(idx);
+            let in_plane = shell.index_in_plane(idx);
+            assert_eq!(shell.satellite_index(plane, in_plane), idx);
+        }
+        // Wrapping beyond the last plane/slot returns to the beginning.
+        assert_eq!(shell.satellite_index(5, 0), 0);
+        assert_eq!(shell.satellite_index(0, 7), 0);
+    }
+
+    #[test]
+    fn all_generated_elements_are_valid_and_propagatable() {
+        let shell = WalkerShell::starlink_shell1();
+        let elements = shell.satellite_elements();
+        assert_eq!(elements.len(), 1584);
+        // Spot-check a handful of satellites across the shell.
+        for e in elements.iter().step_by(199) {
+            e.validate().expect("valid elements");
+            let state = Propagator::new(e.clone()).propagate_minutes(30.0).expect("propagates");
+            let alt = state.position_eci.norm()
+                - celestial_types::constants::EARTH_RADIUS_KM;
+            assert!((alt - 550.0).abs() < 5.0);
+        }
+    }
+
+    #[test]
+    fn phase_offset_shifts_adjacent_planes() {
+        let without = WalkerShell::new(550.0, 53.0, 4, 4);
+        let with = WalkerShell::new(550.0, 53.0, 4, 4).with_phase_offset(1);
+        let e0 = without.satellite_elements();
+        let e1 = with.satellite_elements();
+        // Plane 0 is identical; plane 1 is shifted by 360 * 1 * 1 / 16 = 22.5°.
+        assert_eq!(e0[0].mean_anomaly_deg, e1[0].mean_anomaly_deg);
+        assert!((e1[4].mean_anomaly_deg - e0[4].mean_anomaly_deg - 22.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn walker_shells_have_unique_positions(
+            planes in 1u32..10,
+            per_plane in 1u32..10,
+            alt in 400.0f64..1500.0,
+            incl in 30.0f64..98.0,
+        ) {
+            let shell = WalkerShell::new(alt, incl, planes, per_plane);
+            let elements = shell.satellite_elements();
+            prop_assert_eq!(elements.len() as u32, shell.total_satellites());
+            // No two satellites share both RAAN and mean anomaly.
+            for (i, a) in elements.iter().enumerate() {
+                for b in elements.iter().skip(i + 1) {
+                    let same_raan = (a.raan_deg - b.raan_deg).abs() < 1e-9;
+                    let same_anomaly = (a.mean_anomaly_deg - b.mean_anomaly_deg).abs() < 1e-9;
+                    prop_assert!(!(same_raan && same_anomaly));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The simulation driver.
+//!
+//! [`Simulation`] owns the virtual clock and an event queue of typed events.
+//! Callers pump events with [`Simulation::step`] or run a handler loop with
+//! [`Simulation::run_until`]; the handler may schedule further events. This
+//! inversion (the caller provides the handler per run, rather than actors
+//! owning callbacks) keeps the engine free of `Rc<RefCell<…>>` plumbing and
+//! makes the testbed runtime's borrow structure straightforward.
+
+use crate::event::EventQueue;
+use celestial_types::time::{SimDuration, SimInstant};
+
+/// A discrete-event simulation with a typed event payload.
+#[derive(Debug, Clone)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimInstant,
+    processed: u64,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation starting at the epoch.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimInstant::EPOCH,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// Events scheduled in the past are delivered at the current time instead
+    /// (time never runs backwards).
+    pub fn schedule_at(&mut self, time: SimInstant, event: E) {
+        let time = time.max(self.now);
+        self.queue.schedule(time, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    pub fn step(&mut self) -> Option<(SimInstant, E)> {
+        let (time, event) = self.queue.pop()?;
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// Runs the simulation until `deadline`, passing each event to `handler`
+    /// together with a mutable reference to the simulation so the handler can
+    /// schedule follow-up events. Events scheduled after the deadline remain
+    /// in the queue; the clock is left at the deadline.
+    pub fn run_until<F>(&mut self, deadline: SimInstant, mut handler: F)
+    where
+        F: FnMut(&mut Simulation<E>, SimInstant, E),
+    {
+        while let Some(next_time) = self.queue.peek_time() {
+            if next_time > deadline {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event exists");
+            self.now = time;
+            self.processed += 1;
+            handler(self, time, event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until the queue is empty, passing each event to `handler`.
+    pub fn run_to_completion<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Simulation<E>, SimInstant, E),
+    {
+        while let Some((time, event)) = self.step() {
+            handler(self, time, event);
+        }
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Tick {
+        Periodic(u32),
+        Once,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Simulation<Tick> = Simulation::new();
+        sim.schedule_in(SimDuration::from_millis(10), Tick::Once);
+        sim.schedule_in(SimDuration::from_millis(5), Tick::Periodic(0));
+        assert_eq!(sim.now(), SimInstant::EPOCH);
+        let (t1, e1) = sim.step().unwrap();
+        assert_eq!(t1, SimInstant::from_millis(5));
+        assert_eq!(e1, Tick::Periodic(0));
+        let (t2, _) = sim.step().unwrap();
+        assert_eq!(t2, SimInstant::from_millis(10));
+        assert_eq!(sim.now(), SimInstant::from_millis(10));
+        assert_eq!(sim.processed_events(), 2);
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_up_events() {
+        let mut sim: Simulation<Tick> = Simulation::new();
+        sim.schedule_at(SimInstant::from_secs_f64(0.0), Tick::Periodic(0));
+        let mut observed = Vec::new();
+        sim.run_until(SimInstant::from_secs_f64(10.0), |sim, _t, event| {
+            if let Tick::Periodic(n) = event {
+                observed.push(n);
+                if n < 100 {
+                    sim.schedule_in(SimDuration::from_secs(2), Tick::Periodic(n + 1));
+                }
+            }
+        });
+        // Ticks at t = 0, 2, 4, 6, 8, 10 seconds.
+        assert_eq!(observed, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimInstant::from_secs_f64(10.0));
+        // The follow-up scheduled for t=12 is still pending.
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(SimInstant::from_millis(100), 1);
+        sim.step();
+        sim.schedule_at(SimInstant::from_millis(1), 2);
+        let (t, e) = sim.step().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimInstant::from_millis(100));
+    }
+
+    #[test]
+    fn run_to_completion_drains_the_queue() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 0..10 {
+            sim.schedule_at(SimInstant::from_millis(i), i as u32);
+        }
+        let mut count = 0;
+        sim.run_to_completion(|_, _, _| count += 1);
+        assert_eq!(count, 10);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn deadline_without_events_still_advances_clock() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.run_until(SimInstant::from_secs_f64(5.0), |_, _, _| {});
+        assert_eq!(sim.now(), SimInstant::from_secs_f64(5.0));
+    }
+}

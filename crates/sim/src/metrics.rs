@@ -1,0 +1,399 @@
+//! Measurement recorders and statistics.
+//!
+//! The paper's evaluation presents cumulative latency distributions (Fig. 4),
+//! rolling-median time series (Figs. 5 and 6), and utilisation traces
+//! (Figs. 7 and 8). This module provides the corresponding recorders so the
+//! figure harness can emit exactly those series.
+
+use celestial_types::time::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Computes summary statistics over a slice of samples.
+///
+/// Returns the default (all-zero) summary for an empty slice.
+pub fn summarize(samples: &[f64]) -> SummaryStats {
+    if samples.is_empty() {
+        return SummaryStats::default();
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let count = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / count as f64;
+    let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+    SummaryStats {
+        count,
+        mean,
+        median: percentile_sorted(&sorted, 50.0),
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        p95: percentile_sorted(&sorted, 95.0),
+        p99: percentile_sorted(&sorted, 99.0),
+    }
+}
+
+/// The `p`-th percentile (0–100) of an already sorted sample slice, using
+/// linear interpolation between closest ranks.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let upper = rank.ceil() as usize;
+    let weight = rank - lower as f64;
+    sorted[lower] * (1.0 - weight) + sorted[upper] * weight
+}
+
+/// A recorder of latency samples that can be turned into a CDF (Fig. 4) or
+/// summary statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records a latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ms.push(latency.as_millis_f64());
+    }
+
+    /// Records a latency sample given in milliseconds.
+    pub fn record_millis(&mut self, millis: f64) {
+        self.samples_ms.push(millis);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The recorded samples in milliseconds.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Summary statistics of the recorded samples (milliseconds).
+    pub fn summary(&self) -> SummaryStats {
+        summarize(&self.samples_ms)
+    }
+
+    /// The empirical cumulative distribution of the samples.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_samples(&self.samples_ms)
+    }
+
+    /// The fraction of samples at or below `threshold_ms`, in `[0, 1]`.
+    pub fn fraction_below(&self, threshold_ms: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let below = self.samples_ms.iter().filter(|s| **s <= threshold_ms).count();
+        below as f64 / self.samples_ms.len() as f64
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unsorted samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        let points = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, value)| (value, (i + 1) as f64 / n as f64))
+            .collect();
+        Cdf { points }
+    }
+
+    /// The `(value, cumulative probability)` points of the CDF.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The cumulative probability at `value`.
+    pub fn probability_at(&self, value: f64) -> f64 {
+        let below = self.points.iter().take_while(|(v, _)| *v <= value).count();
+        if below == 0 {
+            0.0
+        } else {
+            self.points[below - 1].1
+        }
+    }
+
+    /// The value at the given cumulative probability (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.points.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let values: Vec<f64> = self.points.iter().map(|(v, _)| *v).collect();
+        percentile_sorted(&values, q * 100.0)
+    }
+}
+
+/// A time series of `(time, value)` measurements, e.g. CPU utilisation over
+/// the course of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty time series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Records a measurement at the given simulated time.
+    pub fn record(&mut self, time: SimInstant, value: f64) {
+        self.record_at_secs(time.as_secs_f64(), value);
+    }
+
+    /// Records a measurement at the given time in seconds.
+    pub fn record_at_secs(&mut self, time_seconds: f64, value: f64) {
+        self.points.push((time_seconds, value));
+    }
+
+    /// The recorded `(seconds, value)` points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only, in insertion order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// Summary statistics over the values.
+    pub fn summary(&self) -> SummaryStats {
+        summarize(&self.values())
+    }
+
+    /// A rolling-median series with the given window length in seconds, as
+    /// used for the latency-over-time plots (Figs. 5 and 6): for each point,
+    /// the median of all values within `[t - window, t]`.
+    pub fn rolling_median(&self, window_seconds: f64) -> TimeSeries {
+        let mut result = TimeSeries::new();
+        let mut sorted_points = self.points.clone();
+        sorted_points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        for (i, (t, _)) in sorted_points.iter().enumerate() {
+            let mut window: Vec<f64> = sorted_points[..=i]
+                .iter()
+                .filter(|(tw, _)| *tw >= t - window_seconds)
+                .map(|(_, v)| *v)
+                .collect();
+            window.sort_by(|a, b| a.partial_cmp(b).expect("no NaN values"));
+            result.record_at_secs(*t, percentile_sorted(&window, 50.0));
+        }
+        result
+    }
+
+    /// Downsamples the series into fixed-width bins, averaging the values in
+    /// each bin; useful for utilisation traces.
+    pub fn binned_mean(&self, bin_seconds: f64) -> TimeSeries {
+        assert!(bin_seconds > 0.0, "bin width must be positive");
+        let mut result = TimeSeries::new();
+        if self.points.is_empty() {
+            return result;
+        }
+        let mut sorted_points = self.points.clone();
+        sorted_points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        let mut bin_start = sorted_points[0].0;
+        let mut acc: Vec<f64> = Vec::new();
+        for (t, v) in sorted_points {
+            while t >= bin_start + bin_seconds {
+                if !acc.is_empty() {
+                    let mean = acc.iter().sum::<f64>() / acc.len() as f64;
+                    result.record_at_secs(bin_start, mean);
+                    acc.clear();
+                }
+                bin_start += bin_seconds;
+            }
+            acc.push(v);
+        }
+        if !acc.is_empty() {
+            let mean = acc.iter().sum::<f64>() / acc.len() as f64;
+            result.record_at_secs(bin_start, mean);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let stats = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(stats.count, 5);
+        assert!((stats.mean - 3.0).abs() < 1e-12);
+        assert!((stats.median - 3.0).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 5.0);
+        assert!((stats.std_dev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_samples_is_zero() {
+        assert_eq!(summarize(&[]), SummaryStats::default());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_recorder_cdf_matches_figure4_style_queries() {
+        let mut rec = LatencyRecorder::new();
+        for ms in [10.0, 12.0, 14.0, 16.0, 50.0] {
+            rec.record_millis(ms);
+        }
+        rec.record(SimDuration::from_millis(15));
+        assert_eq!(rec.len(), 6);
+        // 5 of 6 samples are at or below 16 ms.
+        assert!((rec.fraction_below(16.0) - 5.0 / 6.0).abs() < 1e-12);
+        let cdf = rec.cdf();
+        assert!((cdf.probability_at(16.0) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cdf.probability_at(1.0), 0.0);
+        assert_eq!(cdf.probability_at(100.0), 1.0);
+        assert!((cdf.quantile(1.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_median_smooths_spikes() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            let value = if i == 5 { 100.0 } else { 10.0 };
+            ts.record_at_secs(i as f64, value);
+        }
+        let rolled = ts.rolling_median(3.0);
+        // The spike at t=5 is smoothed away because the window median is 10.
+        let at_5 = rolled.points().iter().find(|(t, _)| *t == 5.0).unwrap().1;
+        assert_eq!(at_5, 10.0);
+        assert_eq!(rolled.len(), ts.len());
+    }
+
+    #[test]
+    fn binned_mean_reduces_resolution() {
+        let mut ts = TimeSeries::new();
+        for i in 0..100 {
+            ts.record_at_secs(i as f64 * 0.1, i as f64);
+        }
+        let binned = ts.binned_mean(1.0);
+        assert!(binned.len() <= 10);
+        // First bin covers values 0..10 -> mean 4.5.
+        assert!((binned.points()[0].1 - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_summary_and_accessors() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.record(SimInstant::from_secs_f64(1.0), 2.0);
+        ts.record(SimInstant::from_secs_f64(2.0), 4.0);
+        assert_eq!(ts.values(), vec![2.0, 4.0]);
+        assert!((ts.summary().mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_cdf_panics() {
+        Cdf::default().quantile(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(samples in prop::collection::vec(0.0f64..100.0, 1..50)) {
+            let cdf = Cdf::from_samples(&samples);
+            let points = cdf.points();
+            for w in points.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+            prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn percentile_is_bounded_by_extremes(samples in prop::collection::vec(-50.0f64..50.0, 1..40), p in 0.0f64..100.0) {
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let value = percentile_sorted(&sorted, p);
+            prop_assert!(value >= sorted[0] - 1e-9);
+            prop_assert!(value <= sorted[sorted.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn fraction_below_matches_cdf(samples in prop::collection::vec(0.0f64..100.0, 1..40), threshold in 0.0f64..100.0) {
+            let mut rec = LatencyRecorder::new();
+            for s in &samples {
+                rec.record_millis(*s);
+            }
+            let direct = rec.fraction_below(threshold);
+            let via_cdf = rec.cdf().probability_at(threshold);
+            prop_assert!((direct - via_cdf).abs() < 1e-9);
+        }
+    }
+}

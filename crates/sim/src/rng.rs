@@ -1,0 +1,185 @@
+//! Seeded randomness for repeatable experiments.
+//!
+//! Celestial stresses repeatability (§4.2, Fig. 6): given the same
+//! configuration and starting point, the emulated environment evolves the
+//! same way. All stochastic behaviour in this reproduction — processing-delay
+//! jitter, sensor payload contents, fault injection — draws from a
+//! [`SimRng`] seeded from the experiment configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator for the testbed.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator for a named sub-component, so that
+    /// adding randomness consumers does not perturb unrelated streams.
+    pub fn derive(&self, label: &str) -> SimRng {
+        // Mix the label into a new seed with the FNV-1a hash, then advance it
+        // with a draw from this generator's clone so that distinct parents
+        // give distinct children.
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in label.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        let mut parent = self.inner.clone();
+        let salt = parent.next_u64();
+        SimRng::seed_from_u64(hash ^ salt.rotate_left(17))
+    }
+
+    /// Uniformly distributed `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniformly distributed `f64` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "uniform_range requires low < high");
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniformly distributed integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Normally distributed value with the given mean and standard deviation
+    /// (Box–Muller transform).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn derived_generators_are_deterministic_and_distinct() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut child1 = parent.derive("netem");
+        let mut child1_again = SimRng::seed_from_u64(7).derive("netem");
+        let mut child2 = parent.derive("faults");
+        assert_eq!(child1.next_u64(), child1_again.next_u64());
+        assert_ne!(child1.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn normal_distribution_has_requested_moments() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.normal(1.37, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.37).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std dev {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_distribution_has_requested_mean() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.exponential(3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_range_and_below_respect_bounds() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            assert!(rng.below(10) < 10);
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn invalid_uniform_range_panics() {
+        SimRng::seed_from_u64(0).uniform_range(3.0, 2.0);
+    }
+}

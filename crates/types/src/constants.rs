@@ -1,0 +1,79 @@
+//! Physical and astrodynamic constants used throughout the testbed.
+//!
+//! Values follow the WGS-72 constants used by the original SGP4 reference
+//! implementation (the model Celestial relies on for satellite positions) and
+//! the assumptions spelled out in the paper (§4.1): signal propagation at the
+//! vacuum speed of light for both inter-satellite laser links and
+//! ground-to-satellite radio links.
+
+/// Mean equatorial radius of the Earth in kilometres (WGS-72).
+pub const EARTH_RADIUS_KM: f64 = 6378.135;
+
+/// Gravitational parameter of the Earth, `mu = G * M`, in km^3 / s^2 (WGS-72).
+pub const EARTH_MU_KM3_S2: f64 = 398600.8;
+
+/// Second zonal harmonic of the Earth's gravitational field (WGS-72).
+pub const EARTH_J2: f64 = 1.082616e-3;
+
+/// Third zonal harmonic of the Earth's gravitational field (WGS-72).
+pub const EARTH_J3: f64 = -2.53881e-6;
+
+/// Fourth zonal harmonic of the Earth's gravitational field (WGS-72).
+pub const EARTH_J4: f64 = -1.65597e-6;
+
+/// Rotation rate of the Earth in radians per second (sidereal).
+pub const EARTH_ROTATION_RAD_S: f64 = 7.292115855e-5;
+
+/// Flattening of the Earth (WGS-72).
+pub const EARTH_FLATTENING: f64 = 1.0 / 298.26;
+
+/// Speed of light in vacuum in kilometres per second.
+///
+/// The paper assumes both laser ISLs and RF ground-to-satellite links
+/// propagate at `c` (§4.1), so this single constant governs all link delays.
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
+
+/// Seconds per solar day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Minutes per solar day, the time unit used by SGP4 mean motion.
+pub const MINUTES_PER_DAY: f64 = 1_440.0;
+
+/// Altitude (in km) below which an inter-satellite laser link is considered
+/// refracted by the atmosphere and therefore unavailable.
+///
+/// Celestial cuts ISLs whose line of sight dips below a configurable altitude;
+/// 80 km (roughly the mesopause) is the default used here.
+pub const ATMOSPHERE_CUTOFF_KM: f64 = 80.0;
+
+/// Default minimum elevation angle (degrees) above the horizon for a ground
+/// station to communicate with a satellite.
+pub const DEFAULT_MIN_ELEVATION_DEG: f64 = 25.0;
+
+/// Conversion factor from degrees to radians.
+pub const DEG_TO_RAD: f64 = std::f64::consts::PI / 180.0;
+
+/// Conversion factor from radians to degrees.
+pub const RAD_TO_DEG: f64 = 180.0 / std::f64::consts::PI;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earth_radius_is_plausible() {
+        assert!(EARTH_RADIUS_KM > 6300.0 && EARTH_RADIUS_KM < 6400.0);
+    }
+
+    #[test]
+    fn deg_rad_round_trip() {
+        let deg = 53.0;
+        let back = deg * DEG_TO_RAD * RAD_TO_DEG;
+        assert!((back - deg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_of_light_matches_si_definition() {
+        assert!((SPEED_OF_LIGHT_KM_S * 1000.0 - 299_792_458.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,100 @@
+//! The shared error type for the Celestial testbed crates.
+
+use std::fmt;
+
+/// Convenience alias for results produced by Celestial crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the Celestial testbed.
+///
+/// A single error enum is shared across the workspace so that higher layers
+/// (coordinator, testbed runtime, benchmark harness) can propagate failures
+/// from any substrate with `?` without wrapping.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration file or configuration value was invalid.
+    Config(String),
+    /// A two-line element set could not be parsed.
+    Tle(String),
+    /// An orbital propagation failed (e.g. the orbit decayed).
+    Propagation(String),
+    /// A referenced satellite, ground station, machine or host does not exist.
+    UnknownNode(String),
+    /// A network operation failed (unreachable node, link rejected a packet).
+    Network(String),
+    /// A machine lifecycle operation was invalid in the machine's current state.
+    MachineState(String),
+    /// A host ran out of resources or rejected a placement.
+    HostCapacity(String),
+    /// A name could not be resolved by the Celestial DNS service.
+    NameResolution(String),
+    /// The coordinator's info API rejected a request.
+    InfoApi(String),
+    /// A guest application reported a failure.
+    Application(String),
+    /// Serialization or deserialization of testbed state failed.
+    Serialization(String),
+}
+
+impl Error {
+    /// Creates a configuration error with the given message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Creates an unknown-node error with the given message.
+    pub fn unknown_node(msg: impl Into<String>) -> Self {
+        Error::UnknownNode(msg.into())
+    }
+
+    /// Creates a network error with the given message.
+    pub fn network(msg: impl Into<String>) -> Self {
+        Error::Network(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::Tle(m) => write!(f, "invalid two-line element set: {m}"),
+            Error::Propagation(m) => write!(f, "orbital propagation failed: {m}"),
+            Error::UnknownNode(m) => write!(f, "unknown node: {m}"),
+            Error::Network(m) => write!(f, "network error: {m}"),
+            Error::MachineState(m) => write!(f, "invalid machine state transition: {m}"),
+            Error::HostCapacity(m) => write!(f, "host capacity exceeded: {m}"),
+            Error::NameResolution(m) => write!(f, "name resolution failed: {m}"),
+            Error::InfoApi(m) => write!(f, "info API request failed: {m}"),
+            Error::Application(m) => write!(f, "application error: {m}"),
+            Error::Serialization(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = Error::config("missing shell altitude");
+        let text = err.to_string();
+        assert!(text.contains("missing shell altitude"));
+        assert!(text.starts_with("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn helpers_produce_expected_variants() {
+        assert!(matches!(Error::unknown_node("sat 3"), Error::UnknownNode(_)));
+        assert!(matches!(Error::network("link down"), Error::Network(_)));
+    }
+}

@@ -1,0 +1,363 @@
+//! Geodetic and Cartesian coordinates.
+//!
+//! The constellation calculation works in an Earth-centred Cartesian frame
+//! (kilometres); configuration files and ground stations use geodetic
+//! latitude/longitude/altitude. This module provides both representations and
+//! the conversions between them for a spherical Earth model, which is the
+//! model used by Celestial's constellation calculation (the sub-kilometre
+//! error of ignoring the flattening is far below the link-length differences
+//! that matter for millisecond-scale latency emulation).
+
+use crate::constants::{DEG_TO_RAD, EARTH_RADIUS_KM, RAD_TO_DEG};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A position expressed as geodetic latitude, longitude and altitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Geodetic {
+    latitude_deg: f64,
+    longitude_deg: f64,
+    altitude_km: f64,
+}
+
+impl Geodetic {
+    /// Creates a geodetic position from latitude and longitude in degrees and
+    /// altitude above the mean Earth radius in kilometres.
+    ///
+    /// Latitude is clamped to [-90, 90]; longitude is normalised to
+    /// (-180, 180].
+    pub fn new(latitude_deg: f64, longitude_deg: f64, altitude_km: f64) -> Self {
+        Geodetic {
+            latitude_deg: latitude_deg.clamp(-90.0, 90.0),
+            longitude_deg: normalize_longitude(longitude_deg),
+            altitude_km,
+        }
+    }
+
+    /// Returns the latitude in degrees, positive north.
+    pub fn latitude_deg(&self) -> f64 {
+        self.latitude_deg
+    }
+
+    /// Returns the longitude in degrees, positive east, in (-180, 180].
+    pub fn longitude_deg(&self) -> f64 {
+        self.longitude_deg
+    }
+
+    /// Returns the altitude above the mean Earth radius in kilometres.
+    pub fn altitude_km(&self) -> f64 {
+        self.altitude_km
+    }
+
+    /// Converts this geodetic position to Earth-centred, Earth-fixed
+    /// Cartesian coordinates (kilometres) on a spherical Earth.
+    pub fn to_cartesian(&self) -> Cartesian {
+        let lat = self.latitude_deg * DEG_TO_RAD;
+        let lon = self.longitude_deg * DEG_TO_RAD;
+        let r = EARTH_RADIUS_KM + self.altitude_km;
+        Cartesian {
+            x: r * lat.cos() * lon.cos(),
+            y: r * lat.cos() * lon.sin(),
+            z: r * lat.sin(),
+        }
+    }
+
+    /// Great-circle (surface) distance to another geodetic position in
+    /// kilometres, ignoring the altitudes of both points.
+    pub fn great_circle_distance_km(&self, other: &Geodetic) -> f64 {
+        let lat1 = self.latitude_deg * DEG_TO_RAD;
+        let lat2 = other.latitude_deg * DEG_TO_RAD;
+        let dlat = lat2 - lat1;
+        let dlon = (other.longitude_deg - self.longitude_deg) * DEG_TO_RAD;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+}
+
+impl fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.4}°, {:.4}°, {:.1} km)",
+            self.latitude_deg, self.longitude_deg, self.altitude_km
+        )
+    }
+}
+
+/// Normalises a longitude in degrees to the interval (-180, 180].
+pub fn normalize_longitude(longitude_deg: f64) -> f64 {
+    let mut lon = longitude_deg % 360.0;
+    if lon > 180.0 {
+        lon -= 360.0;
+    } else if lon <= -180.0 {
+        lon += 360.0;
+    }
+    lon
+}
+
+/// An Earth-centred Cartesian vector in kilometres.
+///
+/// Depending on context the frame is either inertial (ECI/TEME, used during
+/// orbit propagation) or Earth-fixed (ECEF, used for ground stations and link
+/// geometry); the conversion between the two lives in `celestial-sgp4`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cartesian {
+    /// X component in kilometres.
+    pub x: f64,
+    /// Y component in kilometres.
+    pub y: f64,
+    /// Z component in kilometres (towards the north pole).
+    pub z: f64,
+}
+
+impl Cartesian {
+    /// Creates a Cartesian vector from its components in kilometres.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Cartesian { x, y, z }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Cartesian::default()
+    }
+
+    /// Euclidean norm (distance from the Earth's centre) in kilometres.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Euclidean distance to another point in kilometres.
+    pub fn distance_to(&self, other: &Cartesian) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &Cartesian) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with another vector.
+    pub fn cross(&self, other: &Cartesian) -> Cartesian {
+        Cartesian {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Returns this vector scaled to unit length.
+    ///
+    /// Returns the zero vector when the norm is zero.
+    pub fn normalized(&self) -> Cartesian {
+        let n = self.norm();
+        if n == 0.0 {
+            Cartesian::zero()
+        } else {
+            *self * (1.0 / n)
+        }
+    }
+
+    /// Converts an Earth-fixed Cartesian position to geodetic coordinates on
+    /// a spherical Earth.
+    pub fn to_geodetic(&self) -> Geodetic {
+        let r = self.norm();
+        if r == 0.0 {
+            return Geodetic::new(0.0, 0.0, -EARTH_RADIUS_KM);
+        }
+        let lat = (self.z / r).asin() * RAD_TO_DEG;
+        let lon = self.y.atan2(self.x) * RAD_TO_DEG;
+        Geodetic::new(lat, lon, r - EARTH_RADIUS_KM)
+    }
+
+    /// Computes the minimum distance from the Earth's centre to the straight
+    /// line segment between `self` and `other`, in kilometres.
+    ///
+    /// The constellation calculation uses this to decide whether an
+    /// inter-satellite laser link grazes the atmosphere: if the segment dips
+    /// below `EARTH_RADIUS_KM + ATMOSPHERE_CUTOFF_KM` the link is unavailable.
+    pub fn segment_min_altitude_km(&self, other: &Cartesian) -> f64 {
+        let d = *other - *self;
+        let len_sq = d.dot(&d);
+        if len_sq == 0.0 {
+            return self.norm() - EARTH_RADIUS_KM;
+        }
+        // Parameter of the closest point to the origin along the segment.
+        let t = (-self.dot(&d) / len_sq).clamp(0.0, 1.0);
+        let closest = *self + d * t;
+        closest.norm() - EARTH_RADIUS_KM
+    }
+
+    /// Elevation angle in degrees of `target` as seen from `self`, where
+    /// `self` is assumed to lie on or near the Earth's surface.
+    ///
+    /// An elevation of 90° means the target is directly overhead; 0° means it
+    /// is on the horizon; negative values mean it is below the horizon.
+    pub fn elevation_angle_deg(&self, target: &Cartesian) -> f64 {
+        let up = self.normalized();
+        let to_target = (*target - *self).normalized();
+        let cos_zenith = up.dot(&to_target).clamp(-1.0, 1.0);
+        90.0 - cos_zenith.acos() * RAD_TO_DEG
+    }
+}
+
+impl Add for Cartesian {
+    type Output = Cartesian;
+
+    fn add(self, rhs: Cartesian) -> Cartesian {
+        Cartesian::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Cartesian {
+    type Output = Cartesian;
+
+    fn sub(self, rhs: Cartesian) -> Cartesian {
+        Cartesian::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Cartesian {
+    type Output = Cartesian;
+
+    fn mul(self, rhs: f64) -> Cartesian {
+        Cartesian::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Neg for Cartesian {
+    type Output = Cartesian;
+
+    fn neg(self) -> Cartesian {
+        Cartesian::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Cartesian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}, {:.3}] km", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geodetic_to_cartesian_at_equator_prime_meridian() {
+        let p = Geodetic::new(0.0, 0.0, 0.0).to_cartesian();
+        assert!((p.x - EARTH_RADIUS_KM).abs() < 1e-9);
+        assert!(p.y.abs() < 1e-9);
+        assert!(p.z.abs() < 1e-9);
+    }
+
+    #[test]
+    fn geodetic_to_cartesian_at_north_pole() {
+        let p = Geodetic::new(90.0, 45.0, 100.0).to_cartesian();
+        assert!(p.x.abs() < 1e-6);
+        assert!(p.y.abs() < 1e-6);
+        assert!((p.z - (EARTH_RADIUS_KM + 100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn longitude_normalization() {
+        assert_eq!(normalize_longitude(190.0), -170.0);
+        assert_eq!(normalize_longitude(-190.0), 170.0);
+        assert_eq!(normalize_longitude(360.0), 0.0);
+        assert_eq!(normalize_longitude(180.0), 180.0);
+        assert_eq!(normalize_longitude(-180.0), 180.0);
+    }
+
+    #[test]
+    fn great_circle_distance_quarter_circumference() {
+        let equator = Geodetic::new(0.0, 0.0, 0.0);
+        let pole = Geodetic::new(90.0, 0.0, 0.0);
+        let expected = std::f64::consts::FRAC_PI_2 * EARTH_RADIUS_KM;
+        assert!((equator.great_circle_distance_km(&pole) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elevation_overhead_and_horizon() {
+        let observer = Geodetic::new(0.0, 0.0, 0.0).to_cartesian();
+        let overhead = Geodetic::new(0.0, 0.0, 550.0).to_cartesian();
+        assert!((observer.elevation_angle_deg(&overhead) - 90.0).abs() < 1e-6);
+
+        // A satellite 90 degrees of longitude away at low altitude is below
+        // the horizon.
+        let far = Geodetic::new(0.0, 90.0, 550.0).to_cartesian();
+        assert!(observer.elevation_angle_deg(&far) < 0.0);
+    }
+
+    #[test]
+    fn segment_altitude_detects_earth_blockage() {
+        // Two satellites on opposite sides of the Earth: the segment passes
+        // through the Earth's centre.
+        let a = Geodetic::new(0.0, 0.0, 550.0).to_cartesian();
+        let b = Geodetic::new(0.0, 180.0, 550.0).to_cartesian();
+        assert!(a.segment_min_altitude_km(&b) < -EARTH_RADIUS_KM + 1.0);
+
+        // Two adjacent satellites: the segment stays near orbital altitude.
+        let c = Geodetic::new(0.0, 5.0, 550.0).to_cartesian();
+        let alt = a.segment_min_altitude_km(&c);
+        assert!(alt > 500.0 && alt <= 550.0);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Cartesian::new(1.0, 2.0, 3.0);
+        let b = Cartesian::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Cartesian::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Cartesian::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Cartesian::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Cartesian::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!(a.cross(&b), Cartesian::new(-3.0, 6.0, -3.0));
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_zero() {
+        assert_eq!(Cartesian::zero().normalized(), Cartesian::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn geodetic_cartesian_round_trip(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.9,
+            alt in 0.0f64..2000.0,
+        ) {
+            let geo = Geodetic::new(lat, lon, alt);
+            let back = geo.to_cartesian().to_geodetic();
+            prop_assert!((back.latitude_deg() - lat).abs() < 1e-6);
+            prop_assert!((back.longitude_deg() - lon).abs() < 1e-6);
+            prop_assert!((back.altitude_km() - alt).abs() < 1e-6);
+        }
+
+        #[test]
+        fn distance_is_symmetric(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let a = Geodetic::new(lat1, lon1, 0.0);
+            let b = Geodetic::new(lat2, lon2, 0.0);
+            let d1 = a.great_circle_distance_km(&b);
+            let d2 = b.great_circle_distance_km(&a);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+            prop_assert!(d1 >= 0.0);
+            // No two points on the sphere are further apart than half its
+            // circumference.
+            prop_assert!(d1 <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-9);
+        }
+
+        #[test]
+        fn cartesian_norm_triangle_inequality(
+            x1 in -1e4f64..1e4, y1 in -1e4f64..1e4, z1 in -1e4f64..1e4,
+            x2 in -1e4f64..1e4, y2 in -1e4f64..1e4, z2 in -1e4f64..1e4,
+        ) {
+            let a = Cartesian::new(x1, y1, z1);
+            let b = Cartesian::new(x2, y2, z2);
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Identifiers for the entities managed by the Celestial testbed.
+//!
+//! Celestial addresses satellites by `(shell, index)` pairs — the DNS name
+//! `878.0.celestial` refers to satellite 878 of the first shell — and ground
+//! stations by their position in the configuration file. Machines (microVMs)
+//! and hosts get their own identifier spaces because a single logical node is
+//! backed by exactly one machine, which in turn is placed on one host.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a satellite shell (orbital sub-constellation).
+///
+/// Shells are numbered in the order they appear in the configuration file,
+/// starting at zero, matching the original Celestial addressing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ShellId(pub u16);
+
+impl ShellId {
+    /// Returns the numeric index of this shell.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shell {}", self.0)
+    }
+}
+
+/// Identifier of a satellite within a constellation: a shell plus the
+/// satellite's index within that shell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SatelliteId {
+    /// The shell this satellite belongs to.
+    pub shell: ShellId,
+    /// The index of the satellite within its shell (plane-major order).
+    pub index: u32,
+}
+
+impl SatelliteId {
+    /// Creates a satellite identifier from a shell index and satellite index.
+    pub fn new(shell: u16, index: u32) -> Self {
+        SatelliteId {
+            shell: ShellId(shell),
+            index,
+        }
+    }
+
+    /// Returns the Celestial DNS name of this satellite, e.g. `878.0.celestial`.
+    pub fn dns_name(&self) -> String {
+        format!("{}.{}.celestial", self.index, self.shell.0)
+    }
+}
+
+impl fmt::Display for SatelliteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sat {}/{}", self.shell.0, self.index)
+    }
+}
+
+/// Identifier of a ground station, assigned by configuration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct GroundStationId(pub u32);
+
+impl GroundStationId {
+    /// Returns the Celestial DNS name of this ground station,
+    /// e.g. `1.gst.celestial`.
+    pub fn dns_name(&self) -> String {
+        format!("{}.gst.celestial", self.0)
+    }
+
+    /// Returns the numeric index of this ground station.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroundStationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gst {}", self.0)
+    }
+}
+
+/// A node in the emulated topology: either a satellite server or a ground
+/// station server.
+///
+/// `NodeId` is the key used by the constellation calculation, the network
+/// emulation and the machine managers alike, so that network paths can mix
+/// satellites and ground stations freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A satellite server.
+    Satellite(SatelliteId),
+    /// A ground station server.
+    GroundStation(GroundStationId),
+}
+
+impl NodeId {
+    /// Creates a satellite node identifier.
+    pub fn satellite(shell: u16, index: u32) -> Self {
+        NodeId::Satellite(SatelliteId::new(shell, index))
+    }
+
+    /// Creates a ground-station node identifier.
+    pub fn ground_station(index: u32) -> Self {
+        NodeId::GroundStation(GroundStationId(index))
+    }
+
+    /// Returns `true` if this node is a satellite.
+    pub fn is_satellite(&self) -> bool {
+        matches!(self, NodeId::Satellite(_))
+    }
+
+    /// Returns `true` if this node is a ground station.
+    pub fn is_ground_station(&self) -> bool {
+        matches!(self, NodeId::GroundStation(_))
+    }
+
+    /// Returns the satellite identifier if this node is a satellite.
+    pub fn as_satellite(&self) -> Option<SatelliteId> {
+        match self {
+            NodeId::Satellite(s) => Some(*s),
+            NodeId::GroundStation(_) => None,
+        }
+    }
+
+    /// Returns the ground station identifier if this node is a ground station.
+    pub fn as_ground_station(&self) -> Option<GroundStationId> {
+        match self {
+            NodeId::GroundStation(g) => Some(*g),
+            NodeId::Satellite(_) => None,
+        }
+    }
+
+    /// Returns the Celestial DNS name of this node.
+    pub fn dns_name(&self) -> String {
+        match self {
+            NodeId::Satellite(s) => s.dns_name(),
+            NodeId::GroundStation(g) => g.dns_name(),
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Satellite(s) => write!(f, "{s}"),
+            NodeId::GroundStation(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+impl From<SatelliteId> for NodeId {
+    fn from(value: SatelliteId) -> Self {
+        NodeId::Satellite(value)
+    }
+}
+
+impl From<GroundStationId> for NodeId {
+    fn from(value: GroundStationId) -> Self {
+        NodeId::GroundStation(value)
+    }
+}
+
+/// Identifier of an emulated machine (microVM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct MachineId(pub u64);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine {}", self.0)
+    }
+}
+
+/// Identifier of a Celestial host (physical or cloud server running microVMs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Returns the numeric index of this host.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satellite_dns_name_matches_paper_format() {
+        let sat = SatelliteId::new(0, 878);
+        assert_eq!(sat.dns_name(), "878.0.celestial");
+    }
+
+    #[test]
+    fn ground_station_dns_name() {
+        let gst = GroundStationId(1);
+        assert_eq!(gst.dns_name(), "1.gst.celestial");
+    }
+
+    #[test]
+    fn node_id_accessors() {
+        let sat = NodeId::satellite(1, 5);
+        let gst = NodeId::ground_station(2);
+        assert!(sat.is_satellite());
+        assert!(!sat.is_ground_station());
+        assert!(gst.is_ground_station());
+        assert_eq!(sat.as_satellite(), Some(SatelliteId::new(1, 5)));
+        assert_eq!(sat.as_ground_station(), None);
+        assert_eq!(gst.as_ground_station(), Some(GroundStationId(2)));
+        assert_eq!(gst.as_satellite(), None);
+    }
+
+    #[test]
+    fn node_id_ordering_is_total_and_stable() {
+        let mut nodes = vec![
+            NodeId::ground_station(1),
+            NodeId::satellite(0, 2),
+            NodeId::satellite(0, 1),
+            NodeId::ground_station(0),
+        ];
+        nodes.sort();
+        assert_eq!(
+            nodes,
+            vec![
+                NodeId::satellite(0, 1),
+                NodeId::satellite(0, 2),
+                NodeId::ground_station(0),
+                NodeId::ground_station(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn ids_round_trip_through_serde() {
+        let node = NodeId::satellite(2, 77);
+        let json = serde_json::to_string(&node).expect("serialize");
+        let back: NodeId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(node, back);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!ShellId(3).to_string().is_empty());
+        assert!(!MachineId(9).to_string().is_empty());
+        assert!(!HostId(4).to_string().is_empty());
+        assert!(!NodeId::satellite(0, 0).to_string().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared vocabulary types for the Celestial LEO edge testbed.
+//!
+//! This crate defines the small, widely shared types that every other crate
+//! in the workspace builds on: identifiers for satellites, ground stations,
+//! machines and hosts ([`ids`]), geodetic and Cartesian coordinates
+//! ([`geo`]), simulated time ([`time`]), machine resource specifications
+//! ([`resources`]), network link quantities ([`link`]), physical constants
+//! ([`constants`]) and the shared error type ([`error`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use celestial_types::geo::Geodetic;
+//! use celestial_types::ids::NodeId;
+//!
+//! // The ground station in Accra used by the paper's §4 evaluation.
+//! let accra = Geodetic::new(5.6037, -0.1870, 0.0);
+//! let node = NodeId::ground_station(0);
+//! assert!(node.is_ground_station());
+//! assert!(accra.latitude_deg() < 6.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod link;
+pub mod resources;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use geo::{Cartesian, Geodetic};
+pub use ids::{GroundStationId, HostId, MachineId, NodeId, SatelliteId, ShellId};
+pub use link::{Bandwidth, Latency};
+pub use resources::MachineResources;
+pub use time::{SimDuration, SimInstant};

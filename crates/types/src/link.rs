@@ -1,0 +1,224 @@
+//! Network link quantities: latency and bandwidth newtypes.
+//!
+//! Celestial configures each directed pair of machines with a one-way delay
+//! (derived from the physical link distance) and a bandwidth cap (from the
+//! configuration file). Delays are injected with 0.1 ms accuracy, which is
+//! reflected in [`Latency::quantized_tenth_ms`].
+
+use crate::constants::SPEED_OF_LIGHT_KM_S;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// A one-way network latency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Latency(u64);
+
+impl Latency {
+    /// A latency of zero.
+    pub const ZERO: Latency = Latency(0);
+
+    /// Creates a latency from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Latency(micros)
+    }
+
+    /// Creates a latency from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(millis.is_finite() && millis >= 0.0, "latency must be non-negative");
+        Latency((millis * 1e3).round() as u64)
+    }
+
+    /// Computes the propagation latency of a signal travelling `distance_km`
+    /// kilometres at the vacuum speed of light, the paper's assumption for
+    /// both laser ISLs and RF ground links.
+    pub fn from_distance_km(distance_km: f64) -> Self {
+        assert!(distance_km.is_finite() && distance_km >= 0.0, "distance must be non-negative");
+        Latency((distance_km / SPEED_OF_LIGHT_KM_S * 1e6).round() as u64)
+    }
+
+    /// The latency in microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// The latency in fractional milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Quantizes the latency to tenths of a millisecond, the granularity at
+    /// which Celestial's machine managers program `tc-netem`.
+    pub fn quantized_tenth_ms(&self) -> Latency {
+        Latency((self.0 + 50) / 100 * 100)
+    }
+
+    /// Converts the latency into a simulated duration.
+    pub fn to_duration(&self) -> SimDuration {
+        SimDuration::from_micros(self.0)
+    }
+
+    /// Saturating subtraction, used to compensate for physical host-to-host
+    /// latency that is already present underneath the emulated link.
+    pub fn saturating_sub(&self, other: Latency) -> Latency {
+        Latency(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl From<Latency> for SimDuration {
+    fn from(value: Latency) -> Self {
+        value.to_duration()
+    }
+}
+
+/// A link bandwidth in bits per second.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// An unusable link with zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a bandwidth from bits per second.
+    pub fn from_bps(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from kilobits per second.
+    pub fn from_kbps(kbps: u64) -> Self {
+        Bandwidth(kbps * 1_000)
+    }
+
+    /// Creates a bandwidth from megabits per second.
+    pub fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps * 1_000_000)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000_000_000)
+    }
+
+    /// The bandwidth in bits per second.
+    pub fn as_bps(&self) -> u64 {
+        self.0
+    }
+
+    /// The bandwidth in megabits per second as a floating point number.
+    pub fn as_mbps_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns true if the link cannot carry any traffic.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The time needed to serialise `bytes` bytes onto a link of this
+    /// bandwidth.
+    ///
+    /// Returns `None` for a zero-bandwidth link, on which no amount of time
+    /// suffices.
+    pub fn transmission_time(&self, bytes: u64) -> Option<SimDuration> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bits = bytes as f64 * 8.0;
+        Some(SimDuration::from_secs_f64(bits / self.0 as f64))
+    }
+
+    /// Returns the smaller of two bandwidths, i.e. the bottleneck of a path
+    /// containing both links.
+    pub fn bottleneck(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2} Gb/s", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2} Mb/s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2} Kb/s", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} b/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_from_distance_uses_speed_of_light() {
+        // 2998 km at c is almost exactly 10 ms one way.
+        let lat = Latency::from_distance_km(2_997.92458);
+        assert_eq!(lat.as_micros(), 10_000);
+    }
+
+    #[test]
+    fn latency_quantization_to_tenth_millisecond() {
+        assert_eq!(Latency::from_micros(1_234).quantized_tenth_ms().as_micros(), 1_200);
+        assert_eq!(Latency::from_micros(1_250).quantized_tenth_ms().as_micros(), 1_300);
+        assert_eq!(Latency::from_micros(40).quantized_tenth_ms().as_micros(), 0);
+    }
+
+    #[test]
+    fn latency_subtraction_saturates() {
+        let a = Latency::from_micros(200);
+        let b = Latency::from_micros(500);
+        assert_eq!(a.saturating_sub(b), Latency::ZERO);
+        assert_eq!(b.saturating_sub(a), Latency::from_micros(300));
+    }
+
+    #[test]
+    fn bandwidth_constructors_and_display() {
+        assert_eq!(Bandwidth::from_gbps(10).as_bps(), 10_000_000_000);
+        assert_eq!(Bandwidth::from_mbps(100).as_bps(), 100_000_000);
+        assert_eq!(Bandwidth::from_kbps(88).as_bps(), 88_000);
+        assert_eq!(Bandwidth::from_gbps(10).to_string(), "10.00 Gb/s");
+        assert_eq!(Bandwidth::from_kbps(88).to_string(), "88.00 Kb/s");
+    }
+
+    #[test]
+    fn transmission_time_of_video_frame() {
+        // A 1250-byte packet on a 10 Mb/s link takes 1 ms to serialise.
+        let bw = Bandwidth::from_mbps(10);
+        let t = bw.transmission_time(1_250).expect("non-zero bandwidth");
+        assert_eq!(t.as_micros(), 1_000);
+        assert_eq!(Bandwidth::ZERO.transmission_time(100), None);
+    }
+
+    #[test]
+    fn bottleneck_takes_minimum() {
+        let isl = Bandwidth::from_gbps(10);
+        let uplink = Bandwidth::from_kbps(88);
+        assert_eq!(isl.bottleneck(uplink), uplink);
+    }
+}

@@ -1,0 +1,140 @@
+//! Machine resource specifications.
+//!
+//! Celestial's configuration file allocates a number of vCPUs, an amount of
+//! memory, a kernel and a root filesystem to each class of machine (satellite
+//! servers per shell, each ground station, and — in our reproduction — the
+//! client machines of the evaluation workloads).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resources allocated to an emulated machine (microVM).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineResources {
+    /// Number of virtual CPU cores allocated to the machine.
+    pub vcpus: u32,
+    /// Memory allocated to the machine in mebibytes.
+    pub memory_mib: u64,
+    /// Disk size of the machine's writable overlay in mebibytes.
+    pub disk_mib: u64,
+    /// Name of the kernel image booted by the machine.
+    pub kernel: String,
+    /// Name of the immutable root filesystem image shared by machines of the
+    /// same class (Celestial de-duplicates these across microVMs).
+    pub rootfs: String,
+}
+
+impl MachineResources {
+    /// Creates a resource specification with the given CPU and memory sizes
+    /// and the default kernel and root filesystem images.
+    pub fn new(vcpus: u32, memory_mib: u64) -> Self {
+        MachineResources {
+            vcpus,
+            memory_mib,
+            disk_mib: 1024,
+            kernel: "vmlinux.bin".to_owned(),
+            rootfs: "rootfs.ext4".to_owned(),
+        }
+    }
+
+    /// Sets the disk size in mebibytes, returning the modified specification.
+    pub fn with_disk_mib(mut self, disk_mib: u64) -> Self {
+        self.disk_mib = disk_mib;
+        self
+    }
+
+    /// Sets the kernel image name, returning the modified specification.
+    pub fn with_kernel(mut self, kernel: impl Into<String>) -> Self {
+        self.kernel = kernel.into();
+        self
+    }
+
+    /// Sets the root filesystem image name, returning the modified
+    /// specification.
+    pub fn with_rootfs(mut self, rootfs: impl Into<String>) -> Self {
+        self.rootfs = rootfs.into();
+        self
+    }
+
+    /// The satellite server allocation used in the paper's §4 evaluation:
+    /// two vCPUs and 512 MiB of memory.
+    pub fn paper_satellite() -> Self {
+        MachineResources::new(2, 512)
+    }
+
+    /// The client / tracking-service allocation used in the paper's §4
+    /// evaluation: four vCPUs and 4 GiB of memory.
+    pub fn paper_client() -> Self {
+        MachineResources::new(4, 4096)
+    }
+
+    /// The sensor / data-sink allocation used in the paper's §5 case study:
+    /// one vCPU and 1 GiB of memory.
+    pub fn paper_sensor() -> Self {
+        MachineResources::new(1, 1024)
+    }
+
+    /// The central ground-station server allocation used in the paper's §5
+    /// datacenter deployment: eight vCPUs and 8 GiB of memory.
+    pub fn paper_central_server() -> Self {
+        MachineResources::new(8, 8192)
+    }
+}
+
+impl Default for MachineResources {
+    fn default() -> Self {
+        MachineResources::new(1, 128)
+    }
+}
+
+impl fmt::Display for MachineResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vCPU, {} MiB mem, {} MiB disk ({}, {})",
+            self.vcpus, self.memory_mib, self.disk_mib, self.kernel, self.rootfs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_allocations_match_the_evaluation_setup() {
+        let sat = MachineResources::paper_satellite();
+        assert_eq!((sat.vcpus, sat.memory_mib), (2, 512));
+        let client = MachineResources::paper_client();
+        assert_eq!((client.vcpus, client.memory_mib), (4, 4096));
+        let sensor = MachineResources::paper_sensor();
+        assert_eq!((sensor.vcpus, sensor.memory_mib), (1, 1024));
+        let central = MachineResources::paper_central_server();
+        assert_eq!((central.vcpus, central.memory_mib), (8, 8192));
+    }
+
+    #[test]
+    fn builder_methods_override_defaults() {
+        let spec = MachineResources::new(2, 256)
+            .with_disk_mib(4096)
+            .with_kernel("custom-kernel")
+            .with_rootfs("app.ext4");
+        assert_eq!(spec.disk_mib, 4096);
+        assert_eq!(spec.kernel, "custom-kernel");
+        assert_eq!(spec.rootfs, "app.ext4");
+    }
+
+    #[test]
+    fn default_is_minimal_machine() {
+        let spec = MachineResources::default();
+        assert_eq!(spec.vcpus, 1);
+        assert!(spec.memory_mib >= 64);
+    }
+
+    #[test]
+    fn display_mentions_all_resources() {
+        let text = MachineResources::new(2, 512).to_string();
+        assert!(text.contains("2 vCPU"));
+        assert!(text.contains("512 MiB"));
+    }
+}

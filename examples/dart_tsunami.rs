@@ -1,0 +1,61 @@
+//! The paper's §5 case study as a runnable example: real-time ocean
+//! environment alerts with remote sensors over the Iridium constellation.
+//!
+//! Run with `cargo run --release --example dart_tsunami` (add `--quick` for a
+//! shortened run with fewer buoys and sinks).
+
+use celestial::config::{HostConfig, TestbedConfig};
+use celestial::testbed::Testbed;
+use celestial_apps::dart::DartExperiment;
+use celestial_apps::{DartConfig, DartDeployment};
+use celestial_constellation::BoundingBox;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    for deployment in [DartDeployment::Central, DartDeployment::Satellite] {
+        let app_config = if quick {
+            DartConfig::reduced(deployment, 20, 40)
+        } else {
+            DartConfig::new(deployment)
+        };
+        let config = TestbedConfig::builder()
+            .seed(2022)
+            .update_interval_s(5.0)
+            .duration_s(if quick { 60.0 } else { 900.0 })
+            .shell(DartConfig::iridium_shell())
+            .ground_stations(app_config.ground_stations())
+            .bounding_box(BoundingBox::whole_earth())
+            .hosts(vec![HostConfig::default(); 4])
+            .build()?;
+        let mut testbed = Testbed::new(&config)?;
+        let mut app = DartExperiment::new(app_config);
+        testbed.run(&mut app)?;
+
+        let stats = celestial_sim::metrics::summarize(&app.all_latencies_ms());
+        println!("--- inference deployment: {deployment:?} ---");
+        println!(
+            "alerts delivered: {}, LSTM inferences: {}, mean e2e latency {:.1} ms (min {:.1}, max {:.1})",
+            stats.count,
+            app.inference_count(),
+            stats.mean,
+            stats.min,
+            stats.max
+        );
+        let results = app.sink_results();
+        println!("sinks reached: {}", results.len());
+        if let Some(worst) = results
+            .iter()
+            .max_by(|a, b| a.mean_latency_ms.partial_cmp(&b.mean_latency_ms).unwrap())
+        {
+            println!(
+                "slowest sink: {} at ({:.1}, {:.1}) with {:.1} ms mean latency",
+                worst.name,
+                worst.position.latitude_deg(),
+                worst.position.longitude_deg(),
+                worst.mean_latency_ms
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Fault injection: radiation-induced crashes of satellite servers.
+//!
+//! The paper motivates testing against single-event upsets (§2.3, §3.1).
+//! This example runs a small constellation with a stochastic fault schedule,
+//! lets a ground station keep pinging its uplink satellite and shows how
+//! outages appear to the application.
+//!
+//! Run with `cargo run --example fault_injection`.
+
+use celestial::config::{HostConfig, TestbedConfig};
+use celestial::testbed::{AppContext, GuestApplication, Testbed};
+use celestial_constellation::{GroundStation, Shell};
+use celestial_machines::FaultInjector;
+use celestial_netem::packet::Packet;
+use celestial_sgp4::WalkerShell;
+use celestial_sim::SimRng;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimDuration;
+
+/// Pings the current uplink satellite every 500 ms and counts answers.
+#[derive(Default)]
+struct UplinkProbe {
+    station: Option<NodeId>,
+    sent: u64,
+    answered: u64,
+}
+
+impl GuestApplication for UplinkProbe {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.station = ctx.ground_station("svalbard");
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
+        if let Some(station) = self.station {
+            if let Some(uplink) = ctx.best_uplink(station) {
+                self.sent += 1;
+                ctx.send(station, uplink, 256, vec![0]);
+            }
+        }
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+
+    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+        if message.payload.first() == Some(&0) {
+            // The satellite answers the probe.
+            if let Some(station) = self.station {
+                ctx.send(message.destination, station, 256, vec![1]);
+            }
+        } else {
+            self.answered += 1;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = TestbedConfig::builder()
+        .seed(7)
+        .update_interval_s(2.0)
+        .duration_s(300.0)
+        .shell(Shell::from_walker(WalkerShell::new(780.0, 86.4, 12, 12)))
+        .ground_station(GroundStation::new("svalbard", Geodetic::new(78.22, 15.65, 0.0)))
+        .hosts(vec![HostConfig::default(); 2])
+        .build()?;
+    let mut testbed = Testbed::new(&config)?;
+
+    // An aggressive radiation environment: on average six crashes per
+    // machine-hour with 20-second outages.
+    let injector = FaultInjector::new(6.0).with_mean_outage(SimDuration::from_secs(20));
+    let satellites: Vec<NodeId> = (0..config.shells[0].satellite_count())
+        .map(|i| NodeId::satellite(0, i))
+        .collect();
+    let mut rng = SimRng::seed_from_u64(99);
+    let faults = injector.schedule(&satellites, SimDuration::from_secs(300), &mut rng);
+    println!("scheduled {} radiation faults over 5 minutes", faults.len());
+    testbed.schedule_faults(faults);
+
+    let mut app = UplinkProbe::default();
+    testbed.run(&mut app)?;
+
+    let loss = 1.0 - app.answered as f64 / app.sent.max(1) as f64;
+    println!(
+        "probes sent: {}, answered: {} ({:.1}% lost to outages and handovers)",
+        app.sent,
+        app.answered,
+        loss * 100.0
+    );
+    let (delivered, dropped) = testbed.message_counters();
+    println!("network messages delivered: {delivered}, dropped: {dropped}");
+    Ok(())
+}

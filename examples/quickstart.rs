@@ -1,0 +1,116 @@
+//! Quickstart: build a small LEO edge testbed from a TOML configuration,
+//! run a minimal application on it and print what happened.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use celestial::config::TestbedConfig;
+use celestial::testbed::{AppContext, GuestApplication, Testbed};
+use celestial_netem::packet::Packet;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimDuration;
+
+/// Two ground stations ping each other over the satellite constellation once
+/// per second.
+#[derive(Default)]
+struct Pinger {
+    berlin: Option<NodeId>,
+    portland: Option<NodeId>,
+    sent: u64,
+    round_trips_ms: Vec<f64>,
+    in_flight: std::collections::BTreeMap<u64, u64>,
+}
+
+impl GuestApplication for Pinger {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.berlin = ctx.ground_station("berlin");
+        self.portland = ctx.ground_station("portland");
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
+        if let (Some(berlin), Some(portland)) = (self.berlin, self.portland) {
+            let seq = self.sent;
+            self.sent += 1;
+            self.in_flight.insert(seq, ctx.now().as_micros());
+            let mut payload = seq.to_le_bytes().to_vec();
+            payload.push(0); // 0 = ping
+            ctx.send(berlin, portland, 512, payload);
+        }
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+
+    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+        let seq = u64::from_le_bytes(message.payload[..8].try_into().unwrap());
+        let kind = message.payload[8];
+        if kind == 0 {
+            // Pong back from Portland to Berlin.
+            let mut payload = seq.to_le_bytes().to_vec();
+            payload.push(1);
+            ctx.send(self.portland.unwrap(), self.berlin.unwrap(), 512, payload);
+        } else if let Some(sent_at) = self.in_flight.remove(&seq) {
+            let rtt_ms = (ctx.now().as_micros() - sent_at) as f64 / 1_000.0;
+            self.round_trips_ms.push(rtt_ms);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // All testbed parameters come from a single TOML configuration, exactly
+    // as in the original Celestial.
+    let config = TestbedConfig::from_toml(
+        r#"
+seed = 42
+update-interval-s = 2.0
+duration-s = 120.0
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+# One Starlink-like shell: 24 planes of 22 satellites at 550 km / 53 deg.
+[[shell]]
+altitude-km = 550.0
+inclination-deg = 53.0
+planes = 24
+satellites-per-plane = 22
+vcpus = 2
+memory-mib = 512
+
+[[ground-station]]
+name = "berlin"
+lat = 52.52
+lon = 13.405
+
+[[ground-station]]
+name = "portland"
+lat = 45.52
+lon = -122.68
+"#,
+    )?;
+
+    let mut testbed = Testbed::new(&config)?;
+    println!(
+        "testbed: {} satellites, {} ground stations, {} hosts",
+        testbed.constellation().satellite_count(),
+        testbed.constellation().ground_stations().len(),
+        testbed.managers().len()
+    );
+
+    let mut app = Pinger::default();
+    testbed.run(&mut app)?;
+
+    let stats = celestial_sim::metrics::summarize(&app.round_trips_ms);
+    println!(
+        "pings answered: {} / {} (median RTT {:.1} ms, p95 {:.1} ms)",
+        stats.count, app.sent, stats.median, stats.p95
+    );
+    println!(
+        "messages delivered / dropped: {:?}",
+        testbed.message_counters()
+    );
+    println!(
+        "Berlin resolves to {}",
+        testbed.dns().resolve("berlin.gst.celestial")?
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The paper's §4 scenario as a runnable example: a three-party video
+//! conference in West Africa, with the bridge on the Johannesburg cloud
+//! datacenter vs. on the optimal satellite.
+//!
+//! Run with `cargo run --release --example starlink_meetup` (add `--quick` to
+//! the program arguments for a shortened run).
+
+use celestial::config::{HostConfig, TestbedConfig};
+use celestial::testbed::Testbed;
+use celestial_apps::meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};
+use celestial_constellation::BoundingBox;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration_s = if quick { 60.0 } else { 600.0 };
+
+    for deployment in [BridgeDeployment::Satellite, BridgeDeployment::Cloud] {
+        let config = TestbedConfig::builder()
+            .seed(2022)
+            .update_interval_s(2.0)
+            .duration_s(duration_s)
+            .shells(MeetupConfig::shells())
+            .ground_stations(MeetupConfig::ground_stations())
+            .bounding_box(BoundingBox::west_africa())
+            .hosts(vec![HostConfig::default(); 3])
+            .build()?;
+        let mut testbed = Testbed::new(&config)?;
+        let mut app = MeetupExperiment::new(MeetupConfig::new(deployment));
+        testbed.run(&mut app)?;
+
+        let stats = celestial_sim::metrics::summarize(&app.all_latencies_ms());
+        let below_16 = app
+            .all_latencies_ms()
+            .iter()
+            .filter(|ms| **ms <= 16.0)
+            .count() as f64
+            / stats.count.max(1) as f64;
+        println!("--- bridge deployment: {deployment:?} ---");
+        println!(
+            "frames delivered: {}, median e2e latency {:.1} ms, p95 {:.1} ms, <=16 ms: {:.0}%",
+            stats.count,
+            stats.median,
+            stats.p95,
+            below_16 * 100.0
+        );
+        println!(
+            "bridge selections over the run: {}",
+            app.bridge_history().len()
+        );
+        if let Some((_, bridge)) = app.bridge_history().last() {
+            println!("final bridge: {bridge}");
+        }
+    }
+    Ok(())
+}

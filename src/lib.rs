@@ -1,0 +1,28 @@
+//! Workspace-level façade of the Celestial LEO edge testbed reproduction.
+//!
+//! This crate re-exports the workspace's crates under one roof so that the
+//! runnable examples (`examples/`) and the integration tests (`tests/`) can
+//! depend on a single package. Library users should normally depend on the
+//! individual crates instead:
+//!
+//! * [`celestial`] — the testbed itself (configuration, coordinator, machine
+//!   managers, info API, runtime),
+//! * [`celestial_constellation`] — the constellation calculation,
+//! * [`celestial_sgp4`] — orbital mechanics,
+//! * [`celestial_netem`] — the network emulation model,
+//! * [`celestial_machines`] — the microVM and host model,
+//! * [`celestial_sim`] — the discrete-event engine and metrics,
+//! * [`celestial_apps`] — the paper's evaluation applications,
+//! * [`celestial_types`] — shared types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use celestial;
+pub use celestial_apps;
+pub use celestial_constellation;
+pub use celestial_machines;
+pub use celestial_netem;
+pub use celestial_sgp4;
+pub use celestial_sim;
+pub use celestial_types;

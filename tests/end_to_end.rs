@@ -1,0 +1,251 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! configuration → constellation → coordinator → machines → network →
+//! applications.
+
+use celestial::config::{HostConfig, TestbedConfig};
+use celestial::estimator::{CostModel, ResourceEstimator};
+use celestial::testbed::{AppContext, GuestApplication, Testbed};
+use celestial_apps::meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};
+use celestial_constellation::{BoundingBox, GroundStation, Shell};
+use celestial_netem::packet::Packet;
+use celestial_sgp4::WalkerShell;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimDuration;
+
+const FULL_CONFIG_TOML: &str = r#"
+seed = 2022
+update-interval-s = 2.0
+duration-s = 45.0
+path-algorithm = "dijkstra"
+
+[bounding-box]
+lat-min = -5.0
+lat-max = 20.0
+lon-min = -10.0
+lon-max = 20.0
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+[[host]]
+cores = 32
+memory-mib = 32768
+
+[[shell]]
+altitude-km = 550.0
+inclination-deg = 53.0
+planes = 72
+satellites-per-plane = 22
+phase-offset = 17
+vcpus = 2
+memory-mib = 512
+
+[[ground-station]]
+name = "accra"
+lat = 5.6037
+lon = -0.187
+vcpus = 4
+memory-mib = 4096
+
+[[ground-station]]
+name = "abuja"
+lat = 9.0765
+lon = 7.3986
+vcpus = 4
+memory-mib = 4096
+
+[[ground-station]]
+name = "yaounde"
+lat = 3.848
+lon = 11.5021
+vcpus = 4
+memory-mib = 4096
+
+[[ground-station]]
+name = "johannesburg-dc"
+lat = -26.2041
+lon = 28.0473
+vcpus = 8
+memory-mib = 8192
+"#;
+
+#[test]
+fn toml_configuration_drives_a_full_meetup_experiment() {
+    let config = TestbedConfig::from_toml(FULL_CONFIG_TOML).expect("valid TOML");
+    assert_eq!(config.shells[0].satellite_count(), 1584);
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    let mut app = MeetupExperiment::new(MeetupConfig::new(BridgeDeployment::Satellite));
+    testbed.run(&mut app).expect("run");
+
+    let latencies = app.all_latencies_ms();
+    assert!(latencies.len() > 2_000, "only {} samples", latencies.len());
+    let stats = celestial_sim::metrics::summarize(&latencies);
+    // The headline claim of the paper's §4: the satellite bridge keeps the
+    // conference within a few tens of milliseconds.
+    assert!(stats.median < 25.0, "median {} ms", stats.median);
+    // The coordinator kept updating throughout the run.
+    assert!(testbed.coordinator().update_count() >= 20);
+    // Utilisation traces exist for every host and stay within bounds.
+    for series in testbed.host_cpu_series() {
+        assert!(!series.is_empty());
+        assert!(series.values().iter().all(|v| (0.0..=100.0).contains(v)));
+    }
+    for series in testbed.host_memory_series() {
+        assert!(series.values().iter().all(|v| (0.0..=100.0).contains(v)));
+    }
+}
+
+#[test]
+fn dns_info_api_and_estimator_agree_with_the_running_testbed() {
+    let config = TestbedConfig::from_toml(FULL_CONFIG_TOML).expect("valid TOML");
+    let mut testbed = Testbed::new(&config).expect("testbed");
+
+    struct Nop;
+    impl GuestApplication for Nop {}
+    testbed.run(&mut Nop).expect("run");
+
+    // DNS resolves satellites and ground stations to unique addresses.
+    let accra_ip = testbed.dns().resolve("accra.gst.celestial").expect("accra");
+    let sat_ip = testbed.dns().resolve("100.0.celestial").expect("satellite");
+    assert_ne!(accra_ip, sat_ip);
+
+    // The info API answers guest queries from the coordinator's database.
+    let database = testbed.coordinator().database();
+    let api = celestial::info_api::InfoApi::new(database);
+    let info = api
+        .handle_path(NodeId::ground_station(0), "/info")
+        .expect("info route");
+    assert_eq!(info["satellites"], 1584);
+    let path = api
+        .handle_path(NodeId::ground_station(0), "/path/accra.gst/abuja.gst")
+        .expect("path route");
+    assert_eq!(path["connected"], true);
+    assert!(path["latency_ms"].as_f64().unwrap() > 0.0);
+
+    // The resource estimator's prediction is consistent with what actually
+    // got booted during the run.
+    let estimate = ResourceEstimator::estimate(&config);
+    let booted: usize = testbed
+        .managers()
+        .iter()
+        .map(|m| m.host().machine_count())
+        .sum();
+    assert!(booted > 0);
+    assert!(
+        (booted as f64) < estimate.expected_active_satellites * 4.0 + 10.0,
+        "booted {booted}, estimated {}",
+        estimate.expected_active_satellites
+    );
+
+    // The cost model reproduces the paper's two-orders-of-magnitude saving.
+    let model = CostModel::default();
+    assert!(model.saving_factor(3, 4409, 15.0) > 100.0);
+}
+
+/// A CDN-prefetch-style application that exercises machine suspension: it
+/// sends a payload to every *active* satellite every 10 seconds and counts
+/// how many are reachable.
+#[derive(Default)]
+struct ActiveSatelliteSweep {
+    station: Option<NodeId>,
+    reachable_per_round: Vec<usize>,
+    current_round: usize,
+}
+
+impl GuestApplication for ActiveSatelliteSweep {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.station = ctx.ground_station("accra");
+        ctx.set_timer(SimDuration::from_secs(10), 1);
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
+        let Some(station) = self.station else { return };
+        let visible = ctx.visible_satellites(station);
+        self.reachable_per_round.push(0);
+        self.current_round = self.reachable_per_round.len() - 1;
+        for sat in visible {
+            if ctx.is_running(sat) {
+                ctx.send(station, sat, 1_000, vec![42]);
+            }
+        }
+        ctx.set_timer(SimDuration::from_secs(10), 1);
+    }
+
+    fn on_message(&mut self, message: &Packet, _ctx: &mut AppContext<'_>) {
+        if message.payload.first() == Some(&42) {
+            if let Some(count) = self.reachable_per_round.get_mut(self.current_round) {
+                *count += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn bounding_box_keeps_visible_satellites_running() {
+    let config = TestbedConfig::builder()
+        .seed(3)
+        .update_interval_s(2.0)
+        .duration_s(60.0)
+        .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .hosts(vec![HostConfig::default(); 2])
+        .build()
+        .expect("valid config");
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    let mut app = ActiveSatelliteSweep::default();
+    testbed.run(&mut app).expect("run");
+
+    // Satellites visible from Accra lie inside the bounding box, so they are
+    // running and answer (i.e. the suspension logic does not starve the
+    // application).
+    assert!(!app.reachable_per_round.is_empty());
+    let rounds_with_answers = app
+        .reachable_per_round
+        .iter()
+        .filter(|count| **count > 0)
+        .count();
+    assert!(
+        rounds_with_answers >= app.reachable_per_round.len() / 2,
+        "answers in {rounds_with_answers} of {} rounds",
+        app.reachable_per_round.len()
+    );
+}
+
+#[test]
+fn floyd_warshall_configuration_works_end_to_end() {
+    // A tiny constellation configured to use the Floyd–Warshall all-pairs
+    // algorithm exercises the alternative code path through the public API.
+    let config = TestbedConfig::builder()
+        .seed(9)
+        .update_interval_s(5.0)
+        .duration_s(20.0)
+        .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 8, 8)))
+        .ground_station(GroundStation::new("quito", Geodetic::new(-0.18, -78.47, 0.0)))
+        .ground_station(GroundStation::new("nairobi", Geodetic::new(-1.29, 36.82, 0.0)))
+        .path_algorithm(celestial_constellation::PathAlgorithm::FloydWarshall)
+        .hosts(vec![HostConfig::default()])
+        .build()
+        .expect("valid config");
+    let constellation = celestial_constellation::Constellation::builder()
+        .shells(config.shells.iter().cloned())
+        .ground_stations(config.ground_stations.iter().cloned())
+        .path_algorithm(config.path_algorithm)
+        .build()
+        .expect("constellation");
+    let state = constellation.state_at(0.0).expect("state");
+    let paths = state.all_pairs_paths();
+    assert_eq!(paths.node_count(), 66);
+
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    struct Nop;
+    impl GuestApplication for Nop {}
+    testbed.run(&mut Nop).expect("run");
+    assert!(testbed.coordinator().update_count() >= 4);
+}
