@@ -1,10 +1,14 @@
 //! Shared helpers for the figure-regeneration binaries.
 //!
 //! Every binary in this crate regenerates one table or figure of the paper's
-//! evaluation (see `DESIGN.md` for the full index). They all accept a
-//! `--quick` flag that shrinks the experiment (shorter duration, fewer
-//! nodes) so the whole suite can double as an end-to-end smoke test, and an
-//! `--out <dir>` flag to write CSV/SVG artifacts next to the printed output.
+//! evaluation (the top-level `README.md` maps figures to binaries). They all
+//! accept a `--quick` flag that shrinks the experiment (shorter duration,
+//! fewer nodes) so the whole suite can double as an end-to-end smoke test,
+//! a `--seed <n>` override, and an `--out <dir>` flag to write CSV/SVG
+//! artifacts next to the printed output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use celestial::config::{HostConfig, TestbedConfig};
 use celestial_apps::meetup::MeetupConfig;

@@ -1,0 +1,265 @@
+//! Workspace-local, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of property-based testing the workspace uses: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range strategies for
+//! the primitive types, [`collection::vec`], [`bool::ANY`] and the
+//! `prop_assert*` macros. Each property runs for a fixed number of cases
+//! (default 64, overridable with the `PROPTEST_CASES` environment variable)
+//! with inputs drawn from a generator seeded deterministically from the test
+//! name, so failures are reproducible run-to-run. Shrinking is not
+//! implemented; the failure message reports the offending inputs instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// The generator handed to strategies; deterministic per test.
+pub type TestRng = StdRng;
+
+/// Number of cases each property runs, honoring `PROPTEST_CASES`.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-block configuration, settable with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` inside [`proptest!`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: case_count(),
+        }
+    }
+}
+
+/// Creates the deterministic generator for a named property test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name gives every property its own stream.
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in test_name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { min: len, max: len + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange { min: range.start, max: range.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *range.start(), max: *range.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements come
+    /// from `element` — the shim of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(
+                self.size.min < self.size.max,
+                "invalid size range for collection::vec (empty)"
+            );
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing uniformly distributed booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean with equal probability — the shim of
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(arg in strategy, ...) { body } }`.
+///
+/// Each function becomes a regular `#[test]` that runs the body
+/// [`case_count`] times with fresh inputs. `prop_assert*` failures abort the
+/// whole test with a message naming the case number and the inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::__proptest_impl!(($config) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cases = ($config).cases;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                // Rendered before the body runs, which may consume the inputs.
+                let inputs = [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+].join(", ");
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!(
+                        "property {} failed at case {case}/{cases}: {message}\ninputs: {inputs}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )+};
+}
+
+/// Asserts a condition inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both: {left:?})",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold. The shim simply
+/// treats the case as passing (no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

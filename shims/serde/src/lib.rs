@@ -1,0 +1,388 @@
+//! Workspace-local, offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! real `serde` cannot be vendored. This shim keeps the same import surface
+//! the workspace uses — `use serde::{Deserialize, Serialize}` together with
+//! `#[derive(Serialize, Deserialize)]` — but implements a much simpler data
+//! model: every serializable value maps to and from the [`value::Value`]
+//! tree (a JSON-like document), and `serde_json` (also shimmed) renders that
+//! tree to text.
+//!
+//! The design intentionally collapses serde's serializer/deserializer
+//! abstraction into two object-safe-free methods so that the hand-rolled
+//! derive macros in `serde_derive` stay small. If this repository ever gains
+//! network access, both shims can be deleted and the manifests pointed back
+//! at the real crates without touching any call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{DeError, Value};
+
+/// Types that can be converted into the shim's [`Value`] tree.
+///
+/// This is the shim's replacement for `serde::Serialize`. Derive it with
+/// `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the shim's [`Value`] tree.
+///
+/// This is the shim's replacement for `serde::Deserialize`. Derive it with
+/// `#[derive(Deserialize)]`.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value tree does not match the shape of
+    /// `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for primitives and std containers
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for primitives and std containers
+// ---------------------------------------------------------------------------
+
+fn integral(value: &Value) -> Result<i128, DeError> {
+    match value {
+        Value::I64(i) => Ok(i128::from(*i)),
+        Value::U64(u) => Ok(i128::from(*u)),
+        Value::F64(f) if f.fract() == 0.0 => Ok(*f as i128),
+        other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = integral(value)?;
+                <$ty>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("integer {wide} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, found {value:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, found {value:?}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new(format!("expected string, found {value:?}")))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let text = String::from_value(value)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+fn elements(value: &Value) -> Result<&[Value], DeError> {
+    value
+        .as_array()
+        .map(Vec::as_slice)
+        .ok_or_else(|| DeError::new(format!("expected array, found {value:?}")))
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        elements(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        elements(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        elements(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        elements(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}")))
+    }
+}
+
+fn map_entries(value: &Value) -> Result<&[(Value, Value)], DeError> {
+    value
+        .as_map()
+        .map(Vec::as_slice)
+        .ok_or_else(|| DeError::new(format!("expected map, found {value:?}")))
+}
+
+/// Decodes a map key. JSON text stringifies scalar keys (`{"5": ...}`), so
+/// when direct decoding fails for a string key, the string content is
+/// retried as a scalar — mirroring the real serde_json's ability to
+/// round-trip integer-keyed maps through text.
+fn key_from_value<K: Deserialize>(key: &Value) -> Result<K, DeError> {
+    match K::from_value(key) {
+        Ok(decoded) => Ok(decoded),
+        Err(error) => {
+            if let Value::Str(text) = key {
+                if let Ok(i) = text.parse::<i64>() {
+                    return K::from_value(&Value::I64(i));
+                }
+                if let Ok(u) = text.parse::<u64>() {
+                    return K::from_value(&Value::U64(u));
+                }
+                if let Ok(f) = text.parse::<f64>() {
+                    return K::from_value(&Value::F64(f));
+                }
+                if let Ok(b) = text.parse::<bool>() {
+                    return K::from_value(&Value::Bool(b));
+                }
+            }
+            Err(error)
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value)?
+            .iter()
+            .map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value)?
+            .iter()
+            .map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match elements(value)? {
+            [a, b] => Ok((A::from_value(a)?, B::from_value(b)?)),
+            other => Err(DeError::new(format!("expected 2-element array, found {} elements", other.len()))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match elements(value)? {
+            [a, b, c] => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            other => Err(DeError::new(format!("expected 3-element array, found {} elements", other.len()))),
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The JSON-like document tree the shimmed serde framework maps values
+//! through, plus the deserialization error type.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A dynamically typed document value.
+///
+/// This is the shim's combined replacement for serde's data model and
+/// `serde_json::Value`; the `serde_json` shim re-exports it under that name.
+/// Maps keep their keys as full [`Value`]s so that non-string keys (e.g.
+/// identifier types used in `BTreeMap`s) survive a round trip through the
+/// tree; the JSON writer stringifies scalar keys on output.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence of values.
+    Array(Vec<Value>),
+    /// An ordered map; insertion order is preserved.
+    Map(Vec<(Value, Value)>),
+}
+
+/// The `null` value, usable where a `&'static Value` is needed.
+pub static NULL: Value = Value::Null;
+
+/// Looks a key up in map entries, returning [`NULL`] when absent.
+pub fn lookup<'a>(entries: &'a [(Value, Value)], key: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+        .map_or(&NULL, |(_, v)| v)
+}
+
+impl Value {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`; integers widen.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's map entries, if it is a map.
+    pub fn as_map(&self) -> Option<&Vec<(Value, Value)>> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member access for maps: `value.get("key")`; `None` when the key is
+    /// absent or `self` is not a map, matching `serde_json`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|entries| {
+            entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v)
+        })
+    }
+}
+
+/// Indexing a map by key; returns [`NULL`] for missing keys or non-maps,
+/// matching `serde_json`'s behavior.
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Map(entries) => lookup(entries, key),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Indexing an array by position; returns [`NULL`] out of bounds.
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
+            // Numbers compare across representations.
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_number {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+eq_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! value_from_unsigned {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value { Value::U64(v as u64) }
+        }
+    )*};
+}
+value_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_signed {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value { Value::I64(v as i64) }
+        }
+    )*};
+}
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+/// An error produced while reconstructing a type from a [`Value`].
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

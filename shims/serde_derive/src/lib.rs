@@ -1,0 +1,470 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the workspace-local `serde` shim.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the usual `serde`/`serde_derive`/`syn`/`quote` stack is unavailable. This
+//! crate re-implements the small part of `serde_derive` that the workspace
+//! actually uses: plain structs (named, tuple and unit) and enums (unit,
+//! tuple and struct variants) without generics and without `#[serde(...)]`
+//! attributes. The data model is the [`Value`] tree defined by the `serde`
+//! shim; the generated code maps every type to and from that tree.
+//!
+//! The input token stream is parsed by hand (no `syn`), which is feasible
+//! because the supported grammar is tiny. Unsupported shapes produce a
+//! `compile_error!` with a pointer to this file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A single struct or enum-variant field.
+struct Field {
+    /// Field name for named fields, `None` for tuple fields.
+    name: Option<String>,
+    /// The field's type, rendered back to source text.
+    ty: String,
+}
+
+/// The shape of one enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// The shape of the item the derive is attached to.
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives the shim's `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => gen(&name, &shape)
+            .parse()
+            .expect("shim serde_derive generated invalid Rust"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error! is valid Rust"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde shim derive: expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported (see shims/serde_derive)"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_fields(group.stream(), true)?)))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(parse_fields(group.stream(), false)?)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("serde shim derive: malformed struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(group.stream())?)))
+            }
+            other => Err(format!("serde shim derive: malformed enum body: {other:?}")),
+        },
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute: skip the `#` and the bracket group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // `pub`, optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on commas that sit outside any `<...>` nesting.
+/// (Parenthesis/bracket/brace nesting is already opaque: groups are single
+/// token trees.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    // Tracks a joint `-` so the `>` of `->` (fn-pointer types) is not
+    // miscounted as closing an angle bracket.
+    let mut after_joint_minus = false;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !after_joint_minus => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                after_joint_minus = false;
+                continue;
+            }
+            _ => {}
+        }
+        after_joint_minus = matches!(
+            &token,
+            TokenTree::Punct(p)
+                if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        current.push(token);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attributes_and_visibility(&part, &mut i);
+        if i >= part.len() {
+            continue;
+        }
+        if named {
+            let name = match &part[i] {
+                TokenTree::Ident(ident) => ident.to_string(),
+                other => return Err(format!("serde shim derive: expected field name, found {other}")),
+            };
+            // Skip the name and the `:`.
+            let ty = render(&part[i + 2..]);
+            fields.push(Field { name: Some(name), ty });
+        } else {
+            fields.push(Field { name: None, ty: render(&part[i..]) });
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attributes_and_visibility(&part, &mut i);
+        if i >= part.len() {
+            continue;
+        }
+        let name = match &part[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("serde shim derive: expected variant name, found {other}")),
+        };
+        i += 1;
+        let shape = match part.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(parse_fields(group.stream(), false)?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_fields(group.stream(), true)?)
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unsupported tokens after variant `{name}`: {other}"
+                ))
+            }
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+const V: &str = "::serde::value::Value";
+const E: &str = "::serde::value::DeError";
+
+fn str_value(text: &str) -> String {
+    format!("{V}::Str(::std::string::String::from({text:?}))")
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{V}::Null"),
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(fields) => {
+            let mut code = String::from("{ let mut items = ::std::vec::Vec::new();\n");
+            for i in 0..fields.len() {
+                code.push_str(&format!(
+                    "items.push(::serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            code.push_str(&format!("{V}::Array(items) }}"));
+            code
+        }
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("{ let mut entries = ::std::vec::Vec::new();\n");
+            for field in fields {
+                let fname = field.name.as_ref().expect("named field");
+                code.push_str(&format!(
+                    "entries.push(({key}, ::serde::Serialize::to_value(&self.{fname})));\n",
+                    key = str_value(fname)
+                ));
+            }
+            code.push_str(&format!("{V}::Map(entries) }}"));
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let key = str_value(vname);
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{name}::{vname} => {key},\n"));
+                    }
+                    VariantShape::Tuple(fields) if fields.len() == 1 => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0) => {{ let mut entries = ::std::vec::Vec::new(); \
+                             entries.push(({key}, ::serde::Serialize::to_value(f0))); {V}::Map(entries) }}\n,"
+                        ));
+                    }
+                    VariantShape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("f{i}")).collect();
+                        let mut inner = String::from(
+                            "{ let mut items = ::std::vec::Vec::new();\n",
+                        );
+                        for binder in &binders {
+                            inner.push_str(&format!(
+                                "items.push(::serde::Serialize::to_value({binder}));\n"
+                            ));
+                        }
+                        inner.push_str(&format!("{V}::Array(items) }}"));
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{ let mut entries = ::std::vec::Vec::new(); \
+                             entries.push(({key}, {inner})); {V}::Map(entries) }}\n,",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<&str> = fields
+                            .iter()
+                            .map(|f| f.name.as_deref().expect("named field"))
+                            .collect();
+                        let mut inner = String::from(
+                            "{ let mut fields_map = ::std::vec::Vec::new();\n",
+                        );
+                        for binder in &binders {
+                            inner.push_str(&format!(
+                                "fields_map.push(({fkey}, ::serde::Serialize::to_value({binder})));\n",
+                                fkey = str_value(binder)
+                            ));
+                        }
+                        inner.push_str(&format!("{V}::Map(fields_map) }}"));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ let mut entries = ::std::vec::Vec::new(); \
+                             entries.push(({key}, {inner})); {V}::Map(entries) }}\n,",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn field_from(ty: &str, source: &str) -> String {
+    format!("<{ty} as ::serde::Deserialize>::from_value({source})?")
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(fields) if fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name}({}))",
+            field_from(&fields[0].ty, "value")
+        ),
+        Shape::TupleStruct(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| field_from(&f.ty, &format!("&items[{i}]")))
+                .collect();
+            format!(
+                "{{ let items = value.as_array().ok_or_else(|| {E}::new(\"expected array for tuple struct {name}\"))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err({E}::new(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().expect("named field");
+                    format!(
+                        "{fname}: {}",
+                        field_from(&f.ty, &format!("::serde::value::lookup(entries, {fname:?})"))
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let entries = value.as_map().ok_or_else(|| {E}::new(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(fields) if fields.len() == 1 => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}({})),\n",
+                            field_from(&fields[0].ty, "content")
+                        ));
+                    }
+                    VariantShape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| field_from(&f.ty, &format!("&items[{i}]")))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{ let items = content.as_array().ok_or_else(|| {E}::new(\"expected array for variant {name}::{vname}\"))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err({E}::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({items})) }}\n,",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().expect("named field");
+                                format!(
+                                    "{fname}: {}",
+                                    field_from(
+                                        &f.ty,
+                                        &format!("::serde::value::lookup(entries, {fname:?})")
+                                    )
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{ let entries = content.as_map().ok_or_else(|| {E}::new(\"expected map for variant {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}\n,",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     {V}::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err({E}::new(format!(\"unknown variant '{{other}}' for enum {name}\"))),\n\
+                     }},\n\
+                     {V}::Map(map_entries) if map_entries.len() == 1 => {{\n\
+                         let (tag_value, content) = &map_entries[0];\n\
+                         let tag = tag_value.as_str().ok_or_else(|| {E}::new(\"enum tag must be a string\"))?;\n\
+                         match tag {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err({E}::new(format!(\"unknown variant '{{other}}' for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err({E}::new(\"unsupported value shape for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &{V}) -> ::std::result::Result<Self, {E}> {{\n{body}\n}}\n\
+         }}"
+    )
+}

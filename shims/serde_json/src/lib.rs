@@ -1,0 +1,150 @@
+//! Workspace-local, offline stand-in for the `serde_json` crate.
+//!
+//! Provides the surface the workspace uses: [`Value`] (re-exported from the
+//! `serde` shim's data model), [`to_string`], [`from_str`], [`to_value`] and
+//! the [`json!`] macro. The JSON grammar implemented here is complete for
+//! machine-generated documents (objects, arrays, strings with escapes,
+//! numbers, booleans, `null`); it does not aim for byte-for-byte
+//! compatibility with the real crate's formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::value::Value;
+
+use serde::value::DeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod parser;
+mod writer;
+
+/// An error from serializing to or parsing JSON text.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// Unlike the real `serde_json::to_value` this is infallible, because the
+/// shim's data model has no unserializable states.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the tree does not match the target type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for map keys that cannot be rendered as JSON object
+/// keys (e.g. arrays used as keys).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    writer::write(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parser::parse(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+///
+/// Supports object literals (whose values may be nested objects, `null` or
+/// arbitrary expressions), array literals of expressions, and plain
+/// expressions implementing the shim's `Serialize` trait.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($element:expr),* $(,)? ]) => {{
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $(items.push($crate::to_value(&$element));)*
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Map(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut entries: ::std::vec::Vec<($crate::Value, $crate::Value)> = ::std::vec::Vec::new();
+        $crate::json_internal!(@object entries () ($($body)+));
+        $crate::Value::Map(entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: a token-tree muncher for object
+/// bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Done.
+    (@object $entries:ident () ()) => {};
+    // "key": { nested object }, ...
+    (@object $entries:ident ($($key:tt)+) (: { $($map:tt)* } , $($rest:tt)*)) => {
+        $entries.push(($crate::json!($($key)+), $crate::json!({ $($map)* })));
+        $crate::json_internal!(@object $entries () ($($rest)*));
+    };
+    // "key": { nested object } — final entry.
+    (@object $entries:ident ($($key:tt)+) (: { $($map:tt)* })) => {
+        $entries.push(($crate::json!($($key)+), $crate::json!({ $($map)* })));
+    };
+    // "key": null, ...
+    (@object $entries:ident ($($key:tt)+) (: null , $($rest:tt)*)) => {
+        $entries.push(($crate::json!($($key)+), $crate::Value::Null));
+        $crate::json_internal!(@object $entries () ($($rest)*));
+    };
+    // "key": null — final entry.
+    (@object $entries:ident ($($key:tt)+) (: null)) => {
+        $entries.push(($crate::json!($($key)+), $crate::Value::Null));
+    };
+    // "key": expression, ...
+    (@object $entries:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $entries.push(($crate::json!($($key)+), $crate::to_value(&$value)));
+        $crate::json_internal!(@object $entries () ($($rest)*));
+    };
+    // "key": expression — final entry.
+    (@object $entries:ident ($($key:tt)+) (: $value:expr)) => {
+        $entries.push(($crate::json!($($key)+), $crate::to_value(&$value)));
+    };
+    // Munch one token of the key.
+    (@object $entries:ident ($($key:tt)*) ($token:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $entries ($($key)* $token) ($($rest)*));
+    };
+}

@@ -1,0 +1,88 @@
+//! Compact JSON rendering of a [`Value`] tree.
+
+use crate::{Error, Value};
+
+pub(crate) fn write(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(key, out)?;
+                out.push(':');
+                write(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// JSON object keys must be strings; scalar keys are stringified, which is
+/// also what the real serde_json does for integer keys.
+fn write_key(key: &Value, out: &mut String) -> Result<(), Error> {
+    match key {
+        Value::Str(s) => write_string(s, out),
+        Value::I64(i) => write_string(&i.to_string(), out),
+        Value::U64(u) => write_string(&u.to_string(), out),
+        Value::F64(f) => write_string(&f.to_string(), out),
+        Value::Bool(b) => write_string(&b.to_string(), out),
+        other => {
+            return Err(Error::new(format!(
+                "cannot render {other:?} as a JSON object key"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let text = f.to_string();
+        out.push_str(&text);
+        // Keep floats recognizable as floats on re-parse.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; the real crate emits null here too.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -14,6 +14,42 @@
 //! * [`celestial_sim`] — the discrete-event engine and metrics,
 //! * [`celestial_apps`] — the paper's evaluation applications,
 //! * [`celestial_types`] — shared types.
+//!
+//! # Example
+//!
+//! A complete (tiny) experiment through the façade: parse a configuration,
+//! boot the testbed, run a no-op guest application and observe that the
+//! coordinator kept updating the constellation.
+//!
+//! ```
+//! use celestial_testbed::celestial::config::TestbedConfig;
+//! use celestial_testbed::celestial::testbed::{GuestApplication, Testbed};
+//!
+//! let toml = r#"
+//! seed = 1
+//! duration-s = 10.0
+//!
+//! [[shell]]
+//! altitude-km = 550.0
+//! inclination-deg = 53.0
+//! planes = 2
+//! satellites-per-plane = 4
+//!
+//! [[ground-station]]
+//! name = "accra"
+//! lat = 5.6037
+//! lon = -0.187
+//! "#;
+//! let config = TestbedConfig::from_toml(toml).expect("valid configuration");
+//! assert_eq!(config.shells[0].satellite_count(), 8);
+//!
+//! struct Nop;
+//! impl GuestApplication for Nop {}
+//!
+//! let mut testbed = Testbed::new(&config).expect("testbed boots");
+//! testbed.run(&mut Nop).expect("experiment runs");
+//! assert!(testbed.coordinator().update_count() >= 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

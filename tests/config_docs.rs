@@ -1,0 +1,74 @@
+//! Smoke tests tying the documented configuration format to the code: the
+//! TOML example embedded in `docs/CONFIG.md` must parse, produce the §4
+//! testbed shape, and survive a serde round trip.
+
+use celestial::config::TestbedConfig;
+use celestial_constellation::PathAlgorithm;
+
+/// The documentation page this test validates.
+const CONFIG_DOC: &str = include_str!("../docs/CONFIG.md");
+
+/// Extracts the first fenced ```toml block from the documentation.
+fn documented_example() -> &'static str {
+    let start = CONFIG_DOC
+        .find("```toml\n")
+        .expect("docs/CONFIG.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = CONFIG_DOC[start..]
+        .find("```")
+        .expect("the toml fence is closed")
+        + start;
+    &CONFIG_DOC[start..end]
+}
+
+#[test]
+fn the_documented_example_parses_to_the_meetup_testbed() {
+    let config = TestbedConfig::from_toml(documented_example()).expect("documented TOML parses");
+    assert_eq!(config.seed, 2022);
+    assert_eq!(config.update_interval_s, 2.0);
+    assert_eq!(config.duration_s, 45.0);
+    assert_eq!(config.path_algorithm, PathAlgorithm::Dijkstra);
+    assert_eq!(config.hosts.len(), 3);
+    assert_eq!(config.shells.len(), 1);
+    assert_eq!(config.shells[0].satellite_count(), 1584);
+    assert_eq!(config.ground_stations.len(), 2);
+    assert_eq!(config.ground_stations[0].name, "accra");
+    // The bounding box covers West Africa but not Johannesburg.
+    assert!(config
+        .bounding_box
+        .contains(&celestial_types::geo::Geodetic::new(5.6, -0.19, 0.0)));
+    assert!(!config
+        .bounding_box
+        .contains(&celestial_types::geo::Geodetic::new(-26.2, 28.0, 0.0)));
+}
+
+#[test]
+fn the_documented_example_round_trips_through_serde() {
+    let config = TestbedConfig::from_toml(documented_example()).expect("documented TOML parses");
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
+}
+
+#[test]
+fn defaults_listed_in_the_documentation_hold() {
+    let minimal = "\n[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n";
+    let config = TestbedConfig::from_toml(minimal).expect("minimal config parses");
+    assert_eq!(config.seed, 0);
+    assert_eq!(config.update_interval_s, 2.0);
+    assert_eq!(config.duration_s, 600.0);
+    assert_eq!(config.utilization_sample_interval_s, 1.0);
+    assert_eq!(config.path_algorithm, PathAlgorithm::Dijkstra);
+    assert!(!config.ballooning);
+    assert_eq!(config.hosts.len(), 3);
+    assert_eq!(config.hosts[0].cores, 32);
+    assert_eq!(config.hosts[0].memory_mib, 32 * 1024);
+    let shell = &config.shells[0];
+    assert_eq!(shell.resources.vcpus, 2);
+    assert_eq!(shell.resources.memory_mib, 512);
+    assert_eq!(shell.min_elevation_deg, 25.0);
+    assert_eq!(
+        shell.isl_bandwidth,
+        celestial_types::Bandwidth::from_gbps(10)
+    );
+}
