@@ -65,6 +65,19 @@ fn bench_coordinator_update(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // Steady state: the path engine's buffers are warm and each iteration is
+    // one timestep advance plus the per-pair programme, as the running
+    // testbed performs it.
+    group.bench_function("steady_state_timestep_shell1", |b| {
+        let mut coordinator = Coordinator::new(constellation(1), SimDuration::from_secs(2));
+        coordinator.update(0.0).expect("update");
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 2.0;
+            coordinator.update(t).expect("update");
+            coordinator.network_programme().expect("programme")
+        });
+    });
     group.finish();
 }
 

@@ -1,23 +1,30 @@
-//! E11: shortest-path ablation — per-source Dijkstra vs. Floyd–Warshall.
+//! E11: shortest-path ablation — per-source Dijkstra vs. Floyd–Warshall vs.
+//! the parallel/incremental [`PathEngine`].
 //!
 //! Celestial replaces SILLEO-SCNS's path computation with "more efficient
 //! implementations of Dijkstra's algorithm and the Floyd–Warshall algorithm".
-//! This bench compares the two on +GRID constellation graphs of increasing
-//! size, plus the single-source case the coordinator actually uses per
-//! ground station.
+//! This bench compares the stateless algorithms on +GRID constellation
+//! graphs of increasing size, the engine's parallel full solve and
+//! incremental timestep re-solve, and the single-source case the coordinator
+//! uses as the info-API fallback. The standalone `bench_paths` binary emits
+//! the same comparison as `BENCH_paths.json` for the perf trajectory.
 
-use celestial_constellation::{Constellation, GroundStation, Shell};
+use celestial_constellation::{Constellation, GroundStation, PathAlgorithm, PathEngine, Shell};
 use celestial_sgp4::WalkerShell;
 use celestial_types::geo::Geodetic;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn graph(planes: u32, per_plane: u32) -> celestial_constellation::NetworkGraph {
+fn graph_at(planes: u32, per_plane: u32, t: f64) -> celestial_constellation::NetworkGraph {
     let constellation = Constellation::builder()
         .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, planes, per_plane)))
         .ground_station(GroundStation::new("accra", Geodetic::new(5.6, -0.19, 0.0)))
         .build()
         .expect("valid constellation");
-    constellation.state_at(0.0).expect("state").graph().clone()
+    constellation.state_at(t).expect("state").graph().clone()
+}
+
+fn graph(planes: u32, per_plane: u32) -> celestial_constellation::NetworkGraph {
+    graph_at(planes, per_plane, 0.0)
 }
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -32,7 +39,31 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("floyd_warshall", nodes), &g, |b, g| {
             b.iter(|| g.floyd_warshall());
         });
+        group.bench_with_input(BenchmarkId::new("engine_parallel", nodes), &g, |b, g| {
+            let mut engine = PathEngine::new(PathAlgorithm::Dijkstra);
+            b.iter(|| {
+                engine.solve(g);
+                engine.last_solve().solved_sources
+            });
+        });
     }
+    group.finish();
+}
+
+fn bench_incremental_timestep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_timestep");
+    group.sample_size(10);
+    let g0 = graph_at(16, 16, 0.0);
+    let g1 = graph_at(16, 16, 2.0);
+    // Note: each iteration is a *pair* of solves (t0 and t2).
+    group.bench_function("engine_solve_pair_t0_t2", |b| {
+        let mut engine = PathEngine::new(PathAlgorithm::Incremental);
+        b.iter(|| {
+            engine.solve(&g0);
+            engine.solve(&g1);
+            engine.last_solve().solved_sources
+        });
+    });
     group.finish();
 }
 
@@ -46,5 +77,5 @@ fn bench_single_source(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_single_source);
+criterion_group!(benches, bench_algorithms, bench_incremental_timestep, bench_single_source);
 criterion_main!(benches);

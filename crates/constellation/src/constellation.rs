@@ -113,6 +113,11 @@ impl Constellation {
         }
     }
 
+    /// The shortest-path algorithm this constellation is configured with.
+    pub fn path_algorithm(&self) -> PathAlgorithm {
+        self.path_algorithm
+    }
+
     /// The ground station with the given name, if any.
     pub fn ground_station_by_name(&self, name: &str) -> Option<(GroundStationId, &GroundStation)> {
         self.ground_stations
@@ -191,13 +196,14 @@ impl Constellation {
             }
         }
 
-        // Build the weighted graph.
-        let mut graph = NetworkGraph::new(self.node_count());
+        // Build the weighted graph in one bulk CSR construction.
+        let mut edges = Vec::with_capacity(links.len());
         for link in &links {
-            let a = self.node_index(link.a)?;
-            let b = self.node_index(link.b)?;
-            graph.add_edge(a, b, link.latency.as_micros());
+            let a = self.node_index(link.a)? as u32;
+            let b = self.node_index(link.b)? as u32;
+            edges.push((a, b, link.latency.as_micros()));
         }
+        let graph = NetworkGraph::from_edges(self.node_count(), edges);
 
         Ok(ConstellationState {
             time_seconds: t_seconds,
@@ -462,6 +468,12 @@ impl ConstellationState {
         })
     }
 
+    /// The shortest-path algorithm configured for this state's all-pairs
+    /// computations.
+    pub fn path_algorithm(&self) -> PathAlgorithm {
+        self.path_algorithm
+    }
+
     /// Computes the shortest path from `a` to `b` as a sequence of node
     /// identifiers, or `None` if unreachable.
     ///
@@ -477,7 +489,8 @@ impl ConstellationState {
         }
         let mut rev = vec![target];
         let mut here = target;
-        while let Some(p) = prev[here] {
+        while prev[here] != crate::path::NO_NODE {
+            let p = prev[here] as usize;
             rev.push(p);
             here = p;
             if here == source {

@@ -1,0 +1,674 @@
+//! The high-throughput path engine: parallel, source-restricted and
+//! incrementally recomputing all-pairs shortest paths.
+//!
+//! The coordinator must recompute shortest paths over the whole
+//! constellation graph at every update interval, which dominates its cost at
+//! scale (§3.1). [`PathEngine`] attacks that hot path in three ways on top
+//! of the CSR representation of [`crate::path::NetworkGraph`]:
+//!
+//! 1. **Scratch reuse** — result matrices, worker heaps and diff buffers are
+//!    owned by the engine and recycled, so a steady-state timestep solve
+//!    performs no allocation beyond what the OS hands back to the reused
+//!    buffers.
+//! 2. **Parallel per-source Dijkstra** — sources are fanned out over
+//!    `std::thread::scope` workers (no external dependencies), each writing
+//!    into disjoint rows of the flat result matrix.
+//! 3. **Incremental timestep recompute** — the engine diffs the canonical
+//!    edge list against the previous timestep and re-solves only sources
+//!    whose shortest paths can be affected, falling back to a full solve
+//!    when the delta is large.
+//!
+//! `docs/PATHS.md` is the user-facing guide to choosing between the
+//! algorithms and to the `path-algorithm` configuration key.
+
+use crate::path::{
+    Cost, DijkstraHeap, Edge, NetworkGraph, PathAlgorithm, ShortestPaths,
+    AUTO_FLOYD_WARSHALL_MAX_NODES, UNREACHABLE,
+};
+
+/// If more than this fraction of edges changed between timesteps, the
+/// incremental path gives up and re-solves everything: diffing and
+/// affected-source classification would cost more than they save.
+const MAX_INCREMENTAL_EDGE_DELTA: f64 = 0.25;
+
+/// Minimum edge-delta budget, so that small graphs (where classification is
+/// nearly free) still take the incremental path.
+const MIN_INCREMENTAL_EDGE_BUDGET: usize = 8;
+
+/// If more than this fraction of sources is affected by the edge delta, a
+/// full solve is cheaper than bookkeeping which rows to keep.
+const MAX_INCREMENTAL_AFFECTED: f64 = 0.5;
+
+/// How a [`PathEngine::solve_sources`] call was actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveKind {
+    /// Every requested source row was solved with per-source Dijkstra.
+    FullDijkstra,
+    /// The full all-pairs matrix was computed with Floyd–Warshall.
+    FloydWarshall,
+    /// Rows untouched by the edge delta were reused from the previous
+    /// timestep; only affected sources were re-solved.
+    Incremental,
+}
+
+/// Statistics about the most recent solve, for logging, benchmarks and
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// How the solve was executed.
+    pub kind: SolveKind,
+    /// Number of source rows actually re-solved.
+    pub solved_sources: usize,
+    /// Number of source rows copied over from the previous timestep.
+    pub reused_sources: usize,
+    /// Edges added (or re-weighted) relative to the previous timestep.
+    pub edges_added: usize,
+    /// Edges removed (or re-weighted) relative to the previous timestep.
+    pub edges_removed: usize,
+}
+
+/// A reusable, parallel, incrementally recomputing shortest-path solver.
+///
+/// The engine owns the result matrices and all scratch memory; feeding it
+/// the graph of each timestep returns a borrowed [`ShortestPaths`] without
+/// re-allocating in steady state.
+///
+/// # Examples
+///
+/// ```
+/// use celestial_constellation::engine::PathEngine;
+/// use celestial_constellation::path::{NetworkGraph, PathAlgorithm};
+///
+/// // Timestep 0: a 3-node line 0 —10— 1 —10— 2.
+/// let g0 = NetworkGraph::from_edges(3, [(0, 1, 10), (1, 2, 10)]);
+/// let mut engine = PathEngine::new(PathAlgorithm::Auto);
+/// let paths = engine.solve(&g0);
+/// assert_eq!(paths.latency_micros(0, 2), Some(20));
+/// assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+///
+/// // Timestep 1: a direct 5 µs link appears; the engine re-solves and the
+/// // shortest path switches to the new edge.
+/// let g1 = NetworkGraph::from_edges(3, [(0, 1, 10), (1, 2, 10), (0, 2, 5)]);
+/// let paths = engine.solve(&g1);
+/// assert_eq!(paths.latency_micros(0, 2), Some(5));
+/// assert_eq!(paths.path(0, 2), Some(vec![0, 2]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathEngine {
+    algorithm: PathAlgorithm,
+    threads: usize,
+    /// Canonical edge list of the previously solved graph.
+    prev_edges: Vec<Edge>,
+    /// Whether `paths` holds a valid previous solve to build on.
+    have_prev: bool,
+    /// The current (front) result.
+    paths: ShortestPaths,
+    /// The back buffer the next solve is assembled into.
+    spare: ShortestPaths,
+    /// One Dijkstra heap per worker thread, reused across solves.
+    heaps: Vec<DijkstraHeap>,
+    /// Diff buffers reused across solves.
+    added: Vec<Edge>,
+    removed: Vec<Edge>,
+    affected: Vec<bool>,
+    all_sources: Vec<u32>,
+    stats: SolveStats,
+}
+
+impl PathEngine {
+    /// Creates an engine with as many worker threads as the machine offers.
+    pub fn new(algorithm: PathAlgorithm) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(algorithm, threads)
+    }
+
+    /// Creates an engine with an explicit worker-thread count (1 solves on
+    /// the calling thread without spawning).
+    pub fn with_threads(algorithm: PathAlgorithm, threads: usize) -> Self {
+        PathEngine {
+            algorithm,
+            threads: threads.max(1),
+            prev_edges: Vec::new(),
+            have_prev: false,
+            paths: ShortestPaths::empty(0),
+            spare: ShortestPaths::empty(0),
+            heaps: Vec::new(),
+            added: Vec::new(),
+            removed: Vec::new(),
+            affected: Vec::new(),
+            all_sources: Vec::new(),
+            stats: SolveStats {
+                kind: SolveKind::FullDijkstra,
+                solved_sources: 0,
+                reused_sources: 0,
+                edges_added: 0,
+                edges_removed: 0,
+            },
+        }
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> PathAlgorithm {
+        self.algorithm
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Statistics about the most recent solve.
+    pub fn last_solve(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// The most recent result, if any solve has happened.
+    pub fn paths(&self) -> Option<&ShortestPaths> {
+        if self.have_prev {
+            Some(&self.paths)
+        } else {
+            None
+        }
+    }
+
+    /// Solves shortest paths from *every* node of `graph`.
+    pub fn solve(&mut self, graph: &NetworkGraph) -> &ShortestPaths {
+        let n = graph.node_count() as u32;
+        if self.all_sources.len() != n as usize {
+            self.all_sources.clear();
+            self.all_sources.extend(0..n);
+        }
+        let sources = std::mem::take(&mut self.all_sources);
+        self.solve_sources_inner(graph, &sources);
+        self.all_sources = sources;
+        &self.paths
+    }
+
+    /// Solves shortest paths restricted to the given source nodes (for the
+    /// coordinator: ground stations plus active satellites — satellites
+    /// outside the bounding box carry traffic on paths but never originate a
+    /// programmed pair, so their rows are never needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source index is out of range for `graph`.
+    pub fn solve_sources(&mut self, graph: &NetworkGraph, sources: &[u32]) -> &ShortestPaths {
+        self.solve_sources_inner(graph, sources);
+        &self.paths
+    }
+
+    fn solve_sources_inner(&mut self, graph: &NetworkGraph, sources: &[u32]) {
+        let n = graph.node_count();
+        assert!(
+            sources.iter().all(|&s| (s as usize) < n),
+            "source index out of range"
+        );
+
+        if n == 0 {
+            // Degenerate empty graph: an empty result, no rows to chunk.
+            self.spare.reset(0, sources);
+            std::mem::swap(&mut self.paths, &mut self.spare);
+            self.stats = SolveStats {
+                kind: SolveKind::FullDijkstra,
+                solved_sources: 0,
+                reused_sources: 0,
+                edges_added: 0,
+                edges_removed: 0,
+            };
+            self.finish(graph);
+            return;
+        }
+
+        let incremental_allowed = matches!(
+            self.algorithm,
+            PathAlgorithm::Incremental | PathAlgorithm::Auto
+        );
+        let use_floyd_warshall = match self.algorithm {
+            PathAlgorithm::FloydWarshall => true,
+            PathAlgorithm::Auto => {
+                n <= AUTO_FLOYD_WARSHALL_MAX_NODES && sources.len() == n
+            }
+            _ => false,
+        };
+
+        if use_floyd_warshall {
+            self.paths = graph.floyd_warshall();
+            self.stats = SolveStats {
+                kind: SolveKind::FloydWarshall,
+                solved_sources: n,
+                reused_sources: 0,
+                edges_added: 0,
+                edges_removed: 0,
+            };
+            self.finish(graph);
+            return;
+        }
+
+        // Diff the edge set against the previous timestep and classify the
+        // sources whose rows can be reused.
+        let mut incremental = false;
+        if incremental_allowed && self.compatible_previous(graph, sources) {
+            self.diff_edges(graph);
+            let delta = self.added.len() + self.removed.len();
+            let budget = ((self.prev_edges.len() as f64 * MAX_INCREMENTAL_EDGE_DELTA) as usize)
+                .max(MIN_INCREMENTAL_EDGE_BUDGET);
+            if delta <= budget {
+                self.classify_affected();
+                let affected = self.affected.iter().filter(|a| **a).count();
+                if (affected as f64) <= sources.len() as f64 * MAX_INCREMENTAL_AFFECTED {
+                    incremental = true;
+                }
+            }
+        }
+
+        self.spare.reset(n as u32, sources);
+        let mut solved = 0usize;
+        let mut reused = 0usize;
+        {
+            let row_len = n;
+            let ShortestPaths {
+                dist: spare_dist,
+                prev: spare_prev,
+                ..
+            } = &mut self.spare;
+            // One job per row that needs a fresh Dijkstra run; reused rows
+            // are copied straight out of the previous result.
+            let mut jobs: Vec<(u32, &mut [Cost], &mut [u32])> = Vec::new();
+            for ((row, (dist_row, prev_row)), &source) in spare_dist
+                .chunks_mut(row_len)
+                .zip(spare_prev.chunks_mut(row_len))
+                .enumerate()
+                .zip(sources.iter())
+            {
+                let keep = incremental && !self.affected[row];
+                if keep {
+                    let old_row = self.paths.rows[source as usize] as usize;
+                    dist_row.copy_from_slice(&self.paths.dist[old_row * row_len..(old_row + 1) * row_len]);
+                    prev_row.copy_from_slice(&self.paths.prev[old_row * row_len..(old_row + 1) * row_len]);
+                    reused += 1;
+                } else {
+                    jobs.push((source, dist_row, prev_row));
+                    solved += 1;
+                }
+            }
+
+            let workers = self.threads.min(jobs.len()).max(1);
+            while self.heaps.len() < workers {
+                self.heaps.push(DijkstraHeap::new());
+            }
+            if workers <= 1 {
+                if let Some(heap) = self.heaps.first_mut() {
+                    for (source, dist_row, prev_row) in &mut jobs {
+                        graph.dijkstra_into(*source, dist_row, prev_row, heap);
+                    }
+                } else {
+                    debug_assert!(jobs.is_empty());
+                }
+            } else {
+                let per_worker = jobs.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (chunk, heap) in jobs.chunks_mut(per_worker).zip(self.heaps.iter_mut()) {
+                        scope.spawn(move || {
+                            for (source, dist_row, prev_row) in chunk {
+                                graph.dijkstra_into(*source, dist_row, prev_row, heap);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        std::mem::swap(&mut self.paths, &mut self.spare);
+        self.stats = SolveStats {
+            kind: if incremental {
+                SolveKind::Incremental
+            } else {
+                SolveKind::FullDijkstra
+            },
+            solved_sources: solved,
+            reused_sources: reused,
+            edges_added: if incremental { self.added.len() } else { 0 },
+            edges_removed: if incremental { self.removed.len() } else { 0 },
+        };
+        self.finish(graph);
+    }
+
+    /// Records the solved graph's edges as the new previous timestep.
+    fn finish(&mut self, graph: &NetworkGraph) {
+        self.prev_edges.clear();
+        self.prev_edges.extend_from_slice(graph.edges());
+        self.have_prev = true;
+    }
+
+    /// Whether the previous solve can seed an incremental one: same node
+    /// count and the same solved source set, in the same order.
+    fn compatible_previous(&self, graph: &NetworkGraph, sources: &[u32]) -> bool {
+        self.have_prev
+            && self.paths.node_count() == graph.node_count()
+            && self.paths.solved_sources() == sources
+    }
+
+    /// Merge-walks the two sorted canonical edge lists into `added` /
+    /// `removed` (a re-weighted edge appears in both).
+    fn diff_edges(&mut self, graph: &NetworkGraph) {
+        self.added.clear();
+        self.removed.clear();
+        let old = &self.prev_edges;
+        let new = graph.edges();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() && j < new.len() {
+            let (oa, ob, ow) = old[i];
+            let (na, nb, nw) = new[j];
+            match (oa, ob).cmp(&(na, nb)) {
+                std::cmp::Ordering::Less => {
+                    self.removed.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.added.push(new[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if ow != nw {
+                        self.removed.push(old[i]);
+                        self.added.push(new[j]);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.removed.extend_from_slice(&old[i..]);
+        self.added.extend_from_slice(&new[j..]);
+    }
+
+    /// Marks the source rows whose shortest paths can be affected by the
+    /// edge delta.
+    ///
+    /// For a removed (or weight-increased) edge `(u, v, w)`, a source `s` is
+    /// affected iff the edge lies on *some* shortest path from `s`, i.e.
+    /// `dist[s][u] + w == dist[s][v]` in either direction — any
+    /// shortest-path tree edge satisfies that equality, so unaffected rows
+    /// keep valid predecessor trees. For an added (or weight-decreased) edge,
+    /// `s` is affected iff the edge offers a strict improvement at one of
+    /// its endpoints: `dist[s][u] + w < dist[s][v]` or vice versa. Chains of
+    /// simultaneously added edges are covered because every prefix of a new
+    /// path ends in an edge whose endpoints pass exactly this test.
+    fn classify_affected(&mut self) {
+        let n = self.paths.node_count();
+        let rows = self.paths.source_count();
+        self.affected.clear();
+        self.affected.resize(rows, false);
+        for row in 0..rows {
+            let dist = &self.paths.dist[row * n..(row + 1) * n];
+            let hit = self.removed.iter().any(|&(u, v, w)| {
+                let (du, dv) = (dist[u as usize], dist[v as usize]);
+                (du != UNREACHABLE && du.saturating_add(w) == dv)
+                    || (dv != UNREACHABLE && dv.saturating_add(w) == du)
+            }) || self.added.iter().any(|&(u, v, w)| {
+                let (du, dv) = (dist[u as usize], dist[v as usize]);
+                du.saturating_add(w) < dv || dv.saturating_add(w) < du
+            });
+            self.affected[row] = hit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random connected-ish graph: spanning chain plus `extra` chords.
+    fn random_edges(rng: &mut StdRng, n: usize, extra: usize) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for i in 1..n as u32 {
+            let parent = rng.gen_range(0..i);
+            edges.push((parent, i, rng.gen_range(1..1000)));
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                edges.push((a.min(b), a.max(b), rng.gen_range(1..1000)));
+            }
+        }
+        edges
+    }
+
+    /// Applies a random timestep delta: drop some edges, add some chords,
+    /// re-weight others.
+    fn mutate_edges(rng: &mut StdRng, n: usize, edges: &[Edge], churn: usize) -> Vec<Edge> {
+        let mut next: Vec<Edge> = edges.to_vec();
+        for _ in 0..churn {
+            match rng.gen_range(0..3u32) {
+                0 if next.len() > n => {
+                    // Removing a chain edge may disconnect the graph — that
+                    // is a legal constellation event (an ISL is cut).
+                    let at = rng.gen_range(0..next.len());
+                    next.swap_remove(at);
+                }
+                1 => {
+                    let a = rng.gen_range(0..n as u32);
+                    let b = rng.gen_range(0..n as u32);
+                    if a != b {
+                        next.push((a.min(b), a.max(b), rng.gen_range(1..1000)));
+                    }
+                }
+                _ => {
+                    let at = rng.gen_range(0..next.len());
+                    next[at].2 = rng.gen_range(1..1000);
+                }
+            }
+        }
+        next
+    }
+
+    /// Asserts that the engine result matches a from-scratch reference on
+    /// distances and that every reported path is a real path of that length.
+    fn assert_matches_reference(graph: &NetworkGraph, result: &ShortestPaths) {
+        let reference = graph.all_pairs_dijkstra();
+        let n = graph.node_count();
+        for a in 0..n {
+            if !result.is_solved(a) {
+                continue;
+            }
+            for b in 0..n {
+                assert_eq!(
+                    result.latency_micros(a, b),
+                    reference.latency_micros(a, b),
+                    "distance mismatch {a}->{b}"
+                );
+                if let Some(total) = result.latency_micros(a, b) {
+                    let path = result.path(a, b).expect("reachable pair has a path");
+                    assert_eq!(*path.first().unwrap(), a);
+                    assert_eq!(*path.last().unwrap(), b);
+                    let mut walked = 0;
+                    for w in path.windows(2) {
+                        let hop = graph
+                            .neighbors(w[0])
+                            .find(|&(v, _)| v as usize == w[1])
+                            .expect("path edge exists in graph");
+                        walked += hop.1;
+                    }
+                    assert_eq!(walked, total, "path cost mismatch {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_reuses_unaffected_rows() {
+        // A long line; changing the far end must not re-solve sources near
+        // the start... but on a line every source reaches the far end, so
+        // use two components: a line 0-1-2 and a line 3-4-5.
+        let g0 = NetworkGraph::from_edges(6, [(0, 1, 10), (1, 2, 10), (3, 4, 10), (4, 5, 10)]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 1);
+        engine.solve(&g0);
+        assert_eq!(engine.last_solve().kind, SolveKind::FullDijkstra);
+
+        // Re-weight one edge of the second component.
+        let g1 = NetworkGraph::from_edges(6, [(0, 1, 10), (1, 2, 10), (3, 4, 25), (4, 5, 10)]);
+        let paths = engine.solve(&g1).clone();
+        assert_eq!(paths.latency_micros(3, 5), Some(35));
+        assert_eq!(paths.latency_micros(0, 2), Some(20));
+        let stats = engine.last_solve();
+        assert_eq!(stats.kind, SolveKind::Incremental);
+        // Sources 0, 1, 2 cannot reach the changed edge: reused.
+        assert_eq!(stats.reused_sources, 3);
+        assert_eq!(stats.solved_sources, 3);
+        assert_eq!(stats.edges_added, 1);
+        assert_eq!(stats.edges_removed, 1);
+        assert_matches_reference(&g1, &paths);
+    }
+
+    #[test]
+    fn unchanged_graph_resolves_nothing() {
+        let g = NetworkGraph::from_edges(4, [(0, 1, 5), (1, 2, 5), (2, 3, 5)]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 2);
+        engine.solve(&g);
+        let paths = engine.solve(&g).clone();
+        let stats = engine.last_solve();
+        assert_eq!(stats.kind, SolveKind::Incremental);
+        assert_eq!(stats.solved_sources, 0);
+        assert_eq!(stats.reused_sources, 4);
+        assert_matches_reference(&g, &paths);
+    }
+
+    #[test]
+    fn large_delta_falls_back_to_full_solve() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let e0 = random_edges(&mut rng, 20, 20);
+        let e1 = random_edges(&mut rng, 20, 20); // Entirely fresh edge set.
+        let g0 = NetworkGraph::from_edges(20, e0);
+        let g1 = NetworkGraph::from_edges(20, e1);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 2);
+        engine.solve(&g0);
+        let paths = engine.solve(&g1).clone();
+        assert_eq!(engine.last_solve().kind, SolveKind::FullDijkstra);
+        assert_matches_reference(&g1, &paths);
+    }
+
+    #[test]
+    fn empty_graph_solves_to_an_empty_result() {
+        let g = NetworkGraph::new(0);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 2);
+        let paths = engine.solve(&g).clone();
+        assert_eq!(paths.node_count(), 0);
+        assert_eq!(paths.source_count(), 0);
+        assert_eq!(engine.last_solve().solved_sources, 0);
+    }
+
+    #[test]
+    fn source_restriction_solves_only_requested_rows() {
+        let g = NetworkGraph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 2);
+        let paths = engine.solve_sources(&g, &[0, 4]);
+        assert_eq!(paths.source_count(), 2);
+        assert!(paths.is_solved(0) && paths.is_solved(4));
+        assert!(!paths.is_solved(2));
+        assert_eq!(paths.latency_micros(0, 4), Some(4));
+        assert_eq!(paths.latency_micros(2, 0), None, "unsolved row reports None");
+        assert_eq!(paths.path(2, 2), None, "unsolved self-path reports None");
+        assert_eq!(paths.path(4, 0), Some(vec![4, 3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn changing_source_set_still_yields_correct_rows() {
+        let g = NetworkGraph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 1);
+        engine.solve_sources(&g, &[0, 4]);
+        let paths = engine.solve_sources(&g, &[0, 2]).clone();
+        // Source sets differ: no incremental reuse, but results are right.
+        assert_eq!(engine.last_solve().kind, SolveKind::FullDijkstra);
+        assert!(paths.is_solved(2) && !paths.is_solved(4));
+        assert_eq!(paths.latency_micros(2, 4), Some(2));
+    }
+
+    #[test]
+    fn auto_uses_floyd_warshall_on_tiny_graphs_and_incremental_on_repeats() {
+        let tiny = NetworkGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let mut engine = PathEngine::new(PathAlgorithm::Auto);
+        engine.solve(&tiny);
+        assert_eq!(engine.last_solve().kind, SolveKind::FloydWarshall);
+
+        // A graph above the Floyd–Warshall cutoff: full Dijkstra first, then
+        // incremental reuse on the unchanged repeat.
+        let n = AUTO_FLOYD_WARSHALL_MAX_NODES + 10;
+        let edges: Vec<Edge> = (1..n as u32).map(|i| (i - 1, i, 7)).collect();
+        let big = NetworkGraph::from_edges(n, edges);
+        engine.solve(&big);
+        assert_eq!(engine.last_solve().kind, SolveKind::FullDijkstra);
+        let paths = engine.solve(&big).clone();
+        assert_eq!(engine.last_solve().kind, SolveKind::Incremental);
+        assert_eq!(engine.last_solve().solved_sources, 0);
+        assert_matches_reference(&big, &paths);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn incremental_equals_full_recompute_across_timesteps(
+            seed in 0u64..500,
+            n in 4usize..28,
+            extra in 0usize..30,
+            churn in 1usize..8,
+            steps in 1usize..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut edges = random_edges(&mut rng, n, extra);
+            let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 2);
+            engine.solve(&NetworkGraph::from_edges(n, edges.clone()));
+            for _ in 0..steps {
+                edges = mutate_edges(&mut rng, n, &edges, churn);
+                let graph = NetworkGraph::from_edges(n, edges.clone());
+                let result = engine.solve(&graph).clone();
+                let reference = graph.all_pairs_dijkstra();
+                for a in 0..n {
+                    for b in 0..n {
+                        prop_assert_eq!(result.latency_micros(a, b), reference.latency_micros(a, b));
+                    }
+                }
+                assert_matches_reference(&graph, &result);
+            }
+        }
+
+        #[test]
+        fn auto_agrees_with_both_references(seed in 0u64..500, n in 2usize..90, extra in 0usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = NetworkGraph::from_edges(n, random_edges(&mut rng, n, extra));
+            let mut engine = PathEngine::new(PathAlgorithm::Auto);
+            let result = engine.solve(&graph).clone();
+            let dijkstra = graph.all_pairs_dijkstra();
+            let floyd_warshall = graph.floyd_warshall();
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(result.latency_micros(a, b), dijkstra.latency_micros(a, b));
+                    prop_assert_eq!(result.latency_micros(a, b), floyd_warshall.latency_micros(a, b));
+                }
+            }
+        }
+
+        #[test]
+        fn restricted_solves_match_full_rows(seed in 0u64..200, n in 3usize..30) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = NetworkGraph::from_edges(n, random_edges(&mut rng, n, n));
+            let sources: Vec<u32> = (0..n as u32).filter(|s| s % 3 == 0).collect();
+            let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 3);
+            let restricted = engine.solve_sources(&graph, &sources).clone();
+            let full = graph.all_pairs_dijkstra();
+            for &s in &sources {
+                for t in 0..n {
+                    prop_assert_eq!(
+                        restricted.latency_micros(s as usize, t),
+                        full.latency_micros(s as usize, t)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -9,8 +9,10 @@
 //!   cut when the line of sight grazes the atmosphere),
 //! * ground-station uplinks subject to a minimum elevation angle,
 //! * link distances, one-way latencies and bandwidths,
-//! * shortest network paths (per-source Dijkstra and all-pairs
-//!   Floyd–Warshall) and their end-to-end latencies,
+//! * shortest network paths and their end-to-end latencies, computed by the
+//!   [`engine::PathEngine`] over a flat CSR graph — parallel per-source
+//!   Dijkstra, all-pairs Floyd–Warshall, and incremental per-timestep
+//!   recomputation (see `docs/PATHS.md`),
 //! * the set of satellites inside the configured bounding box (used to
 //!   suspend microVMs of satellites that are out of scope),
 //! * diffs between consecutive states, which the coordinator ships to the
@@ -42,6 +44,7 @@
 pub mod animation;
 pub mod bbox;
 pub mod constellation;
+pub mod engine;
 pub mod ground_station;
 pub mod isl;
 pub mod links;
@@ -51,6 +54,7 @@ pub mod snapshot;
 
 pub use bbox::BoundingBox;
 pub use constellation::{Constellation, ConstellationBuilder, ConstellationState};
+pub use engine::{PathEngine, SolveKind, SolveStats};
 pub use ground_station::GroundStation;
 pub use links::{Link, LinkKind};
 pub use path::{NetworkGraph, PathAlgorithm, ShortestPaths};

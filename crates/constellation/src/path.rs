@@ -2,11 +2,18 @@
 //!
 //! Celestial computes the shortest paths between nodes and their end-to-end
 //! latencies with efficient implementations of Dijkstra's algorithm and the
-//! Floyd–Warshall algorithm (§3.1). Dijkstra (run once per source of
-//! interest) is the default because constellation graphs are sparse — the
-//! +GRID topology gives every satellite degree four — while Floyd–Warshall is
-//! provided for complete all-pairs matrices on smaller topologies and as the
-//! reference implementation in tests.
+//! Floyd–Warshall algorithm (§3.1). The graph is stored in compressed sparse
+//! row (CSR) form — three flat arrays with `u32` node identifiers — so that
+//! an adjacency scan is one linear walk over contiguous memory and the whole
+//! structure is roughly 4× smaller than a nested-`Vec` adjacency list.
+//!
+//! Per-source Dijkstra is the default because constellation graphs are
+//! sparse (the +GRID topology gives every satellite degree four);
+//! Floyd–Warshall is provided for complete all-pairs matrices on small
+//! topologies and as the reference implementation in tests. The stateful,
+//! parallel and incrementally recomputing driver on top of this module is
+//! [`crate::engine::PathEngine`] — see `docs/PATHS.md` for the
+//! algorithm-selection guide.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -19,150 +26,318 @@ pub type Cost = u64;
 /// Marker for an unreachable node pair.
 pub const UNREACHABLE: Cost = Cost::MAX;
 
-/// A weighted undirected graph over the nodes of the emulated topology.
+/// Sentinel node id meaning "no node": no predecessor, no next hop, or an
+/// unsolved source row. Using a `u32` sentinel instead of `Option<usize>`
+/// quarters the memory of the predecessor matrix and keeps it `memcpy`-able.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// A weighted undirected edge in canonical form: `a < b`, cost in
+/// microseconds.
+pub type Edge = (u32, u32, Cost);
+
+/// The scratch heap reused across Dijkstra runs (cleared, capacity kept).
+pub(crate) type DijkstraHeap = BinaryHeap<Reverse<(Cost, u32)>>;
+
+/// A weighted undirected graph over the nodes of the emulated topology,
+/// stored in compressed sparse row (CSR) form.
 ///
 /// Node indices are assigned by the caller (the constellation assigns
-/// satellites first, then ground stations).
+/// satellites first, then ground stations). The graph keeps a canonical
+/// sorted edge list alongside the CSR arrays; the edge list is what
+/// [`crate::engine::PathEngine`] diffs between timesteps.
+///
+/// Self-loops are rejected and parallel edges are collapsed to the cheaper
+/// one, so `edge_count` and the CSR degrees always reflect the distinct
+/// node pairs actually connected.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkGraph {
-    adjacency: Vec<Vec<(usize, Cost)>>,
-    edge_count: usize,
+    node_count: u32,
+    /// Canonical edge list: `a < b`, sorted by `(a, b)`, no duplicates.
+    edges: Vec<Edge>,
+    /// CSR row offsets, length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// CSR column indices (neighbour of each half-edge), length `2 * edges`.
+    targets: Vec<u32>,
+    /// CSR edge weights, parallel to `targets`.
+    weights: Vec<Cost>,
 }
 
 impl NetworkGraph {
     /// Creates a graph with `node_count` nodes and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` does not fit the `u32` id space (the topmost
+    /// id is reserved as the [`NO_NODE`] sentinel).
     pub fn new(node_count: usize) -> Self {
+        assert!((node_count as u64) < u64::from(u32::MAX), "too many nodes for u32 ids");
         NetworkGraph {
-            adjacency: vec![Vec::new(); node_count],
-            edge_count: 0,
+            node_count: node_count as u32,
+            edges: Vec::new(),
+            offsets: vec![0; node_count + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
         }
+    }
+
+    /// Builds a graph from an edge iterator in one pass — the efficient bulk
+    /// constructor (`O(m log m)` for the canonical sort, `O(n + m)` for the
+    /// CSR build). Parallel edges are collapsed to the cheapest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is a self-loop or references a node out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use celestial_constellation::path::NetworkGraph;
+    ///
+    /// // A 3-node line: 0 —10— 1 —10— 2, plus a direct 50 µs shortcut.
+    /// let g = NetworkGraph::from_edges(3, [(0, 1, 10), (1, 2, 10), (0, 2, 50)]);
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 3);
+    /// let paths = g.all_pairs_dijkstra();
+    /// // The two-hop route wins over the direct edge.
+    /// assert_eq!(paths.latency_micros(0, 2), Some(20));
+    /// assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+    /// ```
+    pub fn from_edges(node_count: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut graph = NetworkGraph::new(node_count);
+        let n = graph.node_count;
+        graph.edges = edges
+            .into_iter()
+            .map(|(a, b, cost)| Self::canonical(n, a, b, cost))
+            .collect();
+        // Sort by (a, b, cost) so that deduplication keeps the cheapest
+        // parallel edge.
+        graph.edges.sort_unstable();
+        graph.edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        graph.rebuild_csr();
+        graph
     }
 
     /// Number of nodes in the graph.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.node_count as usize
     }
 
-    /// Number of undirected edges in the graph.
+    /// Number of undirected edges in the graph (distinct node pairs).
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.edges.len()
+    }
+
+    /// The canonical sorted edge list (`a < b`, ascending, deduplicated).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
     }
 
     /// Adds an undirected edge between `a` and `b` with the given cost.
     ///
+    /// If the pair is already connected, the cheaper of the two parallel
+    /// edges is kept. This rebuilds the CSR arrays (`O(n + m)`); use
+    /// [`NetworkGraph::from_edges`] when constructing a graph from a full
+    /// edge list.
+    ///
     /// # Panics
     ///
-    /// Panics if `a` or `b` is out of range.
+    /// Panics if `a` or `b` is out of range, or on the self-loop `a == b`.
     pub fn add_edge(&mut self, a: usize, b: usize, cost: Cost) {
-        assert!(a < self.node_count() && b < self.node_count(), "node index out of range");
-        self.adjacency[a].push((b, cost));
-        self.adjacency[b].push((a, cost));
-        self.edge_count += 1;
+        // Validate before narrowing to u32 so an index >= 2^32 cannot wrap
+        // into range.
+        assert!(
+            a < self.node_count() && b < self.node_count(),
+            "node index out of range"
+        );
+        let edge = Self::canonical(self.node_count, a as u32, b as u32, cost);
+        match self.edges.binary_search_by_key(&(edge.0, edge.1), |&(x, y, _)| (x, y)) {
+            Ok(existing) => {
+                if self.edges[existing].2 <= cost {
+                    return; // The existing parallel edge is cheaper.
+                }
+                self.edges[existing].2 = cost;
+            }
+            Err(insert_at) => self.edges.insert(insert_at, edge),
+        }
+        self.rebuild_csr();
     }
 
-    /// The neighbours of node `n` with their edge costs.
-    pub fn neighbors(&self, n: usize) -> &[(usize, Cost)] {
-        &self.adjacency[n]
+    /// Canonicalizes and validates one edge.
+    fn canonical(node_count: u32, a: u32, b: u32, cost: Cost) -> Edge {
+        assert!(
+            a < node_count && b < node_count,
+            "node index out of range"
+        );
+        assert_ne!(a, b, "self-loop edges are not allowed");
+        if a < b {
+            (a, b, cost)
+        } else {
+            (b, a, cost)
+        }
+    }
+
+    /// Rebuilds the CSR arrays from the canonical edge list with a counting
+    /// sort: degree histogram → prefix sums → scatter.
+    fn rebuild_csr(&mut self) {
+        let n = self.node_count as usize;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(a, b, _) in &self.edges {
+            self.offsets[a as usize + 1] += 1;
+            self.offsets[b as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.targets.clear();
+        self.targets.resize(2 * self.edges.len(), 0);
+        self.weights.clear();
+        self.weights.resize(2 * self.edges.len(), 0);
+        let mut cursor = self.offsets.clone();
+        for &(a, b, w) in &self.edges {
+            let slot_a = cursor[a as usize] as usize;
+            self.targets[slot_a] = b;
+            self.weights[slot_a] = w;
+            cursor[a as usize] += 1;
+            let slot_b = cursor[b as usize] as usize;
+            self.targets[slot_b] = a;
+            self.weights[slot_b] = w;
+            cursor[b as usize] += 1;
+        }
+    }
+
+    /// The neighbours of node `n` with their edge costs, as one contiguous
+    /// CSR row scan.
+    pub fn neighbors(&self, n: usize) -> impl Iterator<Item = (u32, Cost)> + '_ {
+        let start = self.offsets[n] as usize;
+        let end = self.offsets[n + 1] as usize;
+        self.targets[start..end]
+            .iter()
+            .copied()
+            .zip(self.weights[start..end].iter().copied())
     }
 
     /// Runs Dijkstra's algorithm from `source`, returning the distance to
-    /// every node and the predecessor of every node on its shortest path.
-    pub fn dijkstra(&self, source: usize) -> (Vec<Cost>, Vec<Option<usize>>) {
+    /// every node and the predecessor of every node on its shortest path
+    /// ([`NO_NODE`] for the source itself and for unreachable nodes).
+    pub fn dijkstra(&self, source: usize) -> (Vec<Cost>, Vec<u32>) {
         let n = self.node_count();
         let mut dist = vec![UNREACHABLE; n];
-        let mut prev: Vec<Option<usize>> = vec![None; n];
-        let mut heap = BinaryHeap::new();
-        dist[source] = 0;
+        let mut prev = vec![NO_NODE; n];
+        let mut heap = DijkstraHeap::new();
+        self.dijkstra_into(source as u32, &mut dist, &mut prev, &mut heap);
+        (dist, prev)
+    }
+
+    /// Runs Dijkstra from `source` into caller-provided row buffers, reusing
+    /// the caller's heap. This is the allocation-free kernel the
+    /// [`crate::engine::PathEngine`] fans out over worker threads.
+    pub(crate) fn dijkstra_into(
+        &self,
+        source: u32,
+        dist: &mut [Cost],
+        prev: &mut [u32],
+        heap: &mut DijkstraHeap,
+    ) {
+        dist.fill(UNREACHABLE);
+        prev.fill(NO_NODE);
+        heap.clear();
+        dist[source as usize] = 0;
         heap.push(Reverse((0, source)));
         while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u] {
+            if d > dist[u as usize] {
                 continue;
             }
-            for &(v, w) in &self.adjacency[u] {
+            let start = self.offsets[u as usize] as usize;
+            let end = self.offsets[u as usize + 1] as usize;
+            for (&v, &w) in self.targets[start..end].iter().zip(&self.weights[start..end]) {
                 let candidate = d.saturating_add(w);
-                if candidate < dist[v] {
-                    dist[v] = candidate;
-                    prev[v] = Some(u);
+                if candidate < dist[v as usize] {
+                    dist[v as usize] = candidate;
+                    prev[v as usize] = u;
                     heap.push(Reverse((candidate, v)));
                 }
             }
         }
-        (dist, prev)
     }
 
-    /// Computes all-pairs shortest paths with Dijkstra run from every source.
+    /// Computes all-pairs shortest paths with Dijkstra run from every source
+    /// (sequentially; the parallel driver is
+    /// [`crate::engine::PathEngine`]).
     pub fn all_pairs_dijkstra(&self) -> ShortestPaths {
         let n = self.node_count();
-        let mut dist = Vec::with_capacity(n);
-        let mut next = vec![vec![None; n]; n];
+        let mut paths = ShortestPaths::for_all_sources(self.node_count);
+        let mut heap = DijkstraHeap::new();
         for source in 0..n {
-            let (d, prev) = self.dijkstra(source);
-            // Convert the predecessor tree into a next-hop row by walking
-            // each destination back towards the source.
-            for target in 0..n {
-                if target == source || d[target] == UNREACHABLE {
-                    continue;
-                }
-                let mut hop = target;
-                while let Some(p) = prev[hop] {
-                    if p == source {
-                        break;
-                    }
-                    hop = p;
-                }
-                next[source][target] = Some(hop);
-            }
-            dist.push(d);
+            let (dist_row, prev_row) = paths.row_mut(source);
+            self.dijkstra_into(source as u32, dist_row, prev_row, &mut heap);
         }
-        ShortestPaths { dist, next }
+        paths
     }
 
     /// Computes all-pairs shortest paths with the Floyd–Warshall algorithm.
     pub fn floyd_warshall(&self) -> ShortestPaths {
         let n = self.node_count();
-        let mut dist = vec![vec![UNREACHABLE; n]; n];
-        let mut next: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
-        for (i, row) in dist.iter_mut().enumerate() {
-            row[i] = 0;
+        let mut paths = ShortestPaths::for_all_sources(self.node_count);
+        for i in 0..n {
+            paths.dist[i * n + i] = 0;
         }
-        for (u, edges) in self.adjacency.iter().enumerate() {
-            for &(v, w) in edges {
-                if w < dist[u][v] {
-                    dist[u][v] = w;
-                    next[u][v] = Some(v);
-                }
+        for &(a, b, w) in &self.edges {
+            let (a, b) = (a as usize, b as usize);
+            if w < paths.dist[a * n + b] {
+                paths.dist[a * n + b] = w;
+                paths.dist[b * n + a] = w;
+                paths.prev[a * n + b] = a as u32;
+                paths.prev[b * n + a] = b as u32;
             }
         }
         for k in 0..n {
             for i in 0..n {
-                let dik = dist[i][k];
+                let dik = paths.dist[i * n + k];
                 if dik == UNREACHABLE {
                     continue;
                 }
                 for j in 0..n {
-                    let dkj = dist[k][j];
+                    let dkj = paths.dist[k * n + j];
                     if dkj == UNREACHABLE {
                         continue;
                     }
                     let through_k = dik + dkj;
-                    if through_k < dist[i][j] {
-                        dist[i][j] = through_k;
-                        next[i][j] = next[i][k];
+                    if through_k < paths.dist[i * n + j] {
+                        paths.dist[i * n + j] = through_k;
+                        paths.prev[i * n + j] = paths.prev[k * n + j];
                     }
                 }
             }
         }
-        ShortestPaths { dist, next }
+        paths
     }
 
     /// Computes all-pairs shortest paths with the requested algorithm.
+    ///
+    /// This is the stateless entry point: [`PathAlgorithm::Auto`] picks by
+    /// graph size alone and [`PathAlgorithm::Incremental`] falls back to a
+    /// full per-source Dijkstra, because there is no previous timestep to
+    /// diff against here. The stateful driver that implements incremental
+    /// recomputation and parallelism is [`crate::engine::PathEngine`].
     pub fn shortest_paths(&self, algorithm: PathAlgorithm) -> ShortestPaths {
         match algorithm {
-            PathAlgorithm::Dijkstra => self.all_pairs_dijkstra(),
+            PathAlgorithm::Dijkstra | PathAlgorithm::Incremental => self.all_pairs_dijkstra(),
             PathAlgorithm::FloydWarshall => self.floyd_warshall(),
+            PathAlgorithm::Auto => {
+                if self.node_count() <= AUTO_FLOYD_WARSHALL_MAX_NODES {
+                    self.floyd_warshall()
+                } else {
+                    self.all_pairs_dijkstra()
+                }
+            }
         }
     }
 }
+
+/// Below this node count [`PathAlgorithm::Auto`] picks Floyd–Warshall: the
+/// cubic term is tiny and the dense sweep beats per-source heap overhead.
+pub const AUTO_FLOYD_WARSHALL_MAX_NODES: usize = 64;
 
 /// The shortest-path algorithm used for the all-pairs computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -173,20 +348,159 @@ pub enum PathAlgorithm {
     /// Floyd–Warshall: cubic in the node count, useful for small topologies
     /// and as a cross-check.
     FloydWarshall,
+    /// Re-solve only the sources whose shortest paths are affected by the
+    /// edge delta since the previous timestep, falling back to a full solve
+    /// when the delta is large. Only meaningful through
+    /// [`crate::engine::PathEngine`].
+    Incremental,
+    /// Select automatically: Floyd–Warshall for tiny graphs, incremental
+    /// recomputation when a previous solve is reusable, parallel per-source
+    /// Dijkstra otherwise.
+    Auto,
 }
 
-/// All-pairs shortest-path result: distances and next hops.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+impl PathAlgorithm {
+    /// Every algorithm, in documentation order — the single source of truth
+    /// for configuration parsing and error messages.
+    pub const ALL: [PathAlgorithm; 4] = [
+        PathAlgorithm::Dijkstra,
+        PathAlgorithm::FloydWarshall,
+        PathAlgorithm::Incremental,
+        PathAlgorithm::Auto,
+    ];
+
+    /// The configuration-file spelling of the algorithm (the value accepted
+    /// by the `path-algorithm` TOML key; see `docs/PATHS.md`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PathAlgorithm::Dijkstra => "dijkstra",
+            PathAlgorithm::FloydWarshall => "floyd-warshall",
+            PathAlgorithm::Incremental => "incremental",
+            PathAlgorithm::Auto => "auto",
+        }
+    }
+}
+
+/// All-pairs (or source-restricted) shortest-path result.
+///
+/// Distances and predecessors are stored as flat row-major matrices with one
+/// row per *solved source*; a solve may cover every node or only a subset
+/// (the coordinator solves only ground stations and active satellites).
+/// `rows` maps a node id to its row index, [`NO_NODE`] marking unsolved
+/// sources.
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShortestPaths {
-    dist: Vec<Vec<Cost>>,
-    next: Vec<Vec<Option<usize>>>,
+    pub(crate) node_count: u32,
+    /// Node id → row index, `NO_NODE` if the node was not solved as a source.
+    pub(crate) rows: Vec<u32>,
+    /// Row index → source node id.
+    pub(crate) sources: Vec<u32>,
+    /// Row-major distances, `sources.len() × node_count`.
+    pub(crate) dist: Vec<Cost>,
+    /// Row-major predecessor matrix, `sources.len() × node_count`;
+    /// `prev[row][t]` is the node before `t` on the shortest path from the
+    /// row's source, `NO_NODE` for the source itself and unreachable nodes.
+    pub(crate) prev: Vec<u32>,
+}
+
+impl Clone for ShortestPaths {
+    fn clone(&self) -> Self {
+        ShortestPaths {
+            node_count: self.node_count,
+            rows: self.rows.clone(),
+            sources: self.sources.clone(),
+            dist: self.dist.clone(),
+            prev: self.prev.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so that a long-lived destination (e.g. the
+    /// coordinator database's cached copy) reuses its allocations every
+    /// timestep instead of re-allocating the matrices.
+    fn clone_from(&mut self, source: &Self) {
+        self.node_count = source.node_count;
+        self.rows.clone_from(&source.rows);
+        self.sources.clone_from(&source.sources);
+        self.dist.clone_from(&source.dist);
+        self.prev.clone_from(&source.prev);
+    }
 }
 
 impl ShortestPaths {
+    /// An empty result covering no sources of an `n`-node graph.
+    pub(crate) fn empty(node_count: u32) -> Self {
+        ShortestPaths {
+            node_count,
+            rows: vec![NO_NODE; node_count as usize],
+            sources: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+        }
+    }
+
+    /// A result with one (unsolved) row per node, in node order.
+    pub(crate) fn for_all_sources(node_count: u32) -> Self {
+        let n = node_count as usize;
+        ShortestPaths {
+            node_count,
+            rows: (0..node_count).collect(),
+            sources: (0..node_count).collect(),
+            dist: vec![UNREACHABLE; n * n],
+            prev: vec![NO_NODE; n * n],
+        }
+    }
+
+    /// Re-shapes this buffer in place for a solve of `sources` over an
+    /// `n`-node graph, reusing the existing allocations where possible.
+    pub(crate) fn reset(&mut self, node_count: u32, sources: &[u32]) {
+        let n = node_count as usize;
+        self.node_count = node_count;
+        self.rows.clear();
+        self.rows.resize(n, NO_NODE);
+        self.sources.clear();
+        self.sources.extend_from_slice(sources);
+        for (row, &source) in sources.iter().enumerate() {
+            self.rows[source as usize] = row as u32;
+        }
+        self.dist.clear();
+        self.dist.resize(sources.len() * n, UNREACHABLE);
+        self.prev.clear();
+        self.prev.resize(sources.len() * n, NO_NODE);
+    }
+
+    /// The mutable distance and predecessor row of one solved source row.
+    pub(crate) fn row_mut(&mut self, row: usize) -> (&mut [Cost], &mut [u32]) {
+        let n = self.node_count as usize;
+        (
+            &mut self.dist[row * n..(row + 1) * n],
+            &mut self.prev[row * n..(row + 1) * n],
+        )
+    }
+
+    /// The row index of node `a`, if it was solved as a source.
+    fn row_of(&self, a: usize) -> Option<usize> {
+        match self.rows.get(a) {
+            Some(&row) if row != NO_NODE => Some(row as usize),
+            _ => None,
+        }
+    }
+
+    /// Whether node `a` was solved as a source (i.e. its row exists).
+    pub fn is_solved(&self, a: usize) -> bool {
+        self.row_of(a).is_some()
+    }
+
+    /// The solved source nodes, in row order.
+    pub fn solved_sources(&self) -> &[u32] {
+        &self.sources
+    }
+
     /// The latency (microseconds) of the shortest path from `a` to `b`, or
-    /// `None` if `b` is unreachable from `a`.
+    /// `None` if `b` is unreachable from `a` or `a` was not solved as a
+    /// source (see [`ShortestPaths::is_solved`]).
     pub fn latency_micros(&self, a: usize, b: usize) -> Option<Cost> {
-        let d = self.dist[a][b];
+        let row = self.row_of(a)?;
+        let d = self.dist[row * self.node_count as usize + b];
         if d == UNREACHABLE {
             None
         } else {
@@ -194,35 +508,92 @@ impl ShortestPaths {
         }
     }
 
-    /// The next hop on the shortest path from `a` towards `b`.
+    /// The node before `b` on the shortest path from `a`, or `None` for
+    /// `a == b`, unreachable `b`, or unsolved `a`. Walking predecessors back
+    /// to the source is how the coordinator finds each path's bottleneck
+    /// bandwidth without a second graph traversal.
+    pub fn predecessor(&self, a: usize, b: usize) -> Option<usize> {
+        let row = self.row_of(a)?;
+        let p = self.prev[row * self.node_count as usize + b];
+        if p == NO_NODE {
+            None
+        } else {
+            Some(p as usize)
+        }
+    }
+
+    /// The next hop on the shortest path from `a` towards `b`, computed by
+    /// walking the predecessor chain back from `b` (`O(path length)`).
     pub fn next_hop(&self, a: usize, b: usize) -> Option<usize> {
-        self.next[a][b]
+        if a == b {
+            return None;
+        }
+        let row = self.row_of(a)?;
+        let n = self.node_count as usize;
+        let mut hop = b;
+        // A shortest path visits each node at most once, so bound the loop.
+        for _ in 0..n {
+            let p = self.prev[row * n + hop];
+            if p == NO_NODE {
+                return None;
+            }
+            if p as usize == a {
+                return Some(hop);
+            }
+            hop = p as usize;
+        }
+        None
     }
 
     /// The full node sequence of the shortest path from `a` to `b`,
-    /// including both endpoints, or `None` if unreachable.
+    /// including both endpoints, or `None` if unreachable (or `a` unsolved).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use celestial_constellation::path::NetworkGraph;
+    ///
+    /// let g = NetworkGraph::from_edges(3, [(0, 1, 10), (1, 2, 10), (0, 2, 50)]);
+    /// let paths = g.all_pairs_dijkstra();
+    /// assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+    /// assert_eq!(paths.path(2, 0), Some(vec![2, 1, 0]));
+    /// assert_eq!(paths.path(1, 1), Some(vec![1]));
+    /// ```
     pub fn path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        let row = self.row_of(a)?;
         if a == b {
             return Some(vec![a]);
         }
-        self.latency_micros(a, b)?;
-        let mut path = vec![a];
-        let mut here = a;
+        let n = self.node_count as usize;
+        if self.dist[row * n + b] == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut here = b;
         // A shortest path visits each node at most once, so bound the loop.
-        for _ in 0..self.dist.len() {
-            let hop = self.next[here][b]?;
-            path.push(hop);
-            if hop == b {
+        for _ in 0..n {
+            let p = self.prev[row * n + here];
+            if p == NO_NODE {
+                return None;
+            }
+            path.push(p as usize);
+            if p as usize == a {
+                path.reverse();
                 return Some(path);
             }
-            here = hop;
+            here = p as usize;
         }
         None
     }
 
     /// Number of nodes covered by this result.
     pub fn node_count(&self) -> usize {
-        self.dist.len()
+        self.node_count as usize
+    }
+
+    /// Number of solved source rows.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
     }
 }
 
@@ -246,8 +617,18 @@ mod tests {
         let g = line_graph(5);
         let (dist, prev) = g.dijkstra(0);
         assert_eq!(dist, vec![0, 10, 20, 30, 40]);
-        assert_eq!(prev[4], Some(3));
-        assert_eq!(prev[0], None);
+        assert_eq!(prev[4], 3);
+        assert_eq!(prev[0], NO_NODE);
+    }
+
+    #[test]
+    fn from_edges_matches_incremental_construction() {
+        let incremental = line_graph(4);
+        let bulk = NetworkGraph::from_edges(4, [(2, 3, 10), (0, 1, 10), (1, 2, 10)]);
+        assert_eq!(incremental, bulk);
+        assert_eq!(bulk.edge_count(), 3);
+        let neighbors: Vec<_> = bulk.neighbors(1).collect();
+        assert_eq!(neighbors, vec![(0, 10), (2, 10)]);
     }
 
     #[test]
@@ -260,6 +641,7 @@ mod tests {
         assert_eq!(paths.latency_micros(0, 1), Some(5));
         assert_eq!(paths.latency_micros(0, 2), None);
         assert_eq!(paths.path(0, 3), None);
+        assert_eq!(paths.next_hop(0, 3), None);
     }
 
     #[test]
@@ -272,6 +654,8 @@ mod tests {
         let paths = g.all_pairs_dijkstra();
         assert_eq!(paths.latency_micros(0, 2), Some(20));
         assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+        assert_eq!(paths.next_hop(0, 2), Some(1));
+        assert_eq!(paths.predecessor(0, 2), Some(1));
         let fw = g.floyd_warshall();
         assert_eq!(fw.latency_micros(0, 2), Some(20));
         assert_eq!(fw.path(0, 2), Some(vec![0, 1, 2]));
@@ -283,6 +667,27 @@ mod tests {
         let paths = g.all_pairs_dijkstra();
         assert_eq!(paths.path(1, 1), Some(vec![1]));
         assert_eq!(paths.latency_micros(1, 1), Some(0));
+        assert_eq!(paths.next_hop(1, 1), None);
+    }
+
+    #[test]
+    fn parallel_edges_keep_the_cheaper_cost() {
+        let mut g = NetworkGraph::new(2);
+        g.add_edge(0, 1, 50);
+        g.add_edge(1, 0, 10); // Cheaper duplicate, reversed orientation.
+        g.add_edge(0, 1, 70); // More expensive duplicate: ignored.
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges(), &[(0, 1, 10)]);
+        let bulk = NetworkGraph::from_edges(2, [(0, 1, 50), (1, 0, 10), (0, 1, 70)]);
+        assert_eq!(bulk.edge_count(), 1);
+        assert_eq!(g, bulk);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        let mut g = NetworkGraph::new(3);
+        g.add_edge(1, 1, 5);
     }
 
     #[test]
@@ -309,7 +714,10 @@ mod tests {
                 assert_eq!(*p.last().unwrap(), b);
                 // Consecutive nodes must be adjacent in the graph.
                 for w in p.windows(2) {
-                    assert!(g.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]));
+                    assert!(g.neighbors(w[0]).any(|(v, _)| v as usize == w[1]));
+                }
+                if a != b {
+                    assert_eq!(paths.next_hop(a, b), Some(p[1]));
                 }
             }
         }
@@ -320,6 +728,41 @@ mod tests {
     fn adding_edge_out_of_range_panics() {
         let mut g = NetworkGraph::new(2);
         g.add_edge(0, 5, 1);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adding_edge_with_index_past_u32_panics_instead_of_wrapping() {
+        let mut g = NetworkGraph::new(2);
+        // 2^32 would truncate to node 0 if narrowed before validation.
+        g.add_edge(u32::MAX as usize + 1, 1, 1);
+    }
+
+    #[test]
+    fn auto_stateless_selection_by_size() {
+        let small = line_graph(5);
+        assert_eq!(
+            small.shortest_paths(PathAlgorithm::Auto),
+            small.floyd_warshall()
+        );
+        let big = line_graph(AUTO_FLOYD_WARSHALL_MAX_NODES + 1);
+        assert_eq!(
+            big.shortest_paths(PathAlgorithm::Auto),
+            big.all_pairs_dijkstra()
+        );
+        assert_eq!(
+            big.shortest_paths(PathAlgorithm::Incremental),
+            big.all_pairs_dijkstra()
+        );
+    }
+
+    #[test]
+    fn algorithm_names_match_the_config_spellings() {
+        assert_eq!(PathAlgorithm::Dijkstra.name(), "dijkstra");
+        assert_eq!(PathAlgorithm::FloydWarshall.name(), "floyd-warshall");
+        assert_eq!(PathAlgorithm::Incremental.name(), "incremental");
+        assert_eq!(PathAlgorithm::Auto.name(), "auto");
     }
 
     proptest! {

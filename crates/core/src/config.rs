@@ -98,15 +98,19 @@ impl TestbedConfig {
         };
 
         if let Some(value) = table.get("path-algorithm") {
-            config.path_algorithm = match value.as_str() {
-                Some("dijkstra") => PathAlgorithm::Dijkstra,
-                Some("floyd-warshall") => PathAlgorithm::FloydWarshall,
-                other => {
-                    return Err(Error::config(format!(
-                        "unknown path-algorithm {other:?}; expected \"dijkstra\" or \"floyd-warshall\""
-                    )))
-                }
-            };
+            let text = value.as_str();
+            config.path_algorithm = text
+                .and_then(|t| PathAlgorithm::ALL.iter().find(|a| a.name() == t).copied())
+                .ok_or_else(|| {
+                    let expected: Vec<String> = PathAlgorithm::ALL
+                        .iter()
+                        .map(|a| format!("\"{}\"", a.name()))
+                        .collect();
+                    Error::config(format!(
+                        "unknown path-algorithm {text:?}; expected one of {} (see docs/PATHS.md)",
+                        expected.join(", ")
+                    ))
+                })?;
         }
 
         if let Some(bbox) = table.get("bounding-box").and_then(|v| v.as_table()) {
@@ -395,6 +399,21 @@ min-elevation-deg = 30.0
     #[test]
     fn empty_configuration_is_invalid() {
         assert!(TestbedConfig::from_toml("").is_err());
+    }
+
+    #[test]
+    fn incremental_and_auto_path_algorithms_parse() {
+        for (text, expected) in [
+            ("incremental", PathAlgorithm::Incremental),
+            ("auto", PathAlgorithm::Auto),
+        ] {
+            let toml = format!(
+                "path-algorithm = \"{text}\"\n[[shell]]\naltitude-km = 550.0\n\
+                 inclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2"
+            );
+            let config = TestbedConfig::from_toml(&toml).expect("valid config");
+            assert_eq!(config.path_algorithm, expected);
+        }
     }
 
     #[test]

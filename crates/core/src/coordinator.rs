@@ -8,7 +8,7 @@
 
 use crate::database::InfoDatabase;
 use celestial_constellation::{
-    Constellation, ConstellationDiff, ConstellationSnapshot, LinkKind,
+    Constellation, ConstellationDiff, ConstellationSnapshot, LinkKind, PathEngine, SolveStats,
 };
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimDuration;
@@ -36,6 +36,8 @@ pub struct Coordinator {
     update_interval: SimDuration,
     database: InfoDatabase,
     previous: Option<ConstellationSnapshot>,
+    engine: PathEngine,
+    sources: Vec<u32>,
     updates: u64,
 }
 
@@ -47,11 +49,14 @@ impl Coordinator {
             constellation.shells().to_vec(),
             constellation.ground_stations().to_vec(),
         );
+        let engine = PathEngine::new(constellation.path_algorithm());
         Coordinator {
             constellation,
             update_interval,
             database,
             previous: None,
+            engine,
+            sources: Vec::new(),
             updates: 0,
         }
     }
@@ -90,9 +95,35 @@ impl Coordinator {
             None => ConstellationSnapshot::default().diff(&snapshot),
         };
         self.previous = Some(snapshot);
+
+        // Solve shortest paths for the rows the coordinator actually needs:
+        // every active satellite and every ground station. Suspended
+        // satellites carry traffic *on* paths but never originate a
+        // programmed pair or an info-API query of their own hot path, so
+        // their rows are skipped (the database falls back to a one-shot
+        // Dijkstra for them).
+        self.sources.clear();
+        for sat in state.active_satellites() {
+            self.sources.push(state.node_index(NodeId::Satellite(sat))? as u32);
+        }
+        for gst in 0..state.ground_station_count() as u32 {
+            self.sources.push(state.node_index(NodeId::ground_station(gst))? as u32);
+        }
+        self.engine.solve_sources(state.graph(), &self.sources);
         self.database.update(state);
+        if let Some(paths) = self.engine.paths() {
+            // Copies into the database's retained buffer: no allocation in
+            // steady state.
+            self.database.set_paths_from(paths);
+        }
         self.updates += 1;
         Ok(diff)
+    }
+
+    /// Statistics about the most recent shortest-path solve (how many source
+    /// rows were re-solved vs. reused incrementally).
+    pub fn last_path_solve(&self) -> SolveStats {
+        self.engine.last_solve()
     }
 
     /// Computes the per-pair network programme for the current state: the
@@ -101,6 +132,11 @@ impl Coordinator {
     /// satellite (satellites outside the bounding box carry traffic on paths
     /// but host no workloads, so pairs ending at them need no programming).
     ///
+    /// Latencies and paths are read straight out of the [`PathEngine`]
+    /// result computed by the last [`Coordinator::update`] — no graph is
+    /// re-traversed here; the bottleneck bandwidth is found by walking each
+    /// pair's predecessor chain.
+    ///
     /// # Errors
     ///
     /// Returns an error if no update has happened yet.
@@ -108,6 +144,10 @@ impl Coordinator {
         let state = self
             .database
             .state()
+            .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
+        let paths = self
+            .database
+            .paths()
             .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
 
         // Bandwidth of each direct link, keyed by canonical node-index pair.
@@ -134,20 +174,19 @@ impl Coordinator {
         let mut programme = Vec::new();
         for (i, gst) in gst_nodes.iter().enumerate() {
             let source = state.node_index(*gst)?;
-            let (dist, prev) = state.graph().dijkstra(source);
             let mut targets: Vec<NodeId> = Vec::new();
             targets.extend(gst_nodes.iter().skip(i + 1).copied());
             targets.extend(active_sats.iter().copied());
             for target_node in targets {
                 let target = state.node_index(target_node)?;
-                if dist[target] == celestial_constellation::path::UNREACHABLE {
+                let Some(latency_micros) = paths.latency_micros(source, target) else {
                     continue;
-                }
+                };
                 // Walk the predecessor chain to find the bottleneck bandwidth.
-                let mut bandwidth = Bandwidth::from_gbps(u64::MAX / 1_000_000_000);
+                let mut bandwidth = Bandwidth::INFINITY;
                 let mut here = target;
                 while here != source {
-                    let Some(parent) = prev[here] else { break };
+                    let Some(parent) = paths.predecessor(source, here) else { break };
                     let key = if parent <= here { (parent, here) } else { (here, parent) };
                     if let Some(bw) = link_bandwidth.get(&key) {
                         bandwidth = bandwidth.bottleneck(*bw);
@@ -157,7 +196,7 @@ impl Coordinator {
                 programme.push(PairProgram {
                     a: *gst,
                     b: target_node,
-                    latency: Latency::from_micros(dist[target]),
+                    latency: Latency::from_micros(latency_micros),
                     bandwidth,
                 });
             }
@@ -253,6 +292,21 @@ mod tests {
             .iter()
             .filter(|p| !(p.a.is_ground_station() && p.b.is_ground_station()))
             .all(|p| p.b.is_satellite()));
+    }
+
+    #[test]
+    fn path_solve_is_restricted_to_ground_stations_and_active_satellites() {
+        let mut c = coordinator();
+        c.update(0.0).unwrap();
+        let stats = c.last_path_solve();
+        let state = c.database().state().unwrap();
+        let expected = state.active_satellites().len() + state.ground_station_count();
+        assert_eq!(stats.solved_sources, expected);
+        // The engine result is installed in the database and covers exactly
+        // the restricted source rows.
+        let paths = c.database().paths().expect("paths installed");
+        assert_eq!(paths.source_count(), expected);
+        assert!(paths.is_solved(state.node_count() - 1), "ground station solved");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Calculation on every tick; the per-host HTTP servers answer application
 //! queries from it (§3.2). [`InfoDatabase`] is that database.
 
-use celestial_constellation::{ConstellationState, GroundStation, Shell};
+use celestial_constellation::{ConstellationState, GroundStation, Shell, ShortestPaths};
 use celestial_types::geo::Geodetic;
 use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
 use celestial_types::{Error, Latency, Result};
@@ -16,6 +16,11 @@ pub struct InfoDatabase {
     shells: Vec<Shell>,
     ground_stations: Vec<GroundStation>,
     state: Option<ConstellationState>,
+    paths: Option<ShortestPaths>,
+    /// Whether `paths` matches the current `state`. The buffer itself is
+    /// kept across updates so that [`InfoDatabase::set_paths_from`] can
+    /// refill it without re-allocating.
+    paths_valid: bool,
 }
 
 impl InfoDatabase {
@@ -25,12 +30,48 @@ impl InfoDatabase {
             shells,
             ground_stations,
             state: None,
+            paths: None,
+            paths_valid: false,
         }
     }
 
-    /// Replaces the dynamic state after a constellation update.
+    /// Replaces the dynamic state after a constellation update. Any cached
+    /// shortest-path result is invalidated until [`InfoDatabase::set_paths`]
+    /// or [`InfoDatabase::set_paths_from`] installs the one matching this
+    /// state.
     pub fn update(&mut self, state: ConstellationState) {
         self.state = Some(state);
+        self.paths_valid = false;
+    }
+
+    /// Installs the precomputed shortest-path result for the current state
+    /// (produced by the coordinator's `PathEngine`); `/path` queries whose
+    /// source row was solved are answered from it without touching the
+    /// graph.
+    pub fn set_paths(&mut self, paths: ShortestPaths) {
+        self.paths = Some(paths);
+        self.paths_valid = true;
+    }
+
+    /// Like [`InfoDatabase::set_paths`], but copies into the retained buffer
+    /// of the previous timestep — after the first update this allocates
+    /// nothing in steady state.
+    pub fn set_paths_from(&mut self, paths: &ShortestPaths) {
+        match &mut self.paths {
+            Some(existing) => existing.clone_from(paths),
+            None => self.paths = Some(paths.clone()),
+        }
+        self.paths_valid = true;
+    }
+
+    /// The precomputed shortest-path result, if one matching the current
+    /// state is installed.
+    pub fn paths(&self) -> Option<&ShortestPaths> {
+        if self.paths_valid {
+            self.paths.as_ref()
+        } else {
+            None
+        }
     }
 
     /// The latest constellation state, if an update has happened.
@@ -96,23 +137,56 @@ impl InfoDatabase {
         Ok(self.require_state()?.visible_satellites(gst))
     }
 
+    /// The precomputed row for `a`, if the engine result covers this state
+    /// and solved `a` as a source.
+    fn solved_row(&self, state: &ConstellationState, a: usize) -> Option<&ShortestPaths> {
+        self.paths()
+            .filter(|p| p.node_count() == state.node_count() && p.is_solved(a))
+    }
+
     /// The one-way shortest-path latency between two nodes, if they are
     /// currently connected.
+    ///
+    /// Answered from the coordinator's precomputed path matrix when `a` was
+    /// solved as a source (ground stations and active satellites always
+    /// are); otherwise falls back to a one-shot Dijkstra run on the graph.
     ///
     /// # Errors
     ///
     /// Returns an error if no update has happened or either node is unknown.
     pub fn path_latency(&self, a: NodeId, b: NodeId) -> Result<Option<Latency>> {
-        self.require_state()?.latency_between(a, b)
+        let state = self.require_state()?;
+        let source = state.node_index(a)?;
+        let target = state.node_index(b)?;
+        if let Some(paths) = self.solved_row(state, source) {
+            return Ok(paths.latency_micros(source, target).map(Latency::from_micros));
+        }
+        state.latency_between(a, b)
     }
 
     /// The node sequence of the current shortest path between two nodes.
+    ///
+    /// Served from the precomputed path matrix when possible, like
+    /// [`InfoDatabase::path_latency`].
     ///
     /// # Errors
     ///
     /// Returns an error if no update has happened or either node is unknown.
     pub fn path(&self, a: NodeId, b: NodeId) -> Result<Option<Vec<NodeId>>> {
-        self.require_state()?.path_between(a, b)
+        let state = self.require_state()?;
+        let source = state.node_index(a)?;
+        let target = state.node_index(b)?;
+        if let Some(paths) = self.solved_row(state, source) {
+            return match paths.path(source, target) {
+                Some(indices) => indices
+                    .into_iter()
+                    .map(|idx| state.node_id(idx))
+                    .collect::<Result<Vec<_>>>()
+                    .map(Some),
+                None => Ok(None),
+            };
+        }
+        state.path_between(a, b)
     }
 
     /// Total number of satellites across all shells.
@@ -178,6 +252,36 @@ mod tests {
         let path = db.path(gst, sat).unwrap().expect("connected");
         assert_eq!(path.first(), Some(&gst));
         assert_eq!(path.last(), Some(&sat));
+    }
+
+    #[test]
+    fn precomputed_paths_answer_queries_and_unsolved_rows_fall_back() {
+        let mut db = database_with_state();
+        let state = db.state().unwrap().clone();
+        // Solve only the ground station's row, as the coordinator does for
+        // its restricted source set.
+        let gst_index = state.satellite_count() as u32;
+        let mut engine =
+            celestial_constellation::PathEngine::new(celestial_constellation::PathAlgorithm::Dijkstra);
+        let paths = engine.solve_sources(state.graph(), &[gst_index]).clone();
+        db.set_paths(paths);
+        assert!(db.paths().is_some());
+
+        let visible = db.visible_satellites(GroundStationId(0)).unwrap();
+        let sat = NodeId::Satellite(visible[0]);
+        let gst = NodeId::ground_station(0);
+        // Ground-station source: served from the matrix. Satellite source:
+        // unsolved row, answered by the one-shot Dijkstra fallback. The
+        // graph is undirected, so the two must agree.
+        let from_matrix = db.path_latency(gst, sat).unwrap().expect("connected");
+        let from_fallback = db.path_latency(sat, gst).unwrap().expect("connected");
+        assert_eq!(from_matrix, from_fallback);
+        let path = db.path(gst, sat).unwrap().expect("connected");
+        assert_eq!(path.first(), Some(&gst));
+        assert_eq!(path.last(), Some(&sat));
+        // A fresh state update invalidates the cached matrix.
+        db.update(state);
+        assert!(db.paths().is_none());
     }
 
     #[test]

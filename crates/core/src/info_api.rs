@@ -93,6 +93,7 @@ impl<'a> InfoApi<'a> {
                 "satellites": self.database.satellite_count(),
                 "ground_stations": self.database.ground_stations().iter().map(|g| g.name.clone()).collect::<Vec<_>>(),
                 "updated_at_s": self.database.updated_at_seconds(),
+                "path_algorithm": self.database.state().map(|s| s.path_algorithm().name().to_owned()),
             })),
             InfoRequest::Shell(shell) => {
                 let s = self
@@ -262,6 +263,7 @@ mod tests {
         let info = api.handle_path(NodeId::ground_station(0), "/info").unwrap();
         assert_eq!(info["satellites"], 192);
         assert_eq!(info["ground_stations"][0], "accra");
+        assert_eq!(info["path_algorithm"], "dijkstra");
         let shell = api.handle_path(NodeId::ground_station(0), "/shell/0").unwrap();
         assert_eq!(shell["planes"], 12);
         assert!(api.handle_path(NodeId::ground_station(0), "/shell/3").is_err());

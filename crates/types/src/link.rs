@@ -102,6 +102,16 @@ impl Bandwidth {
     /// An unusable link with zero bandwidth.
     pub const ZERO: Bandwidth = Bandwidth(0);
 
+    /// An unbounded link: the identity element of [`Bandwidth::bottleneck`].
+    /// Use it to seed a bottleneck fold over the links of a path, instead of
+    /// hand-rolling a "very large" sentinel value.
+    pub const INFINITY: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Returns true if this is the unbounded [`Bandwidth::INFINITY`] value.
+    pub fn is_infinite(&self) -> bool {
+        self.0 == u64::MAX
+    }
+
     /// Creates a bandwidth from bits per second.
     pub fn from_bps(bps: u64) -> Self {
         Bandwidth(bps)
@@ -220,5 +230,17 @@ mod tests {
         let isl = Bandwidth::from_gbps(10);
         let uplink = Bandwidth::from_kbps(88);
         assert_eq!(isl.bottleneck(uplink), uplink);
+    }
+
+    #[test]
+    fn infinity_is_the_bottleneck_identity() {
+        let isl = Bandwidth::from_gbps(10);
+        assert_eq!(Bandwidth::INFINITY.bottleneck(isl), isl);
+        assert_eq!(isl.bottleneck(Bandwidth::INFINITY), isl);
+        assert!(Bandwidth::INFINITY.is_infinite());
+        assert!(!isl.is_infinite());
+        // A path with no recorded links folds to the identity.
+        let folded = [].iter().fold(Bandwidth::INFINITY, |acc, bw| acc.bottleneck(*bw));
+        assert!(folded.is_infinite());
     }
 }

@@ -219,6 +219,91 @@ fn bounding_box_keeps_visible_satellites_running() {
 }
 
 #[test]
+fn network_programme_is_unchanged_by_the_path_engine_swap() {
+    // Regression guard for the CSR/parallel/incremental PathEngine: the
+    // coordinator's per-pair programme must be bit-identical to the seed
+    // behaviour — one Dijkstra per ground station straight off the graph,
+    // followed by the predecessor-chain bottleneck walk.
+    use celestial::coordinator::PairProgram;
+    use celestial_constellation::path::{NO_NODE, UNREACHABLE};
+    use celestial_types::Bandwidth;
+    use std::collections::BTreeMap;
+
+    let config = TestbedConfig::from_toml(FULL_CONFIG_TOML).expect("valid TOML");
+    let constellation = celestial_constellation::Constellation::builder()
+        .shells(config.shells.iter().cloned())
+        .ground_stations(config.ground_stations.iter().cloned())
+        .bounding_box(config.bounding_box)
+        .path_algorithm(config.path_algorithm)
+        .build()
+        .expect("constellation");
+    let mut coordinator =
+        celestial::Coordinator::new(constellation, SimDuration::from_secs_f64(config.update_interval_s));
+
+    for step in 0..3u32 {
+        coordinator.update(f64::from(step) * config.update_interval_s).expect("update");
+        let programme = coordinator.network_programme().expect("programme");
+        assert!(!programme.is_empty());
+
+        // The seed reference implementation.
+        let state = coordinator.database().state().expect("state");
+        let mut link_bandwidth: BTreeMap<(usize, usize), Bandwidth> = BTreeMap::new();
+        for link in &state.links {
+            let a = state.node_index(link.a).unwrap();
+            let b = state.node_index(link.b).unwrap();
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let entry = link_bandwidth.entry(key).or_insert(Bandwidth::ZERO);
+            if link.bandwidth > *entry {
+                *entry = link.bandwidth;
+            }
+        }
+        let gst_nodes: Vec<NodeId> = (0..state.ground_station_count() as u32)
+            .map(NodeId::ground_station)
+            .collect();
+        let active_sats: Vec<NodeId> = state
+            .active_satellites()
+            .into_iter()
+            .map(NodeId::Satellite)
+            .collect();
+        let mut reference = Vec::new();
+        for (i, gst) in gst_nodes.iter().enumerate() {
+            let source = state.node_index(*gst).unwrap();
+            let (dist, prev) = state.graph().dijkstra(source);
+            let mut targets: Vec<NodeId> = Vec::new();
+            targets.extend(gst_nodes.iter().skip(i + 1).copied());
+            targets.extend(active_sats.iter().copied());
+            for target_node in targets {
+                let target = state.node_index(target_node).unwrap();
+                if dist[target] == UNREACHABLE {
+                    continue;
+                }
+                let mut bandwidth = Bandwidth::INFINITY;
+                let mut here = target;
+                while here != source && prev[here] != NO_NODE {
+                    let parent = prev[here] as usize;
+                    let key = if parent <= here { (parent, here) } else { (here, parent) };
+                    if let Some(bw) = link_bandwidth.get(&key) {
+                        bandwidth = bandwidth.bottleneck(*bw);
+                    }
+                    here = parent;
+                }
+                reference.push(PairProgram {
+                    a: *gst,
+                    b: target_node,
+                    latency: celestial_types::Latency::from_micros(dist[target]),
+                    bandwidth,
+                });
+            }
+        }
+
+        assert_eq!(programme.len(), reference.len(), "pair count at step {step}");
+        for (got, want) in programme.iter().zip(&reference) {
+            assert_eq!(got, want, "programme entry diverged at step {step}");
+        }
+    }
+}
+
+#[test]
 fn floyd_warshall_configuration_works_end_to_end() {
     // A tiny constellation configured to use the Floyd–Warshall all-pairs
     // algorithm exercises the alternative code path through the public API.
