@@ -196,14 +196,16 @@ impl Constellation {
             }
         }
 
-        // Build the weighted graph in one bulk CSR construction.
+        // Build the weighted graph in one bulk CSR construction. Each edge
+        // carries the link bandwidth so the coordinator's bottleneck walk
+        // reads it straight from the CSR arrays.
         let mut edges = Vec::with_capacity(links.len());
         for link in &links {
             let a = self.node_index(link.a)? as u32;
             let b = self.node_index(link.b)? as u32;
-            edges.push((a, b, link.latency.as_micros()));
+            edges.push((a, b, link.latency.as_micros(), link.bandwidth.as_bps()));
         }
-        let graph = NetworkGraph::from_edges(self.node_count(), edges);
+        let graph = NetworkGraph::from_links(self.node_count(), edges);
 
         Ok(ConstellationState {
             time_seconds: t_seconds,
@@ -271,10 +273,23 @@ impl ConstellationBuilder {
     /// # Errors
     ///
     /// Returns [`Error::Config`] if the constellation has no shells, a shell
-    /// has no satellites, or any generated orbital elements are invalid.
+    /// has no satellites, any generated orbital elements are invalid, or a
+    /// configured link bandwidth is unusable (zero) or unbounded
+    /// ([`celestial_types::Bandwidth::INFINITY`] would let the network
+    /// programme emit an uncapped emulated link).
     pub fn build(self) -> Result<Constellation> {
         if self.shells.is_empty() {
             return Err(Error::config("a constellation needs at least one shell"));
+        }
+        for gst in &self.ground_stations {
+            if let Some(bandwidth) = gst.bandwidth {
+                if bandwidth.is_zero() || bandwidth.is_infinite() {
+                    return Err(Error::config(format!(
+                        "ground station '{}' bandwidth must be finite and non-zero",
+                        gst.name
+                    )));
+                }
+            }
         }
         let mut propagators = Vec::with_capacity(self.shells.len());
         let mut isl_candidates = Vec::with_capacity(self.shells.len());
@@ -283,6 +298,14 @@ impl ConstellationBuilder {
         for shell in &self.shells {
             if shell.satellite_count() == 0 {
                 return Err(Error::config("a shell must contain at least one satellite"));
+            }
+            if shell.isl_bandwidth.is_zero() || shell.isl_bandwidth.is_infinite() {
+                return Err(Error::config("shell ISL bandwidth must be finite and non-zero"));
+            }
+            if shell.ground_link_bandwidth.is_zero() || shell.ground_link_bandwidth.is_infinite() {
+                return Err(Error::config(
+                    "shell ground-link bandwidth must be finite and non-zero",
+                ));
             }
             let elements = shell.satellite_elements();
             for e in &elements {
@@ -551,6 +574,31 @@ mod tests {
     #[test]
     fn builder_rejects_empty_constellations() {
         assert!(Constellation::builder().build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_unusable_link_bandwidths() {
+        use celestial_types::Bandwidth;
+        // Unbounded ISLs would let the network programme emit an uncapped
+        // emulated link; zero-rate links carry nothing. Both are config
+        // errors.
+        let shell = Shell::from_walker(WalkerShell::new(550.0, 53.0, 2, 4));
+        for bad in [Bandwidth::INFINITY, Bandwidth::ZERO] {
+            assert!(Constellation::builder()
+                .shell(shell.clone().with_isl_bandwidth(bad))
+                .build()
+                .is_err());
+            assert!(Constellation::builder()
+                .shell(shell.clone().with_ground_link_bandwidth(bad))
+                .build()
+                .is_err());
+            assert!(Constellation::builder()
+                .shell(shell.clone())
+                .ground_station(presets::accra().with_bandwidth(bad))
+                .build()
+                .is_err());
+        }
+        assert!(Constellation::builder().shell(shell).build().is_ok());
     }
 
     #[test]

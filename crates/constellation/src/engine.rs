@@ -18,6 +18,11 @@
 //!    whose shortest paths can be affected, falling back to a full solve
 //!    when the delta is large.
 //!
+//! The graph's per-edge bandwidth channel is deliberately invisible here:
+//! paths are selected by latency alone, so a bandwidth-only change between
+//! timesteps re-solves nothing — the coordinator's programme delta picks the
+//! new bandwidth up when it walks the (unchanged) predecessor chains.
+//!
 //! `docs/PATHS.md` is the user-facing guide to choosing between the
 //! algorithms and to the `path-algorithm` configuration key.
 
@@ -537,6 +542,19 @@ mod tests {
         assert_eq!(stats.solved_sources, 0);
         assert_eq!(stats.reused_sources, 4);
         assert_matches_reference(&g, &paths);
+    }
+
+    #[test]
+    fn bandwidth_only_changes_reuse_every_row() {
+        let g0 = NetworkGraph::from_links(3, [(0, 1, 10, 100), (1, 2, 10, 100)]);
+        let g1 = NetworkGraph::from_links(3, [(0, 1, 10, 900), (1, 2, 10, 50)]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Incremental, 1);
+        engine.solve(&g0);
+        engine.solve(&g1);
+        let stats = engine.last_solve();
+        assert_eq!(stats.kind, SolveKind::Incremental);
+        assert_eq!(stats.solved_sources, 0, "latencies unchanged: nothing to re-solve");
+        assert_eq!(stats.reused_sources, 3);
     }
 
     #[test]

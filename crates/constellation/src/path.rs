@@ -46,20 +46,32 @@ pub(crate) type DijkstraHeap = BinaryHeap<Reverse<(Cost, u32)>>;
 /// sorted edge list alongside the CSR arrays; the edge list is what
 /// [`crate::engine::PathEngine`] diffs between timesteps.
 ///
+/// Besides the latency weight that drives the shortest-path computation,
+/// every edge carries the link's bandwidth (bits per second; `0` when the
+/// edge was added without one). The bandwidth never influences path
+/// selection — it is the payload the coordinator reads back when it walks a
+/// path's predecessor chain to find the bottleneck, so no side table keyed
+/// by node pair is needed.
+///
 /// Self-loops are rejected and parallel edges are collapsed to the cheaper
-/// one, so `edge_count` and the CSR degrees always reflect the distinct
-/// node pairs actually connected.
+/// one (ties keep the wider bandwidth), so `edge_count` and the CSR degrees
+/// always reflect the distinct node pairs actually connected.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkGraph {
     node_count: u32,
     /// Canonical edge list: `a < b`, sorted by `(a, b)`, no duplicates.
     edges: Vec<Edge>,
+    /// Bandwidth (bits per second) of each canonical edge, parallel to
+    /// `edges`; `0` when the edge carries no bandwidth information.
+    edge_bw: Vec<u64>,
     /// CSR row offsets, length `node_count + 1`.
     offsets: Vec<u32>,
     /// CSR column indices (neighbour of each half-edge), length `2 * edges`.
     targets: Vec<u32>,
     /// CSR edge weights, parallel to `targets`.
     weights: Vec<Cost>,
+    /// CSR edge bandwidths (bits per second), parallel to `targets`.
+    bandwidths: Vec<u64>,
 }
 
 impl NetworkGraph {
@@ -74,9 +86,11 @@ impl NetworkGraph {
         NetworkGraph {
             node_count: node_count as u32,
             edges: Vec::new(),
+            edge_bw: Vec::new(),
             offsets: vec![0; node_count + 1],
             targets: Vec::new(),
             weights: Vec::new(),
+            bandwidths: Vec::new(),
         }
     }
 
@@ -103,16 +117,52 @@ impl NetworkGraph {
     /// assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
     /// ```
     pub fn from_edges(node_count: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        Self::from_links(node_count, edges.into_iter().map(|(a, b, cost)| (a, b, cost, 0)))
+    }
+
+    /// Like [`NetworkGraph::from_edges`], but every edge also carries its
+    /// link bandwidth in bits per second — the form the constellation uses so
+    /// that the coordinator's bottleneck walk reads bandwidths straight from
+    /// the CSR arrays. Parallel edges collapse to the cheapest latency; ties
+    /// keep the widest bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is a self-loop or references a node out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use celestial_constellation::path::NetworkGraph;
+    ///
+    /// // A 10 µs / 10 Gb/s ISL next to a 20 µs / 100 Mb/s uplink.
+    /// let g = NetworkGraph::from_links(3, [
+    ///     (0, 1, 10, 10_000_000_000),
+    ///     (1, 2, 20, 100_000_000),
+    /// ]);
+    /// assert_eq!(g.edge_bandwidth_bps(1, 0), Some(10_000_000_000));
+    /// assert_eq!(g.edge_bandwidth_bps(1, 2), Some(100_000_000));
+    /// assert_eq!(g.edge_bandwidth_bps(0, 2), None, "not an edge");
+    /// ```
+    pub fn from_links(
+        node_count: usize,
+        links: impl IntoIterator<Item = (u32, u32, Cost, u64)>,
+    ) -> Self {
         let mut graph = NetworkGraph::new(node_count);
         let n = graph.node_count;
-        graph.edges = edges
+        let mut combined: Vec<(u32, u32, Cost, u64)> = links
             .into_iter()
-            .map(|(a, b, cost)| Self::canonical(n, a, b, cost))
+            .map(|(a, b, cost, bw)| {
+                let (a, b, cost) = Self::canonical(n, a, b, cost);
+                (a, b, cost, bw)
+            })
             .collect();
-        // Sort by (a, b, cost) so that deduplication keeps the cheapest
-        // parallel edge.
-        graph.edges.sort_unstable();
-        graph.edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        // Sort by (a, b, cost, widest-first) so that deduplication keeps the
+        // cheapest parallel edge and, among equally cheap ones, the widest.
+        combined.sort_unstable_by_key(|&(a, b, cost, bw)| (a, b, cost, std::cmp::Reverse(bw)));
+        combined.dedup_by_key(|&mut (a, b, ..)| (a, b));
+        graph.edges = combined.iter().map(|&(a, b, cost, _)| (a, b, cost)).collect();
+        graph.edge_bw = combined.iter().map(|&(.., bw)| bw).collect();
         graph.rebuild_csr();
         graph
     }
@@ -143,6 +193,17 @@ impl NetworkGraph {
     ///
     /// Panics if `a` or `b` is out of range, or on the self-loop `a == b`.
     pub fn add_edge(&mut self, a: usize, b: usize, cost: Cost) {
+        self.add_link(a, b, cost, 0);
+    }
+
+    /// Like [`NetworkGraph::add_edge`], but the edge also carries its link
+    /// bandwidth in bits per second (readable back through
+    /// [`NetworkGraph::edge_bandwidth_bps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range, or on the self-loop `a == b`.
+    pub fn add_link(&mut self, a: usize, b: usize, cost: Cost, bandwidth_bps: u64) {
         // Validate before narrowing to u32 so an index >= 2^32 cannot wrap
         // into range.
         assert!(
@@ -152,12 +213,19 @@ impl NetworkGraph {
         let edge = Self::canonical(self.node_count, a as u32, b as u32, cost);
         match self.edges.binary_search_by_key(&(edge.0, edge.1), |&(x, y, _)| (x, y)) {
             Ok(existing) => {
-                if self.edges[existing].2 <= cost {
-                    return; // The existing parallel edge is cheaper.
+                let cheaper = cost < self.edges[existing].2;
+                let wider_tie = cost == self.edges[existing].2
+                    && bandwidth_bps > self.edge_bw[existing];
+                if !cheaper && !wider_tie {
+                    return; // The existing parallel edge wins.
                 }
                 self.edges[existing].2 = cost;
+                self.edge_bw[existing] = bandwidth_bps;
             }
-            Err(insert_at) => self.edges.insert(insert_at, edge),
+            Err(insert_at) => {
+                self.edges.insert(insert_at, edge);
+                self.edge_bw.insert(insert_at, bandwidth_bps);
+            }
         }
         self.rebuild_csr();
     }
@@ -193,17 +261,48 @@ impl NetworkGraph {
         self.targets.resize(2 * self.edges.len(), 0);
         self.weights.clear();
         self.weights.resize(2 * self.edges.len(), 0);
+        self.bandwidths.clear();
+        self.bandwidths.resize(2 * self.edges.len(), 0);
         let mut cursor = self.offsets.clone();
-        for &(a, b, w) in &self.edges {
+        for (&(a, b, w), &bw) in self.edges.iter().zip(&self.edge_bw) {
             let slot_a = cursor[a as usize] as usize;
             self.targets[slot_a] = b;
             self.weights[slot_a] = w;
+            self.bandwidths[slot_a] = bw;
             cursor[a as usize] += 1;
             let slot_b = cursor[b as usize] as usize;
             self.targets[slot_b] = a;
             self.weights[slot_b] = w;
+            self.bandwidths[slot_b] = bw;
             cursor[b as usize] += 1;
         }
+    }
+
+    /// The bandwidth (bits per second) of the direct edge between `a` and
+    /// `b`, or `None` if the pair is not connected by an edge. `Some(0)`
+    /// means the edge exists but was added without bandwidth information
+    /// (e.g. through [`NetworkGraph::add_edge`]).
+    ///
+    /// One contiguous CSR row scan of the lower-degree endpoint — `O(degree)`
+    /// with the +GRID degree of four or five, which is why the coordinator's
+    /// bottleneck walk needs no side table keyed by node pair.
+    pub fn edge_bandwidth_bps(&self, a: usize, b: usize) -> Option<u64> {
+        // Scan the sparser of the two rows.
+        let (from, to) = {
+            let deg_a = self.offsets[a + 1] - self.offsets[a];
+            let deg_b = self.offsets[b + 1] - self.offsets[b];
+            if deg_a <= deg_b {
+                (a, b as u32)
+            } else {
+                (b, a as u32)
+            }
+        };
+        let start = self.offsets[from] as usize;
+        let end = self.offsets[from + 1] as usize;
+        self.targets[start..end]
+            .iter()
+            .position(|&t| t == to)
+            .map(|i| self.bandwidths[start + i])
     }
 
     /// The neighbours of node `n` with their edge costs, as one contiguous
@@ -681,6 +780,53 @@ mod tests {
         let bulk = NetworkGraph::from_edges(2, [(0, 1, 50), (1, 0, 10), (0, 1, 70)]);
         assert_eq!(bulk.edge_count(), 1);
         assert_eq!(g, bulk);
+    }
+
+    #[test]
+    fn bandwidths_ride_along_without_influencing_paths() {
+        let g = NetworkGraph::from_links(
+            3,
+            [
+                (0, 1, 10, 10_000_000_000),
+                (1, 2, 10, 100_000_000),
+                (0, 2, 50, 5_000),
+            ],
+        );
+        // Both orientations read the same bandwidth.
+        assert_eq!(g.edge_bandwidth_bps(0, 1), Some(10_000_000_000));
+        assert_eq!(g.edge_bandwidth_bps(1, 0), Some(10_000_000_000));
+        assert_eq!(g.edge_bandwidth_bps(2, 1), Some(100_000_000));
+        assert_eq!(g.edge_bandwidth_bps(0, 2), Some(5_000));
+        // The shortest path is chosen by latency alone: 0-1-2 beats the
+        // direct edge despite its tiny bandwidth.
+        let paths = g.all_pairs_dijkstra();
+        assert_eq!(paths.path(0, 2), Some(vec![0, 1, 2]));
+        // A latency-only graph over the same edges has identical paths.
+        let latency_only = NetworkGraph::from_edges(3, g.edges().iter().copied().collect::<Vec<_>>());
+        assert_eq!(latency_only.all_pairs_dijkstra(), paths);
+        assert_eq!(latency_only.edge_bandwidth_bps(0, 1), Some(0), "no bandwidth recorded");
+    }
+
+    #[test]
+    fn parallel_links_keep_cheapest_then_widest() {
+        // Equal-latency duplicates keep the wider bandwidth; cheaper latency
+        // wins outright regardless of bandwidth.
+        let bulk = NetworkGraph::from_links(
+            2,
+            [(0, 1, 10, 100), (0, 1, 10, 900), (0, 1, 50, 9_999)],
+        );
+        assert_eq!(bulk.edge_count(), 1);
+        assert_eq!(bulk.edges(), &[(0, 1, 10)]);
+        assert_eq!(bulk.edge_bandwidth_bps(0, 1), Some(900));
+
+        let mut incremental = NetworkGraph::new(2);
+        incremental.add_link(0, 1, 10, 100);
+        incremental.add_link(1, 0, 10, 900);
+        incremental.add_link(0, 1, 50, 9_999);
+        assert_eq!(incremental, bulk);
+        // A cheaper edge replaces bandwidth too.
+        incremental.add_link(0, 1, 5, 7);
+        assert_eq!(incremental.edge_bandwidth_bps(0, 1), Some(7));
     }
 
     #[test]

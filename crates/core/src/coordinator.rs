@@ -4,30 +4,19 @@
 //! (Fig. 2): it runs the Constellation Calculation at a fixed update
 //! interval, keeps the information database current, diffs consecutive
 //! states, and derives the per-pair network programming that the machine
-//! managers on each host apply.
+//! managers on each host apply — as a [`ProgrammeDelta`] of only the rules
+//! that actually changed (see `docs/NETPROG.md`).
 
-use crate::database::InfoDatabase;
+use crate::database::{InfoDatabase, ProgrammeStats};
+use crate::netprog::ProgrammeStore;
 use celestial_constellation::{
     Constellation, ConstellationDiff, ConstellationSnapshot, LinkKind, PathEngine, SolveStats,
 };
+use celestial_netem::ProgrammeDelta;
+pub use celestial_netem::PairProgram;
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimDuration;
-use celestial_types::{Bandwidth, Latency, Result};
-use std::collections::BTreeMap;
-
-/// One entry of the per-pair network programme: the end-to-end latency and
-/// bottleneck bandwidth the machine managers must emulate between two nodes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PairProgram {
-    /// One endpoint.
-    pub a: NodeId,
-    /// The other endpoint.
-    pub b: NodeId,
-    /// One-way end-to-end latency of the current shortest path.
-    pub latency: Latency,
-    /// Bottleneck bandwidth along that path.
-    pub bandwidth: Bandwidth,
-}
+use celestial_types::Result;
 
 /// The central coordinator.
 #[derive(Debug, Clone)]
@@ -37,6 +26,7 @@ pub struct Coordinator {
     database: InfoDatabase,
     previous: Option<ConstellationSnapshot>,
     engine: PathEngine,
+    programme: ProgrammeStore,
     sources: Vec<u32>,
     updates: u64,
 }
@@ -56,6 +46,7 @@ impl Coordinator {
             database,
             previous: None,
             engine,
+            programme: ProgrammeStore::new(),
             sources: Vec::new(),
             updates: 0,
         }
@@ -84,6 +75,12 @@ impl Coordinator {
     /// Runs one constellation update at `t_seconds` of simulated time and
     /// returns the change set relative to the previous update.
     ///
+    /// Besides refreshing the database and the path matrix, this runs one
+    /// epoch of the network-programming engine: the per-pair programme is
+    /// recomputed over every pair of programmable nodes and diffed against
+    /// the previous epoch into the [`ProgrammeDelta`] available from
+    /// [`Coordinator::programme_delta`].
+    ///
     /// # Errors
     ///
     /// Returns an error if the orbital propagation fails.
@@ -101,7 +98,9 @@ impl Coordinator {
         // satellites carry traffic *on* paths but never originate a
         // programmed pair or an info-API query of their own hot path, so
         // their rows are skipped (the database falls back to a one-shot
-        // Dijkstra for them).
+        // Dijkstra for them). Node indices put satellites before ground
+        // stations and `active_satellites` ascends, so `sources` is strictly
+        // ascending — the order the programme store requires.
         self.sources.clear();
         for sat in state.active_satellites() {
             self.sources.push(state.node_index(NodeId::Satellite(sat))? as u32);
@@ -111,12 +110,20 @@ impl Coordinator {
         }
         self.engine.solve_sources(state.graph(), &self.sources);
         self.database.update(state);
-        if let Some(paths) = self.engine.paths() {
-            // Copies into the database's retained buffer: no allocation in
-            // steady state.
-            self.database.set_paths_from(paths);
-        }
+        let paths = self.engine.paths().expect("paths were just solved");
+        // Copies into the database's retained buffer: no allocation in
+        // steady state.
+        self.database.set_paths_from(paths);
+        let delta_ops = {
+            let state = self.database.state().expect("state was just installed");
+            self.programme.update_epoch(state, paths, &self.sources).op_count()
+        };
         self.updates += 1;
+        self.database.set_programme_stats(ProgrammeStats {
+            epoch: self.programme.epoch(),
+            pairs: self.programme.pair_count(),
+            delta_ops,
+        });
         Ok(diff)
     }
 
@@ -126,16 +133,32 @@ impl Coordinator {
         self.engine.last_solve()
     }
 
-    /// Computes the per-pair network programme for the current state: the
-    /// end-to-end latency and bottleneck bandwidth between every pair of
-    /// ground stations and between every ground station and every *active*
-    /// satellite (satellites outside the bounding box carry traffic on paths
-    /// but host no workloads, so pairs ending at them need no programming).
+    /// The change set produced by the most recent update: exactly the `tc`
+    /// rules the machine managers must add, re-shape or tear down. Empty
+    /// before the first update (and on steady-state updates that moved no
+    /// pair across the 0.1 ms quantization threshold).
+    pub fn programme_delta(&self) -> &ProgrammeDelta {
+        self.programme.delta()
+    }
+
+    /// Number of pairs currently programmed (the full-programme size a
+    /// non-incremental coordinator would rewrite every update).
+    pub fn programme_pair_count(&self) -> usize {
+        self.programme.pair_count()
+    }
+
+    /// The full per-pair network programme of the current state: the
+    /// quantized end-to-end latency and bottleneck bandwidth between every
+    /// pair of *programmable* nodes — ground stations and active satellites,
+    /// including active-satellite↔active-satellite pairs (satellites outside
+    /// the bounding box carry traffic on paths but host no workloads, so
+    /// pairs ending at them need no programming).
     ///
-    /// Latencies and paths are read straight out of the [`PathEngine`]
-    /// result computed by the last [`Coordinator::update`] — no graph is
-    /// re-traversed here; the bottleneck bandwidth is found by walking each
-    /// pair's predecessor chain.
+    /// This enumerates the engine's retained dense buffer in canonical pair
+    /// order; the per-update change set is [`Coordinator::programme_delta`].
+    /// Reachable pairs always carry the finite bottleneck bandwidth of a
+    /// fully resolved path — a broken predecessor chain makes the pair
+    /// unreachable rather than uncapped.
     ///
     /// # Errors
     ///
@@ -145,63 +168,17 @@ impl Coordinator {
             .database
             .state()
             .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
-        let paths = self
-            .database
-            .paths()
-            .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
-
-        // Bandwidth of each direct link, keyed by canonical node-index pair.
-        let mut link_bandwidth: BTreeMap<(usize, usize), Bandwidth> = BTreeMap::new();
-        for link in &state.links {
-            let a = state.node_index(link.a)?;
-            let b = state.node_index(link.b)?;
-            let key = if a <= b { (a, b) } else { (b, a) };
-            // Ground-station links may appear once per shell; keep the widest.
-            let entry = link_bandwidth.entry(key).or_insert(Bandwidth::ZERO);
-            if link.bandwidth > *entry {
-                *entry = link.bandwidth;
-            }
-        }
-
-        let gst_count = state.ground_station_count();
-        let gst_nodes: Vec<NodeId> = (0..gst_count as u32).map(NodeId::ground_station).collect();
-        let active_sats: Vec<NodeId> = state
-            .active_satellites()
-            .into_iter()
-            .map(NodeId::Satellite)
-            .collect();
-
-        let mut programme = Vec::new();
-        for (i, gst) in gst_nodes.iter().enumerate() {
-            let source = state.node_index(*gst)?;
-            let mut targets: Vec<NodeId> = Vec::new();
-            targets.extend(gst_nodes.iter().skip(i + 1).copied());
-            targets.extend(active_sats.iter().copied());
-            for target_node in targets {
-                let target = state.node_index(target_node)?;
-                let Some(latency_micros) = paths.latency_micros(source, target) else {
-                    continue;
-                };
-                // Walk the predecessor chain to find the bottleneck bandwidth.
-                let mut bandwidth = Bandwidth::INFINITY;
-                let mut here = target;
-                while here != source {
-                    let Some(parent) = paths.predecessor(source, here) else { break };
-                    let key = if parent <= here { (parent, here) } else { (here, parent) };
-                    if let Some(bw) = link_bandwidth.get(&key) {
-                        bandwidth = bandwidth.bottleneck(*bw);
-                    }
-                    here = parent;
-                }
-                programme.push(PairProgram {
-                    a: *gst,
-                    b: target_node,
-                    latency: Latency::from_micros(latency_micros),
+        self.programme
+            .iter()
+            .map(|(a, b, latency, bandwidth)| {
+                Ok(PairProgram {
+                    a: state.node_id(a)?,
+                    b: state.node_id(b)?,
+                    latency,
                     bandwidth,
-                });
-            }
-        }
-        Ok(programme)
+                })
+            })
+            .collect()
     }
 
     /// The number of ground-station links currently available, useful for
@@ -225,6 +202,7 @@ mod tests {
     use celestial_constellation::{BoundingBox, GroundStation, Shell};
     use celestial_sgp4::WalkerShell;
     use celestial_types::geo::Geodetic;
+    use celestial_types::Bandwidth;
 
     fn coordinator() -> Coordinator {
         let constellation = Constellation::builder()
@@ -262,7 +240,7 @@ mod tests {
     }
 
     #[test]
-    fn network_programme_covers_ground_station_pairs_and_uplinks() {
+    fn network_programme_covers_all_active_pair_classes() {
         // The full first Starlink shell guarantees that both ground stations
         // have a satellite in view at the epoch.
         let constellation = Constellation::builder()
@@ -274,9 +252,11 @@ mod tests {
             .unwrap();
         let mut c = Coordinator::new(constellation, SimDuration::from_secs(2));
         assert!(c.network_programme().is_err());
+        assert!(c.programme_delta().is_empty(), "no delta before the first update");
         c.update(0.0).unwrap();
         let programme = c.network_programme().unwrap();
         assert!(!programme.is_empty());
+        assert_eq!(programme.len(), c.programme_pair_count());
         // The gst-gst pair appears exactly once.
         let gst_pairs: Vec<_> = programme
             .iter()
@@ -287,11 +267,51 @@ mod tests {
         // Accra–Abuja over 550 km satellites: a few milliseconds one way.
         assert!(pair.latency.as_millis_f64() > 2.0 && pair.latency.as_millis_f64() < 40.0);
         assert_eq!(pair.bandwidth, Bandwidth::from_gbps(10));
-        // Every other entry targets an active satellite.
-        assert!(programme
-            .iter()
-            .filter(|p| !(p.a.is_ground_station() && p.b.is_ground_station()))
-            .all(|p| p.b.is_satellite()));
+        // Active-sat↔active-sat pairs are covered (satellite-hosted
+        // workloads can exchange traffic), and nothing is ever uncapped.
+        assert!(
+            programme.iter().any(|p| p.a.is_satellite() && p.b.is_satellite()),
+            "sat↔sat pairs missing from the programme"
+        );
+        assert!(
+            programme.iter().all(|p| !p.bandwidth.is_infinite() && !p.bandwidth.is_zero()),
+            "every programmed pair carries a finite, non-zero bottleneck"
+        );
+        // Latencies are pre-quantized to the tc granularity.
+        assert!(programme.iter().all(|p| p.latency == p.latency.quantized_tenth_ms()));
+        // The first delta is pure additions, matching the full programme.
+        let delta = c.programme_delta();
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(delta.added.len(), programme.len());
+        assert!(delta.changed.is_empty() && delta.removed.is_empty());
+        // Stats are surfaced through the database for the `/info` route.
+        let stats = c.database().programme_stats().unwrap();
+        assert_eq!(stats.pairs, programme.len());
+        assert_eq!(stats.delta_ops, programme.len());
+    }
+
+    #[test]
+    fn steady_state_delta_touches_fewer_pairs_than_the_full_programme() {
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut c = Coordinator::new(constellation, SimDuration::from_secs(1));
+        c.update(0.0).unwrap();
+        let full = c.programme_pair_count();
+        assert!(full > 10);
+        // One second of orbital motion shifts few quantized pair latencies.
+        c.update(1.0).unwrap();
+        let delta = c.programme_delta();
+        assert_eq!(delta.epoch, 2);
+        assert!(
+            delta.op_count() < full / 2,
+            "steady-state delta ({} ops) should be far below the full rebuild ({full} pairs)",
+            delta.op_count()
+        );
     }
 
     #[test]

@@ -10,6 +10,20 @@ use celestial_types::geo::Geodetic;
 use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
 use celestial_types::{Error, Latency, Result};
 
+/// Summary of the most recent network-programming epoch, recorded by the
+/// coordinator and surfaced through the `/info` route (real Celestial logs
+/// these figures per update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgrammeStats {
+    /// The programme epoch (1 for the first update).
+    pub epoch: u64,
+    /// Number of pairs currently programmed (full-programme size).
+    pub pairs: usize,
+    /// Pair-programming operations the epoch's delta performed (added +
+    /// changed + removed) — the figure the delta engine keeps small.
+    pub delta_ops: usize,
+}
+
 /// The central database behind the info API.
 #[derive(Debug, Clone)]
 pub struct InfoDatabase {
@@ -21,6 +35,7 @@ pub struct InfoDatabase {
     /// kept across updates so that [`InfoDatabase::set_paths_from`] can
     /// refill it without re-allocating.
     paths_valid: bool,
+    programme_stats: Option<ProgrammeStats>,
 }
 
 impl InfoDatabase {
@@ -32,6 +47,7 @@ impl InfoDatabase {
             state: None,
             paths: None,
             paths_valid: false,
+            programme_stats: None,
         }
     }
 
@@ -72,6 +88,16 @@ impl InfoDatabase {
         } else {
             None
         }
+    }
+
+    /// Records the network-programming summary of the latest update.
+    pub fn set_programme_stats(&mut self, stats: ProgrammeStats) {
+        self.programme_stats = Some(stats);
+    }
+
+    /// The network-programming summary of the latest update, if any.
+    pub fn programme_stats(&self) -> Option<ProgrammeStats> {
+        self.programme_stats
     }
 
     /// The latest constellation state, if an update has happened.

@@ -94,6 +94,8 @@ impl<'a> InfoApi<'a> {
                 "ground_stations": self.database.ground_stations().iter().map(|g| g.name.clone()).collect::<Vec<_>>(),
                 "updated_at_s": self.database.updated_at_seconds(),
                 "path_algorithm": self.database.state().map(|s| s.path_algorithm().name().to_owned()),
+                "programmed_pairs": self.database.programme_stats().map(|s| s.pairs),
+                "programme_delta_ops": self.database.programme_stats().map(|s| s.delta_ops),
             })),
             InfoRequest::Shell(shell) => {
                 let s = self

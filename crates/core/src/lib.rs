@@ -15,6 +15,8 @@
 //!   `*.celestial` DNS service,
 //! * [`database`] and [`info_api`] — the coordinator's database and the
 //!   HTTP-style info API exposed to emulated machines,
+//! * [`netprog`] — the delta-based network-programming engine (retained
+//!   per-pair programme, per-epoch `{added, changed, removed}` change sets),
 //! * [`estimator`] — the resource estimator and cloud cost model,
 //! * [`testbed`] — the high-level façade that runs guest applications over
 //!   the emulated constellation in virtual time.
@@ -63,6 +65,7 @@ pub mod estimator;
 pub mod info_api;
 pub mod ipam;
 pub mod machine_manager;
+pub mod netprog;
 pub mod testbed;
 pub mod toml;
 

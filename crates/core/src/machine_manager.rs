@@ -73,10 +73,12 @@ impl MachineManager {
     /// the node already has one.
     pub fn create_machine(&mut self, node: NodeId, resources: MachineResources) -> Result<MachineId> {
         let id = MachineId(self.next_machine_id);
-        self.next_machine_id += 1;
         let boot_delay = self.host.model().boot_delay(&resources);
         let vm = MicroVm::new(id, node, resources).with_boot_delay(boot_delay);
         self.host.place(vm)?;
+        // Consume the identifier only once placement succeeded, so a host at
+        // capacity does not leak ids on every rejected attempt.
+        self.next_machine_id += 1;
         Ok(id)
     }
 
@@ -108,7 +110,12 @@ impl MachineManager {
             }
             celestial_machines::MachineState::Running => Ok(now),
             celestial_machines::MachineState::Booting => {
-                Ok(vm.ready_at().unwrap_or(now))
+                // A machine that is already booting completes at its true
+                // ready instant — reporting `now` would claim a still-booting
+                // machine is ready immediately.
+                vm.ready_at().ok_or_else(|| {
+                    Error::MachineState(format!("machine for {node} is booting without a ready instant"))
+                })
             }
             _ => vm.boot(now),
         }
@@ -265,6 +272,41 @@ mod tests {
         assert_eq!(busy.firecracker_processes, 10);
         // 10 satellites at 25 % residency of 512 MiB plus VMM overhead.
         assert!(busy.microvm_memory_mib > 1_000);
+    }
+
+    #[test]
+    fn activating_a_booting_machine_reports_its_true_ready_instant() {
+        let mut m = manager();
+        let node = NodeId::satellite(0, 3);
+        let resources = MachineResources::paper_satellite();
+        let ready = m.activate(node, &resources, SimInstant::EPOCH).unwrap();
+        assert!(ready > SimInstant::EPOCH);
+        // A second activation while the boot is still in flight must not
+        // claim the machine is ready now.
+        let later = SimInstant::from_secs_f64(0.001);
+        assert!(later < ready);
+        let reported = m.activate(node, &resources, later).unwrap();
+        assert_eq!(reported, ready, "still-booting machine reported early");
+        assert!(!m.is_running(node));
+    }
+
+    #[test]
+    fn rejected_placements_do_not_consume_machine_ids() {
+        let mut m = manager();
+        let first = m
+            .create_machine(NodeId::ground_station(0), MachineResources::paper_client())
+            .unwrap();
+        // Placement for a node that already has a machine is rejected — and
+        // must not burn identifiers.
+        for _ in 0..5 {
+            assert!(m
+                .create_machine(NodeId::ground_station(0), MachineResources::paper_client())
+                .is_err());
+        }
+        let second = m
+            .create_machine(NodeId::ground_station(1), MachineResources::paper_client())
+            .unwrap();
+        assert_eq!(second.0, first.0 + 1, "failed placements must not consume ids");
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! The delta-based network-programming engine.
+//!
+//! Celestial's coordinator pushes only *changed* `tc` rules to the machine
+//! managers: programmed delays are quantized to 0.1 ms, so a pair whose path
+//! latency drifted by less than the quantum (and whose bottleneck bandwidth
+//! is unchanged) costs nothing per update (Fig. 2). [`ProgrammeStore`] is
+//! the engine behind that contract — it retains the previous epoch's
+//! programme in a dense node-indexed buffer and emits a
+//! [`ProgrammeDelta`] (`{added, changed, removed}`) per constellation
+//! update.
+//!
+//! Coverage spans every pair of *programmable* nodes: ground stations and
+//! active satellites, including active-satellite↔active-satellite pairs, so
+//! satellite-hosted workloads can exchange traffic. Suspended satellites
+//! carry traffic *on* paths but host no running microVM, so pairs ending at
+//! them are never programmed.
+//!
+//! The bottleneck walk reads per-edge bandwidths straight from the
+//! constellation graph's CSR arrays and returns `Option<Bandwidth>`: a
+//! broken predecessor chain or a missing edge marks the pair *unreachable*
+//! instead of programming it with [`Bandwidth::INFINITY`] — no code path can
+//! produce an uncapped emulated link. See `docs/NETPROG.md` for the full
+//! contract.
+
+use celestial_constellation::{ConstellationState, NetworkGraph, ShortestPaths};
+use celestial_netem::{PairProgram, ProgrammeDelta};
+use celestial_types::ids::NodeId;
+use celestial_types::{Bandwidth, Latency};
+
+/// Sentinel for an unoccupied slot (no programmed rule for the pair).
+const EMPTY_LATENCY: u64 = u64::MAX;
+
+/// One retained rule: quantized latency and bottleneck bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    latency_micros: u64,
+    bandwidth_bps: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    latency_micros: EMPTY_LATENCY,
+    bandwidth_bps: 0,
+};
+
+/// Walks the predecessor chain of the shortest path from `source` to
+/// `target`, folding the bottleneck bandwidth of the traversed edges (read
+/// straight from the graph's CSR arrays).
+///
+/// Returns `None` — and the caller must treat the pair as *unreachable* —
+/// when the chain is broken (`source`'s row unsolved, or the walk does not
+/// reach `source`), a traversed edge is missing from the graph, or an edge
+/// carries no usable bandwidth: `0` (an edge added without bandwidth
+/// information, or an unusable zero-rate link) and `u64::MAX`
+/// ([`Bandwidth::INFINITY`] — constellation construction rejects such
+/// links, but a malformed graph must still degrade to *unreachable*, never
+/// to an uncapped rule). This is the structural fix for the
+/// uncapped-bandwidth bug: there is no sentinel value an incomplete walk
+/// could leak into the programme.
+pub fn bottleneck_bandwidth(
+    paths: &ShortestPaths,
+    graph: &NetworkGraph,
+    source: usize,
+    target: usize,
+) -> Option<Bandwidth> {
+    let mut bottleneck: Option<u64> = None;
+    let mut here = target;
+    // A shortest path visits each node at most once, so bound the loop.
+    for _ in 0..graph.node_count() {
+        if here == source {
+            return bottleneck.map(Bandwidth::from_bps);
+        }
+        let parent = paths.predecessor(source, here)?;
+        let bandwidth = graph.edge_bandwidth_bps(parent, here)?;
+        if bandwidth == 0 || bandwidth == u64::MAX {
+            return None;
+        }
+        bottleneck = Some(bottleneck.map_or(bandwidth, |b| b.min(bandwidth)));
+        here = parent;
+    }
+    // The walk exceeded the node count: a corrupt chain, not a path.
+    None
+}
+
+/// The dense, epoch-retained programme of per-pair `tc` rules.
+///
+/// Rules are kept in a triangular node-indexed buffer (`node_count·(node_count−1)/2`
+/// slots, canonical pair order `a < b` by node index) plus a sorted list of
+/// occupied pairs. One constellation update performs a single merge walk of
+/// the previous and the fresh occupied-pair lists — `O(pairs)` with no
+/// per-update map allocation — and produces the [`ProgrammeDelta`] whose
+/// `changed` entries are judged *after* 0.1 ms latency quantization and
+/// bandwidth comparison.
+#[derive(Debug, Clone, Default)]
+pub struct ProgrammeStore {
+    node_count: usize,
+    /// Triangular slot buffer, `EMPTY_SLOT` where no rule exists.
+    slots: Vec<Slot>,
+    /// Sorted packed `(a << 32) | b` indices of currently occupied pairs.
+    pairs: Vec<u64>,
+    /// Scratch: the fresh epoch's occupied pairs (sorted by construction).
+    fresh_pairs: Vec<u64>,
+    /// Scratch: fresh values, parallel to `fresh_pairs`.
+    fresh_slots: Vec<Slot>,
+    delta: ProgrammeDelta,
+    epoch: u64,
+}
+
+impl ProgrammeStore {
+    /// Creates an empty store; the buffers size themselves on the first
+    /// epoch.
+    pub fn new() -> Self {
+        ProgrammeStore::default()
+    }
+
+    /// The change set produced by the most recent epoch.
+    pub fn delta(&self) -> &ProgrammeDelta {
+        &self.delta
+    }
+
+    /// Number of pairs currently programmed.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates the current programme in canonical pair order as
+    /// `(a, b, latency, bandwidth)` node-index tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Latency, Bandwidth)> + '_ {
+        self.pairs.iter().map(|&packed| {
+            let (a, b) = unpack(packed);
+            let slot = self.slots[self.tri(a, b)];
+            (
+                a,
+                b,
+                Latency::from_micros(slot.latency_micros),
+                Bandwidth::from_bps(slot.bandwidth_bps),
+            )
+        })
+    }
+
+    /// Runs one programme epoch from a freshly solved constellation state:
+    /// enumerates every canonical pair of `sources` (ground stations plus
+    /// active satellites, ascending node indices), reads the pair's latency
+    /// from the path matrix, walks the predecessor chain for the bottleneck
+    /// bandwidth, and merges the result against the retained programme into
+    /// the returned [`ProgrammeDelta`].
+    ///
+    /// Pairs whose latency row is missing, whose predecessor chain breaks or
+    /// whose path crosses an edge without bandwidth information are treated
+    /// as unreachable (removed if previously programmed) — never as
+    /// uncapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is not strictly ascending.
+    pub fn update_epoch(
+        &mut self,
+        state: &ConstellationState,
+        paths: &ShortestPaths,
+        sources: &[u32],
+    ) -> &ProgrammeDelta {
+        assert!(
+            sources.windows(2).all(|w| w[0] < w[1]),
+            "programme sources must be strictly ascending"
+        );
+        self.begin_epoch(state.node_count());
+        let graph = state.graph();
+        for (i, &a) in sources.iter().enumerate() {
+            let a = a as usize;
+            for &b in &sources[i + 1..] {
+                let b = b as usize;
+                let Some(latency_micros) = paths.latency_micros(a, b) else {
+                    continue;
+                };
+                let Some(bandwidth) = bottleneck_bandwidth(paths, graph, a, b) else {
+                    continue;
+                };
+                let quantized = Latency::from_micros(latency_micros).quantized_tenth_ms();
+                self.record(a, b, quantized, bandwidth);
+            }
+        }
+        self.commit(|index| state.node_id(index).expect("pair index in range"))
+    }
+
+    /// Starts a fresh epoch over `node_count` nodes, sizing the dense buffer
+    /// on first use.
+    ///
+    /// A store serves a single topology: node indices are the identity of
+    /// the retained pairs, so changing the node count mid-life would silently
+    /// orphan every previously emitted rule (no `removed` entries could be
+    /// resolved against the new index space). That is a programming error,
+    /// not a constellation event — the constellation's node count is fixed
+    /// at build time — so it panics instead of guessing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count differs from a previous epoch's.
+    fn begin_epoch(&mut self, node_count: usize) {
+        if self.node_count != node_count {
+            assert!(
+                self.epoch == 0,
+                "ProgrammeStore serves a single topology ({} nodes), got {node_count}",
+                self.node_count
+            );
+            self.node_count = node_count;
+            self.slots.clear();
+            self.slots.resize(node_count * node_count.saturating_sub(1) / 2, EMPTY_SLOT);
+            self.pairs.clear();
+        }
+        self.fresh_pairs.clear();
+        self.fresh_slots.clear();
+    }
+
+    /// Records one reachable pair of the fresh epoch. Pairs must arrive in
+    /// strictly ascending canonical order, which the double loop over the
+    /// ascending source list guarantees.
+    fn record(&mut self, a: usize, b: usize, latency: Latency, bandwidth: Bandwidth) {
+        debug_assert!(a < b, "canonical pair order");
+        let packed = pack(a, b);
+        debug_assert!(
+            self.fresh_pairs.last().is_none_or(|&last| last < packed),
+            "pairs must be recorded in ascending order"
+        );
+        self.fresh_pairs.push(packed);
+        self.fresh_slots.push(Slot {
+            latency_micros: latency.as_micros(),
+            bandwidth_bps: bandwidth.as_bps(),
+        });
+    }
+
+    /// Merges the fresh epoch against the retained programme: one walk over
+    /// the two sorted pair lists, updating the dense buffer in place and
+    /// emitting the delta.
+    fn commit(&mut self, resolve: impl Fn(usize) -> NodeId) -> &ProgrammeDelta {
+        self.epoch += 1;
+        self.delta.clear();
+        self.delta.epoch = self.epoch;
+
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.pairs.len() || j < self.fresh_pairs.len() {
+            let old = self.pairs.get(i).copied();
+            let fresh = self.fresh_pairs.get(j).copied();
+            // Exhausted sides compare as "infinitely large" so the tails of
+            // either list drain through the other branch.
+            let take_old = old.is_some() && fresh.is_none_or(|f| old.unwrap() <= f);
+            let take_fresh = fresh.is_some() && old.is_none_or(|o| fresh.unwrap() <= o);
+            match (take_old, take_fresh) {
+                (true, true) => {
+                    // Same pair in both epochs: changed only if the
+                    // quantized latency or the bandwidth differs.
+                    let (a, b) = unpack(old.expect("take_old"));
+                    let slot_index = self.tri(a, b);
+                    let value = self.fresh_slots[j];
+                    if self.slots[slot_index] != value {
+                        self.slots[slot_index] = value;
+                        self.delta.changed.push(pair_program(a, b, value, &resolve));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (true, false) => {
+                    // Previously programmed, now unreachable.
+                    let (a, b) = unpack(old.expect("take_old"));
+                    let slot_index = self.tri(a, b);
+                    self.slots[slot_index] = EMPTY_SLOT;
+                    self.delta.removed.push((resolve(a), resolve(b)));
+                    i += 1;
+                }
+                (false, true) => {
+                    // Newly reachable.
+                    let (a, b) = unpack(fresh.expect("take_fresh"));
+                    let slot_index = self.tri(a, b);
+                    let value = self.fresh_slots[j];
+                    self.slots[slot_index] = value;
+                    self.delta.added.push(pair_program(a, b, value, &resolve));
+                    j += 1;
+                }
+                (false, false) => unreachable!("loop condition guarantees one side"),
+            }
+        }
+
+        std::mem::swap(&mut self.pairs, &mut self.fresh_pairs);
+        &self.delta
+    }
+
+    /// Triangular index of the canonical pair `(a, b)`, `a < b`.
+    fn tri(&self, a: usize, b: usize) -> usize {
+        a * (2 * self.node_count - a - 1) / 2 + (b - a - 1)
+    }
+}
+
+fn pack(a: usize, b: usize) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+fn unpack(packed: u64) -> (usize, usize) {
+    ((packed >> 32) as usize, (packed & u32::MAX as u64) as usize)
+}
+
+fn pair_program(a: usize, b: usize, slot: Slot, resolve: &impl Fn(usize) -> NodeId) -> PairProgram {
+    PairProgram {
+        a: resolve(a),
+        b: resolve(b),
+        latency: Latency::from_micros(slot.latency_micros),
+        bandwidth: Bandwidth::from_bps(slot.bandwidth_bps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial_constellation::{PathAlgorithm, PathEngine};
+
+    fn resolve(index: usize) -> NodeId {
+        NodeId::ground_station(index as u32)
+    }
+
+    fn record_ms(store: &mut ProgrammeStore, a: usize, b: usize, ms: f64, mbps: u64) {
+        store.record(a, b, Latency::from_millis_f64(ms), Bandwidth::from_mbps(mbps));
+    }
+
+    #[test]
+    fn first_epoch_reports_every_pair_as_added() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(4);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 6.0, 10);
+        record_ms(&mut store, 2, 3, 1.0, 50);
+        let delta = store.commit(resolve);
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(delta.added.len(), 3);
+        assert!(delta.changed.is_empty() && delta.removed.is_empty());
+        assert_eq!(store.pair_count(), 3);
+        let current: Vec<_> = store.iter().collect();
+        assert_eq!(current[0], (0, 1, Latency::from_millis_f64(4.0), Bandwidth::from_mbps(100)));
+        assert_eq!(current[2], (2, 3, Latency::from_millis_f64(1.0), Bandwidth::from_mbps(50)));
+    }
+
+    #[test]
+    fn steady_epoch_emits_only_the_difference() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(5);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 6.0, 10);
+        record_ms(&mut store, 2, 3, 1.0, 50);
+        store.commit(resolve);
+
+        // Epoch 2: (0,1) unchanged, (0,3) re-shaped, (2,3) gone, (3,4) new.
+        store.begin_epoch(5);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 6.1, 10);
+        record_ms(&mut store, 3, 4, 2.0, 25);
+        let delta = store.commit(resolve);
+        assert_eq!(delta.epoch, 2);
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.added[0].a, NodeId::ground_station(3));
+        assert_eq!(delta.changed.len(), 1);
+        assert_eq!(delta.changed[0].latency, Latency::from_millis_f64(6.1));
+        assert_eq!(delta.removed, vec![(NodeId::ground_station(2), NodeId::ground_station(3))]);
+        assert_eq!(delta.op_count(), 3);
+        assert_eq!(store.pair_count(), 3);
+
+        // Epoch 3: identical to epoch 2 — the delta is empty.
+        store.begin_epoch(5);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 6.1, 10);
+        record_ms(&mut store, 3, 4, 2.0, 25);
+        let delta = store.commit(resolve);
+        assert!(delta.is_empty(), "unchanged epoch must cost nothing");
+    }
+
+    #[test]
+    fn bandwidth_changes_alone_mark_a_pair_changed() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(3);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        store.commit(resolve);
+        store.begin_epoch(3);
+        record_ms(&mut store, 0, 1, 4.0, 80);
+        let delta = store.commit(resolve);
+        assert_eq!(delta.changed.len(), 1);
+        assert_eq!(delta.changed[0].bandwidth, Bandwidth::from_mbps(80));
+    }
+
+    #[test]
+    fn bottleneck_walk_folds_the_narrowest_edge() {
+        // 0 —(10 µs, 10 Gb/s)— 1 —(10 µs, 100 Mb/s)— 2 —(10 µs, 1 Gb/s)— 3
+        let graph = NetworkGraph::from_links(
+            4,
+            [
+                (0, 1, 10, 10_000_000_000),
+                (1, 2, 10, 100_000_000),
+                (2, 3, 10, 1_000_000_000),
+            ],
+        );
+        let paths = graph.all_pairs_dijkstra();
+        assert_eq!(
+            bottleneck_bandwidth(&paths, &graph, 0, 3),
+            Some(Bandwidth::from_mbps(100))
+        );
+        assert_eq!(
+            bottleneck_bandwidth(&paths, &graph, 0, 1),
+            Some(Bandwidth::from_gbps(10))
+        );
+    }
+
+    #[test]
+    fn unusable_edge_bandwidths_make_the_pair_unreachable() {
+        // Edge with no bandwidth information (0) and a malformed unbounded
+        // edge (u64::MAX): both degrade to unreachable, never to a zero-rate
+        // or uncapped rule.
+        let graph = NetworkGraph::from_links(
+            4,
+            [(0, 1, 10, 0), (1, 2, 10, u64::MAX), (2, 3, 10, 1_000)],
+        );
+        let paths = graph.all_pairs_dijkstra();
+        assert_eq!(bottleneck_bandwidth(&paths, &graph, 0, 1), None, "0 bps edge");
+        assert_eq!(bottleneck_bandwidth(&paths, &graph, 1, 2), None, "unbounded edge");
+        assert_eq!(bottleneck_bandwidth(&paths, &graph, 0, 3), None, "path crosses both");
+        assert_eq!(
+            bottleneck_bandwidth(&paths, &graph, 2, 3),
+            Some(Bandwidth::from_bps(1_000)),
+            "the healthy edge still resolves"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "single topology")]
+    fn changing_the_node_count_mid_life_panics() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(4);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        store.commit(resolve);
+        store.begin_epoch(5);
+    }
+
+    #[test]
+    fn broken_chains_are_unreachable_not_uncapped() {
+        let graph = NetworkGraph::from_links(3, [(0, 1, 10, 1_000), (1, 2, 10, 1_000)]);
+        // Solve only source 0: source 2's row is unsolved, so its
+        // predecessor chain is broken from the first step.
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 1);
+        let paths = engine.solve_sources(&graph, &[0]).clone();
+        assert_eq!(bottleneck_bandwidth(&paths, &graph, 2, 0), None);
+        // The solved row works normally.
+        assert_eq!(
+            bottleneck_bandwidth(&paths, &graph, 0, 2),
+            Some(Bandwidth::from_bps(1_000))
+        );
+    }
+}

@@ -25,7 +25,7 @@ use celestial_types::ids::{HostId, NodeId};
 use celestial_types::resources::MachineResources;
 use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Error, Latency, Result};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A guest application running on the testbed.
 ///
@@ -228,7 +228,6 @@ pub struct Testbed {
     network: VirtualNetwork,
     dns: DnsService,
     rng: SimRng,
-    programmed_pairs: BTreeSet<(NodeId, NodeId)>,
     scheduled_faults: Vec<FaultEvent>,
     host_cpu: Vec<TimeSeries>,
     host_memory: Vec<TimeSeries>,
@@ -236,6 +235,7 @@ pub struct Testbed {
     now: SimInstant,
     messages_delivered: u64,
     messages_dropped: u64,
+    failed_recoveries: u64,
 }
 
 impl Testbed {
@@ -287,7 +287,6 @@ impl Testbed {
             network,
             dns,
             rng: SimRng::seed_from_u64(config.seed),
-            programmed_pairs: BTreeSet::new(),
             scheduled_faults: Vec::new(),
             host_cpu: vec![TimeSeries::new(); host_count],
             host_memory: vec![TimeSeries::new(); host_count],
@@ -295,6 +294,7 @@ impl Testbed {
             now: SimInstant::EPOCH,
             messages_delivered: 0,
             messages_dropped: 0,
+            failed_recoveries: 0,
         })
     }
 
@@ -346,6 +346,13 @@ impl Testbed {
     /// Counters of application messages `(delivered, dropped)`.
     pub fn message_counters(&self) -> (u64, u64) {
         (self.messages_delivered, self.messages_dropped)
+    }
+
+    /// Number of post-fault reboots that failed (the machine could not be
+    /// re-activated when its recovery event fired). A healthy run reports
+    /// zero; failures no longer vanish silently.
+    pub fn failed_recoveries(&self) -> u64 {
+        self.failed_recoveries
     }
 
     /// Schedules fault events (e.g. generated by
@@ -441,10 +448,16 @@ impl Testbed {
                 Event::Recover(node) => {
                     let resources = self.resources_for(node);
                     let host = self.host_for(node);
-                    if let Ok(ready) = self.managers[host].activate(node, &resources, t) {
-                        if ready > t {
-                            sim.schedule_at(ready, Event::BootComplete(node));
+                    match self.managers[host].activate(node, &resources, t) {
+                        Ok(ready) => {
+                            if ready > t {
+                                sim.schedule_at(ready, Event::BootComplete(node));
+                            }
                         }
+                        // A failed post-fault reboot must not vanish: count
+                        // it so experiments can detect machines that never
+                        // came back.
+                        Err(_) => self.failed_recoveries += 1,
                     }
                 }
             }
@@ -520,24 +533,24 @@ impl Testbed {
             }
         }
 
-        // Network programming: the coordinator's per-pair programme.
-        let programme = self.coordinator.network_programme()?;
-        let mut fresh: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for pair in &programme {
-            let key = canonical_pair(pair.a, pair.b);
-            fresh.insert(key);
-            self.network
-                .program_pair(pair.a, pair.b, pair.latency, pair.bandwidth);
-        }
-        let stale: Vec<(NodeId, NodeId)> = self
-            .programmed_pairs
-            .difference(&fresh)
-            .copied()
+        // Network programming: apply the coordinator's change set. Pairs
+        // whose quantized latency and bottleneck bandwidth are unchanged
+        // keep their rules untouched — the testbed no longer shadows the
+        // programme in its own bookkeeping.
+        let delta = self.coordinator.programme_delta();
+        // New pairs may involve machines the placement has not seen yet;
+        // place them before programming so compensation sees their hosts.
+        let fresh_nodes: Vec<NodeId> = delta
+            .added
+            .iter()
+            .flat_map(|pair| [pair.a, pair.b])
+            .filter(|node| !self.node_to_host.contains_key(node))
             .collect();
-        for (a, b) in stale {
-            self.network.unprogram_pair(a, b);
+        for node in fresh_nodes {
+            self.host_for(node);
         }
-        self.programmed_pairs = fresh;
+        let delta = self.coordinator.programme_delta();
+        self.network.apply_delta(delta);
         Ok(())
     }
 
@@ -620,14 +633,6 @@ impl Testbed {
             }
         }
         Ok(())
-    }
-}
-
-fn canonical_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
     }
 }
 
@@ -767,12 +772,14 @@ mod tests {
         assert!(!app.rtts_ms.is_empty());
         let (_, dropped) = testbed.message_counters();
         assert!(dropped > 0, "messages to the crashed machine should drop");
-        // The machine recovered before the end of the run.
+        // The machine recovered before the end of the run, and no recovery
+        // attempt failed silently.
         let host = testbed
             .managers()
             .iter()
             .find(|m| m.has_machine(accra))
             .unwrap();
         assert!(host.is_running(accra));
+        assert_eq!(testbed.failed_recoveries(), 0);
     }
 }

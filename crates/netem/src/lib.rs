@@ -17,6 +17,9 @@
 //!   machine managers,
 //! * [`overlay`] — the host overlay network (WireGuard stand-in) and its
 //!   latency compensation,
+//! * [`programme`] — the per-pair programme entries and the per-epoch
+//!   [`ProgrammeDelta`] change set the coordinator ships (see
+//!   `docs/NETPROG.md`),
 //! * [`network`] — the virtual network assembling all of the above, used by
 //!   the testbed runtime to deliver application messages.
 //!
@@ -44,11 +47,13 @@
 pub mod network;
 pub mod overlay;
 pub mod packet;
+pub mod programme;
 pub mod qdisc;
 pub mod tc;
 
-pub use network::VirtualNetwork;
+pub use network::{DeltaApplication, VirtualNetwork};
 pub use overlay::HostOverlay;
 pub use packet::Packet;
+pub use programme::{PairProgram, ProgrammeDelta};
 pub use qdisc::{NetemQdisc, QdiscOutcome};
 pub use tc::TrafficControl;

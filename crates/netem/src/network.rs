@@ -10,11 +10,22 @@
 
 use crate::overlay::HostOverlay;
 use crate::packet::Packet;
+use crate::programme::ProgrammeDelta;
 use crate::tc::TrafficControl;
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimInstant;
 use celestial_types::{Bandwidth, Latency};
 use rand::Rng;
+
+/// What applying a [`ProgrammeDelta`] actually touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaApplication {
+    /// Rules written: pairs programmed for the first time plus reshaped
+    /// pairs.
+    pub pairs_programmed: usize,
+    /// Rules torn down (pairs that actually had a rule to remove).
+    pub pairs_removed: usize,
+}
 
 /// The virtual network connecting all emulated machines.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +36,10 @@ pub struct VirtualNetwork {
     sent: u64,
     delivered: u64,
     dropped: u64,
+    /// Programmed pairs whose latency compensation was clamped at zero
+    /// because the underlay latency exceeds the target (an emulation
+    /// infidelity the real Celestial logs).
+    latency_clamps: u64,
 }
 
 impl VirtualNetwork {
@@ -36,6 +51,7 @@ impl VirtualNetwork {
             sent: 0,
             delivered: 0,
             dropped: 0,
+            latency_clamps: 0,
         }
     }
 
@@ -71,14 +87,40 @@ impl VirtualNetwork {
     /// programmed netem delay is compensated for the host overlay latency
     /// between the nodes' hosts and quantized to the 0.1 ms granularity at
     /// which `tc-netem` is programmed, as the Celestial coordinator does.
+    ///
+    /// When the underlay latency exceeds the target, the compensation is
+    /// clamped at zero and the infidelity is counted (see
+    /// [`VirtualNetwork::latency_clamp_count`]).
     pub fn program_pair(&mut self, a: NodeId, b: NodeId, target: Latency, bandwidth: Bandwidth) {
-        let compensated = self.overlay.compensated_delay(target, a, b).quantized_tenth_ms();
-        self.tc.set_link(a, b, compensated, bandwidth);
+        let (compensated, clamped) = self.overlay.compensation(target, a, b);
+        if clamped {
+            self.latency_clamps += 1;
+        }
+        self.tc.set_link(a, b, compensated.quantized_tenth_ms(), bandwidth);
     }
 
-    /// Removes the rules for a pair, making it unreachable.
-    pub fn unprogram_pair(&mut self, a: NodeId, b: NodeId) {
-        self.tc.remove_link(a, b);
+    /// Removes the rules for a pair, making it unreachable. Returns whether
+    /// the pair actually had a rule.
+    pub fn unprogram_pair(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.tc.remove_link(a, b)
+    }
+
+    /// Applies one epoch's [`ProgrammeDelta`] as a batch: added and changed
+    /// pairs are (re)programmed, removed pairs become unreachable. This is
+    /// the only call sites need per constellation update — untouched pairs
+    /// keep their rules (and queue state) without being rewritten.
+    pub fn apply_delta(&mut self, delta: &ProgrammeDelta) -> DeltaApplication {
+        let mut application = DeltaApplication::default();
+        for pair in delta.programmed() {
+            self.program_pair(pair.a, pair.b, pair.latency, pair.bandwidth);
+            application.pairs_programmed += 1;
+        }
+        for &(a, b) in &delta.removed {
+            if self.unprogram_pair(a, b) {
+                application.pairs_removed += 1;
+            }
+        }
+        application
     }
 
     /// True if traffic can currently flow from `from` to `to`.
@@ -129,6 +171,13 @@ impl VirtualNetwork {
     /// Counters: `(sent, delivered, dropped)`.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.sent, self.delivered, self.dropped)
+    }
+
+    /// Number of pair programmings whose latency compensation was clamped at
+    /// zero because the underlay latency exceeded the target — the emulated
+    /// pair is slower than the constellation calculation demands.
+    pub fn latency_clamp_count(&self) -> u64 {
+        self.latency_clamps
     }
 }
 
@@ -211,6 +260,82 @@ mod tests {
         assert!(net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
         net.unprogram_pair(NodeId::ground_station(0), NodeId::ground_station(1));
         assert!(!net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+    }
+
+    #[test]
+    fn sub_underlay_targets_are_clamped_and_counted() {
+        // Regression for silent clamping: a 0.05 ms target across hosts with
+        // 0.2 ms physical latency cannot be emulated faithfully — the
+        // programmed delay saturates at zero and the infidelity is counted.
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(1));
+        let mut net = VirtualNetwork::with_overlay(overlay);
+        assert_eq!(net.latency_clamp_count(), 0);
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_micros(50),
+            Bandwidth::from_gbps(10),
+        );
+        assert_eq!(net.latency_clamp_count(), 1);
+        assert_eq!(
+            net.tc().delay(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::ZERO),
+            "programmed delay saturates at zero"
+        );
+        // The observed latency is the 0.2 ms underlay, not the 0.05 ms target.
+        assert_eq!(
+            net.effective_latency(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::from_micros(200))
+        );
+        // A faithful reprogramming does not count.
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(5.0),
+            Bandwidth::from_gbps(10),
+        );
+        assert_eq!(net.latency_clamp_count(), 1);
+    }
+
+    #[test]
+    fn apply_delta_programs_and_tears_down_in_one_batch() {
+        use crate::programme::{PairProgram, ProgrammeDelta};
+        let mut net = VirtualNetwork::new();
+        let pair = |a: u32, b: u32| (NodeId::ground_station(a), NodeId::ground_station(b));
+        let program = |a: u32, b: u32, ms: f64| PairProgram {
+            a: NodeId::ground_station(a),
+            b: NodeId::ground_station(b),
+            latency: Latency::from_millis_f64(ms),
+            bandwidth: Bandwidth::from_mbps(100),
+        };
+
+        let delta = ProgrammeDelta {
+            epoch: 1,
+            added: vec![program(0, 1, 4.0), program(0, 2, 6.0)],
+            changed: Vec::new(),
+            removed: Vec::new(),
+        };
+        let applied = net.apply_delta(&delta);
+        assert_eq!(applied, DeltaApplication { pairs_programmed: 2, pairs_removed: 0 });
+        assert!(net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(2)));
+
+        // Next epoch: one pair reshapes, one tears down, one removal misses
+        // (never programmed — not counted).
+        let delta = ProgrammeDelta {
+            epoch: 2,
+            added: Vec::new(),
+            changed: vec![program(0, 1, 9.0)],
+            removed: vec![pair(0, 2), pair(5, 6)],
+        };
+        let applied = net.apply_delta(&delta);
+        assert_eq!(applied, DeltaApplication { pairs_programmed: 1, pairs_removed: 1 });
+        assert!(!net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(2)));
+        assert_eq!(
+            net.tc().delay(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::from_millis_f64(9.0))
+        );
     }
 
     #[test]

@@ -112,7 +112,17 @@ impl HostOverlay {
     /// exceeds the target (the paper notes the emulation is only faithful
     /// when host latency is small compared to the emulated delays).
     pub fn compensated_delay(&self, target: Latency, a: NodeId, b: NodeId) -> Latency {
-        target.saturating_sub(self.underlay_latency(a, b))
+        self.compensation(target, a, b).0
+    }
+
+    /// Like [`HostOverlay::compensated_delay`], but also reports whether the
+    /// compensation was *clamped* — the underlay latency exceeds the target,
+    /// so the emulated pair is slower than the constellation calculation
+    /// demands. Real Celestial logs this infidelity; the
+    /// [`crate::VirtualNetwork`] counts it.
+    pub fn compensation(&self, target: Latency, a: NodeId, b: NodeId) -> (Latency, bool) {
+        let underlay = self.underlay_latency(a, b);
+        (target.saturating_sub(underlay), underlay > target)
     }
 }
 

@@ -1,0 +1,108 @@
+//! The network-programming wire format between coordinator and hosts.
+//!
+//! Celestial's coordinator does not ship the whole per-pair programme to the
+//! machine managers on every update — it ships the *changes*: pairs whose
+//! `tc` rules must be created, re-shaped or torn down. Because programmed
+//! delays are quantized to 0.1 ms, a pair whose path latency drifted by less
+//! than the quantum (and whose bottleneck bandwidth is unchanged) costs
+//! nothing. [`PairProgram`] is one rule of the programme and
+//! [`ProgrammeDelta`] is the per-epoch change set; `docs/NETPROG.md`
+//! documents the contract.
+
+use celestial_types::ids::NodeId;
+use celestial_types::{Bandwidth, Latency};
+use serde::{Deserialize, Serialize};
+
+/// One entry of the per-pair network programme: the end-to-end latency and
+/// bottleneck bandwidth the machine managers must emulate between two nodes.
+///
+/// The latency is already quantized to the 0.1 ms granularity at which
+/// `tc-netem` is programmed, and the bandwidth is always the finite
+/// bottleneck of a fully resolved path — the programme never contains
+/// [`Bandwidth::INFINITY`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairProgram {
+    /// One endpoint (the smaller node, in canonical pair order).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way end-to-end latency of the current shortest path, quantized to
+    /// tenths of a millisecond.
+    pub latency: Latency,
+    /// Bottleneck bandwidth along that path.
+    pub bandwidth: Bandwidth,
+}
+
+/// The change set that transforms one epoch's network programme into the
+/// next: exactly the rules a machine manager must touch.
+///
+/// A pair lands in `changed` only if its quantized latency or its bottleneck
+/// bandwidth actually differs from the previous epoch — sub-quantum latency
+/// drift is invisible by design (the paper's update contract).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgrammeDelta {
+    /// The update epoch this delta leads to (1 for the first update).
+    pub epoch: u64,
+    /// Pairs that became reachable and must be programmed for the first
+    /// time.
+    pub added: Vec<PairProgram>,
+    /// Pairs whose quantized latency or bottleneck bandwidth changed.
+    pub changed: Vec<PairProgram>,
+    /// Pairs that became unreachable; their rules must be torn down.
+    pub removed: Vec<(NodeId, NodeId)>,
+}
+
+impl ProgrammeDelta {
+    /// Empties the delta in place, keeping the allocations for the next
+    /// epoch.
+    pub fn clear(&mut self) {
+        self.added.clear();
+        self.changed.clear();
+        self.removed.clear();
+    }
+
+    /// Number of pair-programming operations this delta performs when
+    /// applied (rules written plus rules removed).
+    pub fn op_count(&self) -> usize {
+        self.added.len() + self.changed.len() + self.removed.len()
+    }
+
+    /// True if applying the delta would touch nothing.
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0
+    }
+
+    /// The pairs whose rules must be (re)written: added then changed.
+    pub fn programmed(&self) -> impl Iterator<Item = &PairProgram> {
+        self.added.iter().chain(self.changed.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> PairProgram {
+        PairProgram {
+            a: NodeId::ground_station(a),
+            b: NodeId::ground_station(b),
+            latency: Latency::from_millis_f64(1.0),
+            bandwidth: Bandwidth::from_mbps(10),
+        }
+    }
+
+    #[test]
+    fn op_count_and_clear() {
+        let mut delta = ProgrammeDelta::default();
+        assert!(delta.is_empty());
+        delta.added.push(pair(0, 1));
+        delta.changed.push(pair(0, 2));
+        delta.removed.push((NodeId::ground_station(1), NodeId::ground_station(2)));
+        assert_eq!(delta.op_count(), 3);
+        assert_eq!(delta.programmed().count(), 2);
+        assert!(!delta.is_empty());
+        delta.clear();
+        assert!(delta.is_empty());
+        assert_eq!(delta.op_count(), 0);
+    }
+}

@@ -50,10 +50,13 @@ impl TrafficControl {
         self.rules.insert((from, to), NetemQdisc::with_config(config));
     }
 
-    /// Removes both directions of a pair, making it unreachable.
-    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
-        self.rules.remove(&(a, b));
-        self.rules.remove(&(b, a));
+    /// Removes both directions of a pair, making it unreachable. Returns
+    /// whether any rule actually existed, so batch appliers (the programme
+    /// delta) can account for real teardowns.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        let forward = self.rules.remove(&(a, b)).is_some();
+        let reverse = self.rules.remove(&(b, a)).is_some();
+        forward || reverse
     }
 
     /// Removes every rule involving `node` (used when a machine is removed).

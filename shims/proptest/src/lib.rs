@@ -235,6 +235,16 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} (left: {left:?}, right: {right:?})",
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
 }
 
 /// Asserts inequality inside [`proptest!`].
@@ -248,6 +258,16 @@ macro_rules! prop_assert_ne {
                 "assertion failed: {} != {} (both: {left:?})",
                 stringify!($left),
                 stringify!($right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} (both: {left:?})",
+                ::std::format!($($fmt)+),
             ));
         }
     }};

@@ -219,11 +219,14 @@ fn bounding_box_keeps_visible_satellites_running() {
 }
 
 #[test]
-fn network_programme_is_unchanged_by_the_path_engine_swap() {
-    // Regression guard for the CSR/parallel/incremental PathEngine: the
-    // coordinator's per-pair programme must be bit-identical to the seed
-    // behaviour — one Dijkstra per ground station straight off the graph,
-    // followed by the predecessor-chain bottleneck walk.
+fn network_programme_matches_an_independent_reference_and_is_never_uncapped() {
+    // Regression guard for the delta-based programme engine: the programme
+    // over every pair of programmable nodes (ground stations + active
+    // satellites, including sat↔sat) must match a from-scratch reference —
+    // one Dijkstra per source straight off the graph, with the bottleneck
+    // read from the link *list* (independently of the CSR bandwidth arrays
+    // the engine itself uses). A pair whose predecessor walk breaks or whose
+    // path crosses a link without bandwidth must be absent, never uncapped.
     use celestial::coordinator::PairProgram;
     use celestial_constellation::path::{NO_NODE, UNREACHABLE};
     use celestial_types::Bandwidth;
@@ -244,8 +247,12 @@ fn network_programme_is_unchanged_by_the_path_engine_swap() {
         coordinator.update(f64::from(step) * config.update_interval_s).expect("update");
         let programme = coordinator.network_programme().expect("programme");
         assert!(!programme.is_empty());
+        assert!(
+            programme.iter().all(|p| !p.bandwidth.is_infinite()),
+            "uncapped pair leaked into the programme at step {step}"
+        );
 
-        // The seed reference implementation.
+        // Independent reference: direct link bandwidths from the link list.
         let state = coordinator.database().state().expect("state");
         let mut link_bandwidth: BTreeMap<(usize, usize), Bandwidth> = BTreeMap::new();
         for link in &state.links {
@@ -257,40 +264,55 @@ fn network_programme_is_unchanged_by_the_path_engine_swap() {
                 *entry = link.bandwidth;
             }
         }
-        let gst_nodes: Vec<NodeId> = (0..state.ground_station_count() as u32)
-            .map(NodeId::ground_station)
-            .collect();
-        let active_sats: Vec<NodeId> = state
+
+        // Programmable nodes in ascending node-index order: active
+        // satellites first (satellite indices precede ground stations).
+        let mut sources: Vec<usize> = state
             .active_satellites()
             .into_iter()
-            .map(NodeId::Satellite)
+            .map(|sat| state.node_index(NodeId::Satellite(sat)).unwrap())
             .collect();
-        let mut reference = Vec::new();
-        for (i, gst) in gst_nodes.iter().enumerate() {
-            let source = state.node_index(*gst).unwrap();
+        sources.extend(
+            (0..state.ground_station_count() as u32)
+                .map(|gst| state.node_index(NodeId::ground_station(gst)).unwrap()),
+        );
+        assert!(sources.windows(2).all(|w| w[0] < w[1]));
+
+        let mut reference: Vec<PairProgram> = Vec::new();
+        for (i, &source) in sources.iter().enumerate() {
             let (dist, prev) = state.graph().dijkstra(source);
-            let mut targets: Vec<NodeId> = Vec::new();
-            targets.extend(gst_nodes.iter().skip(i + 1).copied());
-            targets.extend(active_sats.iter().copied());
-            for target_node in targets {
-                let target = state.node_index(target_node).unwrap();
+            for &target in &sources[i + 1..] {
                 if dist[target] == UNREACHABLE {
                     continue;
                 }
-                let mut bandwidth = Bandwidth::INFINITY;
+                // Fold the bottleneck; a broken chain or missing link makes
+                // the pair unreachable in the reference too.
+                let mut bandwidth: Option<Bandwidth> = None;
                 let mut here = target;
-                while here != source && prev[here] != NO_NODE {
+                let complete = loop {
+                    if here == source {
+                        break true;
+                    }
+                    if prev[here] == NO_NODE {
+                        break false;
+                    }
                     let parent = prev[here] as usize;
                     let key = if parent <= here { (parent, here) } else { (here, parent) };
-                    if let Some(bw) = link_bandwidth.get(&key) {
-                        bandwidth = bandwidth.bottleneck(*bw);
+                    match link_bandwidth.get(&key) {
+                        Some(bw) => {
+                            bandwidth = Some(bandwidth.map_or(*bw, |cur| cur.bottleneck(*bw)))
+                        }
+                        None => break false,
                     }
                     here = parent;
-                }
+                };
+                let (true, Some(bandwidth)) = (complete, bandwidth) else {
+                    continue;
+                };
                 reference.push(PairProgram {
-                    a: *gst,
-                    b: target_node,
-                    latency: celestial_types::Latency::from_micros(dist[target]),
+                    a: state.node_id(source).unwrap(),
+                    b: state.node_id(target).unwrap(),
+                    latency: celestial_types::Latency::from_micros(dist[target]).quantized_tenth_ms(),
                     bandwidth,
                 });
             }
@@ -300,7 +322,78 @@ fn network_programme_is_unchanged_by_the_path_engine_swap() {
         for (got, want) in programme.iter().zip(&reference) {
             assert_eq!(got, want, "programme entry diverged at step {step}");
         }
+        // Full coverage classes: gst↔gst, sat↔gst and sat↔sat all present.
+        assert!(programme.iter().any(|p| p.a.is_ground_station() && p.b.is_ground_station()));
+        assert!(programme.iter().any(|p| p.a.is_satellite() && p.b.is_ground_station()));
+        assert!(programme.iter().any(|p| p.a.is_satellite() && p.b.is_satellite()));
     }
+}
+
+/// A satellite-hosted workload: on every constellation update, pick two
+/// running active satellites and exchange a message between them, verifying
+/// that the emulated network programs active-sat↔active-sat pairs.
+#[derive(Default)]
+struct SatelliteToSatellite {
+    sent: u64,
+    delivered: u64,
+    latency_checks: u64,
+}
+
+impl GuestApplication for SatelliteToSatellite {
+    fn on_constellation_update(&mut self, ctx: &mut AppContext<'_>) {
+        let Some(state) = ctx.database().state() else { return };
+        let running: Vec<NodeId> = state
+            .active_satellites()
+            .into_iter()
+            .map(NodeId::Satellite)
+            .filter(|sat| ctx.is_running(*sat))
+            .take(2)
+            .collect();
+        let [a, b] = running.as_slice() else { return };
+        let (a, b) = (*a, *b);
+        // The pair must be programmed into the emulation, and its emulated
+        // latency must match the constellation calculation up to the 0.1 ms
+        // tc quantization.
+        let emulated = ctx.emulated_latency(a, b).expect("sat↔sat pair is programmed");
+        let expected = ctx.expected_latency(a, b).expect("sat↔sat pair is connected");
+        let drift_ms = (emulated.as_millis_f64() - expected.as_millis_f64()).abs();
+        assert!(drift_ms <= 0.051, "sat↔sat latency drifts by {drift_ms} ms");
+        self.latency_checks += 1;
+        self.sent += 1;
+        ctx.send(a, b, 1_000, vec![7]);
+    }
+
+    fn on_message(&mut self, message: &Packet, _ctx: &mut AppContext<'_>) {
+        if message.payload.first() == Some(&7) {
+            self.delivered += 1;
+        }
+    }
+}
+
+#[test]
+fn active_satellites_can_exchange_messages() {
+    let config = TestbedConfig::builder()
+        .seed(11)
+        .update_interval_s(2.0)
+        .duration_s(40.0)
+        .shell(Shell::from_walker(WalkerShell::starlink_shell1()))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .hosts(vec![HostConfig::default(); 2])
+        .build()
+        .expect("valid config");
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    let mut app = SatelliteToSatellite::default();
+    testbed.run(&mut app).expect("run");
+    assert!(app.latency_checks > 5, "only {} latency checks", app.latency_checks);
+    assert!(app.sent > 5, "only {} sat↔sat messages sent", app.sent);
+    assert!(
+        app.delivered >= app.sent / 2,
+        "only {}/{} sat↔sat messages delivered",
+        app.delivered,
+        app.sent
+    );
+    assert_eq!(testbed.failed_recoveries(), 0);
 }
 
 #[test]
