@@ -7,7 +7,7 @@ use crate::links::{Link, LinkKind};
 use crate::path::{NetworkGraph, PathAlgorithm, ShortestPaths};
 use crate::shell::Shell;
 use celestial_sgp4::frames::eci_to_ecef;
-use celestial_sgp4::Propagator;
+use celestial_sgp4::{propagate_all_minutes, Propagator, SatelliteState};
 use celestial_types::geo::Cartesian;
 use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
 use celestial_types::{Error, Latency, Result};
@@ -29,6 +29,10 @@ pub struct Constellation {
     /// Global node index of the first satellite of each shell.
     shell_offsets: Vec<usize>,
     satellite_total: usize,
+    /// Ground-station ECEF positions, cached at build time — ground stations
+    /// never move in the Earth-fixed frame, so recomputing the geodetic →
+    /// Cartesian conversion on every epoch is pure waste.
+    ground_ecef: Vec<Cartesian>,
 }
 
 impl Constellation {
@@ -131,40 +135,88 @@ impl Constellation {
     /// time: positions, available links, uplinks, bounding-box activity and
     /// the network graph.
     ///
+    /// This is the convenience entry point that allocates a fresh state; the
+    /// steady-state path of the coordinator's epoch engine is
+    /// [`Constellation::state_at_into`], which rebuilds a retained state
+    /// without allocating.
+    ///
     /// # Errors
     ///
     /// Returns an error if any satellite's orbit fails to propagate.
     pub fn state_at(&self, t_seconds: f64) -> Result<ConstellationState> {
-        let minutes = t_seconds / 60.0;
-        let mut satellite_positions = Vec::with_capacity(self.satellite_total);
-        let mut active = Vec::with_capacity(self.satellite_total);
+        let mut buffers = StateBuffers::new();
+        self.state_at_into(t_seconds, &mut buffers)?;
+        Ok(buffers.into_state().expect("state was just computed"))
+    }
 
-        for (shell_idx, shell_props) in self.propagators.iter().enumerate() {
-            let _ = shell_idx;
-            for prop in shell_props {
-                let state = prop.propagate_minutes(minutes)?;
-                let ecef = eci_to_ecef(state.position_eci, minutes);
-                let geo = ecef.to_geodetic();
-                active.push(self.bounding_box.contains(&geo));
-                satellite_positions.push(ecef);
-            }
+    /// Computes the constellation state at `t_seconds` into the retained
+    /// buffers: satellite propagation is fanned out in one batch
+    /// ([`propagate_all_minutes`]) and positions, activity flags, links and
+    /// the CSR graph are rebuilt in place, so a steady-state caller (the
+    /// epoch pipeline, once per update interval) performs no allocation.
+    ///
+    /// On success `buffers.state()` holds the computed state; on error the
+    /// retained state is left in an unspecified (but safe) intermediate
+    /// shape and must not be read until a later call succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any satellite's orbit fails to propagate.
+    pub fn state_at_into(&self, t_seconds: f64, buffers: &mut StateBuffers) -> Result<()> {
+        let minutes = t_seconds / 60.0;
+
+        // 1. Batch-propagate every shell into the retained scratch buffer.
+        buffers.sat_states.clear();
+        for shell_propagators in &self.propagators {
+            propagate_all_minutes(
+                shell_propagators,
+                minutes,
+                &mut buffers.sat_states,
+                buffers.threads,
+            )?;
         }
 
-        let ground_positions: Vec<Cartesian> = self
-            .ground_stations
-            .iter()
-            .map(GroundStation::position_ecef)
-            .collect();
+        // 2. Shape the retained output state for this constellation. The
+        // `clone_from` calls are no-ops in the steady state (same
+        // constellation every epoch) but keep a reused buffer correct if a
+        // caller switches constellations.
+        let state = buffers.state.get_or_insert_with(|| ConstellationState {
+            time_seconds: t_seconds,
+            satellite_positions: Vec::new(),
+            ground_positions: Vec::new(),
+            active: Vec::new(),
+            links: Vec::new(),
+            graph: NetworkGraph::new(self.node_count()),
+            path_algorithm: self.path_algorithm,
+            shell_offsets: Vec::new(),
+            satellite_total: self.satellite_total,
+            ground_station_total: self.ground_stations.len(),
+        });
+        state.time_seconds = t_seconds;
+        state.path_algorithm = self.path_algorithm;
+        state.shell_offsets.clone_from(&self.shell_offsets);
+        state.satellite_total = self.satellite_total;
+        state.ground_station_total = self.ground_stations.len();
+        state.ground_positions.clone_from(&self.ground_ecef);
 
-        // Build links: ISLs per shell, then ground-station links.
-        let mut links = Vec::new();
+        // 3. Earth-fixed positions and bounding-box activity.
+        state.satellite_positions.clear();
+        state.active.clear();
+        for sat_state in &buffers.sat_states {
+            let ecef = eci_to_ecef(sat_state.position_eci, minutes);
+            state.active.push(self.bounding_box.contains(&ecef.to_geodetic()));
+            state.satellite_positions.push(ecef);
+        }
+
+        // 4. Links: ISLs per shell, then ground-station links.
+        state.links.clear();
         for (shell_idx, shell) in self.shells.iter().enumerate() {
             let offset = self.shell_offsets[shell_idx];
             for candidate in &self.isl_candidates[shell_idx] {
-                let a_pos = &satellite_positions[offset + candidate.a as usize];
-                let b_pos = &satellite_positions[offset + candidate.b as usize];
+                let a_pos = &state.satellite_positions[offset + candidate.a as usize];
+                let b_pos = &state.satellite_positions[offset + candidate.b as usize];
                 if isl_available(a_pos, b_pos, shell.atmosphere_cutoff_km) {
-                    links.push(Link::new(
+                    state.links.push(Link::new(
                         NodeId::satellite(shell_idx as u16, candidate.a),
                         NodeId::satellite(shell_idx as u16, candidate.b),
                         LinkKind::Isl,
@@ -176,15 +228,15 @@ impl Constellation {
         }
 
         for (gst_idx, gst) in self.ground_stations.iter().enumerate() {
-            let gst_pos = &ground_positions[gst_idx];
+            let gst_pos = &self.ground_ecef[gst_idx];
             for (shell_idx, shell) in self.shells.iter().enumerate() {
                 let min_elevation = gst.min_elevation_deg.unwrap_or(shell.min_elevation_deg);
                 let bandwidth = gst.bandwidth.unwrap_or(shell.ground_link_bandwidth);
                 let offset = self.shell_offsets[shell_idx];
                 for sat_idx in 0..shell.satellite_count() as usize {
-                    let sat_pos = &satellite_positions[offset + sat_idx];
+                    let sat_pos = &state.satellite_positions[offset + sat_idx];
                     if gst_pos.elevation_angle_deg(sat_pos) >= min_elevation {
-                        links.push(Link::new(
+                        state.links.push(Link::new(
                             NodeId::ground_station(gst_idx as u32),
                             NodeId::satellite(shell_idx as u16, sat_idx as u32),
                             LinkKind::GroundStationLink,
@@ -196,29 +248,92 @@ impl Constellation {
             }
         }
 
-        // Build the weighted graph in one bulk CSR construction. Each edge
-        // carries the link bandwidth so the coordinator's bottleneck walk
-        // reads it straight from the CSR arrays.
-        let mut edges = Vec::with_capacity(links.len());
-        for link in &links {
+        // 5. Rebuild the weighted CSR graph in place. Each edge carries the
+        // link bandwidth so the coordinator's bottleneck walk reads it
+        // straight from the CSR arrays.
+        buffers.edges.clear();
+        for link in &state.links {
             let a = self.node_index(link.a)? as u32;
             let b = self.node_index(link.b)? as u32;
-            edges.push((a, b, link.latency.as_micros(), link.bandwidth.as_bps()));
+            buffers
+                .edges
+                .push((a, b, link.latency.as_micros(), link.bandwidth.as_bps()));
         }
-        let graph = NetworkGraph::from_links(self.node_count(), edges);
+        state
+            .graph
+            .rebuild_from_links(self.node_count(), &mut buffers.edges);
+        Ok(())
+    }
+}
 
-        Ok(ConstellationState {
-            time_seconds: t_seconds,
-            satellite_positions,
-            ground_positions,
-            active,
-            links,
-            graph,
-            path_algorithm: self.path_algorithm,
-            shell_offsets: self.shell_offsets.clone(),
-            satellite_total: self.satellite_total,
-            ground_station_total: self.ground_stations.len(),
-        })
+/// Retained buffers for the epoch computation: the propagation scratch, the
+/// edge-list scratch and the output [`ConstellationState`] itself, all
+/// reused across [`Constellation::state_at_into`] calls so the steady state
+/// allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use celestial_constellation::{Constellation, Shell, StateBuffers};
+///
+/// let constellation = Constellation::builder()
+///     .shell(Shell::from_walker(celestial_sgp4::WalkerShell::new(550.0, 53.0, 2, 4)))
+///     .build()
+///     .unwrap();
+/// let mut buffers = StateBuffers::new();
+/// constellation.state_at_into(0.0, &mut buffers).unwrap();
+/// assert_eq!(buffers.state().unwrap().satellite_count(), 8);
+/// // The next epoch rebuilds the same retained state in place.
+/// constellation.state_at_into(60.0, &mut buffers).unwrap();
+/// assert_eq!(buffers.state().unwrap().time_seconds, 60.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct StateBuffers {
+    /// Propagated inertial satellite states (scratch, input order).
+    sat_states: Vec<SatelliteState>,
+    /// Edge-list scratch fed to the in-place CSR rebuild.
+    edges: Vec<(u32, u32, u64, u64)>,
+    /// The retained output state, `None` until the first computation.
+    state: Option<ConstellationState>,
+    /// Worker threads for the batch propagation fan-out.
+    threads: usize,
+}
+
+impl StateBuffers {
+    /// Creates empty buffers with as many propagation worker threads as the
+    /// machine offers.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Creates empty buffers with an explicit propagation worker-thread
+    /// count (1 propagates on the calling thread without spawning).
+    pub fn with_threads(threads: usize) -> Self {
+        StateBuffers {
+            sat_states: Vec::new(),
+            edges: Vec::new(),
+            state: None,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured propagation worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The retained state of the most recent successful
+    /// [`Constellation::state_at_into`] call.
+    pub fn state(&self) -> Option<&ConstellationState> {
+        self.state.as_ref()
+    }
+
+    /// Consumes the buffers, returning the retained state.
+    pub fn into_state(self) -> Option<ConstellationState> {
+        self.state
     }
 }
 
@@ -316,6 +431,13 @@ impl ConstellationBuilder {
             propagators.push(elements.into_iter().map(Propagator::new).collect());
             isl_candidates.push(plus_grid_candidates(shell));
         }
+        // Ground stations never move in the Earth-fixed frame: convert their
+        // geodetic positions once, here, instead of on every epoch.
+        let ground_ecef = self
+            .ground_stations
+            .iter()
+            .map(GroundStation::position_ecef)
+            .collect();
         Ok(Constellation {
             shells: self.shells,
             ground_stations: self.ground_stations,
@@ -325,13 +447,18 @@ impl ConstellationBuilder {
             isl_candidates,
             shell_offsets,
             satellite_total: offset,
+            ground_ecef,
         })
     }
 }
 
 /// The computed state of the constellation at one instant: positions, link
 /// availability, bounding-box activity and the network graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality is bit-exact (positions are compared as raw `f64`s), which is
+/// what the epoch pipeline's lockstep tests rely on: a pipelined run must be
+/// indistinguishable from a synchronous one.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct ConstellationState {
     /// The simulated time this state was computed for, in seconds.
     pub time_seconds: f64,
@@ -345,6 +472,39 @@ pub struct ConstellationState {
     shell_offsets: Vec<usize>,
     satellite_total: usize,
     ground_station_total: usize,
+}
+
+impl Clone for ConstellationState {
+    fn clone(&self) -> Self {
+        ConstellationState {
+            time_seconds: self.time_seconds,
+            satellite_positions: self.satellite_positions.clone(),
+            ground_positions: self.ground_positions.clone(),
+            active: self.active.clone(),
+            links: self.links.clone(),
+            graph: self.graph.clone(),
+            path_algorithm: self.path_algorithm,
+            shell_offsets: self.shell_offsets.clone(),
+            satellite_total: self.satellite_total,
+            ground_station_total: self.ground_station_total,
+        }
+    }
+
+    /// Field-wise `clone_from` so long-lived destinations (the coordinator
+    /// database, pipeline bundles) refresh their copy every epoch without
+    /// re-allocating the position, link and CSR buffers.
+    fn clone_from(&mut self, source: &Self) {
+        self.time_seconds = source.time_seconds;
+        self.satellite_positions.clone_from(&source.satellite_positions);
+        self.ground_positions.clone_from(&source.ground_positions);
+        self.active.clone_from(&source.active);
+        self.links.clone_from(&source.links);
+        self.graph.clone_from(&source.graph);
+        self.path_algorithm = source.path_algorithm;
+        self.shell_offsets.clone_from(&source.shell_offsets);
+        self.satellite_total = source.satellite_total;
+        self.ground_station_total = source.ground_station_total;
+    }
 }
 
 impl ConstellationState {
@@ -734,6 +894,60 @@ mod tests {
         let p1 = s1.position(sat).unwrap();
         // At 7.6 km/s a satellite moves hundreds of kilometres per minute.
         assert!(p0.distance_to(&p1) > 100.0);
+    }
+
+    #[test]
+    fn state_at_into_matches_state_at_bit_for_bit() {
+        let c = small_constellation();
+        let mut buffers = StateBuffers::with_threads(3);
+        for t in [0.0, 2.0, 119.5, 3600.0] {
+            c.state_at_into(t, &mut buffers).expect("state");
+            let fresh = c.state_at(t).expect("state");
+            assert_eq!(buffers.state().unwrap(), &fresh, "state diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn state_buffers_allocate_nothing_in_steady_state() {
+        let c = small_constellation();
+        let mut buffers = StateBuffers::with_threads(1);
+        // Warm up twice: the second epoch sizes every buffer to its
+        // steady-state footprint (link counts fluctuate slightly, so the
+        // first epoch alone may under-size the scratch).
+        c.state_at_into(0.0, &mut buffers).expect("state");
+        c.state_at_into(2.0, &mut buffers).expect("state");
+        let capacities = |b: &StateBuffers| {
+            let s = b.state.as_ref().unwrap();
+            (
+                b.sat_states.capacity(),
+                b.edges.capacity(),
+                s.satellite_positions.capacity(),
+                s.active.capacity(),
+                s.links.capacity(),
+            )
+        };
+        let warm = capacities(&buffers);
+        for step in 2..12 {
+            c.state_at_into(step as f64 * 2.0, &mut buffers).expect("state");
+        }
+        assert_eq!(capacities(&buffers), warm, "steady-state epochs re-allocated");
+    }
+
+    #[test]
+    fn ground_positions_are_cached_at_build_time() {
+        let c = small_constellation();
+        let s0 = c.state_at(0.0).unwrap();
+        let s1 = c.state_at(600.0).unwrap();
+        for gst in 0..2u32 {
+            let node = NodeId::ground_station(gst);
+            // Earth-fixed ground positions are time-invariant and match the
+            // station's own conversion.
+            assert_eq!(s0.position(node).unwrap(), s1.position(node).unwrap());
+            assert_eq!(
+                s0.position(node).unwrap(),
+                c.ground_stations()[gst as usize].position_ecef()
+            );
+        }
     }
 
     #[test]

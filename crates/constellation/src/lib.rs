@@ -53,7 +53,7 @@ pub mod shell;
 pub mod snapshot;
 
 pub use bbox::BoundingBox;
-pub use constellation::{Constellation, ConstellationBuilder, ConstellationState};
+pub use constellation::{Constellation, ConstellationBuilder, ConstellationState, StateBuffers};
 pub use engine::{PathEngine, SolveKind, SolveStats};
 pub use ground_station::GroundStation;
 pub use links::{Link, LinkKind};

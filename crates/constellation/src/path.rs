@@ -56,7 +56,7 @@ pub(crate) type DijkstraHeap = BinaryHeap<Reverse<(Cost, u32)>>;
 /// Self-loops are rejected and parallel edges are collapsed to the cheaper
 /// one (ties keep the wider bandwidth), so `edge_count` and the CSR degrees
 /// always reflect the distinct node pairs actually connected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkGraph {
     node_count: u32,
     /// Canonical edge list: `a < b`, sorted by `(a, b)`, no duplicates.
@@ -72,6 +72,33 @@ pub struct NetworkGraph {
     weights: Vec<Cost>,
     /// CSR edge bandwidths (bits per second), parallel to `targets`.
     bandwidths: Vec<u64>,
+}
+
+impl Clone for NetworkGraph {
+    fn clone(&self) -> Self {
+        NetworkGraph {
+            node_count: self.node_count,
+            edges: self.edges.clone(),
+            edge_bw: self.edge_bw.clone(),
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights: self.weights.clone(),
+            bandwidths: self.bandwidths.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so a long-lived destination (the coordinator
+    /// database's cached state, a pipeline bundle) reuses its allocations
+    /// every timestep instead of re-allocating the CSR arrays.
+    fn clone_from(&mut self, source: &Self) {
+        self.node_count = source.node_count;
+        self.edges.clone_from(&source.edges);
+        self.edge_bw.clone_from(&source.edge_bw);
+        self.offsets.clone_from(&source.offsets);
+        self.targets.clone_from(&source.targets);
+        self.weights.clone_from(&source.weights);
+        self.bandwidths.clone_from(&source.bandwidths);
+    }
 }
 
 impl NetworkGraph {
@@ -149,22 +176,45 @@ impl NetworkGraph {
         links: impl IntoIterator<Item = (u32, u32, Cost, u64)>,
     ) -> Self {
         let mut graph = NetworkGraph::new(node_count);
-        let n = graph.node_count;
-        let mut combined: Vec<(u32, u32, Cost, u64)> = links
-            .into_iter()
-            .map(|(a, b, cost, bw)| {
-                let (a, b, cost) = Self::canonical(n, a, b, cost);
-                (a, b, cost, bw)
-            })
-            .collect();
+        let mut combined: Vec<(u32, u32, Cost, u64)> = links.into_iter().collect();
+        graph.rebuild_from_links(node_count, &mut combined);
+        graph
+    }
+
+    /// Rebuilds this graph in place from a full link list, reusing every
+    /// internal buffer — the steady-state path of the constellation
+    /// calculation, which rebuilds the topology once per epoch without
+    /// allocating.
+    ///
+    /// `links` is caller-owned scratch: it is canonicalized, sorted and
+    /// deduplicated in place (cheapest parallel edge wins, ties keep the
+    /// widest bandwidth) and left in that canonical form, so the caller can
+    /// clear and refill it next epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is a self-loop or references a node out of range,
+    /// or if `node_count` does not fit the `u32` id space.
+    pub fn rebuild_from_links(
+        &mut self,
+        node_count: usize,
+        links: &mut Vec<(u32, u32, Cost, u64)>,
+    ) {
+        assert!((node_count as u64) < u64::from(u32::MAX), "too many nodes for u32 ids");
+        self.node_count = node_count as u32;
+        for entry in links.iter_mut() {
+            let (a, b, cost) = Self::canonical(self.node_count, entry.0, entry.1, entry.2);
+            *entry = (a, b, cost, entry.3);
+        }
         // Sort by (a, b, cost, widest-first) so that deduplication keeps the
         // cheapest parallel edge and, among equally cheap ones, the widest.
-        combined.sort_unstable_by_key(|&(a, b, cost, bw)| (a, b, cost, std::cmp::Reverse(bw)));
-        combined.dedup_by_key(|&mut (a, b, ..)| (a, b));
-        graph.edges = combined.iter().map(|&(a, b, cost, _)| (a, b, cost)).collect();
-        graph.edge_bw = combined.iter().map(|&(.., bw)| bw).collect();
-        graph.rebuild_csr();
-        graph
+        links.sort_unstable_by_key(|&(a, b, cost, bw)| (a, b, cost, std::cmp::Reverse(bw)));
+        links.dedup_by_key(|&mut (a, b, ..)| (a, b));
+        self.edges.clear();
+        self.edges.extend(links.iter().map(|&(a, b, cost, _)| (a, b, cost)));
+        self.edge_bw.clear();
+        self.edge_bw.extend(links.iter().map(|&(.., bw)| bw));
+        self.rebuild_csr();
     }
 
     /// Number of nodes in the graph.
@@ -263,19 +313,26 @@ impl NetworkGraph {
         self.weights.resize(2 * self.edges.len(), 0);
         self.bandwidths.clear();
         self.bandwidths.resize(2 * self.edges.len(), 0);
-        let mut cursor = self.offsets.clone();
+        // Scatter using `offsets` itself as the per-row cursor (no scratch
+        // allocation); afterwards `offsets[i]` holds the end of row `i`,
+        // which is exactly the start of row `i + 1` — one shift restores the
+        // offset array.
         for (&(a, b, w), &bw) in self.edges.iter().zip(&self.edge_bw) {
-            let slot_a = cursor[a as usize] as usize;
+            let slot_a = self.offsets[a as usize] as usize;
             self.targets[slot_a] = b;
             self.weights[slot_a] = w;
             self.bandwidths[slot_a] = bw;
-            cursor[a as usize] += 1;
-            let slot_b = cursor[b as usize] as usize;
+            self.offsets[a as usize] += 1;
+            let slot_b = self.offsets[b as usize] as usize;
             self.targets[slot_b] = a;
             self.weights[slot_b] = w;
             self.bandwidths[slot_b] = bw;
-            cursor[b as usize] += 1;
+            self.offsets[b as usize] += 1;
         }
+        for i in (1..=n).rev() {
+            self.offsets[i] = self.offsets[i - 1];
+        }
+        self.offsets[0] = 0;
     }
 
     /// The bandwidth (bits per second) of the direct edge between `a` and

@@ -7,6 +7,7 @@
 //! from the TOML subset parsed by [`crate::toml`], plus a builder API for
 //! constructing configurations programmatically.
 
+use crate::pipeline::PipelineMode;
 use crate::toml::{self, TableExt, TomlTable};
 use celestial_constellation::{BoundingBox, GroundStation, PathAlgorithm, Shell};
 use celestial_sgp4::WalkerShell;
@@ -54,6 +55,10 @@ pub struct TestbedConfig {
     pub bounding_box: BoundingBox,
     /// The shortest-path algorithm used for all-pairs computations.
     pub path_algorithm: PathAlgorithm,
+    /// How the coordinator schedules epoch computation: inline at each
+    /// boundary, or precomputed on a background worker (see
+    /// `docs/PIPELINE.md`).
+    pub pipeline: PipelineMode,
     /// The hosts the testbed runs on.
     pub hosts: Vec<HostConfig>,
     /// Whether suspended microVMs return their memory (virtio ballooning).
@@ -71,6 +76,7 @@ impl Default for TestbedConfig {
             ground_stations: Vec::new(),
             bounding_box: BoundingBox::whole_earth(),
             path_algorithm: PathAlgorithm::Dijkstra,
+            pipeline: PipelineMode::Synchronous,
             hosts: vec![HostConfig::default(); 3],
             ballooning: false,
         }
@@ -108,6 +114,22 @@ impl TestbedConfig {
                         .collect();
                     Error::config(format!(
                         "unknown path-algorithm {text:?}; expected one of {} (see docs/PATHS.md)",
+                        expected.join(", ")
+                    ))
+                })?;
+        }
+
+        if let Some(value) = table.get("pipeline") {
+            let text = value.as_str();
+            config.pipeline = text
+                .and_then(|t| PipelineMode::ALL.iter().find(|m| m.name() == t).copied())
+                .ok_or_else(|| {
+                    let expected: Vec<String> = PipelineMode::ALL
+                        .iter()
+                        .map(|m| format!("\"{}\"", m.name()))
+                        .collect();
+                    Error::config(format!(
+                        "unknown pipeline {text:?}; expected one of {} (see docs/PIPELINE.md)",
                         expected.join(", ")
                     ))
                 })?;
@@ -298,6 +320,12 @@ impl TestbedConfigBuilder {
         self
     }
 
+    /// Sets the epoch-pipeline mode.
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.config.pipeline = mode;
+        self
+    }
+
     /// Sets the host fleet.
     pub fn hosts(mut self, hosts: Vec<HostConfig>) -> Self {
         self.config.hosts = hosts;
@@ -414,6 +442,29 @@ min-elevation-deg = 30.0
             let config = TestbedConfig::from_toml(&toml).expect("valid config");
             assert_eq!(config.path_algorithm, expected);
         }
+    }
+
+    #[test]
+    fn pipeline_modes_parse_and_default_to_synchronous() {
+        for (text, expected) in [
+            ("synchronous", PipelineMode::Synchronous),
+            ("pipelined", PipelineMode::Pipelined),
+        ] {
+            let toml = format!(
+                "pipeline = \"{text}\"\n[[shell]]\naltitude-km = 550.0\n\
+                 inclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2"
+            );
+            let config = TestbedConfig::from_toml(&toml).expect("valid config");
+            assert_eq!(config.pipeline, expected);
+        }
+        let bare = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 1\nsatellites-per-plane = 2";
+        let config = TestbedConfig::from_toml(bare).expect("valid config");
+        assert_eq!(config.pipeline, PipelineMode::Synchronous);
+        let bad = "pipeline = \"speculative\"\n[[shell]]\naltitude-km = 550.0\n\
+                   inclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2";
+        let err = TestbedConfig::from_toml(bad).unwrap_err();
+        assert!(err.to_string().contains("pipeline"), "{err}");
     }
 
     #[test]

@@ -6,48 +6,82 @@
 //! states, and derives the per-pair network programming that the machine
 //! managers on each host apply — as a [`ProgrammeDelta`] of only the rules
 //! that actually changed (see `docs/NETPROG.md`).
+//!
+//! The epoch computation itself lives in [`crate::pipeline`]: the
+//! coordinator owns an [`EpochPipeline`] and only *applies* the bundles it
+//! hands over. In [`PipelineMode::Pipelined`] the next epoch is precomputed
+//! on a background worker while the testbed plays the current epoch's
+//! events — the paper's core overlap trick (see `docs/PIPELINE.md`).
 
-use crate::database::{InfoDatabase, ProgrammeStats};
-use crate::netprog::ProgrammeStore;
-use celestial_constellation::{
-    Constellation, ConstellationDiff, ConstellationSnapshot, LinkKind, PathEngine, SolveStats,
-};
+use crate::database::{InfoDatabase, PipelineReport, ProgrammeStats};
+use crate::pipeline::{EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
+use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, SolveKind, SolveStats};
 use celestial_netem::ProgrammeDelta;
 pub use celestial_netem::PairProgram;
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimDuration;
-use celestial_types::Result;
+use celestial_types::{Bandwidth, Latency, Result};
+use std::collections::BTreeMap;
 
 /// The central coordinator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Coordinator {
+    /// The coordinator's own (immutable) copy of the constellation for
+    /// accessors; the pipeline's computation owns another.
     constellation: Constellation,
     update_interval: SimDuration,
     database: InfoDatabase,
-    previous: Option<ConstellationSnapshot>,
-    engine: PathEngine,
-    programme: ProgrammeStore,
-    sources: Vec<u32>,
+    pipeline: EpochPipeline,
+    /// The change set of the most recent update.
+    delta: ProgrammeDelta,
+    /// The full programme, maintained by replaying each epoch's delta —
+    /// `O(delta)` per update, so the pipelined mode never has to ship the
+    /// full pair table across the worker boundary.
+    programme: BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>,
+    last_solve: SolveStats,
     updates: u64,
 }
 
 impl Coordinator {
     /// Creates a coordinator for the given constellation with the given
-    /// update interval.
+    /// update interval, computing epochs synchronously at each boundary.
     pub fn new(constellation: Constellation, update_interval: SimDuration) -> Self {
+        Self::with_mode(constellation, update_interval, PipelineMode::Synchronous)
+    }
+
+    /// Creates a coordinator with an explicit epoch-pipeline mode.
+    /// [`PipelineMode::Pipelined`] precomputes the next epoch on a
+    /// background worker between updates; results are bit-identical to
+    /// [`PipelineMode::Synchronous`] as long as updates follow the
+    /// `update_interval` cadence (and remain correct—composed—off cadence).
+    pub fn with_mode(
+        constellation: Constellation,
+        update_interval: SimDuration,
+        mode: PipelineMode,
+    ) -> Self {
         let database = InfoDatabase::new(
             constellation.shells().to_vec(),
             constellation.ground_stations().to_vec(),
         );
-        let engine = PathEngine::new(constellation.path_algorithm());
+        let pipeline = EpochPipeline::new(
+            EpochCompute::new(constellation.clone()),
+            mode,
+            update_interval,
+        );
         Coordinator {
             constellation,
             update_interval,
             database,
-            previous: None,
-            engine,
-            programme: ProgrammeStore::new(),
-            sources: Vec::new(),
+            pipeline,
+            delta: ProgrammeDelta::default(),
+            programme: BTreeMap::new(),
+            last_solve: SolveStats {
+                kind: SolveKind::FullDijkstra,
+                solved_sources: 0,
+                reused_sources: 0,
+                edges_added: 0,
+                edges_removed: 0,
+            },
             updates: 0,
         }
     }
@@ -72,65 +106,73 @@ impl Coordinator {
         self.updates
     }
 
+    /// The epoch-pipeline mode this coordinator runs with.
+    pub fn pipeline_mode(&self) -> PipelineMode {
+        self.pipeline.mode()
+    }
+
+    /// Runtime statistics of the epoch pipeline (handover wait, precompute
+    /// lead, mispredictions).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
     /// Runs one constellation update at `t_seconds` of simulated time and
     /// returns the change set relative to the previous update.
     ///
-    /// Besides refreshing the database and the path matrix, this runs one
-    /// epoch of the network-programming engine: the per-pair programme is
-    /// recomputed over every pair of programmable nodes and diffed against
-    /// the previous epoch into the [`ProgrammeDelta`] available from
-    /// [`Coordinator::programme_delta`].
+    /// The heavy lifting — propagation, path solve, programme delta — is the
+    /// pipeline's: in pipelined mode this call usually just receives an
+    /// already finished bundle and applies it (database refresh, programme
+    /// replay, stats). The per-update `tc` change set is available from
+    /// [`Coordinator::programme_delta`] afterwards.
     ///
     /// # Errors
     ///
-    /// Returns an error if the orbital propagation fails.
+    /// Returns an error if the orbital propagation fails or the pipeline
+    /// worker died.
     pub fn update(&mut self, t_seconds: f64) -> Result<ConstellationDiff> {
-        let state = self.constellation.state_at(t_seconds)?;
-        let snapshot = ConstellationSnapshot::from_state(&state);
-        let diff = match &self.previous {
-            Some(previous) => previous.diff(&snapshot),
-            None => ConstellationSnapshot::default().diff(&snapshot),
-        };
-        self.previous = Some(snapshot);
+        let mut bundle = self.pipeline.advance(t_seconds)?;
 
-        // Solve shortest paths for the rows the coordinator actually needs:
-        // every active satellite and every ground station. Suspended
-        // satellites carry traffic *on* paths but never originate a
-        // programmed pair or an info-API query of their own hot path, so
-        // their rows are skipped (the database falls back to a one-shot
-        // Dijkstra for them). Node indices put satellites before ground
-        // stations and `active_satellites` ascends, so `sources` is strictly
-        // ascending — the order the programme store requires.
-        self.sources.clear();
-        for sat in state.active_satellites() {
-            self.sources.push(state.node_index(NodeId::Satellite(sat))? as u32);
+        // Install state and path matrix into the database's retained
+        // buffers: no allocation in steady state.
+        self.database.update_from(&bundle.state);
+        self.database.set_paths_from(&bundle.paths);
+
+        // Replay the delta onto the full-programme mirror.
+        for pair in bundle.delta.added.iter().chain(&bundle.delta.changed) {
+            self.programme
+                .insert((pair.a, pair.b), (pair.latency, pair.bandwidth));
         }
-        for gst in 0..state.ground_station_count() as u32 {
-            self.sources.push(state.node_index(NodeId::ground_station(gst))? as u32);
+        for pair in &bundle.delta.removed {
+            self.programme.remove(pair);
         }
-        self.engine.solve_sources(state.graph(), &self.sources);
-        self.database.update(state);
-        let paths = self.engine.paths().expect("paths were just solved");
-        // Copies into the database's retained buffer: no allocation in
-        // steady state.
-        self.database.set_paths_from(paths);
-        let delta_ops = {
-            let state = self.database.state().expect("state was just installed");
-            self.programme.update_epoch(state, paths, &self.sources).op_count()
-        };
+        debug_assert_eq!(
+            self.programme.len(),
+            bundle.programme_pairs,
+            "programme mirror diverged from the store"
+        );
+
+        self.delta.clone_from(&bundle.delta);
+        self.last_solve = bundle.solve;
         self.updates += 1;
         self.database.set_programme_stats(ProgrammeStats {
-            epoch: self.programme.epoch(),
-            pairs: self.programme.pair_count(),
-            delta_ops,
+            epoch: bundle.programme_epoch,
+            pairs: bundle.programme_pairs,
+            delta_ops: bundle.delta.op_count(),
         });
+        self.database.set_pipeline_report(PipelineReport {
+            stats: self.pipeline.stats(),
+        });
+
+        let diff = std::mem::take(&mut bundle.diff);
+        self.pipeline.recycle(bundle);
         Ok(diff)
     }
 
     /// Statistics about the most recent shortest-path solve (how many source
     /// rows were re-solved vs. reused incrementally).
     pub fn last_path_solve(&self) -> SolveStats {
-        self.engine.last_solve()
+        self.last_solve
     }
 
     /// The change set produced by the most recent update: exactly the `tc`
@@ -138,13 +180,13 @@ impl Coordinator {
     /// before the first update (and on steady-state updates that moved no
     /// pair across the 0.1 ms quantization threshold).
     pub fn programme_delta(&self) -> &ProgrammeDelta {
-        self.programme.delta()
+        &self.delta
     }
 
     /// Number of pairs currently programmed (the full-programme size a
     /// non-incremental coordinator would rewrite every update).
     pub fn programme_pair_count(&self) -> usize {
-        self.programme.pair_count()
+        self.programme.len()
     }
 
     /// The full per-pair network programme of the current state: the
@@ -154,31 +196,29 @@ impl Coordinator {
     /// the bounding box carry traffic on paths but host no workloads, so
     /// pairs ending at them need no programming).
     ///
-    /// This enumerates the engine's retained dense buffer in canonical pair
-    /// order; the per-update change set is [`Coordinator::programme_delta`].
-    /// Reachable pairs always carry the finite bottleneck bandwidth of a
-    /// fully resolved path — a broken predecessor chain makes the pair
-    /// unreachable rather than uncapped.
+    /// This enumerates the coordinator's delta-replayed mirror in canonical
+    /// pair order; the per-update change set is
+    /// [`Coordinator::programme_delta`]. Reachable pairs always carry the
+    /// finite bottleneck bandwidth of a fully resolved path — a broken
+    /// predecessor chain makes the pair unreachable rather than uncapped.
     ///
     /// # Errors
     ///
     /// Returns an error if no update has happened yet.
     pub fn network_programme(&self) -> Result<Vec<PairProgram>> {
-        let state = self
-            .database
-            .state()
-            .ok_or_else(|| celestial_types::Error::InfoApi("no update yet".to_owned()))?;
-        self.programme
+        if self.updates == 0 {
+            return Err(celestial_types::Error::InfoApi("no update yet".to_owned()));
+        }
+        Ok(self
+            .programme
             .iter()
-            .map(|(a, b, latency, bandwidth)| {
-                Ok(PairProgram {
-                    a: state.node_id(a)?,
-                    b: state.node_id(b)?,
-                    latency,
-                    bandwidth,
-                })
+            .map(|(&(a, b), &(latency, bandwidth))| PairProgram {
+                a,
+                b,
+                latency,
+                bandwidth,
             })
-            .collect()
+            .collect())
     }
 
     /// The number of ground-station links currently available, useful for

@@ -5,6 +5,7 @@
 //! Calculation on every tick; the per-host HTTP servers answer application
 //! queries from it (§3.2). [`InfoDatabase`] is that database.
 
+use crate::pipeline::PipelineStats;
 use celestial_constellation::{ConstellationState, GroundStation, Shell, ShortestPaths};
 use celestial_types::geo::Geodetic;
 use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
@@ -24,6 +25,15 @@ pub struct ProgrammeStats {
     pub delta_ops: usize,
 }
 
+/// Summary of the epoch pipeline's behaviour, recorded by the coordinator
+/// after every update and surfaced through the `/info` route (`pipeline*`
+/// fields): mode, boundary handover wait and precompute lead time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// The pipeline's runtime statistics at the most recent update.
+    pub stats: PipelineStats,
+}
+
 /// The central database behind the info API.
 #[derive(Debug, Clone)]
 pub struct InfoDatabase {
@@ -36,6 +46,7 @@ pub struct InfoDatabase {
     /// refill it without re-allocating.
     paths_valid: bool,
     programme_stats: Option<ProgrammeStats>,
+    pipeline_report: Option<PipelineReport>,
 }
 
 impl InfoDatabase {
@@ -48,6 +59,7 @@ impl InfoDatabase {
             paths: None,
             paths_valid: false,
             programme_stats: None,
+            pipeline_report: None,
         }
     }
 
@@ -57,6 +69,17 @@ impl InfoDatabase {
     /// state.
     pub fn update(&mut self, state: ConstellationState) {
         self.state = Some(state);
+        self.paths_valid = false;
+    }
+
+    /// Like [`InfoDatabase::update`], but copies into the retained state of
+    /// the previous timestep — after the first update this allocates nothing
+    /// in steady state (the path the epoch pipeline's handover uses).
+    pub fn update_from(&mut self, state: &ConstellationState) {
+        match &mut self.state {
+            Some(existing) => existing.clone_from(state),
+            None => self.state = Some(state.clone()),
+        }
         self.paths_valid = false;
     }
 
@@ -98,6 +121,16 @@ impl InfoDatabase {
     /// The network-programming summary of the latest update, if any.
     pub fn programme_stats(&self) -> Option<ProgrammeStats> {
         self.programme_stats
+    }
+
+    /// Records the epoch pipeline's behaviour at the latest update.
+    pub fn set_pipeline_report(&mut self, report: PipelineReport) {
+        self.pipeline_report = Some(report);
+    }
+
+    /// The epoch pipeline's behaviour at the latest update, if any.
+    pub fn pipeline_report(&self) -> Option<PipelineReport> {
+        self.pipeline_report
     }
 
     /// The latest constellation state, if an update has happened.

@@ -96,6 +96,19 @@ impl<'a> InfoApi<'a> {
                 "path_algorithm": self.database.state().map(|s| s.path_algorithm().name().to_owned()),
                 "programmed_pairs": self.database.programme_stats().map(|s| s.pairs),
                 "programme_delta_ops": self.database.programme_stats().map(|s| s.delta_ops),
+                "pipeline": self.database.pipeline_report().map(|r| r.stats.mode.name()),
+                "pipeline_handover_wait_ms": self
+                    .database
+                    .pipeline_report()
+                    .map(|r| r.stats.last_wait_ns as f64 / 1e6),
+                "pipeline_lead_ms": self
+                    .database
+                    .pipeline_report()
+                    .map(|r| r.stats.last_lead_ns as f64 / 1e6),
+                "pipeline_precomputed_handovers": self
+                    .database
+                    .pipeline_report()
+                    .map(|r| r.stats.precomputed),
             })),
             InfoRequest::Shell(shell) => {
                 let s = self

@@ -17,6 +17,10 @@
 //!   HTTP-style info API exposed to emulated machines,
 //! * [`netprog`] — the delta-based network-programming engine (retained
 //!   per-pair programme, per-epoch `{added, changed, removed}` change sets),
+//! * [`pipeline`] — the pipelined epoch engine: the next constellation epoch
+//!   is precomputed on a background worker while the current epoch's events
+//!   play, with a synchronous mode and a bit-for-bit determinism guarantee
+//!   (see `docs/PIPELINE.md`),
 //! * [`estimator`] — the resource estimator and cloud cost model,
 //! * [`testbed`] — the high-level façade that runs guest applications over
 //!   the emulated constellation in virtual time.
@@ -66,6 +70,7 @@ pub mod info_api;
 pub mod ipam;
 pub mod machine_manager;
 pub mod netprog;
+pub mod pipeline;
 pub mod testbed;
 pub mod toml;
 
@@ -74,4 +79,5 @@ pub use coordinator::Coordinator;
 pub use database::InfoDatabase;
 pub use estimator::{CostModel, ResourceEstimator};
 pub use machine_manager::MachineManager;
+pub use pipeline::{EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
 pub use testbed::{AppContext, GuestApplication, Testbed};

@@ -259,9 +259,10 @@ impl Testbed {
             config.ground_stations.iter().map(|g| g.name.clone()).collect(),
         );
 
-        let coordinator = Coordinator::new(
+        let coordinator = Coordinator::with_mode(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),
+            config.pipeline,
         );
 
         let model = FirecrackerModel {

@@ -39,7 +39,7 @@ pub struct PairProgram {
 /// A pair lands in `changed` only if its quantized latency or its bottleneck
 /// bandwidth actually differs from the previous epoch — sub-quantum latency
 /// drift is invisible by design (the paper's update contract).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProgrammeDelta {
     /// The update epoch this delta leads to (1 for the first update).
     pub epoch: u64,
@@ -50,6 +50,27 @@ pub struct ProgrammeDelta {
     pub changed: Vec<PairProgram>,
     /// Pairs that became unreachable; their rules must be torn down.
     pub removed: Vec<(NodeId, NodeId)>,
+}
+
+impl Clone for ProgrammeDelta {
+    fn clone(&self) -> Self {
+        ProgrammeDelta {
+            epoch: self.epoch,
+            added: self.added.clone(),
+            changed: self.changed.clone(),
+            removed: self.removed.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so a retained destination (an epoch-pipeline
+    /// bundle that is recycled every update) refreshes its copy without
+    /// re-allocating the change-set vectors.
+    fn clone_from(&mut self, source: &Self) {
+        self.epoch = source.epoch;
+        self.added.clone_from(&source.added);
+        self.changed.clone_from(&source.changed);
+        self.removed.clone_from(&source.removed);
+    }
 }
 
 impl ProgrammeDelta {

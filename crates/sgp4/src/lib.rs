@@ -44,6 +44,6 @@ pub mod tle;
 pub mod walker;
 
 pub use elements::OrbitalElements;
-pub use propagator::{Propagator, SatelliteState};
+pub use propagator::{propagate_all_minutes, Propagator, SatelliteState};
 pub use tle::Tle;
 pub use walker::WalkerShell;

@@ -192,6 +192,91 @@ impl Propagator {
     }
 }
 
+/// Below this batch size the scoped-thread fan-out costs more than it saves
+/// and [`propagate_all_minutes`] propagates on the calling thread.
+const MIN_PARALLEL_BATCH: usize = 64;
+
+/// Propagates a whole batch of satellites to the same instant, appending one
+/// [`SatelliteState`] per propagator to `out` in input order.
+///
+/// This is the bulk entry point the constellation calculation uses at every
+/// epoch: `out` is a caller-owned buffer that is reused across epochs (only
+/// its length changes, so a steady-state caller allocates nothing), and the
+/// batch is fanned out over at most `threads` scoped worker threads
+/// (`std::thread::scope`; `threads <= 1` or a small batch propagates on the
+/// calling thread). Results are bit-identical regardless of the thread
+/// count: each worker writes disjoint slots of the output slice.
+///
+/// # Errors
+///
+/// Returns the first propagation error in input order; `out` keeps its new
+/// length but the slots after a failed satellite are unspecified, so callers
+/// must treat the buffer as garbage on error.
+///
+/// # Examples
+///
+/// ```
+/// use celestial_sgp4::{propagate_all_minutes, Propagator, WalkerShell};
+///
+/// let props: Vec<Propagator> = WalkerShell::new(550.0, 53.0, 2, 4)
+///     .satellite_elements()
+///     .into_iter()
+///     .map(Propagator::new)
+///     .collect();
+/// let mut states = Vec::new();
+/// propagate_all_minutes(&props, 10.0, &mut states, 4).unwrap();
+/// assert_eq!(states.len(), 8);
+/// // The batch result matches the per-satellite API exactly.
+/// assert_eq!(states[3], props[3].propagate_minutes(10.0).unwrap());
+/// ```
+pub fn propagate_all_minutes(
+    propagators: &[Propagator],
+    minutes: f64,
+    out: &mut Vec<SatelliteState>,
+    threads: usize,
+) -> Result<()> {
+    let start = out.len();
+    let filler = SatelliteState {
+        position_eci: Cartesian::new(0.0, 0.0, 0.0),
+        velocity_eci: Cartesian::new(0.0, 0.0, 0.0),
+    };
+    out.resize(start + propagators.len(), filler);
+    let slots = &mut out[start..];
+
+    let workers = threads.min(propagators.len()).max(1);
+    if workers <= 1 || propagators.len() < MIN_PARALLEL_BATCH {
+        for (propagator, slot) in propagators.iter().zip(slots.iter_mut()) {
+            *slot = propagator.propagate_minutes(minutes)?;
+        }
+        return Ok(());
+    }
+
+    let per_worker = propagators.len().div_ceil(workers);
+    let mut outcomes: Vec<Result<()>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = propagators
+            .chunks(per_worker)
+            .zip(slots.chunks_mut(per_worker))
+            .map(|(chunk, chunk_out)| {
+                scope.spawn(move || -> Result<()> {
+                    for (propagator, slot) in chunk.iter().zip(chunk_out.iter_mut()) {
+                        *slot = propagator.propagate_minutes(minutes)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        outcomes.extend(
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("propagation worker panicked")),
+        );
+    });
+    // Chunks are in input order, so the first failure reported is the first
+    // failing satellite — the same error the serial loop would return.
+    outcomes.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +384,53 @@ mod tests {
         let prop = Propagator::new(elements);
         let result = prop.propagate_minutes(3_000.0);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn batch_propagation_matches_the_serial_api_for_any_thread_count() {
+        use crate::walker::WalkerShell;
+        // Above MIN_PARALLEL_BATCH so the scoped fan-out actually runs.
+        let props: Vec<Propagator> = WalkerShell::new(550.0, 53.0, 8, 12)
+            .satellite_elements()
+            .into_iter()
+            .map(Propagator::new)
+            .collect();
+        let serial: Vec<SatelliteState> = props
+            .iter()
+            .map(|p| p.propagate_minutes(17.5).unwrap())
+            .collect();
+        for threads in [1, 2, 3, 7] {
+            let mut batch = Vec::new();
+            propagate_all_minutes(&props, 17.5, &mut batch, threads).unwrap();
+            assert_eq!(batch, serial, "thread count {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_propagation_appends_and_reuses_the_buffer() {
+        let props = vec![Propagator::new(starlink_elements())];
+        let mut out = Vec::new();
+        propagate_all_minutes(&props, 1.0, &mut out, 2).unwrap();
+        propagate_all_minutes(&props, 2.0, &mut out, 2).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], props[0].propagate_minutes(1.0).unwrap());
+        assert_eq!(out[1], props[0].propagate_minutes(2.0).unwrap());
+        // Steady-state reuse: clearing keeps the capacity.
+        let capacity = out.capacity();
+        out.clear();
+        propagate_all_minutes(&props, 3.0, &mut out, 2).unwrap();
+        assert_eq!(out.capacity(), capacity);
+    }
+
+    #[test]
+    fn batch_propagation_reports_decayed_orbits() {
+        let mut elements = OrbitalElements::circular("decaying", 200.0, 53.0, 0.0, 0.0);
+        elements.mean_motion_dot = -4.0;
+        let props: Vec<Propagator> = (0..100)
+            .map(|_| Propagator::new(elements.clone()))
+            .collect();
+        let mut out = Vec::new();
+        assert!(propagate_all_minutes(&props, 3_000.0, &mut out, 4).is_err());
     }
 
     #[test]
