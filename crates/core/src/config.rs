@@ -59,6 +59,16 @@ pub struct TestbedConfig {
     /// boundary, or precomputed on a background worker (see
     /// `docs/PIPELINE.md`).
     pub pipeline: PipelineMode,
+    /// When set, the network programme is sharded per host: the coordinator
+    /// partitions every update into one per-host change set and the
+    /// emulation applies all shards in parallel, exactly one shard per host
+    /// (so the value must equal the host count; see `docs/SHARDING.md`).
+    /// `None` keeps the classic single global rule table.
+    pub shards: Option<u32>,
+    /// Default one-way latency between hosts in microseconds (the measured
+    /// WireGuard overlay latency the compensation subtracts). `None` keeps
+    /// the paper's 0.2 ms figure.
+    pub host_latency_us: Option<u64>,
     /// The hosts the testbed runs on.
     pub hosts: Vec<HostConfig>,
     /// Whether suspended microVMs return their memory (virtio ballooning).
@@ -77,6 +87,8 @@ impl Default for TestbedConfig {
             bounding_box: BoundingBox::whole_earth(),
             path_algorithm: PathAlgorithm::Dijkstra,
             pipeline: PipelineMode::Synchronous,
+            shards: None,
+            host_latency_us: None,
             hosts: vec![HostConfig::default(); 3],
             ballooning: false,
         }
@@ -135,6 +147,22 @@ impl TestbedConfig {
                 })?;
         }
 
+        if let Some(shards) = table.get_i64("shards") {
+            if shards < 1 {
+                return Err(Error::config("shards must be at least 1 (see docs/SHARDING.md)"));
+            }
+            config.shards = Some(shards as u32);
+            // `shards = N` alone provisions N default hosts; explicit
+            // `[[host]]` tables must agree with it (validated below).
+            config.hosts = vec![HostConfig::default(); shards as usize];
+        }
+        if let Some(us) = table.get_i64("host-latency-us") {
+            if us < 0 {
+                return Err(Error::config("host-latency-us must be non-negative"));
+            }
+            config.host_latency_us = Some(us as u64);
+        }
+
         if let Some(bbox) = table.get("bounding-box").and_then(|v| v.as_table()) {
             config.bounding_box = BoundingBox::new(
                 bbox.require_f64("lat-min")?,
@@ -186,6 +214,18 @@ impl TestbedConfig {
         }
         if self.hosts.is_empty() {
             return Err(Error::config("at least one host is required"));
+        }
+        if let Some(shards) = self.shards {
+            if shards < 1 {
+                return Err(Error::config("shards must be at least 1 (see docs/SHARDING.md)"));
+            }
+            if shards as usize != self.hosts.len() {
+                return Err(Error::config(format!(
+                    "shards = {shards} but {} hosts are configured; the sharded plane \
+                     runs exactly one shard per host (see docs/SHARDING.md)",
+                    self.hosts.len()
+                )));
+            }
         }
         let mut names = std::collections::BTreeSet::new();
         for gst in &self.ground_stations {
@@ -323,6 +363,23 @@ impl TestbedConfigBuilder {
     /// Sets the epoch-pipeline mode.
     pub fn pipeline(mut self, mode: PipelineMode) -> Self {
         self.config.pipeline = mode;
+        self
+    }
+
+    /// Enables the host-sharded programming plane with one shard per host,
+    /// provisioning `shards` default hosts unless an explicit host fleet of
+    /// the same size is set (see `docs/SHARDING.md`).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.config.shards = Some(shards);
+        if self.config.hosts.len() != shards as usize {
+            self.config.hosts = vec![HostConfig::default(); shards as usize];
+        }
+        self
+    }
+
+    /// Sets the default one-way inter-host latency in microseconds.
+    pub fn host_latency_us(mut self, us: u64) -> Self {
+        self.config.host_latency_us = Some(us);
         self
     }
 
@@ -465,6 +522,50 @@ min-elevation-deg = 30.0
                    inclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2";
         let err = TestbedConfig::from_toml(bad).unwrap_err();
         assert!(err.to_string().contains("pipeline"), "{err}");
+    }
+
+    #[test]
+    fn shards_key_provisions_one_host_per_shard() {
+        let toml = "shards = 4\nhost-latency-us = 350\n[[shell]]\naltitude-km = 550.0\n\
+                    inclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2";
+        let config = TestbedConfig::from_toml(toml).expect("valid config");
+        assert_eq!(config.shards, Some(4));
+        assert_eq!(config.hosts.len(), 4);
+        assert_eq!(config.host_latency_us, Some(350));
+        // Absent key: global plane, default host fleet, paper's 0.2 ms.
+        let bare = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 1\nsatellites-per-plane = 2";
+        let config = TestbedConfig::from_toml(bare).expect("valid config");
+        assert_eq!(config.shards, None);
+        assert_eq!(config.host_latency_us, None);
+    }
+
+    #[test]
+    fn shards_must_match_an_explicit_host_fleet() {
+        let toml = "shards = 4\n[[host]]\ncores = 8\nmemory-mib = 8192\n[[shell]]\n\
+                    altitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\n\
+                    satellites-per-plane = 2";
+        let err = TestbedConfig::from_toml(toml).unwrap_err();
+        assert!(err.to_string().contains("one shard per host"), "{err}");
+        let zero = "shards = 0\n[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 1\nsatellites-per-plane = 2";
+        assert!(TestbedConfig::from_toml(zero).is_err());
+        // Builder: shards resizes a default fleet, and an agreeing explicit
+        // fleet is kept.
+        let config = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .hosts(vec![HostConfig { cores: 8, memory_mib: 4096 }; 2])
+            .shards(2)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.hosts.len(), 2);
+        assert_eq!(config.hosts[0].cores, 8, "explicit fleet kept");
+        let config = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .shards(5)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.hosts.len(), 5);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! events — the paper's core overlap trick (see `docs/PIPELINE.md`).
 
 use crate::database::{InfoDatabase, PipelineReport, ProgrammeStats};
-use crate::pipeline::{EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
+use crate::pipeline::{clone_deltas_into, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
 use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, SolveKind, SolveStats};
-use celestial_netem::ProgrammeDelta;
+use celestial_netem::{ProgrammeDelta, ShardApplyReport, ShardPlan};
 pub use celestial_netem::PairProgram;
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimDuration;
@@ -34,6 +34,10 @@ pub struct Coordinator {
     pipeline: EpochPipeline,
     /// The change set of the most recent update.
     delta: ProgrammeDelta,
+    /// The host-sharding plan, when the programme is partitioned per host.
+    shard_plan: Option<ShardPlan>,
+    /// The per-host partition of `delta` (empty without a shard plan).
+    host_deltas: Vec<ProgrammeDelta>,
     /// The full programme, maintained by replaying each epoch's delta —
     /// `O(delta)` per update, so the pipelined mode never has to ship the
     /// full pair table across the worker boundary.
@@ -59,21 +63,35 @@ impl Coordinator {
         update_interval: SimDuration,
         mode: PipelineMode,
     ) -> Self {
+        Self::with_options(constellation, update_interval, mode, None)
+    }
+
+    /// Creates a coordinator with an explicit pipeline mode and an optional
+    /// host-sharding plan. With a plan, every update additionally partitions
+    /// the programme delta into one per-host change set
+    /// ([`Coordinator::host_deltas`]), the slices each host's machine
+    /// manager applies locally (see `docs/SHARDING.md`).
+    pub fn with_options(
+        constellation: Constellation,
+        update_interval: SimDuration,
+        mode: PipelineMode,
+        shard_plan: Option<ShardPlan>,
+    ) -> Self {
         let database = InfoDatabase::new(
             constellation.shells().to_vec(),
             constellation.ground_stations().to_vec(),
         );
-        let pipeline = EpochPipeline::new(
-            EpochCompute::new(constellation.clone()),
-            mode,
-            update_interval,
-        );
+        let mut compute = EpochCompute::new(constellation.clone());
+        compute.set_shard_plan(shard_plan);
+        let pipeline = EpochPipeline::new(compute, mode, update_interval);
         Coordinator {
             constellation,
             update_interval,
             database,
             pipeline,
             delta: ProgrammeDelta::default(),
+            shard_plan,
+            host_deltas: Vec::new(),
             programme: BTreeMap::new(),
             last_solve: SolveStats {
                 kind: SolveKind::FullDijkstra,
@@ -109,6 +127,26 @@ impl Coordinator {
     /// The epoch-pipeline mode this coordinator runs with.
     pub fn pipeline_mode(&self) -> PipelineMode {
         self.pipeline.mode()
+    }
+
+    /// The host-sharding plan, if the programme is partitioned per host.
+    pub fn shard_plan(&self) -> Option<ShardPlan> {
+        self.shard_plan
+    }
+
+    /// The per-host partition of the most recent update's change set,
+    /// indexed by host. Empty without a shard plan. Cross-host pairs appear
+    /// in both endpoint slices; the union of all slices is exactly
+    /// [`Coordinator::programme_delta`].
+    pub fn host_deltas(&self) -> &[ProgrammeDelta] {
+        &self.host_deltas
+    }
+
+    /// Records what applying the sharded programme actually cost (per-shard
+    /// apply times and the parallel wall time), surfacing it through the
+    /// `/info` route. Called by the testbed after each parallel apply.
+    pub fn record_shard_apply(&mut self, report: &ShardApplyReport) {
+        self.database.set_shard_apply(&report.shard_ns, report.wall_ns);
     }
 
     /// Runtime statistics of the epoch pipeline (handover wait, precompute
@@ -153,6 +191,10 @@ impl Coordinator {
         );
 
         self.delta.clone_from(&bundle.delta);
+        clone_deltas_into(&mut self.host_deltas, &bundle.host_deltas);
+        if self.shard_plan.is_some() {
+            self.database.set_shard_pairs(&bundle.shard_pairs);
+        }
         self.last_solve = bundle.solve;
         self.updates += 1;
         self.database.set_programme_stats(ProgrammeStats {

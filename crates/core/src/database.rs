@@ -34,6 +34,21 @@ pub struct PipelineReport {
     pub stats: PipelineStats,
 }
 
+/// Summary of the host-sharded programming plane, surfaced through the
+/// `/info` route (`shard*` fields): how many pairs each shard owns and what
+/// the most recent parallel apply cost per host. See `docs/SHARDING.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardReport {
+    /// Number of pairs owned by each shard, indexed by host (cross-host
+    /// pairs are mirrored and count in both endpoint shards).
+    pub pairs: Vec<usize>,
+    /// Per-shard apply time of the most recent epoch in nanoseconds,
+    /// indexed by host. Empty until the first apply is recorded.
+    pub apply_ns: Vec<u64>,
+    /// Wall-clock nanoseconds of the most recent parallel apply batch.
+    pub wall_ns: u64,
+}
+
 /// The central database behind the info API.
 #[derive(Debug, Clone)]
 pub struct InfoDatabase {
@@ -47,6 +62,7 @@ pub struct InfoDatabase {
     paths_valid: bool,
     programme_stats: Option<ProgrammeStats>,
     pipeline_report: Option<PipelineReport>,
+    shard_report: Option<ShardReport>,
 }
 
 impl InfoDatabase {
@@ -60,6 +76,7 @@ impl InfoDatabase {
             paths_valid: false,
             programme_stats: None,
             pipeline_report: None,
+            shard_report: None,
         }
     }
 
@@ -131,6 +148,27 @@ impl InfoDatabase {
     /// The epoch pipeline's behaviour at the latest update, if any.
     pub fn pipeline_report(&self) -> Option<PipelineReport> {
         self.pipeline_report
+    }
+
+    /// Records the per-shard pair counts of the latest update (host-sharded
+    /// plane only). Apply timings already recorded are kept.
+    pub fn set_shard_pairs(&mut self, pairs: &[usize]) {
+        let report = self.shard_report.get_or_insert_with(ShardReport::default);
+        report.pairs.clear();
+        report.pairs.extend_from_slice(pairs);
+    }
+
+    /// Records what the latest parallel shard apply cost.
+    pub fn set_shard_apply(&mut self, apply_ns: &[u64], wall_ns: u64) {
+        let report = self.shard_report.get_or_insert_with(ShardReport::default);
+        report.apply_ns.clear();
+        report.apply_ns.extend_from_slice(apply_ns);
+        report.wall_ns = wall_ns;
+    }
+
+    /// The host-sharded plane's summary, if the testbed runs sharded.
+    pub fn shard_report(&self) -> Option<&ShardReport> {
+        self.shard_report.as_ref()
     }
 
     /// The latest constellation state, if an update has happened.

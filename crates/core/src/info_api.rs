@@ -109,6 +109,21 @@ impl<'a> InfoApi<'a> {
                     .database
                     .pipeline_report()
                     .map(|r| r.stats.precomputed),
+                "shards": self.database.shard_report().map(|r| r.pairs.len()),
+                "shard_pairs": self
+                    .database
+                    .shard_report()
+                    .map(|r| r.pairs.iter().map(|&p| json!(p)).collect::<Vec<_>>()),
+                "shard_apply_ms": self.database.shard_report().map(|r| {
+                    r.apply_ns
+                        .iter()
+                        .map(|&ns| json!(ns as f64 / 1e6))
+                        .collect::<Vec<_>>()
+                }),
+                "shard_apply_wall_ms": self
+                    .database
+                    .shard_report()
+                    .map(|r| r.wall_ns as f64 / 1e6),
             })),
             InfoRequest::Shell(shell) => {
                 let s = self

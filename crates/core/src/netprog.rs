@@ -23,7 +23,7 @@
 //! contract.
 
 use celestial_constellation::{ConstellationState, NetworkGraph, ShortestPaths};
-use celestial_netem::{PairProgram, ProgrammeDelta};
+use celestial_netem::{PairProgram, ProgrammeDelta, ShardPlan};
 use celestial_types::ids::NodeId;
 use celestial_types::{Bandwidth, Latency};
 
@@ -103,6 +103,14 @@ pub struct ProgrammeStore {
     fresh_slots: Vec<Slot>,
     delta: ProgrammeDelta,
     epoch: u64,
+    /// When set, the merge walk additionally partitions the delta into one
+    /// [`ProgrammeDelta`] per host (see `docs/SHARDING.md`).
+    shard_plan: Option<ShardPlan>,
+    /// Per-host change sets of the most recent epoch, indexed by host.
+    host_deltas: Vec<ProgrammeDelta>,
+    /// Number of pairs currently owned by each shard (cross-host pairs
+    /// count in both endpoint shards).
+    shard_pairs: Vec<usize>,
 }
 
 impl ProgrammeStore {
@@ -112,9 +120,55 @@ impl ProgrammeStore {
         ProgrammeStore::default()
     }
 
+    /// Enables (or disables) host-sharded partitioning: subsequent epochs
+    /// additionally split the change set into one per-host delta, in the
+    /// same O(pairs) merge walk. A cross-host pair is mirrored into both
+    /// endpoint shards, a same-host pair lands in exactly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics after the first epoch: the plan is part of the programme's
+    /// identity — re-sharding a retained programme would orphan the rules
+    /// already shipped to hosts.
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) {
+        assert!(
+            self.epoch == 0,
+            "the shard plan must be fixed before the first epoch"
+        );
+        self.shard_plan = plan;
+        self.host_deltas.clear();
+        self.shard_pairs.clear();
+        if let Some(plan) = plan {
+            self.host_deltas
+                .resize_with(plan.shard_count(), ProgrammeDelta::default);
+            self.shard_pairs.resize(plan.shard_count(), 0);
+        }
+    }
+
+    /// The configured shard plan, if partitioning is enabled.
+    pub fn shard_plan(&self) -> Option<ShardPlan> {
+        self.shard_plan
+    }
+
     /// The change set produced by the most recent epoch.
     pub fn delta(&self) -> &ProgrammeDelta {
         &self.delta
+    }
+
+    /// The per-host change sets of the most recent epoch, indexed by host.
+    /// Empty unless a shard plan is set. The union of these deltas is
+    /// exactly [`ProgrammeStore::delta`] (cross-host entries appearing in
+    /// both endpoint shards) — property-tested in
+    /// `tests/shard_partition.rs`.
+    pub fn host_deltas(&self) -> &[ProgrammeDelta] {
+        &self.host_deltas
+    }
+
+    /// Number of pairs currently owned by each shard, indexed by host.
+    /// Cross-host pairs are mirrored, so the sum exceeds
+    /// [`ProgrammeStore::pair_count`] by the number of cross-host pairs.
+    pub fn shard_pair_counts(&self) -> &[usize] {
+        &self.shard_pairs
     }
 
     /// Number of pairs currently programmed.
@@ -239,6 +293,10 @@ impl ProgrammeStore {
         self.epoch += 1;
         self.delta.clear();
         self.delta.epoch = self.epoch;
+        for host_delta in &mut self.host_deltas {
+            host_delta.clear();
+            host_delta.epoch = self.epoch;
+        }
 
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.pairs.len() || j < self.fresh_pairs.len() {
@@ -257,7 +315,9 @@ impl ProgrammeStore {
                     let value = self.fresh_slots[j];
                     if self.slots[slot_index] != value {
                         self.slots[slot_index] = value;
-                        self.delta.changed.push(pair_program(a, b, value, &resolve));
+                        let program = pair_program(a, b, value, &resolve);
+                        self.delta.changed.push(program);
+                        self.route_changed(program);
                     }
                     i += 1;
                     j += 1;
@@ -267,7 +327,9 @@ impl ProgrammeStore {
                     let (a, b) = unpack(old.expect("take_old"));
                     let slot_index = self.tri(a, b);
                     self.slots[slot_index] = EMPTY_SLOT;
-                    self.delta.removed.push((resolve(a), resolve(b)));
+                    let pair = (resolve(a), resolve(b));
+                    self.delta.removed.push(pair);
+                    self.route_removed(pair);
                     i += 1;
                 }
                 (false, true) => {
@@ -276,7 +338,9 @@ impl ProgrammeStore {
                     let slot_index = self.tri(a, b);
                     let value = self.fresh_slots[j];
                     self.slots[slot_index] = value;
-                    self.delta.added.push(pair_program(a, b, value, &resolve));
+                    let program = pair_program(a, b, value, &resolve);
+                    self.delta.added.push(program);
+                    self.route_added(program);
                     j += 1;
                 }
                 (false, false) => unreachable!("loop condition guarantees one side"),
@@ -290,6 +354,43 @@ impl ProgrammeStore {
     /// Triangular index of the canonical pair `(a, b)`, `a < b`.
     fn tri(&self, a: usize, b: usize) -> usize {
         a * (2 * self.node_count - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// Routes a newly reachable pair into its endpoint shards (no-op without
+    /// a plan).
+    fn route_added(&mut self, program: PairProgram) {
+        let Some(plan) = self.shard_plan else { return };
+        let (ha, hb) = plan.shards_of_pair(program.a, program.b);
+        self.host_deltas[ha.index()].added.push(program);
+        self.shard_pairs[ha.index()] += 1;
+        if let Some(hb) = hb {
+            self.host_deltas[hb.index()].added.push(program);
+            self.shard_pairs[hb.index()] += 1;
+        }
+    }
+
+    /// Routes a re-shaped pair into its endpoint shards (no-op without a
+    /// plan).
+    fn route_changed(&mut self, program: PairProgram) {
+        let Some(plan) = self.shard_plan else { return };
+        let (ha, hb) = plan.shards_of_pair(program.a, program.b);
+        self.host_deltas[ha.index()].changed.push(program);
+        if let Some(hb) = hb {
+            self.host_deltas[hb.index()].changed.push(program);
+        }
+    }
+
+    /// Routes a torn-down pair into its endpoint shards (no-op without a
+    /// plan).
+    fn route_removed(&mut self, pair: (NodeId, NodeId)) {
+        let Some(plan) = self.shard_plan else { return };
+        let (ha, hb) = plan.shards_of_pair(pair.0, pair.1);
+        self.host_deltas[ha.index()].removed.push(pair);
+        self.shard_pairs[ha.index()] = self.shard_pairs[ha.index()].saturating_sub(1);
+        if let Some(hb) = hb {
+            self.host_deltas[hb.index()].removed.push(pair);
+            self.shard_pairs[hb.index()] = self.shard_pairs[hb.index()].saturating_sub(1);
+        }
     }
 }
 
@@ -426,6 +527,70 @@ mod tests {
             Some(Bandwidth::from_bps(1_000)),
             "the healthy edge still resolves"
         );
+    }
+
+    #[test]
+    fn sharded_commit_partitions_the_delta_per_host() {
+        // resolve() maps index i to ground station i, whose round-robin pin
+        // is i — so host(i) = i % 3 under a 3-host plan.
+        let mut store = ProgrammeStore::new();
+        store.set_shard_plan(Some(ShardPlan::new(3)));
+        assert_eq!(store.shard_plan(), Some(ShardPlan::new(3)));
+        store.begin_epoch(6);
+        record_ms(&mut store, 0, 1, 5.0, 100); // hosts 0↔1: cross
+        record_ms(&mut store, 0, 3, 4.0, 100); // hosts 0↔0: same host
+        record_ms(&mut store, 2, 4, 6.0, 100); // hosts 2↔1: cross
+        store.commit(resolve);
+
+        let hosts = store.host_deltas();
+        assert_eq!(hosts.len(), 3);
+        let added: Vec<Vec<(NodeId, NodeId)>> = hosts
+            .iter()
+            .map(|d| d.added.iter().map(|p| (p.a, p.b)).collect())
+            .collect();
+        let gst = NodeId::ground_station;
+        assert_eq!(added[0], vec![(gst(0), gst(1)), (gst(0), gst(3))]);
+        assert_eq!(added[1], vec![(gst(0), gst(1)), (gst(2), gst(4))]);
+        assert_eq!(added[2], vec![(gst(2), gst(4))]);
+        assert_eq!(store.shard_pair_counts(), &[2, 2, 1]);
+        assert!(hosts.iter().all(|d| d.epoch == 1));
+
+        // Epoch 2: (0,1) re-shaped, (2,4) gone, (0,3) unchanged.
+        store.begin_epoch(6);
+        record_ms(&mut store, 0, 1, 9.0, 100);
+        record_ms(&mut store, 0, 3, 4.0, 100);
+        store.commit(resolve);
+        let hosts = store.host_deltas();
+        assert_eq!(hosts[0].changed.len(), 1, "cross change mirrored to host 0");
+        assert_eq!(hosts[1].changed.len(), 1, "cross change mirrored to host 1");
+        assert!(hosts[2].changed.is_empty());
+        assert_eq!(hosts[1].removed, vec![(gst(2), gst(4))]);
+        assert_eq!(hosts[2].removed, vec![(gst(2), gst(4))]);
+        assert!(hosts[0].removed.is_empty());
+        assert_eq!(store.shard_pair_counts(), &[2, 1, 0]);
+        // The unchanged same-host pair costs nothing anywhere.
+        assert!(hosts.iter().all(|d| d.added.is_empty()));
+    }
+
+    #[test]
+    fn without_a_plan_no_host_deltas_are_produced() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(3);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        store.commit(resolve);
+        assert!(store.host_deltas().is_empty());
+        assert!(store.shard_pair_counts().is_empty());
+        assert_eq!(store.shard_plan(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first epoch")]
+    fn re_sharding_a_live_programme_panics() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch(3);
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        store.commit(resolve);
+        store.set_shard_plan(Some(ShardPlan::new(2)));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use celestial_constellation::{
     Constellation, ConstellationDiff, ConstellationSnapshot, ConstellationState, PathEngine,
     ShortestPaths, SolveStats, StateBuffers,
 };
-use celestial_netem::{PairProgram, ProgrammeDelta};
+use celestial_netem::{PairProgram, ProgrammeDelta, ShardPlan};
 use celestial_types::ids::NodeId;
 use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Error, Result};
@@ -122,6 +122,12 @@ pub struct EpochBundle {
     pub diff: ConstellationDiff,
     /// The network-programme change set relative to the previous epoch.
     pub delta: ProgrammeDelta,
+    /// The per-host partition of `delta`, indexed by host — empty unless
+    /// the computation runs with a [`ShardPlan`] (see `docs/SHARDING.md`).
+    pub host_deltas: Vec<ProgrammeDelta>,
+    /// Number of pairs owned by each shard after this epoch (empty without
+    /// a shard plan).
+    pub shard_pairs: Vec<usize>,
     /// How the path solve was executed.
     pub solve: SolveStats,
     /// The programme epoch this bundle leads to (1 for the first).
@@ -177,6 +183,19 @@ impl EpochCompute {
     /// The constellation this computation serves.
     pub fn constellation(&self) -> &Constellation {
         &self.constellation
+    }
+
+    /// Enables host-sharded programme partitioning: every epoch additionally
+    /// emits one [`ProgrammeDelta`] per host. Must be called before the
+    /// first epoch (see [`crate::netprog::ProgrammeStore::set_shard_plan`]).
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) {
+        self.programme.set_shard_plan(plan);
+    }
+
+    /// The per-host change sets of the most recent epoch (empty without a
+    /// shard plan).
+    pub fn host_deltas(&self) -> &[ProgrammeDelta] {
+        self.programme.host_deltas()
     }
 
     /// Runs one epoch at `t_seconds`: batch propagation into the retained
@@ -273,6 +292,9 @@ impl EpochCompute {
                 bundle.paths.clone_from(paths);
                 bundle.diff = diff;
                 bundle.delta.clone_from(self.delta());
+                clone_deltas_into(&mut bundle.host_deltas, self.programme.host_deltas());
+                bundle.shard_pairs.clear();
+                bundle.shard_pairs.extend_from_slice(self.programme.shard_pair_counts());
                 bundle.solve = self.last_solve();
                 bundle.programme_epoch = self.programme_epoch();
                 bundle.programme_pairs = self.programme_pairs();
@@ -286,6 +308,8 @@ impl EpochCompute {
                 paths: paths.clone(),
                 diff,
                 delta: self.delta().clone(),
+                host_deltas: self.programme.host_deltas().to_vec(),
+                shard_pairs: self.programme.shard_pair_counts().to_vec(),
                 solve: self.last_solve(),
                 programme_epoch: self.programme_epoch(),
                 programme_pairs: self.programme_pairs(),
@@ -561,11 +585,30 @@ fn recv_bundle(
 fn compose_bundles(first: Box<EpochBundle>, second: Box<EpochBundle>) -> Box<EpochBundle> {
     let diff = compose_diffs(&first.diff, &second.diff);
     let delta = compose_deltas(&first.delta, &second.delta);
+    // Per-host deltas compose shard-wise: both bundles come from the same
+    // computation, so the host vectors always have the same length.
+    let host_deltas: Vec<ProgrammeDelta> = first
+        .host_deltas
+        .iter()
+        .zip(&second.host_deltas)
+        .map(|(a, b)| compose_deltas(a, b))
+        .collect();
     let mut bundle = second;
     bundle.diff = diff;
     bundle.delta = delta;
+    bundle.host_deltas = host_deltas;
     bundle.compute_ns += first.compute_ns;
     bundle
+}
+
+/// Clone-from semantics for a retained vector of per-host deltas: refresh in
+/// place without re-allocating the change-set vectors in steady state. Also
+/// used by the coordinator to retain the bundle's per-host deltas.
+pub(crate) fn clone_deltas_into(dst: &mut Vec<ProgrammeDelta>, src: &[ProgrammeDelta]) {
+    dst.resize_with(src.len(), ProgrammeDelta::default);
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clone_from(s);
+    }
 }
 
 /// Composes two consecutive machine/link change sets: applying the result to

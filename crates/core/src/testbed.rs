@@ -18,7 +18,7 @@ use celestial_constellation::Constellation;
 use celestial_machines::{FaultEvent, FirecrackerModel};
 use celestial_netem::overlay::HostOverlay;
 use celestial_netem::packet::Packet;
-use celestial_netem::VirtualNetwork;
+use celestial_netem::shard::{NetworkPlane, PlacementPolicy, ShardPlan};
 use celestial_sim::metrics::TimeSeries;
 use celestial_sim::{SimRng, Simulation};
 use celestial_types::ids::{HostId, NodeId};
@@ -88,7 +88,7 @@ pub struct AppContext<'a> {
     dns: &'a DnsService,
     managers: &'a [MachineManager],
     node_to_host: &'a BTreeMap<NodeId, usize>,
-    network: &'a VirtualNetwork,
+    network: &'a NetworkPlane,
     rng: &'a mut SimRng,
     commands: Vec<Command>,
 }
@@ -225,7 +225,8 @@ pub struct Testbed {
     coordinator: Coordinator,
     managers: Vec<MachineManager>,
     node_to_host: BTreeMap<NodeId, usize>,
-    network: VirtualNetwork,
+    network: NetworkPlane,
+    placement: PlacementPolicy,
     dns: DnsService,
     rng: SimRng,
     scheduled_faults: Vec<FaultEvent>,
@@ -259,10 +260,15 @@ impl Testbed {
             config.ground_stations.iter().map(|g| g.name.clone()).collect(),
         );
 
-        let coordinator = Coordinator::with_mode(
+        // One shard per host when the sharded plane is configured; the
+        // coordinator partitions its programme with the same plan the
+        // emulation places machines with, so each host's slice is complete.
+        let shard_plan = config.shards.map(ShardPlan::new);
+        let coordinator = Coordinator::with_options(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),
             config.pipeline,
+            shard_plan,
         );
 
         let model = FirecrackerModel {
@@ -276,8 +282,13 @@ impl Testbed {
             .map(|(i, h)| MachineManager::new(HostId(i as u32), h.cores, h.memory_mib, model))
             .collect();
 
-        let overlay = HostOverlay::new(config.hosts.len() as u32);
-        let network = VirtualNetwork::with_overlay(overlay);
+        let mut network = match shard_plan {
+            Some(plan) => NetworkPlane::sharded(plan),
+            None => NetworkPlane::global(HostOverlay::new(config.hosts.len() as u32)),
+        };
+        if let Some(us) = config.host_latency_us {
+            network.set_default_host_latency(Latency::from_micros(us));
+        }
 
         let host_count = managers.len();
         Ok(Testbed {
@@ -286,6 +297,7 @@ impl Testbed {
             managers,
             node_to_host: BTreeMap::new(),
             network,
+            placement: PlacementPolicy::RoundRobin,
             dns,
             rng: SimRng::seed_from_u64(config.seed),
             scheduled_faults: Vec::new(),
@@ -324,8 +336,9 @@ impl Testbed {
         &self.managers
     }
 
-    /// The virtual network.
-    pub fn network(&self) -> &VirtualNetwork {
+    /// The network plane: the single global rule table, or one shard per
+    /// host when `shards = N` is configured (see `docs/SHARDING.md`).
+    pub fn network(&self) -> &NetworkPlane {
         &self.network
     }
 
@@ -471,18 +484,13 @@ impl Testbed {
         if let Some(host) = self.node_to_host.get(&node) {
             return *host;
         }
-        let host_count = self.managers.len();
-        let host = match node {
-            NodeId::GroundStation(gst) => gst.index() % host_count,
-            NodeId::Satellite(sat) => {
-                (sat.shell.index() * 31 + sat.index as usize) % host_count
-            }
-        };
-        self.node_to_host.insert(node, host);
-        self.network
-            .overlay_mut()
-            .place(node, HostId(host as u32));
-        host
+        // The placement policy is the same pure function the coordinator's
+        // programme partitioning uses, so a sharded plane's slices always
+        // agree with where the machines actually run.
+        let host = self.placement.host_for(node, self.managers.len());
+        self.node_to_host.insert(node, host.index());
+        self.network.place(node, host);
+        host.index()
     }
 
     fn resources_for(&self, node: NodeId) -> MachineResources {
@@ -550,8 +558,17 @@ impl Testbed {
         for node in fresh_nodes {
             self.host_for(node);
         }
-        let delta = self.coordinator.programme_delta();
-        self.network.apply_delta(delta);
+        match &mut self.network {
+            NetworkPlane::Global(network) => {
+                network.apply_delta(self.coordinator.programme_delta());
+            }
+            NetworkPlane::Sharded(sharded) => {
+                // Every host applies its own slice, in parallel — the
+                // multi-host handover of the paper's architecture.
+                let report = sharded.apply_delta_sharded(self.coordinator.host_deltas());
+                self.coordinator.record_shard_apply(&report);
+            }
+        }
         Ok(())
     }
 

@@ -21,7 +21,10 @@
 //!   [`ProgrammeDelta`] change set the coordinator ships (see
 //!   `docs/NETPROG.md`),
 //! * [`network`] — the virtual network assembling all of the above, used by
-//!   the testbed runtime to deliver application messages.
+//!   the testbed runtime to deliver application messages,
+//! * [`shard`] — the host-sharded programming plane: one [`HostShard`] per
+//!   host owning exactly the rules of its own machines, applied in parallel
+//!   across hosts (see `docs/SHARDING.md`).
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ pub mod overlay;
 pub mod packet;
 pub mod programme;
 pub mod qdisc;
+pub mod shard;
 pub mod tc;
 
 pub use network::{DeltaApplication, VirtualNetwork};
@@ -56,4 +60,5 @@ pub use overlay::HostOverlay;
 pub use packet::Packet;
 pub use programme::{PairProgram, ProgrammeDelta};
 pub use qdisc::{NetemQdisc, QdiscOutcome};
+pub use shard::{HostShard, NetworkPlane, PlacementPolicy, ShardApplyReport, ShardPlan, ShardedNetwork};
 pub use tc::TrafficControl;

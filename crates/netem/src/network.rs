@@ -99,26 +99,65 @@ impl VirtualNetwork {
         self.tc.set_link(a, b, compensated.quantized_tenth_ms(), bandwidth);
     }
 
+    /// Programs a *single direction* of a pair, compensated and quantized
+    /// exactly like [`VirtualNetwork::program_pair`]. This is the primitive
+    /// of the host-sharded plane: a cross-host pair is mirrored to both
+    /// endpoint shards, each programming the direction that originates on
+    /// its host (see `docs/SHARDING.md`).
+    ///
+    /// `count_clamp` controls whether a clamped compensation is added to
+    /// [`VirtualNetwork::latency_clamp_count`]: the owner side (the shard of
+    /// the canonical endpoint `a`) passes `true`, the mirror side `false`,
+    /// so the clamp is accounted exactly once per pair — the same count a
+    /// single global network would report.
+    pub fn program_directed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        target: Latency,
+        bandwidth: Bandwidth,
+        count_clamp: bool,
+    ) {
+        let (compensated, clamped) = self.overlay.compensation(target, from, to);
+        if clamped && count_clamp {
+            self.latency_clamps += 1;
+        }
+        self.tc
+            .set_directed(from, to, compensated.quantized_tenth_ms(), bandwidth);
+    }
+
     /// Removes the rules for a pair, making it unreachable. Returns whether
     /// the pair actually had a rule.
     pub fn unprogram_pair(&mut self, a: NodeId, b: NodeId) -> bool {
         self.tc.remove_link(a, b)
     }
 
-    /// Applies one epoch's [`ProgrammeDelta`] as a batch: added and changed
-    /// pairs are (re)programmed, removed pairs become unreachable. This is
-    /// the only call sites need per constellation update — untouched pairs
-    /// keep their rules (and queue state) without being rewritten.
+    /// Removes a single direction of a pair (the sharded counterpart of
+    /// [`VirtualNetwork::unprogram_pair`]). Returns whether the rule
+    /// actually existed.
+    pub fn unprogram_directed(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.tc.remove_directed(from, to)
+    }
+
+    /// Applies one epoch's [`ProgrammeDelta`] as a batch: removed pairs
+    /// become unreachable, then added and changed pairs are (re)programmed.
+    /// This is the only call sites need per constellation update — untouched
+    /// pairs keep their rules (and queue state) without being rewritten.
+    ///
+    /// Removals are applied *first* so that a pair appearing in both
+    /// `removed` and `added` of one batch (a teardown immediately followed
+    /// by a re-programming) ends up reachable with a fresh rule, regardless
+    /// of how the delta was assembled.
     pub fn apply_delta(&mut self, delta: &ProgrammeDelta) -> DeltaApplication {
         let mut application = DeltaApplication::default();
-        for pair in delta.programmed() {
-            self.program_pair(pair.a, pair.b, pair.latency, pair.bandwidth);
-            application.pairs_programmed += 1;
-        }
         for &(a, b) in &delta.removed {
             if self.unprogram_pair(a, b) {
                 application.pairs_removed += 1;
             }
+        }
+        for pair in delta.programmed() {
+            self.program_pair(pair.a, pair.b, pair.latency, pair.bandwidth);
+            application.pairs_programmed += 1;
         }
         application
     }
@@ -336,6 +375,106 @@ mod tests {
             net.tc().delay(NodeId::ground_station(0), NodeId::ground_station(1)),
             Some(Latency::from_millis_f64(9.0))
         );
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op_with_zero_counter_movement() {
+        let mut net = VirtualNetwork::new();
+        net.program_pair(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            Latency::from_millis_f64(3.0),
+            Bandwidth::from_mbps(10),
+        );
+        let before_rules = net.tc().rule_count();
+        let before_counters = net.counters();
+        let before_clamps = net.latency_clamp_count();
+        let applied = net.apply_delta(&ProgrammeDelta::default());
+        assert_eq!(applied, DeltaApplication::default());
+        assert_eq!(net.tc().rule_count(), before_rules);
+        assert_eq!(net.counters(), before_counters);
+        assert_eq!(net.latency_clamp_count(), before_clamps);
+        assert_eq!(
+            net.tc().delay(NodeId::ground_station(0), NodeId::ground_station(1)),
+            Some(Latency::from_millis_f64(3.0)),
+            "existing rules untouched"
+        );
+    }
+
+    #[test]
+    fn removing_a_never_programmed_pair_is_not_counted() {
+        let mut net = VirtualNetwork::new();
+        let delta = ProgrammeDelta {
+            epoch: 1,
+            added: Vec::new(),
+            changed: Vec::new(),
+            removed: vec![(NodeId::ground_station(7), NodeId::ground_station(8))],
+        };
+        let applied = net.apply_delta(&delta);
+        assert_eq!(applied, DeltaApplication { pairs_programmed: 0, pairs_removed: 0 });
+        assert_eq!(net.tc().rule_count(), 0);
+    }
+
+    #[test]
+    fn re_added_after_removed_in_the_same_batch_ends_programmed() {
+        use crate::programme::PairProgram;
+        let a = NodeId::ground_station(0);
+        let b = NodeId::ground_station(1);
+        let mut net = VirtualNetwork::new();
+        net.program_pair(a, b, Latency::from_millis_f64(2.0), Bandwidth::from_mbps(10));
+
+        // One batch that both tears the pair down and re-adds it (e.g. a
+        // composed off-cadence window): removals apply first, so the fresh
+        // rule survives and the teardown is still accounted.
+        let delta = ProgrammeDelta {
+            epoch: 2,
+            added: vec![PairProgram {
+                a,
+                b,
+                latency: Latency::from_millis_f64(6.0),
+                bandwidth: Bandwidth::from_mbps(25),
+            }],
+            changed: Vec::new(),
+            removed: vec![(a, b)],
+        };
+        let applied = net.apply_delta(&delta);
+        assert_eq!(applied, DeltaApplication { pairs_programmed: 1, pairs_removed: 1 });
+        assert!(net.is_reachable(a, b));
+        assert_eq!(net.tc().delay(a, b), Some(Latency::from_millis_f64(6.0)));
+        assert_eq!(net.tc().bandwidth(a, b), Some(Bandwidth::from_mbps(25)));
+    }
+
+    #[test]
+    fn directed_programming_counts_clamps_only_on_the_owner_side() {
+        // 0.2 ms hosts, 0.05 ms target: both directions clamp, but only the
+        // owner-side programming accounts it — the aggregate over mirrored
+        // shard halves must equal the single global count.
+        let mut overlay = HostOverlay::new(2);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(1));
+        let mut net = VirtualNetwork::with_overlay(overlay);
+        let target = Latency::from_micros(50);
+        let bandwidth = Bandwidth::from_gbps(1);
+        net.program_directed(
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+            target,
+            bandwidth,
+            true,
+        );
+        net.program_directed(
+            NodeId::ground_station(1),
+            NodeId::ground_station(0),
+            target,
+            bandwidth,
+            false,
+        );
+        assert_eq!(net.latency_clamp_count(), 1);
+        assert!(net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+        assert!(net.is_reachable(NodeId::ground_station(1), NodeId::ground_station(0)));
+        assert!(net.unprogram_directed(NodeId::ground_station(0), NodeId::ground_station(1)));
+        assert!(!net.is_reachable(NodeId::ground_station(0), NodeId::ground_station(1)));
+        assert!(net.is_reachable(NodeId::ground_station(1), NodeId::ground_station(0)));
     }
 
     #[test]

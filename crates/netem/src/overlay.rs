@@ -45,6 +45,11 @@ impl HostOverlay {
         self
     }
 
+    /// Sets the default inter-host latency in place.
+    pub fn set_default_latency(&mut self, latency: Latency) {
+        self.default_latency = latency;
+    }
+
     /// The hosts of the overlay.
     pub fn hosts(&self) -> &[HostId] {
         &self.hosts
@@ -55,12 +60,22 @@ impl HostOverlay {
         self.hosts.len()
     }
 
-    /// Records the measured one-way latency between two hosts.
+    /// Records the measured one-way latency between two hosts. The pair is
+    /// stored in canonical order, so the measurement is symmetric by
+    /// construction. Same-host "pairs" are ignored: the latency within a
+    /// host is zero by definition and must never be overridable — otherwise
+    /// the per-side compensation of the sharded plane could clamp a
+    /// co-located pair (see `docs/SHARDING.md`).
     pub fn set_host_latency(&mut self, a: HostId, b: HostId, latency: Latency) {
+        if a == b {
+            return;
+        }
         self.latencies.insert(canonical(a, b), latency);
     }
 
-    /// The physical one-way latency between two hosts (zero within a host).
+    /// The physical one-way latency between two hosts. Exactly zero — never
+    /// `default_latency` — within a host, and canonical-order symmetric
+    /// (`host_latency(a, b) == host_latency(b, a)`) across hosts.
     pub fn host_latency(&self, a: HostId, b: HostId) -> Latency {
         if a == b {
             Latency::ZERO
@@ -189,6 +204,45 @@ mod tests {
         assert_eq!(
             overlay.compensated_delay(target, NodeId::ground_station(0), NodeId::ground_station(9)),
             target
+        );
+    }
+
+    #[test]
+    fn same_host_latency_is_zero_and_cannot_be_poisoned() {
+        // Regression: the same-host latency must be exactly zero — never the
+        // default — and an explicit same-host "measurement" must not stick,
+        // so compensation can never clamp a co-located pair.
+        let mut overlay =
+            HostOverlay::new(2).with_default_latency(Latency::from_millis_f64(50.0));
+        overlay.set_host_latency(HostId(0), HostId(0), Latency::from_millis_f64(9.0));
+        assert_eq!(overlay.host_latency(HostId(0), HostId(0)), Latency::ZERO);
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(0));
+        // A tiny target on a co-located pair: huge default latency, but no
+        // compensation applies and nothing clamps.
+        let (compensated, clamped) = overlay.compensation(
+            Latency::from_micros(50),
+            NodeId::ground_station(0),
+            NodeId::ground_station(1),
+        );
+        assert_eq!(compensated, Latency::from_micros(50));
+        assert!(!clamped, "a co-located pair must never clamp");
+    }
+
+    #[test]
+    fn host_latency_lookup_is_canonical_order_symmetric() {
+        let mut overlay = HostOverlay::new(3);
+        // Set in "reverse" order; look up in both orders.
+        overlay.set_host_latency(HostId(2), HostId(0), Latency::from_micros(700));
+        assert_eq!(overlay.host_latency(HostId(0), HostId(2)), Latency::from_micros(700));
+        assert_eq!(overlay.host_latency(HostId(2), HostId(0)), Latency::from_micros(700));
+        // Compensation sees the same value from either side.
+        overlay.place(NodeId::ground_station(0), HostId(0));
+        overlay.place(NodeId::ground_station(1), HostId(2));
+        let target = Latency::from_millis_f64(4.0);
+        assert_eq!(
+            overlay.compensation(target, NodeId::ground_station(0), NodeId::ground_station(1)),
+            overlay.compensation(target, NodeId::ground_station(1), NodeId::ground_station(0)),
         );
     }
 

@@ -59,6 +59,14 @@ impl TrafficControl {
         forward || reverse
     }
 
+    /// Removes a single direction of a pair. Returns whether the rule
+    /// actually existed. Used by the host-sharded plane, where each shard
+    /// owns only the directed rules originating on its host (see
+    /// `docs/SHARDING.md`).
+    pub fn remove_directed(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.rules.remove(&(from, to)).is_some()
+    }
+
     /// Removes every rule involving `node` (used when a machine is removed).
     pub fn remove_node(&mut self, node: NodeId) {
         self.rules.retain(|(from, to), _| *from != node && *to != node);
@@ -155,6 +163,16 @@ mod tests {
         assert!(tc.is_reachable(gst(0), gst(2)));
         tc.remove_node(gst(0));
         assert_eq!(tc.rule_count(), 0);
+    }
+
+    #[test]
+    fn directed_removal_leaves_the_reverse_rule() {
+        let mut tc = TrafficControl::new();
+        tc.set_link(gst(0), gst(1), Latency::ZERO, Bandwidth::from_mbps(10));
+        assert!(tc.remove_directed(gst(0), gst(1)));
+        assert!(!tc.is_reachable(gst(0), gst(1)));
+        assert!(tc.is_reachable(gst(1), gst(0)));
+        assert!(!tc.remove_directed(gst(0), gst(1)), "already gone");
     }
 
     #[test]

@@ -427,3 +427,81 @@ fn floyd_warshall_configuration_works_end_to_end() {
     testbed.run(&mut Nop).expect("run");
     assert!(testbed.coordinator().update_count() >= 4);
 }
+
+/// A raw `shards = N` TOML drives a sharded testbed end to end: the plane
+/// comes up sharded, traffic flows, and the `/info`-visible shard figures
+/// are populated (see `docs/SHARDING.md`).
+#[test]
+fn toml_shards_key_drives_a_sharded_run_end_to_end() {
+    let toml = r#"
+seed = 7
+update-interval-s = 2.0
+duration-s = 20.0
+shards = 3
+host-latency-us = 250
+
+[bounding-box]
+lat-min = -5.0
+lat-max = 20.0
+lon-min = -10.0
+lon-max = 20.0
+
+[[shell]]
+altitude-km = 550.0
+inclination-deg = 53.0
+planes = 24
+satellites-per-plane = 22
+
+[[ground-station]]
+name = "accra"
+lat = 5.6037
+lon = -0.187
+
+[[ground-station]]
+name = "abuja"
+lat = 9.0765
+lon = 7.3986
+"#;
+    let config = TestbedConfig::from_toml(toml).expect("valid sharded config");
+    assert_eq!(config.shards, Some(3));
+    assert_eq!(config.hosts.len(), 3, "shards provisions one host per shard");
+    let mut testbed = Testbed::new(&config).expect("testbed");
+
+    struct Ping {
+        accra: Option<NodeId>,
+        abuja: Option<NodeId>,
+        answered: u32,
+    }
+    impl GuestApplication for Ping {
+        fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+            self.accra = ctx.ground_station("accra");
+            self.abuja = ctx.ground_station("abuja");
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
+            ctx.send(self.accra.unwrap(), self.abuja.unwrap(), 1_250, Vec::new());
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+            if message.destination == self.abuja.unwrap() {
+                ctx.send(self.abuja.unwrap(), self.accra.unwrap(), 1_250, Vec::new());
+            } else {
+                self.answered += 1;
+            }
+        }
+    }
+    let mut app = Ping { accra: None, abuja: None, answered: 0 };
+    testbed.run(&mut app).expect("run");
+    assert!(app.answered >= 10, "only {} pings answered", app.answered);
+
+    let plane = testbed.network().as_sharded().expect("sharded plane");
+    assert_eq!(plane.shards().len(), 3);
+    assert!(plane.pair_counts().iter().sum::<usize>() > 0);
+    let report = testbed
+        .coordinator()
+        .database()
+        .shard_report()
+        .expect("shard report");
+    assert_eq!(report.pairs, plane.pair_counts());
+    assert_eq!(report.apply_ns.len(), 3);
+}
