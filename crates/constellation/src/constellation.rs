@@ -6,6 +6,7 @@ use crate::isl::{isl_available, plus_grid_candidates, IslCandidate};
 use crate::links::{Link, LinkKind};
 use crate::path::{NetworkGraph, PathAlgorithm, ShortestPaths};
 use crate::shell::Shell;
+use crate::suppression::LinkSuppression;
 use celestial_sgp4::frames::eci_to_ecef;
 use celestial_sgp4::{propagate_all_minutes, Propagator, SatelliteState};
 use celestial_types::geo::Cartesian;
@@ -33,6 +34,10 @@ pub struct Constellation {
     /// never move in the Earth-fixed frame, so recomputing the geodetic →
     /// Cartesian conversion on every epoch is pure waste.
     ground_ecef: Vec<Cartesian>,
+    /// Chaos link-flap mask. Installed before the coordinator clones the
+    /// constellation so the pipelined epoch worker carries the same mask; the
+    /// mask is pure in `t`, which keeps epochs bit-identical across modes.
+    suppression: Option<LinkSuppression>,
 }
 
 impl Constellation {
@@ -54,6 +59,26 @@ impl Constellation {
     /// The configured bounding box.
     pub fn bounding_box(&self) -> BoundingBox {
         self.bounding_box
+    }
+
+    /// Installs a chaos link-suppression mask. Suppressed links vanish from
+    /// the link list and the CSR graph of every subsequent state computation.
+    ///
+    /// Install the mask **before** handing the constellation to the
+    /// coordinator: the epoch pipeline clones the constellation at
+    /// construction, so a late install would only affect direct callers.
+    pub fn set_link_suppression(&mut self, mask: LinkSuppression) {
+        self.suppression = if mask.is_empty() { None } else { Some(mask) };
+    }
+
+    /// The installed link-suppression mask, if any.
+    pub fn link_suppression(&self) -> Option<&LinkSuppression> {
+        self.suppression.as_ref()
+    }
+
+    /// Returns `true` if the chaos mask suppresses the link `(a, b)` at `t`.
+    fn link_suppressed(&self, t_seconds: f64, a: NodeId, b: NodeId) -> bool {
+        self.suppression.as_ref().is_some_and(|mask| mask.suppressed(t_seconds, a, b))
     }
 
     /// Total number of satellites across all shells.
@@ -191,6 +216,7 @@ impl Constellation {
             shell_offsets: Vec::new(),
             satellite_total: self.satellite_total,
             ground_station_total: self.ground_stations.len(),
+            suppressed_links: 0,
         });
         state.time_seconds = t_seconds;
         state.path_algorithm = self.path_algorithm;
@@ -198,6 +224,7 @@ impl Constellation {
         state.satellite_total = self.satellite_total;
         state.ground_station_total = self.ground_stations.len();
         state.ground_positions.clone_from(&self.ground_ecef);
+        state.suppressed_links = 0;
 
         // 3. Earth-fixed positions and bounding-box activity.
         state.satellite_positions.clear();
@@ -216,13 +243,19 @@ impl Constellation {
                 let a_pos = &state.satellite_positions[offset + candidate.a as usize];
                 let b_pos = &state.satellite_positions[offset + candidate.b as usize];
                 if isl_available(a_pos, b_pos, shell.atmosphere_cutoff_km) {
-                    state.links.push(Link::new(
-                        NodeId::satellite(shell_idx as u16, candidate.a),
-                        NodeId::satellite(shell_idx as u16, candidate.b),
-                        LinkKind::Isl,
-                        a_pos.distance_to(b_pos),
-                        shell.isl_bandwidth,
-                    ));
+                    let a = NodeId::satellite(shell_idx as u16, candidate.a);
+                    let b = NodeId::satellite(shell_idx as u16, candidate.b);
+                    if self.link_suppressed(t_seconds, a, b) {
+                        state.suppressed_links += 1;
+                    } else {
+                        state.links.push(Link::new(
+                            a,
+                            b,
+                            LinkKind::Isl,
+                            a_pos.distance_to(b_pos),
+                            shell.isl_bandwidth,
+                        ));
+                    }
                 }
             }
         }
@@ -236,13 +269,19 @@ impl Constellation {
                 for sat_idx in 0..shell.satellite_count() as usize {
                     let sat_pos = &state.satellite_positions[offset + sat_idx];
                     if gst_pos.elevation_angle_deg(sat_pos) >= min_elevation {
-                        state.links.push(Link::new(
-                            NodeId::ground_station(gst_idx as u32),
-                            NodeId::satellite(shell_idx as u16, sat_idx as u32),
-                            LinkKind::GroundStationLink,
-                            gst_pos.distance_to(sat_pos),
-                            bandwidth,
-                        ));
+                        let gst_node = NodeId::ground_station(gst_idx as u32);
+                        let sat_node = NodeId::satellite(shell_idx as u16, sat_idx as u32);
+                        if self.link_suppressed(t_seconds, gst_node, sat_node) {
+                            state.suppressed_links += 1;
+                        } else {
+                            state.links.push(Link::new(
+                                gst_node,
+                                sat_node,
+                                LinkKind::GroundStationLink,
+                                gst_pos.distance_to(sat_pos),
+                                bandwidth,
+                            ));
+                        }
                     }
                 }
             }
@@ -448,6 +487,7 @@ impl ConstellationBuilder {
             shell_offsets,
             satellite_total: offset,
             ground_ecef,
+            suppression: None,
         })
     }
 }
@@ -472,6 +512,8 @@ pub struct ConstellationState {
     shell_offsets: Vec<usize>,
     satellite_total: usize,
     ground_station_total: usize,
+    /// Links removed from this state by the chaos link-flap mask.
+    suppressed_links: usize,
 }
 
 impl Clone for ConstellationState {
@@ -487,6 +529,7 @@ impl Clone for ConstellationState {
             shell_offsets: self.shell_offsets.clone(),
             satellite_total: self.satellite_total,
             ground_station_total: self.ground_station_total,
+            suppressed_links: self.suppressed_links,
         }
     }
 
@@ -504,6 +547,7 @@ impl Clone for ConstellationState {
         self.shell_offsets.clone_from(&source.shell_offsets);
         self.satellite_total = source.satellite_total;
         self.ground_station_total = source.ground_station_total;
+        self.suppressed_links = source.suppressed_links;
     }
 }
 
@@ -511,6 +555,11 @@ impl ConstellationState {
     /// Number of satellites in the state.
     pub fn satellite_count(&self) -> usize {
         self.satellite_total
+    }
+
+    /// Number of links the chaos link-flap mask removed from this state.
+    pub fn suppressed_link_count(&self) -> usize {
+        self.suppressed_links
     }
 
     /// Number of ground stations in the state.
@@ -957,5 +1006,61 @@ mod tests {
         assert_eq!(id, GroundStationId(1));
         assert_eq!(gst.name, "abuja");
         assert!(c.ground_station_by_name("nowhere").is_none());
+    }
+
+    fn flap_everything() -> crate::suppression::LinkSuppression {
+        // down_fraction 1.0: every link is suppressed for the whole window.
+        crate::suppression::LinkSuppression::new(vec![crate::suppression::FlapWindow {
+            start_s: 0.0,
+            end_s: 100.0,
+            period_s: 5.0,
+            down_fraction: 1.0,
+            salt: 3,
+        }])
+    }
+
+    #[test]
+    fn link_suppression_removes_links_and_counts_them() {
+        let mut suppressed = small_constellation();
+        suppressed.set_link_suppression(flap_everything());
+        let baseline = small_constellation().state_at(10.0).unwrap();
+        let masked = suppressed.state_at(10.0).unwrap();
+        assert!(!baseline.links.is_empty());
+        assert!(masked.links.is_empty(), "full-duty flap left {} links", masked.links.len());
+        assert_eq!(masked.suppressed_link_count(), baseline.links.len());
+        assert_eq!(baseline.suppressed_link_count(), 0);
+        // Outside the window the mask is inert and the count resets.
+        let after = suppressed.state_at(200.0).unwrap();
+        let reference = small_constellation().state_at(200.0).unwrap();
+        assert_eq!(after, reference);
+        assert_eq!(after.suppressed_link_count(), 0);
+    }
+
+    #[test]
+    fn suppressed_states_are_bit_identical_across_thread_counts() {
+        let mut c = small_constellation();
+        c.set_link_suppression(crate::suppression::LinkSuppression::new(vec![
+            crate::suppression::FlapWindow {
+                start_s: 0.0,
+                end_s: 60.0,
+                period_s: 3.0,
+                down_fraction: 0.4,
+                salt: 9,
+            },
+        ]));
+        for t in [0.0, 7.5, 31.0, 59.9] {
+            let mut one = StateBuffers::with_threads(1);
+            let mut many = StateBuffers::with_threads(3);
+            c.state_at_into(t, &mut one).expect("state");
+            c.state_at_into(t, &mut many).expect("state");
+            assert_eq!(one.state(), many.state(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_suppression_mask_is_discarded() {
+        let mut c = small_constellation();
+        c.set_link_suppression(crate::suppression::LinkSuppression::default());
+        assert!(c.link_suppression().is_none());
     }
 }

@@ -51,6 +51,7 @@ pub mod links;
 pub mod path;
 pub mod shell;
 pub mod snapshot;
+pub mod suppression;
 
 pub use bbox::BoundingBox;
 pub use constellation::{Constellation, ConstellationBuilder, ConstellationState, StateBuffers};
@@ -60,3 +61,4 @@ pub use links::{Link, LinkKind};
 pub use path::{NetworkGraph, PathAlgorithm, ShortestPaths};
 pub use shell::Shell;
 pub use snapshot::{ConstellationDiff, ConstellationSnapshot};
+pub use suppression::{FlapWindow, LinkSuppression};

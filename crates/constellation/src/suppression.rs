@@ -1,0 +1,196 @@
+//! Link-level chaos: windows during which links oscillate ("flap").
+//!
+//! A [`LinkSuppression`] mask is a set of [`FlapWindow`]s. While a window is
+//! active, every link flaps with the window's period: each link spends
+//! `down_fraction` of every period suppressed, with a per-link phase derived
+//! deterministically from the window salt and the link's endpoints. The mask
+//! is a **pure function of time** — no mutable state, no RNG draws at
+//! evaluation time — so the epoch pipeline can evaluate it on a background
+//! thread and still produce bit-identical results to a synchronous run (the
+//! determinism contract of `docs/SHARDING.md`, extended in `docs/CHAOS.md`).
+
+use celestial_types::ids::NodeId;
+
+/// One link-flap storm: all links oscillate between `start_s` and `end_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlapWindow {
+    /// Window start, in simulated seconds.
+    pub start_s: f64,
+    /// Window end (exclusive), in simulated seconds.
+    pub end_s: f64,
+    /// Flap period, in seconds. Each link completes one up/down cycle per
+    /// period while the window is active.
+    pub period_s: f64,
+    /// Fraction of each period a link spends suppressed, in `(0, 1)`.
+    pub down_fraction: f64,
+    /// Seed for the per-link phase hash, so distinct storms de-correlate.
+    pub salt: u64,
+}
+
+impl FlapWindow {
+    /// Returns `true` if the window suppresses the link `(a, b)` at time `t`.
+    fn suppresses(&self, t_seconds: f64, a: NodeId, b: NodeId) -> bool {
+        if t_seconds < self.start_s || t_seconds >= self.end_s || self.period_s <= 0.0 {
+            return false;
+        }
+        let phase = link_phase(self.salt, a, b);
+        let cycles = (t_seconds - self.start_s) / self.period_s + phase;
+        let frac = cycles - cycles.floor();
+        frac < self.down_fraction
+    }
+}
+
+/// A deterministic link-suppression mask, installed on a
+/// [`Constellation`](crate::Constellation) before the coordinator is built so
+/// that both the synchronous and the pipelined epoch engine carry the same
+/// mask. Suppressed links vanish from the link list and the CSR graph build
+/// in [`state_at_into`](crate::Constellation::state_at_into); the per-epoch
+/// count is surfaced as
+/// [`ConstellationState::suppressed_link_count`](crate::ConstellationState::suppressed_link_count).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkSuppression {
+    windows: Vec<FlapWindow>,
+}
+
+impl LinkSuppression {
+    /// Creates a mask from a set of flap windows.
+    pub fn new(windows: Vec<FlapWindow>) -> Self {
+        LinkSuppression { windows }
+    }
+
+    /// The flap windows of this mask.
+    pub fn windows(&self) -> &[FlapWindow] {
+        &self.windows
+    }
+
+    /// Returns `true` if the mask holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The end of the last window, i.e. the time after which the mask never
+    /// suppresses anything again.
+    pub fn last_end_s(&self) -> f64 {
+        self.windows.iter().map(|w| w.end_s).fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if the link `(a, b)` is suppressed at time `t`.
+    ///
+    /// Pure in `t`: two evaluations with the same arguments always agree,
+    /// regardless of thread, call order or prior calls.
+    pub fn suppressed(&self, t_seconds: f64, a: NodeId, b: NodeId) -> bool {
+        self.windows.iter().any(|w| w.suppresses(t_seconds, a, b))
+    }
+}
+
+/// Deterministic per-link phase in `[0, 1)`: an FNV-1a hash of the window
+/// salt and the canonical (order-independent) endpoint encoding.
+fn link_phase(salt: u64, a: NodeId, b: NodeId) -> f64 {
+    let (ea, eb) = (encode(a), encode(b));
+    let (lo, hi) = if ea <= eb { (ea, eb) } else { (eb, ea) };
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for word in [salt, lo, hi] {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    // Top 53 bits → an exactly representable f64 in [0, 1).
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Injective `NodeId` → `u64` encoding for hashing.
+fn encode(node: NodeId) -> u64 {
+    match node {
+        NodeId::Satellite(sat) => (u64::from(sat.shell.0) << 32) | u64::from(sat.index),
+        NodeId::GroundStation(gst) => (1u64 << 63) | u64::from(gst.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> FlapWindow {
+        FlapWindow {
+            start_s: 10.0,
+            end_s: 20.0,
+            period_s: 2.0,
+            down_fraction: 0.5,
+            salt: 7,
+        }
+    }
+
+    #[test]
+    fn suppression_is_inactive_outside_the_window() {
+        let mask = LinkSuppression::new(vec![window()]);
+        let (a, b) = (NodeId::satellite(0, 0), NodeId::satellite(0, 1));
+        for t in [0.0, 9.99, 20.0, 100.0] {
+            assert!(!mask.suppressed(t, a, b), "t={t}");
+        }
+    }
+
+    #[test]
+    fn suppression_is_direction_independent_and_deterministic() {
+        let mask = LinkSuppression::new(vec![window()]);
+        let (a, b) = (NodeId::satellite(0, 3), NodeId::ground_station(1));
+        for step in 0..200 {
+            let t = 10.0 + 0.05 * step as f64;
+            assert_eq!(mask.suppressed(t, a, b), mask.suppressed(t, b, a), "t={t}");
+            assert_eq!(mask.suppressed(t, a, b), mask.suppressed(t, a, b), "t={t}");
+        }
+    }
+
+    #[test]
+    fn each_link_spends_roughly_the_down_fraction_suppressed() {
+        let mask = LinkSuppression::new(vec![window()]);
+        let mut down = 0usize;
+        let samples = 1_000;
+        let (a, b) = (NodeId::satellite(0, 0), NodeId::satellite(0, 1));
+        for step in 0..samples {
+            let t = 10.0 + 10.0 * (step as f64 + 0.5) / samples as f64;
+            if mask.suppressed(t, a, b) {
+                down += 1;
+            }
+        }
+        let fraction = down as f64 / samples as f64;
+        assert!((0.35..=0.65).contains(&fraction), "fraction={fraction}");
+    }
+
+    #[test]
+    fn different_links_flap_at_different_phases() {
+        let mask = LinkSuppression::new(vec![window()]);
+        // At a fixed instant some links are up and some are down; if every
+        // link shared a phase the storm would be a (trivial) full outage.
+        let t = 11.3;
+        let states: Vec<bool> = (0..32)
+            .map(|i| mask.suppressed(t, NodeId::satellite(0, i), NodeId::satellite(0, i + 1)))
+            .collect();
+        assert!(states.iter().any(|&s| s));
+        assert!(states.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn salts_decorrelate_storms() {
+        let w1 = FlapWindow { salt: 1, ..window() };
+        let w2 = FlapWindow { salt: 2, ..window() };
+        let m1 = LinkSuppression::new(vec![w1]);
+        let m2 = LinkSuppression::new(vec![w2]);
+        let (a, b) = (NodeId::satellite(0, 0), NodeId::satellite(0, 1));
+        let differ = (0..100).any(|step| {
+            let t = 10.0 + 0.1 * step as f64;
+            m1.suppressed(t, a, b) != m2.suppressed(t, a, b)
+        });
+        assert!(differ, "salts 1 and 2 produced identical flap schedules");
+    }
+
+    #[test]
+    fn last_end_reports_the_latest_window() {
+        let mask = LinkSuppression::new(vec![
+            window(),
+            FlapWindow { start_s: 30.0, end_s: 44.5, ..window() },
+        ]);
+        assert_eq!(mask.last_end_s(), 44.5);
+        assert_eq!(LinkSuppression::default().last_end_s(), 0.0);
+    }
+}

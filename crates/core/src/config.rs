@@ -73,6 +73,102 @@ pub struct TestbedConfig {
     pub hosts: Vec<HostConfig>,
     /// Whether suspended microVMs return their memory (virtio ballooning).
     pub ballooning: bool,
+    /// Correlated chaos injection (`[chaos]` in TOML). `None` disables the
+    /// chaos engine entirely (see `docs/CHAOS.md`).
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// The `[chaos]` section: how many correlated fault windows of each kind the
+/// chaos engine schedules, and their shape. All schedules derive from the
+/// run's `seed` through per-generator `SimRng::derive("chaos.<generator>")`
+/// streams, so they are bit-reproducible and stream-independent (see
+/// `docs/CHAOS.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Number of whole-orbital-plane outage windows (`plane-outages`).
+    pub plane_outages: u32,
+    /// Mean plane-outage duration in seconds (`plane-outage-mean-s`).
+    pub plane_outage_mean_s: f64,
+    /// Number of solar-storm windows degrading a latitude band
+    /// (`solar-storms`).
+    pub solar_storms: u32,
+    /// Mean solar-storm duration in seconds (`solar-storm-mean-s`).
+    pub solar_storm_mean_s: f64,
+    /// Half-width of the degraded latitude band in degrees
+    /// (`solar-storm-band-half-width-deg`).
+    pub solar_storm_band_half_width_deg: f64,
+    /// CPU share degraded machines keep, in percent `(0, 100]`
+    /// (`solar-storm-cpu-share-percent`).
+    pub solar_storm_cpu_share_percent: u8,
+    /// Number of ground-station region blackouts (`region-blackouts`).
+    pub region_blackouts: u32,
+    /// Mean region-blackout duration in seconds (`region-blackout-mean-s`).
+    pub region_blackout_mean_s: f64,
+    /// Blackout radius in kilometres (`region-blackout-radius-km`).
+    pub region_blackout_radius_km: f64,
+    /// Number of link-flap storms (`link-flap-storms`).
+    pub link_flap_storms: u32,
+    /// Mean link-flap storm duration in seconds (`link-flap-mean-s`).
+    pub link_flap_mean_s: f64,
+    /// Flap period within a storm in seconds (`link-flap-period-s`).
+    pub link_flap_period_s: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            plane_outages: 1,
+            plane_outage_mean_s: 10.0,
+            solar_storms: 1,
+            solar_storm_mean_s: 10.0,
+            solar_storm_band_half_width_deg: 15.0,
+            solar_storm_cpu_share_percent: 25,
+            region_blackouts: 1,
+            region_blackout_mean_s: 10.0,
+            region_blackout_radius_km: 500.0,
+            link_flap_storms: 1,
+            link_flap_mean_s: 10.0,
+            link_flap_period_s: 4.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Validates the chaos parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for non-positive durations or an
+    /// out-of-range CPU share.
+    pub fn validate(&self) -> Result<()> {
+        for (key, value) in [
+            ("plane-outage-mean-s", self.plane_outage_mean_s),
+            ("solar-storm-mean-s", self.solar_storm_mean_s),
+            ("region-blackout-mean-s", self.region_blackout_mean_s),
+            ("region-blackout-radius-km", self.region_blackout_radius_km),
+            ("link-flap-mean-s", self.link_flap_mean_s),
+            ("link-flap-period-s", self.link_flap_period_s),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(Error::config(format!(
+                    "chaos {key} must be positive and finite, got {value} (see docs/CHAOS.md)"
+                )));
+            }
+        }
+        if self.solar_storm_band_half_width_deg < 0.0 {
+            return Err(Error::config(
+                "chaos solar-storm-band-half-width-deg must be non-negative (see docs/CHAOS.md)",
+            ));
+        }
+        if self.solar_storm_cpu_share_percent == 0 || self.solar_storm_cpu_share_percent > 100 {
+            return Err(Error::config(format!(
+                "chaos solar-storm-cpu-share-percent must be in (0, 100], got {} \
+                 (see docs/CHAOS.md)",
+                self.solar_storm_cpu_share_percent
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for TestbedConfig {
@@ -91,6 +187,7 @@ impl Default for TestbedConfig {
             host_latency_us: None,
             hosts: vec![HostConfig::default(); 3],
             ballooning: false,
+            chaos: None,
         }
     }
 }
@@ -182,6 +279,50 @@ impl TestbedConfig {
                 config.ground_stations.push(parse_ground_station(gst)?);
             }
         }
+        if let Some(chaos) = table.get("chaos").and_then(|v| v.as_table()) {
+            let defaults = ChaosConfig::default();
+            let count = |key: &str, default: u32| -> Result<u32> {
+                match chaos.get_i64(key) {
+                    Some(n) if n < 0 => {
+                        Err(Error::config(format!("chaos {key} must be non-negative")))
+                    }
+                    Some(n) => Ok(n as u32),
+                    None => Ok(default),
+                }
+            };
+            config.chaos = Some(ChaosConfig {
+                plane_outages: count("plane-outages", defaults.plane_outages)?,
+                plane_outage_mean_s: chaos
+                    .get_f64("plane-outage-mean-s")
+                    .unwrap_or(defaults.plane_outage_mean_s),
+                solar_storms: count("solar-storms", defaults.solar_storms)?,
+                solar_storm_mean_s: chaos
+                    .get_f64("solar-storm-mean-s")
+                    .unwrap_or(defaults.solar_storm_mean_s),
+                solar_storm_band_half_width_deg: chaos
+                    .get_f64("solar-storm-band-half-width-deg")
+                    .unwrap_or(defaults.solar_storm_band_half_width_deg),
+                solar_storm_cpu_share_percent: chaos
+                    .get_i64("solar-storm-cpu-share-percent")
+                    .map_or(defaults.solar_storm_cpu_share_percent, |p| {
+                        p.clamp(0, 255) as u8
+                    }),
+                region_blackouts: count("region-blackouts", defaults.region_blackouts)?,
+                region_blackout_mean_s: chaos
+                    .get_f64("region-blackout-mean-s")
+                    .unwrap_or(defaults.region_blackout_mean_s),
+                region_blackout_radius_km: chaos
+                    .get_f64("region-blackout-radius-km")
+                    .unwrap_or(defaults.region_blackout_radius_km),
+                link_flap_storms: count("link-flap-storms", defaults.link_flap_storms)?,
+                link_flap_mean_s: chaos
+                    .get_f64("link-flap-mean-s")
+                    .unwrap_or(defaults.link_flap_mean_s),
+                link_flap_period_s: chaos
+                    .get_f64("link-flap-period-s")
+                    .unwrap_or(defaults.link_flap_period_s),
+            });
+        }
         if let Some(hosts) = table.get("host").and_then(|v| v.as_table_array()) {
             config.hosts = hosts
                 .iter()
@@ -235,6 +376,9 @@ impl TestbedConfig {
                     gst.name
                 )));
             }
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
         }
         Ok(())
     }
@@ -392,6 +536,13 @@ impl TestbedConfigBuilder {
     /// Enables or disables virtio ballooning for suspended machines.
     pub fn ballooning(mut self, enabled: bool) -> Self {
         self.config.ballooning = enabled;
+        self
+    }
+
+    /// Enables the chaos engine with the given generator mix (see
+    /// `docs/CHAOS.md`).
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
         self
     }
 
@@ -618,6 +769,51 @@ min-elevation-deg = 30.0
         let result = TestbedConfig::builder()
             .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
             .hosts(Vec::new())
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn chaos_section_parses_with_defaults_and_overrides() {
+        let toml = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n\
+                    [chaos]\nplane-outages = 3\nsolar-storm-cpu-share-percent = 10\n\
+                    link-flap-period-s = 2.5\n";
+        let config = TestbedConfig::from_toml(toml).expect("parses");
+        let chaos = config.chaos.expect("[chaos] section enables the engine");
+        assert_eq!(chaos.plane_outages, 3);
+        assert_eq!(chaos.solar_storm_cpu_share_percent, 10);
+        assert_eq!(chaos.link_flap_period_s, 2.5);
+        // Unspecified keys keep the documented defaults.
+        let defaults = ChaosConfig::default();
+        assert_eq!(chaos.solar_storms, defaults.solar_storms);
+        assert_eq!(chaos.region_blackout_radius_km, defaults.region_blackout_radius_km);
+        // No [chaos] section → chaos disabled.
+        let plain = TestbedConfig::from_toml(
+            "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 2\nsatellites-per-plane = 4\n",
+        )
+        .expect("parses");
+        assert!(plain.chaos.is_none());
+    }
+
+    #[test]
+    fn invalid_chaos_parameters_are_rejected() {
+        let base = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n[chaos]\n";
+        for bad in [
+            "plane-outage-mean-s = 0.0\n",
+            "link-flap-period-s = -2.0\n",
+            "solar-storm-cpu-share-percent = 0\n",
+            "solar-storm-cpu-share-percent = 150\n",
+            "plane-outages = -1\n",
+        ] {
+            let toml = format!("{base}{bad}");
+            assert!(TestbedConfig::from_toml(&toml).is_err(), "accepted {bad:?}");
+        }
+        let invalid = ChaosConfig { solar_storm_cpu_share_percent: 0, ..ChaosConfig::default() };
+        let result = TestbedConfig::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 1, 2)))
+            .chaos(invalid)
             .build();
         assert!(result.is_err());
     }

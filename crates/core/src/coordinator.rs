@@ -149,6 +149,13 @@ impl Coordinator {
         self.database.set_shard_apply(&report.shard_ns, report.wall_ns);
     }
 
+    /// Records the chaos engine's activity so the `/info` route can report
+    /// it (`chaos_events`, `chaos_active_faults`, `links_suppressed`; see
+    /// `docs/CHAOS.md`).
+    pub fn record_chaos(&mut self, events: u64, active_faults: u64, links_suppressed: u64) {
+        self.database.set_chaos(events, active_faults, links_suppressed);
+    }
+
     /// Runtime statistics of the epoch pipeline (handover wait, precompute
     /// lead, mispredictions).
     pub fn pipeline_stats(&self) -> PipelineStats {

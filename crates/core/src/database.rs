@@ -49,6 +49,20 @@ pub struct ShardReport {
     pub wall_ns: u64,
 }
 
+/// Summary of the chaos engine's activity, surfaced through the `/info`
+/// route (`chaos_events`, `chaos_active_faults`, `links_suppressed`). See
+/// `docs/CHAOS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosReport {
+    /// Total chaos events lowered from the schedule (fault events plus
+    /// link-flap windows); constant over a run.
+    pub events: u64,
+    /// Injected fault windows in effect at the latest update.
+    pub active_faults: u64,
+    /// Links the flap mask removed from the latest epoch's state.
+    pub links_suppressed: u64,
+}
+
 /// The central database behind the info API.
 #[derive(Debug, Clone)]
 pub struct InfoDatabase {
@@ -63,6 +77,7 @@ pub struct InfoDatabase {
     programme_stats: Option<ProgrammeStats>,
     pipeline_report: Option<PipelineReport>,
     shard_report: Option<ShardReport>,
+    chaos_report: Option<ChaosReport>,
 }
 
 impl InfoDatabase {
@@ -77,6 +92,7 @@ impl InfoDatabase {
             programme_stats: None,
             pipeline_report: None,
             shard_report: None,
+            chaos_report: None,
         }
     }
 
@@ -169,6 +185,19 @@ impl InfoDatabase {
     /// The host-sharded plane's summary, if the testbed runs sharded.
     pub fn shard_report(&self) -> Option<&ShardReport> {
         self.shard_report.as_ref()
+    }
+
+    /// Records the chaos engine's activity at the latest update.
+    pub fn set_chaos(&mut self, events: u64, active_faults: u64, links_suppressed: u64) {
+        let report = self.chaos_report.get_or_insert_with(ChaosReport::default);
+        report.events = events;
+        report.active_faults = active_faults;
+        report.links_suppressed = links_suppressed;
+    }
+
+    /// The chaos engine's summary, if a run has chaos configured.
+    pub fn chaos_report(&self) -> Option<&ChaosReport> {
+        self.chaos_report.as_ref()
     }
 
     /// The latest constellation state, if an update has happened.

@@ -124,6 +124,9 @@ impl<'a> InfoApi<'a> {
                     .database
                     .shard_report()
                     .map(|r| r.wall_ns as f64 / 1e6),
+                "chaos_events": self.database.chaos_report().map(|r| r.events),
+                "chaos_active_faults": self.database.chaos_report().map(|r| r.active_faults),
+                "links_suppressed": self.database.chaos_report().map(|r| r.links_suppressed),
             })),
             InfoRequest::Shell(shell) => {
                 let s = self

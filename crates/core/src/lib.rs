@@ -67,6 +67,7 @@ pub mod database;
 pub mod dns;
 pub mod estimator;
 pub mod info_api;
+pub mod invariants;
 pub mod ipam;
 pub mod machine_manager;
 pub mod netprog;

@@ -7,6 +7,7 @@
 //! applied centrally by the testbed (the rule table is shared), so the
 //! machine manager focuses on machine lifecycle and host accounting.
 
+use celestial_machines::cgroup::CpuQuota;
 use celestial_machines::{FirecrackerModel, Host, MicroVm};
 use celestial_types::ids::{HostId, MachineId, NodeId};
 use celestial_types::resources::MachineResources;
@@ -170,6 +171,51 @@ impl MachineManager {
         vm.fail()
     }
 
+    /// Degrades the machine for `node` to `cpu_share_percent` of its vCPU
+    /// quota — the cgroup path for `FaultKind::Degradation`: the CPU quota
+    /// shrinks via [`CpuQuota::restricted`], the machine keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node has no machine, the machine is not
+    /// running, or the share is outside `(0, 100]`.
+    pub fn degrade(&mut self, node: NodeId, cpu_share_percent: u8) -> Result<()> {
+        let share = f64::from(cpu_share_percent) / 100.0;
+        if !(share > 0.0 && share <= 1.0) {
+            return Err(Error::config(format!(
+                "degradation share {cpu_share_percent}% for {node} must be in (0, 100]"
+            )));
+        }
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .ok_or_else(|| Error::unknown_node(format!("{node}")))?;
+        // Route the reduction through the cgroup CPU-quota model, exactly
+        // like a real host would reprogram cpu.max for the jailer cgroup.
+        let quota = CpuQuota::restricted(vm.resources(), share);
+        vm.degrade(quota.effective_cores() / f64::from(vm.resources().vcpus.max(1)))
+    }
+
+    /// Restores the full vCPU quota of the machine for `node` (degradation
+    /// recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node has no machine.
+    pub fn restore(&mut self, node: NodeId) -> Result<()> {
+        let vm = self
+            .host
+            .machine_for_node_mut(node)
+            .ok_or_else(|| Error::unknown_node(format!("{node}")))?;
+        vm.restore_cpu_share();
+        Ok(())
+    }
+
+    /// The current CPU share of the machine for `node`, if it exists.
+    pub fn cpu_share(&self, node: NodeId) -> Option<f64> {
+        self.host.machine_for_node(node).map(MicroVm::cpu_share)
+    }
+
     /// Sets the guest CPU load of the machine for `node` (no-op when the
     /// machine does not exist or is not running).
     pub fn set_cpu_load(&mut self, node: NodeId, load: f64) {
@@ -307,6 +353,24 @@ mod tests {
             .create_machine(NodeId::ground_station(1), MachineResources::paper_client())
             .unwrap();
         assert_eq!(second.0, first.0 + 1, "failed placements must not consume ids");
+    }
+
+    #[test]
+    fn degradation_goes_through_the_cgroup_quota_not_fail() {
+        let mut m = manager();
+        let node = NodeId::satellite(0, 4);
+        let resources = MachineResources::paper_satellite();
+        let ready = m.activate(node, &resources, SimInstant::EPOCH).unwrap();
+        m.finish_boot(node, ready).unwrap();
+        m.degrade(node, 25).unwrap();
+        assert!(m.is_running(node), "degradation must not crash the machine");
+        assert_eq!(m.cpu_share(node), Some(0.25));
+        m.restore(node).unwrap();
+        assert_eq!(m.cpu_share(node), Some(1.0));
+        // Invalid shares and missing machines are errors, not silent crashes.
+        assert!(m.degrade(node, 0).is_err());
+        assert!(m.degrade(NodeId::satellite(0, 99), 50).is_err());
+        assert!(m.restore(NodeId::satellite(0, 99)).is_err());
     }
 
     #[test]

@@ -9,13 +9,14 @@
 //! query the info API exactly as a real guest would query the per-host HTTP
 //! server.
 
-use crate::config::TestbedConfig;
+use crate::config::{ChaosConfig, TestbedConfig};
 use crate::coordinator::Coordinator;
 use crate::database::InfoDatabase;
 use crate::dns::DnsService;
 use crate::machine_manager::MachineManager;
-use celestial_constellation::Constellation;
-use celestial_machines::{FaultEvent, FirecrackerModel};
+use celestial_constellation::{Constellation, FlapWindow, LinkSuppression};
+use celestial_machines::chaos::{ChaosEngine, ChaosSpec, ChaosTopology};
+use celestial_machines::{FaultEvent, FaultKind, FirecrackerModel};
 use celestial_netem::overlay::HostOverlay;
 use celestial_netem::packet::Packet;
 use celestial_netem::shard::{NetworkPlane, PlacementPolicy, ShardPlan};
@@ -25,7 +26,7 @@ use celestial_types::ids::{HostId, NodeId};
 use celestial_types::resources::MachineResources;
 use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Error, Latency, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A guest application running on the testbed.
 ///
@@ -237,6 +238,19 @@ pub struct Testbed {
     messages_delivered: u64,
     messages_dropped: u64,
     failed_recoveries: u64,
+    /// Faults that landed on a machine unable to take them (already down,
+    /// never created, or not running for a degradation) and were ignored.
+    ignored_faults: u64,
+    /// Nodes currently degraded (reduced CPU share); their recovery restores
+    /// the quota instead of re-activating the machine.
+    degraded: BTreeSet<NodeId>,
+    /// Total chaos events lowered from the chaos schedule (fault events plus
+    /// link-flap windows); zero when chaos is disabled.
+    chaos_events: u64,
+    /// Injected fault windows currently in effect.
+    active_faults: u64,
+    /// Whether a `[chaos]` section is configured (drives `/info` reporting).
+    chaos_enabled: bool,
 }
 
 impl Testbed {
@@ -248,12 +262,24 @@ impl Testbed {
     /// propagates constellation construction failures.
     pub fn new(config: &TestbedConfig) -> Result<Self> {
         config.validate()?;
-        let constellation = Constellation::builder()
+        let mut constellation = Constellation::builder()
             .shells(config.shells.iter().cloned())
             .ground_stations(config.ground_stations.iter().cloned())
             .bounding_box(config.bounding_box)
             .path_algorithm(config.path_algorithm)
             .build()?;
+
+        // Lower the chaos schedule before the coordinator is built: the epoch
+        // pipeline clones the constellation at construction, so the link-flap
+        // mask must already be installed for the pipelined worker to see it.
+        let mut chaos_faults: Vec<FaultEvent> = Vec::new();
+        let mut chaos_events = 0u64;
+        if let Some(chaos) = &config.chaos {
+            let (faults, mask) = Self::schedule_chaos(config, chaos, &constellation)?;
+            chaos_events = faults.len() as u64 + mask.windows().len() as u64;
+            chaos_faults = faults;
+            constellation.set_link_suppression(mask);
+        }
 
         let dns = DnsService::new(
             config.shells.iter().map(|s| s.satellite_count()).collect(),
@@ -300,7 +326,7 @@ impl Testbed {
             placement: PlacementPolicy::RoundRobin,
             dns,
             rng: SimRng::seed_from_u64(config.seed),
-            scheduled_faults: Vec::new(),
+            scheduled_faults: chaos_faults,
             host_cpu: vec![TimeSeries::new(); host_count],
             host_memory: vec![TimeSeries::new(); host_count],
             host_processes: vec![TimeSeries::new(); host_count],
@@ -308,7 +334,124 @@ impl Testbed {
             messages_delivered: 0,
             messages_dropped: 0,
             failed_recoveries: 0,
+            ignored_faults: 0,
+            degraded: BTreeSet::new(),
+            chaos_events,
+            active_faults: 0,
+            chaos_enabled: config.chaos.is_some(),
         })
+    }
+
+    /// Lowers the `[chaos]` configuration onto concrete fault events and a
+    /// link-suppression mask.
+    ///
+    /// Every generator draws from its own `SimRng::derive("chaos.<g>")`
+    /// stream seeded from the run seed, so the schedule is bit-reproducible
+    /// and independent of everything else the testbed randomises. The
+    /// horizon leaves two update intervals of slack before the experiment
+    /// ends, which is what makes the post-recovery convergence guarantee of
+    /// `docs/CHAOS.md` observable within the run.
+    fn schedule_chaos(
+        config: &TestbedConfig,
+        chaos: &ChaosConfig,
+        constellation: &Constellation,
+    ) -> Result<(Vec<FaultEvent>, LinkSuppression)> {
+        let engine = ChaosEngine {
+            plane_outages: chaos.plane_outages,
+            plane_outage_mean_s: chaos.plane_outage_mean_s,
+            solar_storms: chaos.solar_storms,
+            solar_storm_mean_s: chaos.solar_storm_mean_s,
+            solar_storm_band_half_width_deg: chaos.solar_storm_band_half_width_deg,
+            solar_storm_cpu_share_percent: chaos.solar_storm_cpu_share_percent,
+            region_blackouts: chaos.region_blackouts,
+            region_blackout_mean_s: chaos.region_blackout_mean_s,
+            region_blackout_radius_km: chaos.region_blackout_radius_km,
+            link_flap_storms: chaos.link_flap_storms,
+            link_flap_mean_s: chaos.link_flap_mean_s,
+            link_flap_period_s: chaos.link_flap_period_s,
+        };
+        let topology = ChaosTopology {
+            shells: config
+                .shells
+                .iter()
+                .map(|s| (s.walker.planes, s.walker.satellites_per_plane))
+                .collect(),
+            ground_stations: config
+                .ground_stations
+                .iter()
+                .map(|g| (g.position.latitude_deg(), g.position.longitude_deg()))
+                .collect(),
+        };
+        let horizon = (config.duration_s - 2.0 * config.update_interval_s).max(0.0);
+        let windows = engine.generate(&topology, horizon, &SimRng::seed_from_u64(config.seed));
+
+        let mut faults = Vec::new();
+        let mut flaps = Vec::new();
+        for window in &windows {
+            let at = SimInstant::from_secs_f64(window.start_s);
+            let recover_at = Some(SimInstant::from_secs_f64(window.end_s));
+            match window.spec {
+                ChaosSpec::PlaneOutage { shell, plane } => {
+                    let per_plane = config.shells[shell as usize].walker.satellites_per_plane;
+                    for idx in plane * per_plane..(plane + 1) * per_plane {
+                        faults.push(FaultEvent {
+                            node: NodeId::satellite(shell, idx),
+                            at,
+                            kind: FaultKind::CrashAndReboot,
+                            recover_at,
+                        });
+                    }
+                }
+                ChaosSpec::SolarStorm { lat_min_deg, lat_max_deg, cpu_share_percent } => {
+                    // Band membership against propagated positions at the
+                    // window start — the storm hits the satellites actually
+                    // crossing the band, not a static index range.
+                    let state = constellation.state_at(window.start_s)?;
+                    for (shell_idx, shell) in config.shells.iter().enumerate() {
+                        for sat_idx in 0..shell.satellite_count() {
+                            let node = NodeId::satellite(shell_idx as u16, sat_idx);
+                            let lat = state.position(node)?.to_geodetic().latitude_deg();
+                            if (lat_min_deg..=lat_max_deg).contains(&lat) {
+                                faults.push(FaultEvent {
+                                    node,
+                                    at,
+                                    kind: FaultKind::Degradation { cpu_share_percent },
+                                    recover_at,
+                                });
+                            }
+                        }
+                    }
+                }
+                ChaosSpec::RegionBlackout { center_lat_deg, center_lon_deg, radius_km } => {
+                    let center = celestial_types::geo::Geodetic::new(
+                        center_lat_deg,
+                        center_lon_deg,
+                        0.0,
+                    );
+                    for (gst_idx, gst) in config.ground_stations.iter().enumerate() {
+                        if center.great_circle_distance_km(&gst.position) <= radius_km {
+                            faults.push(FaultEvent {
+                                node: NodeId::ground_station(gst_idx as u32),
+                                at,
+                                kind: FaultKind::CrashAndReboot,
+                                recover_at,
+                            });
+                        }
+                    }
+                }
+                ChaosSpec::LinkFlap { period_s, down_fraction, salt } => {
+                    flaps.push(FlapWindow {
+                        start_s: window.start_s,
+                        end_s: window.end_s,
+                        period_s,
+                        down_fraction,
+                        salt,
+                    });
+                }
+            }
+        }
+        faults.sort_by_key(|f| (f.at, f.node));
+        Ok((faults, LinkSuppression::new(flaps)))
     }
 
     /// The configuration this testbed was built from.
@@ -367,6 +510,26 @@ impl Testbed {
     /// zero; failures no longer vanish silently.
     pub fn failed_recoveries(&self) -> u64 {
         self.failed_recoveries
+    }
+
+    /// Number of injected faults that were ignored because the target
+    /// machine could not take them — e.g. a second crash landing inside an
+    /// earlier outage window, or a degradation of a machine that is not
+    /// running. Mirrors [`failed_recoveries`](Self::failed_recoveries):
+    /// nothing vanishes silently.
+    pub fn ignored_faults(&self) -> u64 {
+        self.ignored_faults
+    }
+
+    /// Total chaos events lowered from the `[chaos]` schedule (fault events
+    /// plus link-flap windows); zero when chaos is disabled.
+    pub fn chaos_events(&self) -> u64 {
+        self.chaos_events
+    }
+
+    /// Number of injected fault windows currently in effect.
+    pub fn active_faults(&self) -> u64 {
+        self.active_faults
     }
 
     /// Schedules fault events (e.g. generated by
@@ -452,16 +615,44 @@ impl Testbed {
                 }
                 Event::Fault(fault) => {
                     let host = self.host_for(fault.node);
-                    // Machines that do not exist or are not booted simply
-                    // ignore the fault.
-                    let _ = self.managers[host].fail(fault.node);
-                    if let Some(recover_at) = fault.recover_at {
-                        sim.schedule_at(recover_at, Event::Recover(fault.node));
+                    let applied = match fault.kind {
+                        // Degradation shrinks the CPU quota through the
+                        // cgroup path; the machine keeps running.
+                        FaultKind::Degradation { cpu_share_percent } => self.managers[host]
+                            .degrade(fault.node, cpu_share_percent)
+                            .map(|()| {
+                                self.degraded.insert(fault.node);
+                            })
+                            .is_ok(),
+                        FaultKind::CrashAndReboot | FaultKind::PermanentFailure => {
+                            self.managers[host].fail(fault.node).is_ok()
+                        }
+                    };
+                    if applied {
+                        self.active_faults += 1;
+                        if let Some(recover_at) = fault.recover_at {
+                            sim.schedule_at(recover_at, Event::Recover(fault.node));
+                        }
+                    } else {
+                        // A fault on a machine that cannot take it — already
+                        // down inside an earlier outage window, never
+                        // created, or not running for a degradation — is
+                        // ignored and counted, and schedules no recovery:
+                        // the earlier window's recovery is already pending.
+                        self.ignored_faults += 1;
                     }
                 }
                 Event::Recover(node) => {
-                    let resources = self.resources_for(node);
+                    self.active_faults = self.active_faults.saturating_sub(1);
                     let host = self.host_for(node);
+                    if self.degraded.remove(&node) {
+                        // Degradation recovery: restore the full quota.
+                        if self.managers[host].restore(node).is_err() {
+                            self.failed_recoveries += 1;
+                        }
+                        continue;
+                    }
+                    let resources = self.resources_for(node);
                     match self.managers[host].activate(node, &resources, t) {
                         Ok(ready) => {
                             if ready > t {
@@ -516,6 +707,19 @@ impl Testbed {
         now: SimInstant,
     ) -> Result<()> {
         let diff = self.coordinator.update(now.as_secs_f64())?;
+
+        if self.chaos_enabled {
+            // Surface the chaos counters on `/info` at every epoch boundary:
+            // the static schedule size, the fault windows currently in
+            // effect, and how many links this epoch's flap mask removed.
+            let suppressed = self
+                .coordinator
+                .database()
+                .state()
+                .map_or(0, |s| s.suppressed_link_count() as u64);
+            self.coordinator
+                .record_chaos(self.chaos_events, self.active_faults, suppressed);
+        }
 
         // Machine lifecycle: boot newly active satellites, resume returning
         // ones, suspend those that left the bounding box. Ground stations are
@@ -799,5 +1003,130 @@ mod tests {
             .unwrap();
         assert!(host.is_running(accra));
         assert_eq!(testbed.failed_recoveries(), 0);
+    }
+
+    #[test]
+    fn degradation_throttles_instead_of_crashing() {
+        let config = west_africa_config(20.0);
+        let mut testbed = Testbed::new(&config).unwrap();
+        let accra = NodeId::ground_station(0);
+        // No recovery: the reduced quota must still be in force at the end.
+        testbed.schedule_faults([FaultEvent {
+            node: accra,
+            at: SimInstant::from_secs_f64(5.0),
+            kind: celestial_machines::FaultKind::Degradation { cpu_share_percent: 25 },
+            recover_at: None,
+        }]);
+        let mut app = PingPong::default();
+        testbed.run(&mut app).unwrap();
+        let host = testbed
+            .managers()
+            .iter()
+            .find(|m| m.has_machine(accra))
+            .unwrap();
+        // The machine was throttled, not killed: it keeps running, keeps
+        // answering pings, and no message is dropped.
+        assert!(host.is_running(accra));
+        assert!((host.cpu_share(accra).unwrap() - 0.25).abs() < 1e-9);
+        assert!(!app.rtts_ms.is_empty());
+        let (_, dropped) = testbed.message_counters();
+        assert_eq!(dropped, 0, "degradation must not drop traffic");
+        assert_eq!(testbed.ignored_faults(), 0);
+    }
+
+    #[test]
+    fn degradation_recovery_restores_the_full_quota() {
+        let config = west_africa_config(20.0);
+        let mut testbed = Testbed::new(&config).unwrap();
+        let accra = NodeId::ground_station(0);
+        testbed.schedule_faults([FaultEvent {
+            node: accra,
+            at: SimInstant::from_secs_f64(5.0),
+            kind: celestial_machines::FaultKind::Degradation { cpu_share_percent: 25 },
+            recover_at: Some(SimInstant::from_secs_f64(10.0)),
+        }]);
+        let mut app = PingPong::default();
+        testbed.run(&mut app).unwrap();
+        let host = testbed
+            .managers()
+            .iter()
+            .find(|m| m.has_machine(accra))
+            .unwrap();
+        assert!(host.is_running(accra));
+        assert!((host.cpu_share(accra).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(testbed.failed_recoveries(), 0);
+    }
+
+    #[test]
+    fn faults_on_downed_machines_are_ignored_and_counted() {
+        let config = west_africa_config(30.0);
+        let mut testbed = Testbed::new(&config).unwrap();
+        let accra = NodeId::ground_station(0);
+        testbed.schedule_faults([
+            FaultEvent {
+                node: accra,
+                at: SimInstant::from_secs_f64(5.0),
+                kind: celestial_machines::FaultKind::CrashAndReboot,
+                recover_at: Some(SimInstant::from_secs_f64(15.0)),
+            },
+            // Strikes while the machine is already down: ignored, and its
+            // recovery must not be scheduled (the machine stays down until
+            // the first fault's recovery at t=15).
+            FaultEvent {
+                node: accra,
+                at: SimInstant::from_secs_f64(8.0),
+                kind: celestial_machines::FaultKind::CrashAndReboot,
+                recover_at: Some(SimInstant::from_secs_f64(9.0)),
+            },
+            // A degradation on a downed machine is equally ignored.
+            FaultEvent {
+                node: accra,
+                at: SimInstant::from_secs_f64(10.0),
+                kind: celestial_machines::FaultKind::Degradation { cpu_share_percent: 50 },
+                recover_at: Some(SimInstant::from_secs_f64(12.0)),
+            },
+        ]);
+        let mut app = PingPong::default();
+        testbed.run(&mut app).unwrap();
+        assert_eq!(testbed.ignored_faults(), 2);
+        let host = testbed
+            .managers()
+            .iter()
+            .find(|m| m.has_machine(accra))
+            .unwrap();
+        assert!(host.is_running(accra));
+        // The ignored degradation left no residual quota once the machine
+        // rebooted.
+        assert!((host.cpu_share(accra).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(testbed.failed_recoveries(), 0);
+    }
+
+    #[test]
+    fn chaos_section_schedules_faults_and_reports_counters() {
+        let mut config = west_africa_config(40.0);
+        config.chaos = Some(crate::config::ChaosConfig::default());
+        let mut testbed = Testbed::new(&config).unwrap();
+        assert!(testbed.chaos_events() > 0);
+        let mut app = PingPong::default();
+        testbed.run(&mut app).unwrap();
+        let report = testbed
+            .coordinator()
+            .database()
+            .chaos_report()
+            .expect("chaos runs must publish a chaos report");
+        assert_eq!(report.events, testbed.chaos_events());
+        // Deterministic: the same seed schedules the same chaos.
+        let twin = Testbed::new(&config).unwrap();
+        assert_eq!(twin.chaos_events(), testbed.chaos_events());
+    }
+
+    #[test]
+    fn chaos_free_runs_publish_no_chaos_report() {
+        let config = west_africa_config(10.0);
+        let mut testbed = Testbed::new(&config).unwrap();
+        let mut app = PingPong::default();
+        testbed.run(&mut app).unwrap();
+        assert!(testbed.coordinator().database().chaos_report().is_none());
+        assert_eq!(testbed.chaos_events(), 0);
     }
 }

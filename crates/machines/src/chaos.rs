@@ -1,0 +1,376 @@
+//! Correlated chaos: fault generators that fail whole orbital planes,
+//! latitude bands, ground-station regions and link sets at once.
+//!
+//! The paper's radiation-fault model (§2.3) and the existing
+//! [`FaultInjector`](crate::fault::FaultInjector) produce *independent*
+//! per-machine crashes. Real constellations fail in correlated ways: a
+//! deployment error takes out an orbital plane, a solar storm degrades every
+//! satellite crossing a latitude band, a regional disaster silences a group
+//! of ground stations, interference makes whole link sets oscillate. The
+//! [`ChaosEngine`] composes four such generators into a seed-deterministic
+//! schedule of [`ChaosWindow`]s.
+//!
+//! Each generator draws from its own derived random stream
+//! (`SimRng::derive("chaos.<generator>")`), so schedules are
+//! **stream-independent**: reconfiguring one generator never perturbs the
+//! windows another generator produces, and none of them perturb the
+//! application's own random stream. See `docs/CHAOS.md`.
+
+use celestial_sim::rng::SimRng;
+
+/// The topology facts the generators need: per-shell plane shape and
+/// ground-station coordinates. A plain-data mirror of the constellation so
+/// this crate does not depend on the constellation crate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosTopology {
+    /// Per shell: `(planes, satellites_per_plane)`, in shell order.
+    pub shells: Vec<(u32, u32)>,
+    /// Per ground station: `(latitude_deg, longitude_deg)`, in config order.
+    pub ground_stations: Vec<(f64, f64)>,
+}
+
+impl ChaosTopology {
+    /// Total number of orbital planes across all shells.
+    fn plane_total(&self) -> u64 {
+        self.shells.iter().map(|&(planes, _)| u64::from(planes)).sum()
+    }
+}
+
+/// What a chaos window does while it is active.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosSpec {
+    /// Every satellite of one orbital plane crashes for the window.
+    PlaneOutage {
+        /// Shell index.
+        shell: u16,
+        /// Plane index within the shell.
+        plane: u32,
+    },
+    /// Every satellite inside a latitude band is degraded (reduced CPU
+    /// share) for the window. Band membership is evaluated against the
+    /// propagated position at the window start.
+    SolarStorm {
+        /// Southern band edge, degrees.
+        lat_min_deg: f64,
+        /// Northern band edge, degrees.
+        lat_max_deg: f64,
+        /// CPU share the degraded machines keep, in percent `(0, 100]`.
+        cpu_share_percent: u8,
+    },
+    /// Every ground station within a great-circle radius of a center
+    /// crashes for the window.
+    RegionBlackout {
+        /// Center latitude, degrees.
+        center_lat_deg: f64,
+        /// Center longitude, degrees.
+        center_lon_deg: f64,
+        /// Great-circle radius, kilometres.
+        radius_km: f64,
+    },
+    /// Every link oscillates for the window: each link spends
+    /// `down_fraction` of every `period_s` suppressed, with a per-link phase
+    /// derived from `salt`.
+    LinkFlap {
+        /// Flap period, seconds.
+        period_s: f64,
+        /// Fraction of each period a link spends down, in `(0, 1)`.
+        down_fraction: f64,
+        /// Per-storm phase salt.
+        salt: u64,
+    },
+}
+
+/// One scheduled chaos window: a spec active on `[start_s, end_s)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosWindow {
+    /// Window start, simulated seconds.
+    pub start_s: f64,
+    /// Window end (exclusive), simulated seconds.
+    pub end_s: f64,
+    /// What happens during the window.
+    pub spec: ChaosSpec,
+}
+
+/// The composed chaos configuration: how many windows of each kind to
+/// schedule and their shape parameters. `Default` is a moderate mix of all
+/// four generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEngine {
+    /// Number of plane-outage windows.
+    pub plane_outages: u32,
+    /// Mean plane-outage duration, seconds (exponentially distributed).
+    pub plane_outage_mean_s: f64,
+    /// Number of solar-storm windows.
+    pub solar_storms: u32,
+    /// Mean solar-storm duration, seconds.
+    pub solar_storm_mean_s: f64,
+    /// Half-width of the degraded latitude band, degrees.
+    pub solar_storm_band_half_width_deg: f64,
+    /// CPU share degraded machines keep, percent `(0, 100]`.
+    pub solar_storm_cpu_share_percent: u8,
+    /// Number of region-blackout windows.
+    pub region_blackouts: u32,
+    /// Mean region-blackout duration, seconds.
+    pub region_blackout_mean_s: f64,
+    /// Blackout radius around the chosen center, kilometres.
+    pub region_blackout_radius_km: f64,
+    /// Number of link-flap storms.
+    pub link_flap_storms: u32,
+    /// Mean link-flap storm duration, seconds.
+    pub link_flap_mean_s: f64,
+    /// Flap period within a storm, seconds.
+    pub link_flap_period_s: f64,
+}
+
+impl Default for ChaosEngine {
+    fn default() -> Self {
+        ChaosEngine {
+            plane_outages: 1,
+            plane_outage_mean_s: 10.0,
+            solar_storms: 1,
+            solar_storm_mean_s: 10.0,
+            solar_storm_band_half_width_deg: 15.0,
+            solar_storm_cpu_share_percent: 25,
+            region_blackouts: 1,
+            region_blackout_mean_s: 10.0,
+            region_blackout_radius_km: 500.0,
+            link_flap_storms: 1,
+            link_flap_mean_s: 10.0,
+            link_flap_period_s: 4.0,
+        }
+    }
+}
+
+/// Minimum window length: a window shorter than this is not observable at
+/// epoch granularity and is clamped up.
+const MIN_WINDOW_S: f64 = 1.0;
+
+impl ChaosEngine {
+    /// Generates the chaos schedule for one run.
+    ///
+    /// Every window starts and ends inside `[0, horizon_s)`; the caller picks
+    /// the horizon so that recoveries land comfortably before the experiment
+    /// ends (the testbed uses `duration - 2 × update_interval`, which is what
+    /// makes the post-recovery convergence guarantee observable).
+    ///
+    /// Determinism: each generator draws only from its own
+    /// `rng.derive("chaos.<generator>")` stream, and `derive` never perturbs
+    /// the parent generator. The same seed therefore yields the same
+    /// schedule, and changing one generator's parameters never moves another
+    /// generator's windows.
+    pub fn generate(
+        &self,
+        topology: &ChaosTopology,
+        horizon_s: f64,
+        rng: &SimRng,
+    ) -> Vec<ChaosWindow> {
+        let mut windows = Vec::new();
+        if horizon_s <= MIN_WINDOW_S {
+            return windows;
+        }
+
+        let mut plane_rng = rng.derive("chaos.plane-outage");
+        let plane_total = topology.plane_total();
+        if plane_total > 0 {
+            for _ in 0..self.plane_outages {
+                let (start_s, end_s) =
+                    window_bounds(&mut plane_rng, self.plane_outage_mean_s, horizon_s);
+                // Map a flat plane index back to (shell, plane).
+                let mut flat = plane_rng.below(plane_total);
+                let mut shell = 0u16;
+                let mut plane = 0u32;
+                for (idx, &(planes, _)) in topology.shells.iter().enumerate() {
+                    if flat < u64::from(planes) {
+                        shell = idx as u16;
+                        plane = flat as u32;
+                        break;
+                    }
+                    flat -= u64::from(planes);
+                }
+                windows.push(ChaosWindow {
+                    start_s,
+                    end_s,
+                    spec: ChaosSpec::PlaneOutage { shell, plane },
+                });
+            }
+        }
+
+        let mut storm_rng = rng.derive("chaos.solar-storm");
+        for _ in 0..self.solar_storms {
+            let (start_s, end_s) = window_bounds(&mut storm_rng, self.solar_storm_mean_s, horizon_s);
+            // Center the band anywhere a satellite could be; the edges clamp
+            // at the poles.
+            let center = storm_rng.uniform_range(-70.0, 70.0);
+            let half = self.solar_storm_band_half_width_deg.abs();
+            windows.push(ChaosWindow {
+                start_s,
+                end_s,
+                spec: ChaosSpec::SolarStorm {
+                    lat_min_deg: (center - half).max(-90.0),
+                    lat_max_deg: (center + half).min(90.0),
+                    cpu_share_percent: self.solar_storm_cpu_share_percent,
+                },
+            });
+        }
+
+        let mut blackout_rng = rng.derive("chaos.region-blackout");
+        if !topology.ground_stations.is_empty() {
+            for _ in 0..self.region_blackouts {
+                let (start_s, end_s) =
+                    window_bounds(&mut blackout_rng, self.region_blackout_mean_s, horizon_s);
+                // Center on a real ground station so the blackout hits.
+                let pick = blackout_rng.below(topology.ground_stations.len() as u64) as usize;
+                let (lat, lon) = topology.ground_stations[pick];
+                windows.push(ChaosWindow {
+                    start_s,
+                    end_s,
+                    spec: ChaosSpec::RegionBlackout {
+                        center_lat_deg: lat,
+                        center_lon_deg: lon,
+                        radius_km: self.region_blackout_radius_km,
+                    },
+                });
+            }
+        }
+
+        let mut flap_rng = rng.derive("chaos.link-flap");
+        for storm in 0..self.link_flap_storms {
+            let (start_s, end_s) = window_bounds(&mut flap_rng, self.link_flap_mean_s, horizon_s);
+            let salt = flap_rng.below(u64::MAX);
+            windows.push(ChaosWindow {
+                start_s,
+                end_s,
+                spec: ChaosSpec::LinkFlap {
+                    period_s: self.link_flap_period_s,
+                    // Half of each period down: disruptive, but a plus-grid
+                    // mesh stays connected in expectation.
+                    down_fraction: 0.5,
+                    salt: salt ^ u64::from(storm),
+                },
+            });
+        }
+
+        windows.sort_by(|a, b| {
+            a.start_s
+                .partial_cmp(&b.start_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        windows
+    }
+}
+
+/// Draws one window: an exponential duration (clamped to
+/// `[MIN_WINDOW_S, horizon)`) placed uniformly so it ends inside the horizon.
+fn window_bounds(rng: &mut SimRng, mean_s: f64, horizon_s: f64) -> (f64, f64) {
+    let duration = rng
+        .exponential(mean_s.max(MIN_WINDOW_S))
+        .clamp(MIN_WINDOW_S, horizon_s - f64::EPSILON * horizon_s);
+    let latest_start = (horizon_s - duration).max(0.0);
+    let start = rng.uniform_range(0.0, latest_start);
+    (start, start + duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topology() -> ChaosTopology {
+        ChaosTopology {
+            shells: vec![(12, 16), (6, 8)],
+            ground_stations: vec![(5.6037, -0.187), (9.0765, 7.3986)],
+        }
+    }
+
+    fn engine() -> ChaosEngine {
+        ChaosEngine {
+            plane_outages: 3,
+            solar_storms: 2,
+            region_blackouts: 2,
+            link_flap_storms: 2,
+            ..ChaosEngine::default()
+        }
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let a = engine().generate(&topology(), 100.0, &SimRng::seed_from_u64(42));
+        let b = engine().generate(&topology(), 100.0, &SimRng::seed_from_u64(42));
+        let c = engine().generate(&topology(), 100.0, &SimRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds produced identical schedules");
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn windows_stay_inside_the_horizon() {
+        for seed in 0..50 {
+            let windows = engine().generate(&topology(), 80.0, &SimRng::seed_from_u64(seed));
+            for w in &windows {
+                assert!(w.start_s >= 0.0, "{w:?}");
+                assert!(w.end_s <= 80.0, "{w:?}");
+                assert!(w.end_s > w.start_s, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_streams_are_independent() {
+        // Turning the plane-outage generator off must not move any other
+        // generator's windows: each draws from its own derived stream.
+        let rng = SimRng::seed_from_u64(7);
+        let full = engine().generate(&topology(), 100.0, &rng);
+        let without_planes =
+            ChaosEngine { plane_outages: 0, ..engine() }.generate(&topology(), 100.0, &rng);
+        let non_plane: Vec<&ChaosWindow> = full
+            .iter()
+            .filter(|w| !matches!(w.spec, ChaosSpec::PlaneOutage { .. }))
+            .collect();
+        assert_eq!(non_plane.len(), without_planes.len());
+        for (a, b) in non_plane.iter().zip(&without_planes) {
+            assert_eq!(**a, *b);
+        }
+    }
+
+    #[test]
+    fn generation_does_not_perturb_the_parent_stream() {
+        let mut a = SimRng::seed_from_u64(11);
+        let mut b = SimRng::seed_from_u64(11);
+        let _ = engine().generate(&topology(), 100.0, &a);
+        // `a` drew an entire schedule through derived streams; its own
+        // sequence must still match the untouched twin.
+        let drawn: Vec<f64> = (0..16).map(|_| a.uniform()).collect();
+        let expected: Vec<f64> = (0..16).map(|_| b.uniform()).collect();
+        assert_eq!(drawn, expected);
+    }
+
+    #[test]
+    fn plane_outages_pick_valid_planes() {
+        for seed in 0..50 {
+            let windows = ChaosEngine { plane_outages: 5, ..ChaosEngine::default() }.generate(
+                &topology(),
+                100.0,
+                &SimRng::seed_from_u64(seed),
+            );
+            for w in windows {
+                if let ChaosSpec::PlaneOutage { shell, plane } = w.spec {
+                    let (planes, _) = topology().shells[shell as usize];
+                    assert!(plane < planes, "shell {shell} plane {plane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_produce_no_windows() {
+        let rng = SimRng::seed_from_u64(1);
+        assert!(engine().generate(&topology(), 0.5, &rng).is_empty());
+        let empty = ChaosTopology::default();
+        let windows = engine().generate(&empty, 100.0, &rng);
+        // No planes and no ground stations: only storms and flaps remain.
+        assert!(windows.iter().all(|w| matches!(
+            w.spec,
+            ChaosSpec::SolarStorm { .. } | ChaosSpec::LinkFlap { .. }
+        )));
+        assert_eq!(windows.len(), 4);
+    }
+}

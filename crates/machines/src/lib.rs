@@ -16,7 +16,10 @@
 //! * [`host`] — Celestial hosts with core/memory capacity, over-provisioning
 //!   and utilisation accounting (Figs. 7 and 8),
 //! * [`scheduler`] — placement of machines onto hosts,
-//! * [`fault`] — fault injection for radiation-induced crashes and reboots.
+//! * [`fault`] — fault injection for radiation-induced crashes and reboots,
+//! * [`chaos`] — correlated fault generators (plane outages, solar storms,
+//!   region blackouts, link-flap storms) with seed-deterministic,
+//!   stream-independent schedules.
 //!
 //! # Examples
 //!
@@ -41,12 +44,14 @@
 #![warn(missing_docs)]
 
 pub mod cgroup;
+pub mod chaos;
 pub mod fault;
 pub mod firecracker;
 pub mod host;
 pub mod machine;
 pub mod scheduler;
 
+pub use chaos::{ChaosEngine, ChaosSpec, ChaosTopology, ChaosWindow};
 pub use fault::{FaultEvent, FaultInjector, FaultKind};
 pub use firecracker::{FirecrackerModel, RootfsCache};
 pub use host::Host;

@@ -74,6 +74,10 @@ pub struct MicroVm {
     /// work, in `[0, 1]`; set by the testbed runtime and read by the host
     /// utilisation accounting.
     cpu_load: f64,
+    /// Fraction of the allocated vCPU quota the machine may use, in
+    /// `(0, 1]`. Reduced by `FaultKind::Degradation` via the cgroup CPU-quota
+    /// model; `1.0` means the full allocation.
+    cpu_share: f64,
     boots: u32,
     failures: u32,
 }
@@ -93,6 +97,7 @@ impl MicroVm {
             boot_delay: Self::DEFAULT_BOOT_DELAY,
             ready_at: None,
             cpu_load: 0.0,
+            cpu_share: 1.0,
             boots: 0,
             failures: 0,
         }
@@ -142,6 +147,42 @@ impl MicroVm {
         }
     }
 
+    /// The fraction of the allocated vCPU quota the machine may use.
+    pub fn cpu_share(&self) -> f64 {
+        self.cpu_share
+    }
+
+    /// Degrades the machine to `share` of its vCPU quota (the cgroup path a
+    /// real host takes for `FaultKind::Degradation`: the quota shrinks, the
+    /// machine keeps running).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MachineState`] unless the machine is running, or
+    /// [`Error::Config`] if `share` is outside `(0, 1]`.
+    pub fn degrade(&mut self, share: f64) -> Result<()> {
+        if !(share > 0.0 && share <= 1.0) {
+            return Err(Error::config(format!(
+                "degradation share {share} for {} must be in (0, 1]",
+                self.id
+            )));
+        }
+        if self.state.is_running() {
+            self.cpu_share = share;
+            Ok(())
+        } else {
+            Err(Error::MachineState(format!(
+                "cannot degrade {} while {}",
+                self.id, self.state
+            )))
+        }
+    }
+
+    /// Restores the full vCPU quota (degradation recovery).
+    pub fn restore_cpu_share(&mut self) {
+        self.cpu_share = 1.0;
+    }
+
     /// Number of completed boots.
     pub fn boot_count(&self) -> u32 {
         self.boots
@@ -162,6 +203,8 @@ impl MicroVm {
         match self.state {
             MachineState::Created | MachineState::Stopped | MachineState::Failed => {
                 self.state = MachineState::Booting;
+                // A (re)boot starts from a clean cgroup: full CPU quota.
+                self.cpu_share = 1.0;
                 let ready = now + self.boot_delay;
                 self.ready_at = Some(ready);
                 Ok(ready)
@@ -370,5 +413,37 @@ mod tests {
         m.stop().unwrap();
         assert_eq!(m.state(), MachineState::Stopped);
         assert!(m.boot(SimInstant::from_millis(60)).is_ok());
+    }
+
+    #[test]
+    fn degradation_shrinks_the_quota_without_killing_the_machine() {
+        let mut m = vm();
+        // Degrading a machine that is not running is a state error, like
+        // crashing one.
+        assert!(m.degrade(0.5).is_err());
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        assert_eq!(m.cpu_share(), 1.0);
+        m.degrade(0.25).unwrap();
+        assert_eq!(m.cpu_share(), 0.25);
+        assert!(m.state().is_running(), "degradation must not crash the VM");
+        assert_eq!(m.failure_count(), 0);
+        m.restore_cpu_share();
+        assert_eq!(m.cpu_share(), 1.0);
+        // Out-of-range shares are rejected.
+        assert!(m.degrade(0.0).is_err());
+        assert!(m.degrade(1.5).is_err());
+    }
+
+    #[test]
+    fn reboot_restores_the_full_quota() {
+        let mut m = vm();
+        let ready = m.boot(SimInstant::EPOCH).unwrap();
+        m.finish_boot(ready).unwrap();
+        m.degrade(0.1).unwrap();
+        m.fail().unwrap();
+        let ready = m.boot(SimInstant::from_millis(500)).unwrap();
+        m.finish_boot(ready).unwrap();
+        assert_eq!(m.cpu_share(), 1.0);
     }
 }

@@ -1,0 +1,192 @@
+//! The lockstep harness: a journalling guest application plus run/compare
+//! helpers that capture **everything a run observes** as one comparable
+//! value. `tests/shard_lockstep.rs` uses it to prove the sharded plane
+//! bit-identical to the global network; `tests/chaos_convergence.rs` uses it
+//! to prove chaos runs deterministic and convergent (`docs/CHAOS.md`).
+
+use celestial::config::TestbedConfig;
+use celestial::pipeline::PipelineMode;
+use celestial::testbed::{AppContext, GuestApplication, Testbed};
+use celestial_constellation::{BoundingBox, GroundStation, Shell};
+use celestial_machines::FaultEvent;
+use celestial_netem::packet::Packet;
+use celestial_sgp4::WalkerShell;
+use celestial_types::geo::Geodetic;
+use celestial_types::ids::NodeId;
+use celestial_types::time::{SimDuration, SimInstant};
+
+/// The host counts to exercise, from `CELESTIAL_LOCKSTEP_HOSTS` (a comma
+/// list, default `1,4`), which CI uses to split the 1-host and 4-host legs
+/// into separate jobs.
+pub fn host_matrix() -> Vec<u32> {
+    let spec = std::env::var("CELESTIAL_LOCKSTEP_HOSTS").unwrap_or_else(|_| "1,4".to_owned());
+    let hosts: Vec<u32> = spec
+        .split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .filter(|&h| h >= 1)
+        .collect();
+    assert!(!hosts.is_empty(), "CELESTIAL_LOCKSTEP_HOSTS={spec:?} names no host count");
+    hosts
+}
+
+/// The lockstep configuration: 12×16 +GRID shell over a West-Africa
+/// bounding box, two ground stations, 1 s epochs. The deliberately large
+/// 6 ms host latency makes the ground-station pair's few-millisecond targets
+/// clamp, so the clamp accounting is exercised for real (and must agree
+/// between the planes).
+pub fn config(seed: u64, duration_s: f64, mode: PipelineMode, hosts: u32, sharded: bool) -> TestbedConfig {
+    let mut builder = TestbedConfig::builder()
+        .seed(seed)
+        .update_interval_s(1.0)
+        .duration_s(duration_s)
+        .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .pipeline(mode)
+        .host_latency_us(6_000)
+        .hosts(vec![celestial::config::HostConfig::default(); hosts as usize]);
+    if sharded {
+        builder = builder.shards(hosts);
+    }
+    builder.build().expect("valid config")
+}
+
+/// A ping-pong application journalling every constellation update: the
+/// `/info`-visible programme counters, the emulated and expected pair
+/// latency, machine liveness, and the network-plane counters including the
+/// clamp count.
+#[derive(Default)]
+pub struct Journal {
+    accra: Option<NodeId>,
+    abuja: Option<NodeId>,
+    rtts_ms: Vec<f64>,
+    sent_at: std::collections::BTreeMap<u64, SimInstant>,
+    next_seq: u64,
+    epochs: Vec<String>,
+}
+
+impl Journal {
+    fn ping(&mut self, ctx: &mut AppContext<'_>) {
+        let (Some(a), Some(b)) = (self.accra, self.abuja) else { return };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_at.insert(seq, ctx.now());
+        ctx.send(a, b, 1_250, seq.to_le_bytes().to_vec());
+    }
+}
+
+impl GuestApplication for Journal {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.accra = ctx.ground_station("accra");
+        self.abuja = ctx.ground_station("abuja");
+        self.ping(ctx);
+        ctx.set_timer(SimDuration::from_millis(1_000), 0);
+    }
+
+    fn on_constellation_update(&mut self, ctx: &mut AppContext<'_>) {
+        let stats = ctx.database().programme_stats();
+        let line = format!(
+            "t={:?} stats={:?} emulated={:?} expected={:?} accra_up={} abuja_up={}",
+            ctx.database().updated_at_seconds(),
+            stats.map(|s| (s.epoch, s.pairs, s.delta_ops)),
+            ctx.emulated_latency(self.accra.unwrap(), self.abuja.unwrap()),
+            ctx.expected_latency(self.accra.unwrap(), self.abuja.unwrap()),
+            ctx.is_running(self.accra.unwrap()),
+            ctx.is_running(self.abuja.unwrap()),
+        );
+        self.epochs.push(line);
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
+        self.ping(ctx);
+        ctx.set_timer(SimDuration::from_millis(1_000), 0);
+    }
+
+    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+        let seq = u64::from_le_bytes(message.payload[..8].try_into().unwrap());
+        if message.destination == self.abuja.unwrap() {
+            ctx.send(self.abuja.unwrap(), self.accra.unwrap(), 1_250, message.payload.to_vec());
+        } else if let Some(sent) = self.sent_at.remove(&seq) {
+            self.rtts_ms.push(ctx.now().duration_since(sent).as_millis_f64());
+        }
+    }
+}
+
+/// Everything a run observes that must be bit-identical across planes,
+/// pipeline modes, and repeated runs.
+#[derive(Debug, PartialEq)]
+pub struct Observations {
+    pub epochs: Vec<String>,
+    pub rtts_ms: Vec<f64>,
+    pub messages: (u64, u64),
+    pub network: (u64, u64, u64),
+    pub clamps: u64,
+    pub failed_recoveries: u64,
+    pub ignored_faults: u64,
+    pub updates: u64,
+}
+
+/// Runs the journalling application over `config` plus manually scheduled
+/// `faults` and captures the observations. Sharded runs additionally assert
+/// the sharded plane's own consistency: the `/info`-visible per-shard pair
+/// counts (maintained by the coordinator's partitioned merge walk) must
+/// match what the shards actually hold, and every shard must have applied
+/// its slice.
+pub fn run_config(config: &TestbedConfig, faults: Vec<FaultEvent>) -> Observations {
+    let mut testbed = Testbed::new(config).expect("testbed");
+    testbed.schedule_faults(faults);
+    let mut app = Journal::default();
+    testbed.run(&mut app).expect("run");
+
+    if let Some(shards) = config.shards {
+        let plane = testbed.network().as_sharded().expect("sharded plane");
+        let report = testbed
+            .coordinator()
+            .database()
+            .shard_report()
+            .expect("shard report surfaced");
+        assert_eq!(report.pairs, plane.pair_counts(), "store/emulation shard counts diverged");
+        assert_eq!(report.apply_ns.len() as u32, shards);
+    } else {
+        assert!(testbed.network().as_global().is_some());
+        assert!(testbed.coordinator().database().shard_report().is_none());
+    }
+
+    Observations {
+        epochs: app.epochs,
+        rtts_ms: app.rtts_ms,
+        messages: testbed.message_counters(),
+        network: testbed.network().counters(),
+        clamps: testbed.network().latency_clamp_count(),
+        failed_recoveries: testbed.failed_recoveries(),
+        ignored_faults: testbed.ignored_faults(),
+        updates: testbed.coordinator().update_count(),
+    }
+}
+
+/// Asserts two observation sets bit-identical, field by field, with
+/// divergence-localising messages (`label` names the observed run).
+pub fn assert_lockstep(label: &str, reference: &Observations, observed: &Observations) {
+    assert_eq!(
+        reference.epochs.len(),
+        observed.epochs.len(),
+        "{label} epoch count diverged"
+    );
+    for (epoch, (a, b)) in reference.epochs.iter().zip(&observed.epochs).enumerate() {
+        assert_eq!(a, b, "{label} journal diverged at epoch {epoch}");
+    }
+    assert_eq!(reference.rtts_ms, observed.rtts_ms, "{label} RTTs diverged");
+    assert_eq!(reference.messages, observed.messages, "{label} messages");
+    assert_eq!(reference.network, observed.network, "{label} net counters");
+    assert_eq!(reference.clamps, observed.clamps, "{label} clamp count");
+    assert_eq!(
+        reference.failed_recoveries, observed.failed_recoveries,
+        "{label} failed recoveries"
+    );
+    assert_eq!(
+        reference.ignored_faults, observed.ignored_faults,
+        "{label} ignored faults"
+    );
+    assert_eq!(reference.updates, observed.updates, "{label} update count");
+}

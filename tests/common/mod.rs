@@ -1,0 +1,6 @@
+//! Shared harness for the integration tests. Each integration-test binary
+//! compiles its own copy via `mod common;`, so not every binary uses every
+//! helper.
+#![allow(dead_code)]
+
+pub mod lockstep;

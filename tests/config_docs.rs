@@ -1,8 +1,9 @@
 //! Smoke tests tying the documented configuration format to the code: the
 //! TOML example embedded in `docs/CONFIG.md` must parse, produce the §4
-//! testbed shape, and survive a serde round trip.
+//! testbed shape, and survive a serde round trip; the `[chaos]` defaults
+//! documented in `docs/CHAOS.md` must match `ChaosConfig::default()`.
 
-use celestial::config::TestbedConfig;
+use celestial::config::{ChaosConfig, TestbedConfig};
 use celestial_constellation::PathAlgorithm;
 
 /// The documentation page this test validates.
@@ -48,6 +49,27 @@ fn the_documented_example_round_trips_through_serde() {
     let json = serde_json::to_string(&config).expect("serializes");
     let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(config, back);
+}
+
+/// The chaos documentation page, whose `[chaos]` example lists every key
+/// with its default value.
+const CHAOS_DOC: &str = include_str!("../docs/CHAOS.md");
+
+#[test]
+fn the_documented_chaos_defaults_match_the_code() {
+    let start = CHAOS_DOC
+        .find("```toml\n")
+        .expect("docs/CHAOS.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = CHAOS_DOC[start..].find("```").expect("the toml fence is closed") + start;
+    let block = &CHAOS_DOC[start..end];
+    assert!(block.contains("[chaos]"), "the example documents the [chaos] table");
+    let toml = format!(
+        "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n\n{block}"
+    );
+    let config = TestbedConfig::from_toml(&toml).expect("documented chaos TOML parses");
+    // The documented values are exactly the engine's defaults.
+    assert_eq!(config.chaos, Some(ChaosConfig::default()));
 }
 
 #[test]

@@ -505,3 +505,87 @@ lon = 7.3986
     assert_eq!(report.pairs, plane.pair_counts());
     assert_eq!(report.apply_ns.len(), 3);
 }
+
+fn fault_edge_config() -> TestbedConfig {
+    TestbedConfig::builder()
+        .seed(5)
+        .update_interval_s(2.0)
+        .duration_s(30.0)
+        .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .hosts(vec![HostConfig::default()])
+        .build()
+        .expect("valid config")
+}
+
+struct Nothing;
+impl GuestApplication for Nothing {}
+
+/// A `recover_at` beyond the experiment end must not be an error: the run
+/// completes its full schedule, the machine simply stays down, and the books
+/// record one still-active fault and no failed recovery.
+#[test]
+fn recovery_beyond_the_experiment_end_leaves_the_machine_down() {
+    use celestial_machines::{FaultEvent, FaultKind};
+    use celestial_types::time::SimInstant;
+
+    let config = fault_edge_config();
+    let mut reference = Testbed::new(&config).expect("testbed");
+    reference.run(&mut Nothing).expect("run");
+
+    let accra = NodeId::ground_station(0);
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    testbed.schedule_faults([FaultEvent {
+        node: accra,
+        at: SimInstant::from_secs_f64(10.0),
+        kind: FaultKind::CrashAndReboot,
+        recover_at: Some(SimInstant::from_secs_f64(100.0)),
+    }]);
+    testbed.run(&mut Nothing).expect("run");
+
+    let host = testbed.managers().iter().find(|m| m.has_machine(accra)).expect("host");
+    assert!(!host.is_running(accra), "recovery past the end must not fire");
+    assert_eq!(testbed.active_faults(), 1);
+    assert_eq!(testbed.failed_recoveries(), 0);
+    assert_eq!(testbed.ignored_faults(), 0);
+    // The outage does not cut the run short: same epoch schedule as the
+    // fault-free reference.
+    assert_eq!(testbed.coordinator().update_count(), reference.coordinator().update_count());
+}
+
+/// Faults scheduled entirely beyond the end never fire at all — for the
+/// machine *and* the books, the run is indistinguishable from a fault-free
+/// one.
+#[test]
+fn faults_beyond_the_experiment_end_never_fire() {
+    use celestial_machines::{FaultEvent, FaultKind};
+    use celestial_types::time::SimInstant;
+
+    let config = fault_edge_config();
+    let accra = NodeId::ground_station(0);
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    testbed.schedule_faults([
+        FaultEvent {
+            node: accra,
+            at: SimInstant::from_secs_f64(100.0),
+            kind: FaultKind::CrashAndReboot,
+            recover_at: Some(SimInstant::from_secs_f64(110.0)),
+        },
+        FaultEvent {
+            node: accra,
+            at: SimInstant::from_secs_f64(200.0),
+            kind: FaultKind::Degradation { cpu_share_percent: 10 },
+            recover_at: None,
+        },
+    ]);
+    testbed.run(&mut Nothing).expect("run");
+
+    let host = testbed.managers().iter().find(|m| m.has_machine(accra)).expect("host");
+    assert!(host.is_running(accra));
+    assert!((host.cpu_share(accra).unwrap() - 1.0).abs() < 1e-9);
+    assert_eq!(testbed.active_faults(), 0);
+    assert_eq!(testbed.ignored_faults(), 0);
+    assert_eq!(testbed.failed_recoveries(), 0);
+}

@@ -5,53 +5,19 @@
 //! `synchronous` and the `pipelined` pipeline mode. This is the determinism
 //! contract of `docs/SHARDING.md`.
 //!
-//! The host-count matrix is driven by `CELESTIAL_LOCKSTEP_HOSTS` (a comma
-//! list, default `1,4`), which CI uses to split the 1-host and 4-host legs
-//! into separate jobs.
+//! The journalling application, the run/compare helpers, and the
+//! `CELESTIAL_LOCKSTEP_HOSTS` host matrix live in `tests/common/lockstep.rs`
+//! (shared with `tests/chaos_convergence.rs`).
 
-use celestial::config::TestbedConfig;
+mod common;
+
+use common::lockstep::{assert_lockstep, config, host_matrix, run_config, Observations};
+
 use celestial::pipeline::PipelineMode;
-use celestial::testbed::{AppContext, GuestApplication, Testbed};
-use celestial_constellation::{BoundingBox, GroundStation, Shell};
+use celestial::testbed::{GuestApplication, Testbed};
 use celestial_machines::{FaultEvent, FaultKind};
-use celestial_netem::packet::Packet;
-use celestial_sgp4::WalkerShell;
-use celestial_types::geo::Geodetic;
 use celestial_types::ids::NodeId;
-use celestial_types::time::{SimDuration, SimInstant};
-
-/// The host counts to exercise, from `CELESTIAL_LOCKSTEP_HOSTS`.
-fn host_matrix() -> Vec<u32> {
-    let spec = std::env::var("CELESTIAL_LOCKSTEP_HOSTS").unwrap_or_else(|_| "1,4".to_owned());
-    let hosts: Vec<u32> = spec
-        .split(',')
-        .filter_map(|part| part.trim().parse().ok())
-        .filter(|&h| h >= 1)
-        .collect();
-    assert!(!hosts.is_empty(), "CELESTIAL_LOCKSTEP_HOSTS={spec:?} names no host count");
-    hosts
-}
-
-fn config(mode: PipelineMode, hosts: u32, sharded: bool) -> TestbedConfig {
-    let mut builder = TestbedConfig::builder()
-        .seed(11)
-        .update_interval_s(1.0)
-        .duration_s(105.0)
-        .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
-        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
-        .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
-        .bounding_box(BoundingBox::west_africa())
-        .pipeline(mode)
-        // A deliberately large 6 ms host latency: the ground-station pair's
-        // few-millisecond targets clamp, so the clamp accounting is
-        // exercised for real (and must agree between the planes).
-        .host_latency_us(6_000)
-        .hosts(vec![celestial::config::HostConfig::default(); hosts as usize]);
-    if sharded {
-        builder = builder.shards(hosts);
-    }
-    builder.build().expect("valid config")
-}
+use celestial_types::time::SimInstant;
 
 fn faults() -> Vec<FaultEvent> {
     // Mid-epoch instants on purpose: the crashes land while the pipelined
@@ -78,114 +44,14 @@ fn faults() -> Vec<FaultEvent> {
     ]
 }
 
-/// A ping-pong application journalling every constellation update: the
-/// `/info`-visible programme counters, the emulated and expected pair
-/// latency, machine liveness, and the network-plane counters including the
-/// clamp count.
-#[derive(Default)]
-struct Journal {
-    accra: Option<NodeId>,
-    abuja: Option<NodeId>,
-    rtts_ms: Vec<f64>,
-    sent_at: std::collections::BTreeMap<u64, SimInstant>,
-    next_seq: u64,
-    epochs: Vec<String>,
-}
-
-impl Journal {
-    fn ping(&mut self, ctx: &mut AppContext<'_>) {
-        let (Some(a), Some(b)) = (self.accra, self.abuja) else { return };
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.sent_at.insert(seq, ctx.now());
-        ctx.send(a, b, 1_250, seq.to_le_bytes().to_vec());
-    }
-}
-
-impl GuestApplication for Journal {
-    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
-        self.accra = ctx.ground_station("accra");
-        self.abuja = ctx.ground_station("abuja");
-        self.ping(ctx);
-        ctx.set_timer(SimDuration::from_millis(1_000), 0);
-    }
-
-    fn on_constellation_update(&mut self, ctx: &mut AppContext<'_>) {
-        let stats = ctx.database().programme_stats();
-        let line = format!(
-            "t={:?} stats={:?} emulated={:?} expected={:?} accra_up={} abuja_up={}",
-            ctx.database().updated_at_seconds(),
-            stats.map(|s| (s.epoch, s.pairs, s.delta_ops)),
-            ctx.emulated_latency(self.accra.unwrap(), self.abuja.unwrap()),
-            ctx.expected_latency(self.accra.unwrap(), self.abuja.unwrap()),
-            ctx.is_running(self.accra.unwrap()),
-            ctx.is_running(self.abuja.unwrap()),
-        );
-        self.epochs.push(line);
-    }
-
-    fn on_timer(&mut self, _tag: u64, ctx: &mut AppContext<'_>) {
-        self.ping(ctx);
-        ctx.set_timer(SimDuration::from_millis(1_000), 0);
-    }
-
-    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
-        let seq = u64::from_le_bytes(message.payload[..8].try_into().unwrap());
-        if message.destination == self.abuja.unwrap() {
-            ctx.send(self.abuja.unwrap(), self.accra.unwrap(), 1_250, message.payload.to_vec());
-        } else if let Some(sent) = self.sent_at.remove(&seq) {
-            self.rtts_ms.push(ctx.now().duration_since(sent).as_millis_f64());
-        }
-    }
-}
-
-/// Everything a run observes that must be bit-identical across planes.
-#[derive(Debug, PartialEq)]
-struct Observations {
-    epochs: Vec<String>,
-    rtts_ms: Vec<f64>,
-    messages: (u64, u64),
-    network: (u64, u64, u64),
-    clamps: u64,
-    failed_recoveries: u64,
-    updates: u64,
-}
-
 fn run(mode: PipelineMode, hosts: u32, sharded: bool) -> Observations {
-    let config = config(mode, hosts, sharded);
-    let mut testbed = Testbed::new(&config).expect("testbed");
-    testbed.schedule_faults(faults());
-    let mut app = Journal::default();
-    testbed.run(&mut app).expect("run");
-
-    if sharded {
-        // The sharded plane's own consistency: the `/info`-visible per-shard
-        // pair counts (maintained by the coordinator's partitioned merge
-        // walk) must match what the shards actually hold, and every shard
-        // must have applied its slice.
-        let plane = testbed.network().as_sharded().expect("sharded plane");
-        let report = testbed
-            .coordinator()
-            .database()
-            .shard_report()
-            .expect("shard report surfaced");
-        assert_eq!(report.pairs, plane.pair_counts(), "store/emulation shard counts diverged");
-        assert_eq!(report.apply_ns.len() as u32, hosts);
-    } else {
-        assert!(testbed.network().as_global().is_some());
-        assert!(testbed.coordinator().database().shard_report().is_none());
-    }
-
-    assert!(app.epochs.len() >= 100, "only {} epochs journalled", app.epochs.len());
-    Observations {
-        epochs: app.epochs,
-        rtts_ms: app.rtts_ms,
-        messages: testbed.message_counters(),
-        network: testbed.network().counters(),
-        clamps: testbed.network().latency_clamp_count(),
-        failed_recoveries: testbed.failed_recoveries(),
-        updates: testbed.coordinator().update_count(),
-    }
+    let observations = run_config(&config(11, 105.0, mode, hosts, sharded), faults());
+    assert!(
+        observations.epochs.len() >= 100,
+        "only {} epochs journalled",
+        observations.epochs.len()
+    );
+    observations
 }
 
 /// The tentpole guarantee: for every configured host count, the four runs —
@@ -206,23 +72,7 @@ fn sharded_plane_is_bit_identical_to_the_global_network() {
             ("sharded/synchronous", run(PipelineMode::Synchronous, hosts, true)),
             ("sharded/pipelined", run(PipelineMode::Pipelined, hosts, true)),
         ] {
-            assert_eq!(
-                reference.epochs.len(),
-                observed.epochs.len(),
-                "{label}@{hosts} epoch count diverged"
-            );
-            for (epoch, (a, b)) in reference.epochs.iter().zip(&observed.epochs).enumerate() {
-                assert_eq!(a, b, "{label}@{hosts} journal diverged at epoch {epoch}");
-            }
-            assert_eq!(reference.rtts_ms, observed.rtts_ms, "{label}@{hosts} RTTs diverged");
-            assert_eq!(reference.messages, observed.messages, "{label}@{hosts} messages");
-            assert_eq!(reference.network, observed.network, "{label}@{hosts} net counters");
-            assert_eq!(reference.clamps, observed.clamps, "{label}@{hosts} clamp count");
-            assert_eq!(
-                reference.failed_recoveries, observed.failed_recoveries,
-                "{label}@{hosts} failed recoveries"
-            );
-            assert_eq!(reference.updates, observed.updates, "{label}@{hosts} update count");
+            assert_lockstep(&format!("{label}@{hosts}"), &reference, &observed);
         }
     }
 }
@@ -231,7 +81,7 @@ fn sharded_plane_is_bit_identical_to_the_global_network() {
 /// counts and per-shard apply times.
 #[test]
 fn info_route_reports_shard_figures() {
-    let mut config = config(PipelineMode::Synchronous, 4, true);
+    let mut config = config(11, 105.0, PipelineMode::Synchronous, 4, true);
     config.duration_s = 5.0;
     struct Nop;
     impl GuestApplication for Nop {}
