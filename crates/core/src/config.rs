@@ -76,6 +76,68 @@ pub struct TestbedConfig {
     /// Correlated chaos injection (`[chaos]` in TOML). `None` disables the
     /// chaos engine entirely (see `docs/CHAOS.md`).
     pub chaos: Option<ChaosConfig>,
+    /// The HTTP serving plane (`[serve]` in TOML). `None` disables the
+    /// server and snapshot publication entirely (see `docs/SERVE.md`).
+    pub serve: Option<ServeConfig>,
+}
+
+/// The `[serve]` section: the HTTP serving plane answering info-API queries
+/// lock-free against epoch-versioned snapshots, with a middleware pipeline
+/// for auth, rate limiting and metrics (see `docs/SERVE.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// TCP port to bind (`port`); `0` picks an ephemeral port.
+    pub port: u16,
+    /// Number of worker threads answering requests (`workers`).
+    pub workers: u32,
+    /// Token-bucket capacity per client (`rate-limit-burst`); a client can
+    /// issue at most this many requests within one epoch.
+    pub rate_limit_burst: u32,
+    /// Tokens refilled per epoch boundary (`rate-limit-per-epoch`); `0`
+    /// disables rate limiting entirely.
+    pub rate_limit_per_epoch: u32,
+    /// Accepted bearer tokens (`auth-tokens`); an empty list leaves the
+    /// server open (no auth middleware rejection).
+    pub auth_tokens: Vec<String>,
+    /// Whether connections are kept alive between requests (`keep-alive`).
+    pub keep_alive: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 4,
+            rate_limit_burst: 64,
+            rate_limit_per_epoch: 32,
+            auth_tokens: Vec::new(),
+            keep_alive: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the serving-plane parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero worker count or a zero burst
+    /// with rate limiting enabled.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::config("serve workers must be at least 1 (see docs/SERVE.md)"));
+        }
+        if self.rate_limit_per_epoch > 0 && self.rate_limit_burst == 0 {
+            return Err(Error::config(
+                "serve rate-limit-burst must be at least 1 when rate limiting is \
+                 enabled (see docs/SERVE.md)",
+            ));
+        }
+        if self.auth_tokens.iter().any(|t| t.is_empty()) {
+            return Err(Error::config("serve auth-tokens must not contain empty tokens"));
+        }
+        Ok(())
+    }
 }
 
 /// The `[chaos]` section: how many correlated fault windows of each kind the
@@ -188,6 +250,7 @@ impl Default for TestbedConfig {
             hosts: vec![HostConfig::default(); 3],
             ballooning: false,
             chaos: None,
+            serve: None,
         }
     }
 }
@@ -323,6 +386,49 @@ impl TestbedConfig {
                     .unwrap_or(defaults.link_flap_period_s),
             });
         }
+        if let Some(serve) = table.get("serve").and_then(|v| v.as_table()) {
+            let defaults = ServeConfig::default();
+            let count = |key: &str, default: u32| -> Result<u32> {
+                match serve.get_i64(key) {
+                    Some(n) if n < 0 => {
+                        Err(Error::config(format!("serve {key} must be non-negative")))
+                    }
+                    Some(n) => Ok(n as u32),
+                    None => Ok(default),
+                }
+            };
+            let port = match serve.get_i64("port") {
+                Some(p) if !(0..=u16::MAX as i64).contains(&p) => {
+                    return Err(Error::config(format!("serve port must be a valid TCP port, got {p}")));
+                }
+                Some(p) => p as u16,
+                None => defaults.port,
+            };
+            let auth_tokens = match serve.get("auth-tokens") {
+                Some(value) => value
+                    .as_array()
+                    .ok_or_else(|| Error::config("serve auth-tokens must be an array of strings"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_owned).ok_or_else(|| {
+                            Error::config("serve auth-tokens must be an array of strings")
+                        })
+                    })
+                    .collect::<Result<Vec<String>>>()?,
+                None => defaults.auth_tokens,
+            };
+            config.serve = Some(ServeConfig {
+                port,
+                workers: count("workers", defaults.workers)?,
+                rate_limit_burst: count("rate-limit-burst", defaults.rate_limit_burst)?,
+                rate_limit_per_epoch: count(
+                    "rate-limit-per-epoch",
+                    defaults.rate_limit_per_epoch,
+                )?,
+                auth_tokens,
+                keep_alive: serve.get_bool("keep-alive").unwrap_or(defaults.keep_alive),
+            });
+        }
         if let Some(hosts) = table.get("host").and_then(|v| v.as_table_array()) {
             config.hosts = hosts
                 .iter()
@@ -379,6 +485,9 @@ impl TestbedConfig {
         }
         if let Some(chaos) = &self.chaos {
             chaos.validate()?;
+        }
+        if let Some(serve) = &self.serve {
+            serve.validate()?;
         }
         Ok(())
     }
@@ -543,6 +652,13 @@ impl TestbedConfigBuilder {
     /// `docs/CHAOS.md`).
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
         self.config.chaos = Some(chaos);
+        self
+    }
+
+    /// Enables the HTTP serving plane with the given parameters (see
+    /// `docs/SERVE.md`).
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.config.serve = Some(serve);
         self
     }
 
@@ -794,6 +910,50 @@ min-elevation-deg = 30.0
         )
         .expect("parses");
         assert!(plain.chaos.is_none());
+    }
+
+    #[test]
+    fn serve_section_parses_with_defaults_and_overrides() {
+        let toml = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n\
+                    [serve]\nworkers = 2\nrate-limit-per-epoch = 8\n\
+                    auth-tokens = [\"alpha\", \"beta\"]\n";
+        let config = TestbedConfig::from_toml(toml).expect("parses");
+        let serve = config.serve.expect("[serve] section enables the plane");
+        assert_eq!(serve.workers, 2);
+        assert_eq!(serve.rate_limit_per_epoch, 8);
+        assert_eq!(serve.auth_tokens, vec!["alpha".to_owned(), "beta".to_owned()]);
+        // Unspecified keys keep the documented defaults.
+        let defaults = ServeConfig::default();
+        assert_eq!(serve.port, defaults.port);
+        assert_eq!(serve.rate_limit_burst, defaults.rate_limit_burst);
+        assert_eq!(serve.keep_alive, defaults.keep_alive);
+        // No [serve] section → serving plane disabled.
+        let plain = TestbedConfig::from_toml(
+            "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 2\nsatellites-per-plane = 4\n",
+        )
+        .expect("parses");
+        assert!(plain.serve.is_none());
+    }
+
+    #[test]
+    fn serve_section_rejects_invalid_values() {
+        let base = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n[serve]\n";
+        for bad in [
+            "workers = 0\n",
+            "workers = -1\n",
+            "port = 70000\n",
+            "rate-limit-burst = 0\n",
+            "auth-tokens = [\"\"]\n",
+            "auth-tokens = [1, 2]\n",
+        ] {
+            let toml = format!("{base}{bad}");
+            assert!(
+                TestbedConfig::from_toml(&toml).is_err(),
+                "accepted invalid serve config {bad:?}"
+            );
+        }
     }
 
     #[test]

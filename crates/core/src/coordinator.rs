@@ -15,6 +15,8 @@
 
 use crate::database::{InfoDatabase, PipelineReport, ProgrammeStats};
 use crate::pipeline::{clone_deltas_into, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
+use crate::snapshot::SnapshotStore;
+use std::sync::Arc;
 use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, SolveKind, SolveStats};
 use celestial_netem::{ProgrammeDelta, ShardApplyReport, ShardPlan};
 pub use celestial_netem::PairProgram;
@@ -44,6 +46,9 @@ pub struct Coordinator {
     programme: BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>,
     last_solve: SolveStats,
     updates: u64,
+    /// When enabled, every update publishes an immutable snapshot of the
+    /// database here for the lock-free serving plane (see `docs/SERVE.md`).
+    snapshots: Option<Arc<SnapshotStore>>,
 }
 
 impl Coordinator {
@@ -101,7 +106,24 @@ impl Coordinator {
                 edges_removed: 0,
             },
             updates: 0,
+            snapshots: None,
         }
+    }
+
+    /// Enables epoch-versioned snapshot publication and returns the store.
+    /// From now on every [`Coordinator::update`] publishes the refreshed
+    /// database as an immutable [`crate::snapshot::EpochSnapshot`] at the
+    /// epoch boundary, so serving threads read lock-free (`docs/SERVE.md`).
+    pub fn enable_snapshots(&mut self) -> Arc<SnapshotStore> {
+        let store = self
+            .snapshots
+            .get_or_insert_with(|| Arc::new(SnapshotStore::new(self.database.clone())));
+        Arc::clone(store)
+    }
+
+    /// The snapshot store, if [`Coordinator::enable_snapshots`] was called.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.snapshots.as_ref()
     }
 
     /// The configured update interval.
@@ -212,6 +234,10 @@ impl Coordinator {
         self.database.set_pipeline_report(PipelineReport {
             stats: self.pipeline.stats(),
         });
+
+        if let Some(store) = &self.snapshots {
+            store.publish(self.updates, &self.database);
+        }
 
         let diff = std::mem::take(&mut bundle.diff);
         self.pipeline.recycle(bundle);

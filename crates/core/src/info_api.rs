@@ -37,7 +37,9 @@ impl InfoRequest {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InfoApi`] for unknown routes or malformed parameters.
+    /// Returns [`Error::NotFound`] for unknown routes (the serving plane
+    /// maps it to HTTP 404) and [`Error::InfoApi`] for malformed parameters
+    /// on a known route (HTTP 400).
     pub fn parse(path: &str) -> Result<Self> {
         let parts: Vec<&str> = path.trim().trim_matches('/').split('/').collect();
         match parts.as_slice() {
@@ -49,7 +51,7 @@ impl InfoRequest {
             ["path", source, target] => {
                 Ok(InfoRequest::Path((*source).to_owned(), (*target).to_owned()))
             }
-            _ => Err(Error::InfoApi(format!("unknown route '{path}'"))),
+            _ => Err(Error::not_found(format!("unknown route '{path}'"))),
         }
     }
 }
@@ -76,8 +78,10 @@ impl<'a> InfoApi<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InfoApi`] for unknown entities or an uninitialised
-    /// database.
+    /// Returns [`Error::NotFound`] or [`Error::UnknownNode`] for entities
+    /// that do not exist (HTTP 404 at the serve layer) and
+    /// [`Error::InfoApi`] for malformed parameters or an uninitialised
+    /// database (HTTP 400).
     pub fn handle(&self, requester: NodeId, request: &InfoRequest) -> Result<Value> {
         match request {
             InfoRequest::SelfInfo => self.node_info(requester),
@@ -133,7 +137,7 @@ impl<'a> InfoApi<'a> {
                     .database
                     .shells()
                     .get(*shell as usize)
-                    .ok_or_else(|| Error::InfoApi(format!("shell {shell} does not exist")))?;
+                    .ok_or_else(|| Error::not_found(format!("shell {shell} does not exist")))?;
                 Ok(json!({
                     "shell": shell,
                     "altitude_km": s.walker.altitude_km,
@@ -154,7 +158,7 @@ impl<'a> InfoApi<'a> {
                 let (id, _) = self
                     .database
                     .ground_station_by_name(name)
-                    .ok_or_else(|| Error::InfoApi(format!("ground station '{name}' does not exist")))?;
+                    .ok_or_else(|| Error::not_found(format!("ground station '{name}' does not exist")))?;
                 self.node_info(NodeId::GroundStation(id))
             }
             InfoRequest::Path(source, target) => {
@@ -182,8 +186,14 @@ impl<'a> InfoApi<'a> {
         self.handle(requester, &InfoRequest::parse(path)?)
     }
 
-    fn parse_node(&self, name: &str) -> Result<NodeId> {
-        // Accept DNS-style stems: "<index>.<shell>" or "<name|index>.gst".
+    /// Resolves a DNS-style node stem — `<index>.<shell>` for satellites,
+    /// `<name|index>.gst` for ground stations — to a [`NodeId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for a well-formed name that matches no
+    /// node and [`Error::InfoApi`] for a name that does not parse at all.
+    pub fn parse_node(&self, name: &str) -> Result<NodeId> {
         let parts: Vec<&str> = name.split('.').collect();
         match parts.as_slice() {
             [gst, "gst"] => {
@@ -191,12 +201,12 @@ impl<'a> InfoApi<'a> {
                     if (index as usize) < self.database.ground_stations().len() {
                         return Ok(NodeId::ground_station(index));
                     }
-                    return Err(Error::InfoApi(format!("ground station {index} does not exist")));
+                    return Err(Error::not_found(format!("ground station {index} does not exist")));
                 }
                 let (id, _) = self
                     .database
                     .ground_station_by_name(gst)
-                    .ok_or_else(|| Error::InfoApi(format!("ground station '{gst}' does not exist")))?;
+                    .ok_or_else(|| Error::not_found(format!("ground station '{gst}' does not exist")))?;
                 Ok(NodeId::GroundStation(id))
             }
             [sat, shell] => {
@@ -273,8 +283,38 @@ mod tests {
             InfoRequest::parse("/path/0.0/accra.gst").unwrap(),
             InfoRequest::Path("0.0".to_owned(), "accra.gst".to_owned())
         );
-        assert!(InfoRequest::parse("/bogus").is_err());
-        assert!(InfoRequest::parse("/sat/x/1").is_err());
+        // Unknown routes are NotFound (→ 404); malformed parameters on a
+        // known route are InfoApi (→ 400).
+        assert!(matches!(InfoRequest::parse("/bogus"), Err(Error::NotFound(_))));
+        assert!(matches!(InfoRequest::parse("/sat/x/1"), Err(Error::InfoApi(_))));
+    }
+
+    #[test]
+    fn missing_entities_are_not_found_errors() {
+        let db = database();
+        let api = InfoApi::new(&db);
+        let requester = NodeId::ground_station(0);
+        assert!(matches!(
+            api.handle_path(requester, "/shell/9"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(matches!(
+            api.handle_path(requester, "/gst/lagos"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(matches!(
+            api.handle_path(requester, "/path/lagos.gst/0.gst"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(matches!(
+            api.handle_path(requester, "/path/9.gst/0.gst"),
+            Err(Error::NotFound(_))
+        ));
+        // A node stem that cannot even be parsed stays a 400-class error.
+        assert!(matches!(
+            api.parse_node("not-a-node"),
+            Err(Error::InfoApi(_))
+        ));
     }
 
     #[test]

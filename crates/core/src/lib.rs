@@ -21,6 +21,9 @@
 //!   is precomputed on a background worker while the current epoch's events
 //!   play, with a synchronous mode and a bit-for-bit determinism guarantee
 //!   (see `docs/PIPELINE.md`),
+//! * [`snapshot`] — epoch-versioned, `Arc`-swapped read snapshots of the
+//!   database so the serving plane answers queries lock-free against a
+//!   consistent epoch (see `docs/SERVE.md`),
 //! * [`estimator`] — the resource estimator and cloud cost model,
 //! * [`testbed`] — the high-level façade that runs guest applications over
 //!   the emulated constellation in virtual time.
@@ -72,6 +75,7 @@ pub mod ipam;
 pub mod machine_manager;
 pub mod netprog;
 pub mod pipeline;
+pub mod snapshot;
 pub mod testbed;
 pub mod toml;
 
@@ -81,4 +85,5 @@ pub use database::InfoDatabase;
 pub use estimator::{CostModel, ResourceEstimator};
 pub use machine_manager::MachineManager;
 pub use pipeline::{EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
+pub use snapshot::{EpochSnapshot, SnapshotReader, SnapshotStore};
 pub use testbed::{AppContext, GuestApplication, Testbed};

@@ -290,12 +290,17 @@ impl Testbed {
         // coordinator partitions its programme with the same plan the
         // emulation places machines with, so each host's slice is complete.
         let shard_plan = config.shards.map(ShardPlan::new);
-        let coordinator = Coordinator::with_options(
+        let mut coordinator = Coordinator::with_options(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),
             config.pipeline,
             shard_plan,
         );
+        // With a `[serve]` section every update publishes an epoch snapshot
+        // for the lock-free serving plane (see docs/SERVE.md).
+        if config.serve.is_some() {
+            coordinator.enable_snapshots();
+        }
 
         let model = FirecrackerModel {
             ballooning: config.ballooning,
@@ -467,6 +472,12 @@ impl Testbed {
     /// The coordinator.
     pub fn coordinator(&self) -> &Coordinator {
         &self.coordinator
+    }
+
+    /// The epoch-snapshot store the serving plane reads from; `Some` exactly
+    /// when the configuration has a `[serve]` section (see `docs/SERVE.md`).
+    pub fn snapshot_store(&self) -> Option<&std::sync::Arc<crate::snapshot::SnapshotStore>> {
+        self.coordinator.snapshot_store()
     }
 
     /// The DNS service.

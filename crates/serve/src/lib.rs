@@ -1,0 +1,34 @@
+//! The Celestial serving plane: the paper's per-host information server
+//! (§3.2) as a composable middleware pipeline over epoch-versioned,
+//! lock-free snapshot reads.
+//!
+//! Three pieces (see `docs/SERVE.md`):
+//!
+//! * [`pipeline`] — the onion model: [`pipeline::Envelope`] in,
+//!   [`pipeline::ServeReply`] out, with [`pipeline::Middleware`] stages that
+//!   can short-circuit (auth failure, rate limit) before the handler runs,
+//! * [`middleware`] — the built-in stages: bearer-token auth, a per-client
+//!   token bucket refilled at **epoch granularity** (deterministic under
+//!   virtual time), and request/rejection metrics,
+//! * [`handler`] + [`plane`] — the terminal [`handler::InfoHandler`]
+//!   answering `core::info_api` queries against the coordinator's
+//!   [`celestial::snapshot::SnapshotStore`], and [`plane::ServePlane`]
+//!   wiring everything onto the `httpd` shim's threaded server.
+//!
+//! Server threads never take the coordinator's lock: each request is
+//! answered against an immutable [`celestial::snapshot::EpochSnapshot`], so
+//! a slow query cannot delay the epoch boundary and an epoch handover
+//! cannot tear a response.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handler;
+pub mod middleware;
+pub mod pipeline;
+pub mod plane;
+
+pub use handler::{error_reply, InfoHandler};
+pub use middleware::{AuthMiddleware, MetricsMiddleware, RateLimitMiddleware, ServeMetrics};
+pub use pipeline::{Envelope, Handler, Middleware, Pipeline, ServeReply, Verdict};
+pub use plane::{build_pipeline, ServePlane};

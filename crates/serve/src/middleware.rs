@@ -1,0 +1,317 @@
+//! The built-in middleware stages: auth, rate limiting, metrics.
+
+use crate::pipeline::{bearer_token, Envelope, Middleware, ServeReply, Verdict};
+use celestial::snapshot::SnapshotStore;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Rejects requests that do not carry one of the configured bearer tokens
+/// (`Authorization: Bearer <token>` or `x-celestial-token`). With an empty
+/// token list the stage admits everything — an open server.
+#[derive(Debug)]
+pub struct AuthMiddleware {
+    tokens: Vec<String>,
+}
+
+impl AuthMiddleware {
+    /// Creates the stage with the accepted token list.
+    pub fn new(tokens: Vec<String>) -> AuthMiddleware {
+        AuthMiddleware { tokens }
+    }
+}
+
+impl Middleware for AuthMiddleware {
+    fn name(&self) -> &'static str {
+        "auth"
+    }
+
+    fn before(&self, envelope: &mut Envelope) -> Verdict {
+        if self.tokens.is_empty() {
+            return Verdict::Continue;
+        }
+        match bearer_token(&envelope.request) {
+            Some(token) if self.tokens.iter().any(|t| t == token) => Verdict::Continue,
+            Some(_) => Verdict::ShortCircuit(ServeReply::error(401, "invalid token")),
+            None => Verdict::ShortCircuit(ServeReply::error(401, "missing bearer token")),
+        }
+    }
+}
+
+/// A per-client token bucket refilled at **epoch granularity**: a client
+/// holds up to `burst` tokens, each request spends one, and every epoch
+/// boundary the store advances past refills `per_epoch` tokens. Keying the
+/// refill on the snapshot epoch instead of wall clock keeps the limiter
+/// deterministic under virtual time — the same request schedule against the
+/// same epoch sequence always admits and rejects the same requests.
+#[derive(Debug)]
+pub struct RateLimitMiddleware {
+    burst: u32,
+    per_epoch: u32,
+    store: Arc<SnapshotStore>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: u32,
+    epoch: u64,
+}
+
+impl RateLimitMiddleware {
+    /// Creates the stage. `per_epoch == 0` disables limiting entirely.
+    pub fn new(burst: u32, per_epoch: u32, store: Arc<SnapshotStore>) -> RateLimitMiddleware {
+        RateLimitMiddleware {
+            burst,
+            per_epoch,
+            store,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The tokens `client` would have available at the store's current
+    /// epoch, before spending any (new clients start at full burst).
+    pub fn available(&self, client: &str) -> u32 {
+        let epoch = self.store.epoch();
+        let buckets = self.buckets.lock().expect("rate-limit lock poisoned");
+        buckets
+            .get(client)
+            .map_or(self.burst, |b| self.refilled(*b, epoch))
+    }
+
+    fn refilled(&self, bucket: Bucket, epoch: u64) -> u32 {
+        let elapsed = epoch.saturating_sub(bucket.epoch);
+        let refill = (elapsed as u128 * self.per_epoch as u128).min(self.burst as u128) as u32;
+        bucket.tokens.saturating_add(refill).min(self.burst)
+    }
+}
+
+impl Middleware for RateLimitMiddleware {
+    fn name(&self) -> &'static str {
+        "rate-limit"
+    }
+
+    fn before(&self, envelope: &mut Envelope) -> Verdict {
+        if self.per_epoch == 0 {
+            return Verdict::Continue;
+        }
+        let epoch = self.store.epoch();
+        let mut buckets = self.buckets.lock().expect("rate-limit lock poisoned");
+        let bucket = buckets.entry(envelope.client.clone()).or_insert(Bucket {
+            tokens: self.burst,
+            epoch,
+        });
+        let tokens = self.refilled(*bucket, epoch);
+        if tokens == 0 {
+            *bucket = Bucket { tokens: 0, epoch };
+            return Verdict::ShortCircuit(ServeReply::error(429, "rate limit exceeded"));
+        }
+        *bucket = Bucket {
+            tokens: tokens - 1,
+            epoch,
+        };
+        Verdict::Continue
+    }
+}
+
+/// Counts every request the stage sees and every reply that ends up with a
+/// 4xx/5xx status, feeding `/info`'s `serve_requests` / `serve_rejected`.
+/// Placed at the top of the stack it observes rejections from downstream
+/// stages too, because `after` hooks run for every stage that was entered.
+#[derive(Debug, Default)]
+pub struct MetricsMiddleware {
+    counters: Arc<ServeMetrics>,
+}
+
+/// Shared serving counters, readable outside the pipeline.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests that entered the pipeline.
+    pub requests: AtomicU64,
+    /// Replies with a 4xx/5xx status.
+    pub rejected: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Snapshot of (requests, rejected).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl MetricsMiddleware {
+    /// Creates the stage and the counters it feeds.
+    pub fn new() -> MetricsMiddleware {
+        MetricsMiddleware::default()
+    }
+
+    /// The counters this stage updates.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.counters)
+    }
+}
+
+impl Middleware for MetricsMiddleware {
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+
+    fn before(&self, _envelope: &mut Envelope) -> Verdict {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        Verdict::Continue
+    }
+
+    fn after(&self, _envelope: &Envelope, reply: &mut ServeReply) {
+        if reply.status >= 400 {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use celestial::database::InfoDatabase;
+    use httpd::{Method, Request};
+
+    fn empty_store() -> Arc<SnapshotStore> {
+        Arc::new(SnapshotStore::new(InfoDatabase::new(Vec::new(), Vec::new())))
+    }
+
+    fn ok_handler() -> impl Fn(&mut Envelope) -> ServeReply + Send + Sync {
+        |_env: &mut Envelope| ServeReply::ok(serde_json::json!({"ok": true}))
+    }
+
+    fn envelope_for(client: &str) -> Envelope {
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("x-celestial-client".into(), client.into()));
+        Envelope::new(request)
+    }
+
+    #[test]
+    fn auth_rejects_before_the_handler_runs() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let handler_calls = Arc::clone(&calls);
+        let pipeline = Pipeline::new(move |_env: &mut Envelope| {
+            handler_calls.fetch_add(1, Ordering::Relaxed);
+            ServeReply::ok(serde_json::json!({"ok": true}))
+        })
+        .with(AuthMiddleware::new(vec!["secret".into()]));
+
+        // No token at all.
+        let reply = pipeline.handle(&mut Envelope::new(Request::new(Method::Get, "/info")));
+        assert_eq!(reply.status, 401);
+        // A wrong token.
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("authorization".into(), "Bearer wrong".into()));
+        assert_eq!(pipeline.handle(&mut Envelope::new(request)).status, 401);
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "handler must not have run");
+
+        // The right token, in either carrier header.
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("authorization".into(), "Bearer secret".into()));
+        assert_eq!(pipeline.handle(&mut Envelope::new(request)).status, 200);
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("x-celestial-token".into(), "secret".into()));
+        assert_eq!(pipeline.handle(&mut Envelope::new(request)).status, 200);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_token_list_leaves_the_server_open() {
+        let pipeline = Pipeline::new(ok_handler()).with(AuthMiddleware::new(Vec::new()));
+        let reply = pipeline.handle(&mut Envelope::new(Request::new(Method::Get, "/info")));
+        assert_eq!(reply.status, 200);
+    }
+
+    #[test]
+    fn rate_limiter_exhausts_the_burst_within_one_epoch() {
+        let store = empty_store();
+        let limiter = RateLimitMiddleware::new(3, 2, Arc::clone(&store));
+        assert_eq!(limiter.available("alice"), 3);
+        let pipeline = Pipeline::new(ok_handler()).with(limiter);
+
+        for _ in 0..3 {
+            assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        }
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 429);
+        // Clients are isolated: bob still has his full burst.
+        assert_eq!(pipeline.handle(&mut envelope_for("bob")).status, 200);
+    }
+
+    #[test]
+    fn rate_limiter_refill_math_is_epoch_granular() {
+        let store = empty_store();
+        let database = InfoDatabase::new(Vec::new(), Vec::new());
+        let limiter = RateLimitMiddleware::new(4, 2, Arc::clone(&store));
+
+        // Drain the burst at epoch 0.
+        let pipeline = Pipeline::new(ok_handler()).with(limiter);
+        for _ in 0..4 {
+            assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        }
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 429);
+
+        // One epoch boundary refills exactly `per_epoch` tokens.
+        store.publish(1, &database);
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 429);
+
+        // Many epochs cap the refill at the burst, never beyond.
+        store.publish(100, &database);
+        for _ in 0..4 {
+            assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        }
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 429);
+    }
+
+    #[test]
+    fn zero_per_epoch_disables_limiting() {
+        let limiter = RateLimitMiddleware::new(1, 0, empty_store());
+        let pipeline = Pipeline::new(ok_handler()).with(limiter);
+        for _ in 0..50 {
+            assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
+        }
+    }
+
+    #[test]
+    fn metrics_counts_match_handler_invocations_and_rejections() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let handler_calls = Arc::clone(&calls);
+        let metrics_stage = MetricsMiddleware::new();
+        let metrics = metrics_stage.metrics();
+        let pipeline = Pipeline::new(move |env: &mut Envelope| {
+            handler_calls.fetch_add(1, Ordering::Relaxed);
+            if env.request.path() == "/missing" {
+                ServeReply::error(404, "no such route")
+            } else {
+                ServeReply::ok(serde_json::json!({"ok": true}))
+            }
+        })
+        .with(metrics_stage)
+        .with(AuthMiddleware::new(vec!["secret".into()]));
+
+        let authed = |target: &str| {
+            let mut request = Request::new(Method::Get, target);
+            request.headers.push(("x-celestial-token".into(), "secret".into()));
+            Envelope::new(request)
+        };
+
+        assert_eq!(pipeline.handle(&mut authed("/info")).status, 200);
+        assert_eq!(pipeline.handle(&mut authed("/missing")).status, 404);
+        // Rejected by auth downstream of metrics: counted as a request and a
+        // rejection even though the handler never ran.
+        let reply = pipeline.handle(&mut Envelope::new(Request::new(Method::Get, "/info")));
+        assert_eq!(reply.status, 401);
+
+        let (requests, rejected) = metrics.snapshot();
+        assert_eq!(requests, 3);
+        assert_eq!(rejected, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "handler ran for admitted requests only");
+    }
+}

@@ -1,0 +1,292 @@
+//! The composable middleware pipeline: envelope in, reply out.
+//!
+//! A [`Pipeline`] is an ordered stack of [`Middleware`] stages around a
+//! terminal handler. Each stage's [`Middleware::before`] may let the request
+//! [`Verdict::Continue`] downstream or [`Verdict::ShortCircuit`] with a
+//! reply of its own (auth failure, rate limit). After the handler — or the
+//! short-circuiting stage — responds, the [`Middleware::after`] hooks of
+//! exactly the stages that were entered run in reverse order, so a stage
+//! always sees the reply for a request it let through and never one it was
+//! skipped for.
+
+use httpd::Request;
+use serde_json::Value;
+
+/// A request travelling through the pipeline, with the context middlewares
+/// attach along the way.
+#[derive(Debug)]
+pub struct Envelope {
+    /// The parsed HTTP request.
+    pub request: Request,
+    /// The rate-limit identity of the caller: the `x-celestial-client`
+    /// header if present, else the bearer token, else the peer IP.
+    pub client: String,
+    /// The snapshot epoch the request is answered against; `0` until the
+    /// handler resolves a snapshot.
+    pub epoch: u64,
+}
+
+impl Envelope {
+    /// Wraps a request, deriving the client identity (see [`Envelope::client`]).
+    pub fn new(request: Request) -> Envelope {
+        let client = request
+            .header("x-celestial-client")
+            .map(str::to_owned)
+            .or_else(|| bearer_token(&request).map(str::to_owned))
+            .or_else(|| request.peer.map(|p| p.ip().to_string()))
+            .unwrap_or_else(|| "anonymous".to_owned());
+        Envelope {
+            request,
+            client,
+            epoch: 0,
+        }
+    }
+}
+
+/// The bearer token of a request: `Authorization: Bearer <token>`, or the
+/// bare `x-celestial-token` header.
+pub fn bearer_token(request: &Request) -> Option<&str> {
+    if let Some(auth) = request.header("authorization") {
+        let mut parts = auth.splitn(2, ' ');
+        if let (Some(scheme), Some(token)) = (parts.next(), parts.next()) {
+            if scheme.eq_ignore_ascii_case("bearer") {
+                return Some(token.trim());
+            }
+        }
+        return None;
+    }
+    request.header("x-celestial-token")
+}
+
+/// The pipeline's reply: a status code and a JSON body.
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: Value,
+}
+
+impl ServeReply {
+    /// A 200 reply with the given body.
+    pub fn ok(body: Value) -> ServeReply {
+        ServeReply { status: 200, body }
+    }
+
+    /// An error reply: `{"error": message, "status": status}`.
+    pub fn error(status: u16, message: impl Into<String>) -> ServeReply {
+        ServeReply {
+            status,
+            body: serde_json::json!({
+                "error": message.into(),
+                "status": status,
+            }),
+        }
+    }
+}
+
+/// A middleware stage's decision for a request.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Pass the request to the next stage (or the handler).
+    Continue,
+    /// Answer immediately; downstream stages and the handler never run.
+    ShortCircuit(ServeReply),
+}
+
+/// One composable stage of the serving pipeline.
+pub trait Middleware: Send + Sync {
+    /// The stage's name, for diagnostics and ordering tests.
+    fn name(&self) -> &'static str;
+
+    /// Runs before the handler. Returning [`Verdict::ShortCircuit`] answers
+    /// the request here; downstream `before`s and the handler are skipped.
+    fn before(&self, envelope: &mut Envelope) -> Verdict {
+        let _ = envelope;
+        Verdict::Continue
+    }
+
+    /// Runs after the reply is produced, in reverse stage order, only for
+    /// stages whose `before` ran (including the short-circuiting stage
+    /// itself).
+    fn after(&self, envelope: &Envelope, reply: &mut ServeReply) {
+        let _ = (envelope, reply);
+    }
+}
+
+/// The terminal request handler at the bottom of the stack.
+pub trait Handler: Send + Sync {
+    /// Produces the reply for a request that passed every middleware.
+    fn handle(&self, envelope: &mut Envelope) -> ServeReply;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&mut Envelope) -> ServeReply + Send + Sync,
+{
+    fn handle(&self, envelope: &mut Envelope) -> ServeReply {
+        self(envelope)
+    }
+}
+
+/// An ordered middleware stack over a terminal handler.
+pub struct Pipeline {
+    middlewares: Vec<Box<dyn Middleware>>,
+    handler: Box<dyn Handler>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field(
+                "middlewares",
+                &self.middlewares.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline with no middleware over `handler`.
+    pub fn new(handler: impl Handler + 'static) -> Pipeline {
+        Pipeline {
+            middlewares: Vec::new(),
+            handler: Box::new(handler),
+        }
+    }
+
+    /// Appends a middleware stage; stages run `before` in push order and
+    /// `after` in reverse.
+    pub fn with(mut self, middleware: impl Middleware + 'static) -> Pipeline {
+        self.middlewares.push(Box::new(middleware));
+        self
+    }
+
+    /// The names of the stages in `before` order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.middlewares.iter().map(|m| m.name()).collect()
+    }
+
+    /// Drives `envelope` through the stack and returns the reply.
+    pub fn handle(&self, envelope: &mut Envelope) -> ServeReply {
+        let mut entered = 0;
+        let mut reply = None;
+        for middleware in &self.middlewares {
+            entered += 1;
+            if let Verdict::ShortCircuit(early) = middleware.before(envelope) {
+                reply = Some(early);
+                break;
+            }
+        }
+        let mut reply = match reply {
+            Some(early) => early,
+            None => self.handler.handle(envelope),
+        };
+        for middleware in self.middlewares[..entered].iter().rev() {
+            middleware.after(envelope, &mut reply);
+        }
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpd::Method;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    fn envelope(target: &str) -> Envelope {
+        Envelope::new(Request::new(Method::Get, target))
+    }
+
+    /// Records its before/after invocations into a shared trace.
+    struct Tracer {
+        name: &'static str,
+        trace: Arc<Mutex<Vec<String>>>,
+        short_circuit: bool,
+    }
+
+    impl Middleware for Tracer {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn before(&self, _envelope: &mut Envelope) -> Verdict {
+            self.trace.lock().unwrap().push(format!("before:{}", self.name));
+            if self.short_circuit {
+                Verdict::ShortCircuit(ServeReply::error(429, "stop"))
+            } else {
+                Verdict::Continue
+            }
+        }
+
+        fn after(&self, _envelope: &Envelope, reply: &mut ServeReply) {
+            let _ = reply;
+            self.trace.lock().unwrap().push(format!("after:{}", self.name));
+        }
+    }
+
+    #[test]
+    fn befores_run_in_order_and_afters_in_reverse() {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let calls = Arc::new(AtomicU64::new(0));
+        let handler_calls = Arc::clone(&calls);
+        let pipeline = Pipeline::new(move |_env: &mut Envelope| {
+            handler_calls.fetch_add(1, Ordering::Relaxed);
+            ServeReply::ok(serde_json::json!({"ok": true}))
+        })
+        .with(Tracer { name: "a", trace: Arc::clone(&trace), short_circuit: false })
+        .with(Tracer { name: "b", trace: Arc::clone(&trace), short_circuit: false });
+
+        let reply = pipeline.handle(&mut envelope("/info"));
+        assert_eq!(reply.status, 200);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            *trace.lock().unwrap(),
+            vec!["before:a", "before:b", "after:b", "after:a"]
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_downstream_stages_and_the_handler() {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let calls = Arc::new(AtomicU64::new(0));
+        let handler_calls = Arc::clone(&calls);
+        let pipeline = Pipeline::new(move |_env: &mut Envelope| {
+            handler_calls.fetch_add(1, Ordering::Relaxed);
+            ServeReply::ok(serde_json::json!({"ok": true}))
+        })
+        .with(Tracer { name: "a", trace: Arc::clone(&trace), short_circuit: false })
+        .with(Tracer { name: "b", trace: Arc::clone(&trace), short_circuit: true })
+        .with(Tracer { name: "c", trace: Arc::clone(&trace), short_circuit: false });
+
+        let reply = pipeline.handle(&mut envelope("/info"));
+        assert_eq!(reply.status, 429);
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "the handler must not run");
+        // Stage c is never entered: no before, no after. The circuit breaker
+        // itself still sees the reply in its after hook.
+        assert_eq!(
+            *trace.lock().unwrap(),
+            vec!["before:a", "before:b", "after:b", "after:a"]
+        );
+    }
+
+    #[test]
+    fn client_identity_prefers_header_then_token_then_peer() {
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("x-celestial-client".into(), "alice".into()));
+        request.headers.push(("authorization".into(), "Bearer t0ken".into()));
+        assert_eq!(Envelope::new(request).client, "alice");
+
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("authorization".into(), "Bearer t0ken".into()));
+        assert_eq!(Envelope::new(request).client, "t0ken");
+
+        let mut request = Request::new(Method::Get, "/info");
+        request.peer = Some("10.0.0.7:1234".parse().unwrap());
+        assert_eq!(Envelope::new(request).client, "10.0.0.7");
+
+        assert_eq!(envelope("/info").client, "anonymous");
+    }
+}

@@ -1,0 +1,224 @@
+//! The assembled serving plane: HTTP server + middleware stack + handler.
+//!
+//! [`ServePlane::start`] wires a `[serve]` configuration into the running
+//! stack of the paper's §3.2 information server:
+//!
+//! ```text
+//! listener → workers → metrics → auth → rate-limit → InfoHandler
+//!                                                      │
+//!                                          SnapshotStore (epoch e, lock-free)
+//! ```
+//!
+//! Every reply is JSON; `/info` additionally reports `serve_requests`,
+//! `serve_rejected` and `snapshot_epoch` so guests can observe the serving
+//! plane itself.
+
+use crate::handler::InfoHandler;
+use crate::middleware::{AuthMiddleware, MetricsMiddleware, RateLimitMiddleware, ServeMetrics};
+use crate::pipeline::{Envelope, Pipeline};
+use celestial::config::ServeConfig;
+use celestial::snapshot::SnapshotStore;
+use httpd::{Request, Response, Server};
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Builds the standard middleware stack for `config` over `store`:
+/// metrics → auth → rate-limit → info handler.
+pub fn build_pipeline(config: &ServeConfig, store: Arc<SnapshotStore>) -> (Pipeline, Arc<ServeMetrics>) {
+    let metrics_stage = MetricsMiddleware::new();
+    let metrics = metrics_stage.metrics();
+    let pipeline = Pipeline::new(InfoHandler::new(Arc::clone(&store)))
+        .with(metrics_stage)
+        .with(AuthMiddleware::new(config.auth_tokens.clone()))
+        .with(RateLimitMiddleware::new(
+            config.rate_limit_burst,
+            config.rate_limit_per_epoch,
+            store,
+        ));
+    (pipeline, metrics)
+}
+
+/// A running serving plane (see the module documentation).
+pub struct ServePlane {
+    server: Server,
+    metrics: Arc<ServeMetrics>,
+    store: Arc<SnapshotStore>,
+}
+
+impl std::fmt::Debug for ServePlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePlane")
+            .field("addr", &self.server.addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServePlane {
+    /// Binds the server on `127.0.0.1:<config.port>` (port 0 picks an
+    /// ephemeral port) and starts answering from `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the port is taken or permissions deny it.
+    pub fn start(config: &ServeConfig, store: Arc<SnapshotStore>) -> std::io::Result<ServePlane> {
+        let (pipeline, metrics) = build_pipeline(config, Arc::clone(&store));
+        let pipeline = Arc::new(pipeline);
+        let handler_metrics = Arc::clone(&metrics);
+        let keep_alive = config.keep_alive;
+
+        let handler = move |request: &Request| -> Response {
+            let mut envelope = Envelope::new(request.clone());
+            let path = envelope.request.path().to_owned();
+            let mut reply = pipeline.handle(&mut envelope);
+            if path == "/info" && reply.status == 200 {
+                if let Value::Map(entries) = &mut reply.body {
+                    let (requests, rejected) = handler_metrics.snapshot();
+                    entries.push((Value::Str("serve_requests".to_owned()), Value::U64(requests)));
+                    entries.push((Value::Str("serve_rejected".to_owned()), Value::U64(rejected)));
+                }
+            }
+            let body = serde_json::to_string(&reply.body)
+                .unwrap_or_else(|_| r#"{"error":"serialization failed","status":500}"#.to_owned());
+            let mut response = Response::json(reply.status, body);
+            if !keep_alive {
+                response = response.with_header("Connection", "close");
+            }
+            response
+        };
+
+        let server = Server::bind(
+            &format!("127.0.0.1:{}", config.port),
+            config.workers as usize,
+            Arc::new(handler),
+        )?;
+        Ok(ServePlane {
+            server,
+            metrics,
+            store,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The serving counters (`serve_requests`, `serve_rejected`).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The snapshot store the plane answers from.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The HTTP server's own counters (connections, requests, parse errors).
+    pub fn server_stats(&self) -> (u64, u64, u64) {
+        self.server.stats().snapshot()
+    }
+
+    /// Stops the server and joins its threads (also runs on drop).
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial::Coordinator;
+    use celestial_constellation::{BoundingBox, Constellation, GroundStation, Shell};
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::geo::Geodetic;
+    use celestial_types::time::SimDuration;
+    use httpd::Client;
+
+    fn serving_coordinator() -> (Coordinator, Arc<SnapshotStore>) {
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 6, 8)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut coordinator = Coordinator::new(constellation, SimDuration::from_secs(2));
+        let store = coordinator.enable_snapshots();
+        (coordinator, store)
+    }
+
+    #[test]
+    fn serves_the_full_error_taxonomy_over_http() {
+        let (mut coordinator, store) = serving_coordinator();
+        coordinator.update(0.0).unwrap();
+        let config = ServeConfig {
+            auth_tokens: vec!["secret".to_owned()],
+            rate_limit_burst: 4,
+            rate_limit_per_epoch: 1,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let plane = ServePlane::start(&config, store).expect("plane starts");
+        let mut client = Client::connect(plane.addr()).expect("connect");
+
+        // 401: no token.
+        let reply = client.get("/self").expect("request");
+        assert_eq!(reply.status, 401);
+        // 400: malformed parameter (with a token).
+        let auth = [("x-celestial-token", "secret")];
+        assert_eq!(client.get_with_headers("/sat/x/1", &auth).expect("request").status, 400);
+        // 404: unknown route.
+        assert_eq!(client.get_with_headers("/bogus", &auth).expect("request").status, 404);
+        // 200: a real query.
+        let reply = client.get_with_headers("/self", &auth).expect("request");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("content-type"), Some("application/json"));
+        // 429: burst exhausted (the token is the rate-limit identity here).
+        let mut last = 200;
+        for _ in 0..6 {
+            last = client.get_with_headers("/self", &auth).expect("request").status;
+        }
+        assert_eq!(last, 429);
+
+        let (requests, rejected) = plane.metrics().snapshot();
+        assert_eq!(requests, 10);
+        assert!(rejected >= 3, "401 + 404 + 429s; got {rejected}");
+    }
+
+    #[test]
+    fn info_route_reports_serving_counters_and_epoch() {
+        let (mut coordinator, store) = serving_coordinator();
+        coordinator.update(0.0).unwrap();
+        coordinator.update(2.0).unwrap();
+        let plane = ServePlane::start(&ServeConfig::default(), store).expect("plane starts");
+        let mut client = Client::connect(plane.addr()).expect("connect");
+
+        client.get("/self").expect("request");
+        let reply = client.get("/info").expect("request");
+        assert_eq!(reply.status, 200);
+        let body: Value = serde_json::from_str(std::str::from_utf8(&reply.body).unwrap())
+            .expect("json body");
+        assert_eq!(body.get("snapshot_epoch").and_then(Value::as_u64), Some(2));
+        assert_eq!(body.get("serve_requests").and_then(Value::as_u64), Some(2));
+        assert_eq!(body.get("serve_rejected").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn keep_alive_false_closes_after_each_response() {
+        let (mut coordinator, store) = serving_coordinator();
+        coordinator.update(0.0).unwrap();
+        let config = ServeConfig {
+            keep_alive: false,
+            ..ServeConfig::default()
+        };
+        let plane = ServePlane::start(&config, store).expect("plane starts");
+        let mut client = Client::connect(plane.addr()).expect("connect");
+        // The client reconnects transparently; the server closes after each
+        // response, so two requests mean two connections.
+        assert_eq!(client.get("/self").expect("request").status, 200);
+        assert_eq!(client.get("/self").expect("request").status, 200);
+        let (connections, requests, _) = plane.server_stats();
+        assert_eq!(requests, 2);
+        assert_eq!(connections, 2, "Connection: close forces a new connection per request");
+    }
+}

@@ -31,6 +31,9 @@ pub enum Error {
     NameResolution(String),
     /// The coordinator's info API rejected a request.
     InfoApi(String),
+    /// A requested route or entity does not exist (the serving plane maps
+    /// this to HTTP 404, while [`Error::InfoApi`] maps to 400).
+    NotFound(String),
     /// A guest application reported a failure.
     Application(String),
     /// Serialization or deserialization of testbed state failed.
@@ -46,6 +49,11 @@ impl Error {
     /// Creates an unknown-node error with the given message.
     pub fn unknown_node(msg: impl Into<String>) -> Self {
         Error::UnknownNode(msg.into())
+    }
+
+    /// Creates a not-found error with the given message.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
     }
 
     /// Creates a network error with the given message.
@@ -66,6 +74,7 @@ impl fmt::Display for Error {
             Error::HostCapacity(m) => write!(f, "host capacity exceeded: {m}"),
             Error::NameResolution(m) => write!(f, "name resolution failed: {m}"),
             Error::InfoApi(m) => write!(f, "info API request failed: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::Application(m) => write!(f, "application error: {m}"),
             Error::Serialization(m) => write!(f, "serialization error: {m}"),
         }

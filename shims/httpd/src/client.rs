@@ -1,0 +1,125 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, for tests and
+//! benchmarks inside the workspace.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::parser::{parse_response, Parse};
+use crate::{Method, Request, Response};
+
+/// Socket timeout applied to reads and writes.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A blocking keep-alive client bound to one server address. Requests are
+/// issued sequentially over a single connection, which is transparently
+/// re-established if the server closed it.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to the given address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        let stream = open(addr)?;
+        Ok(Client {
+            addr,
+            stream: Some(stream),
+            buf: Vec::with_capacity(1024),
+        })
+    }
+
+    /// Issues a `GET` for `target` and waits for the response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<Response> {
+        self.request(&Request::new(Method::Get, target))
+    }
+
+    /// Issues a `GET` for `target` with extra header fields.
+    pub fn get_with_headers(
+        &mut self,
+        target: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
+        let mut request = Request::new(Method::Get, target);
+        for (name, value) in headers {
+            request
+                .headers
+                .push(((*name).to_owned(), (*value).to_owned()));
+        }
+        self.request(&request)
+    }
+
+    /// Sends `request` and reads one response. If the server closed the
+    /// keep-alive connection since the last exchange, reconnects once.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        match self.try_request(request) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                // The pooled connection may have been closed server-side;
+                // retry exactly once on a fresh connection.
+                self.stream = Some(open(self.addr)?);
+                self.buf.clear();
+                self.try_request(request)
+            }
+        }
+    }
+
+    fn try_request(&mut self, request: &Request) -> std::io::Result<Response> {
+        let stream = match self.stream.as_mut() {
+            Some(stream) => stream,
+            None => {
+                self.stream = Some(open(self.addr)?);
+                self.buf.clear();
+                self.stream.as_mut().expect("stream was just set")
+            }
+        };
+        stream.write_all(&request.to_bytes())?;
+
+        let mut chunk = [0u8; 4096];
+        loop {
+            match parse_response(&self.buf) {
+                Parse::Complete { message, consumed } => {
+                    self.buf.drain(..consumed);
+                    let close = message
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    if close {
+                        self.stream = None;
+                        self.buf.clear();
+                    }
+                    return Ok(message);
+                }
+                Parse::Partial => {}
+                Parse::Invalid(error) => {
+                    self.stream = None;
+                    self.buf.clear();
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, error));
+                }
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                self.stream = None;
+                self.buf.clear();
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn open(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}

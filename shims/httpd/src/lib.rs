@@ -1,0 +1,262 @@
+//! Workspace-local, offline HTTP/1.1 server and client.
+//!
+//! The build environment has no crates.io access, so — like the other
+//! `shims/` crates — this hand-rolls the small HTTP surface the workspace
+//! needs: an incremental request/response parser with hard limits
+//! ([`parser`]), a threaded server with a listener + worker pool, keep-alive
+//! and graceful shutdown ([`server`]), and a blocking keep-alive client for
+//! tests and benchmarks ([`client`]). Framing is `Content-Length` only;
+//! chunked transfer encoding is rejected with `400` rather than implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod parser;
+pub mod server;
+
+pub use client::Client;
+pub use parser::{parse_request, parse_response, Parse, ParseError};
+pub use server::{Server, ServerStats};
+
+use std::fmt;
+use std::net::SocketAddr;
+
+/// An HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `HEAD`
+    Head,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `OPTIONS`
+    Options,
+    /// Any other token (HTTP methods are an open set).
+    Other(String),
+}
+
+impl Method {
+    /// Parses a method token (already validated as a token by the parser).
+    pub fn from_token(token: &str) -> Method {
+        match token {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            other => Method::Other(other.to_owned()),
+        }
+    }
+
+    /// The method's wire token.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Other(token) => token,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The raw request target (path plus optional query string).
+    pub target: String,
+    /// Minor HTTP version: `0` for HTTP/1.0, `1` for HTTP/1.1.
+    pub minor_version: u8,
+    /// Header fields in order of appearance, names as received.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` framed; empty without the header).
+    pub body: Vec<u8>,
+    /// The peer address, stamped by the server (not part of the wire form).
+    pub peer: Option<SocketAddr>,
+}
+
+impl Request {
+    /// A minimal request for the given method and target (HTTP/1.1, no
+    /// headers, no body).
+    pub fn new(method: Method, target: impl Into<String>) -> Request {
+        Request {
+            method,
+            target: target.into(),
+            minor_version: 1,
+            headers: Vec::new(),
+            body: Vec::new(),
+            peer: None,
+        }
+    }
+
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should be kept open after responding:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// requires an explicit `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) if value.eq_ignore_ascii_case("close") => false,
+            Some(value) if value.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.minor_version >= 1,
+        }
+    }
+
+    /// Serializes the request to its wire form, adding `Content-Length`
+    /// when a body is present.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(format!(" HTTP/1.{}\r\n", self.minor_version).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !self.body.is_empty() && self.header("content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Header fields (`Content-Length` and `Connection` are added by the
+    /// writer; do not set them manually).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body)
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain")
+            .with_body(body)
+    }
+
+    /// Adds a header field.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Whether this response explicitly demands the connection be closed
+    /// (a handler-set `Connection: close` header overrides keep-alive).
+    pub fn demands_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serializes the response to its wire form, framing the body with
+    /// `Content-Length` and advertising the connection disposition (unless
+    /// the handler already set those headers itself).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if self.header("content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        if self.header("connection").is_none() {
+            out.extend_from_slice(if keep_alive {
+                b"Connection: keep-alive\r\n".as_slice()
+            } else {
+                b"Connection: close\r\n".as_slice()
+            });
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}

@@ -1,0 +1,332 @@
+//! Incremental HTTP/1.1 message parsing with hard limits.
+//!
+//! [`parse_request`] and [`parse_response`] are **restartable**: callers
+//! accumulate bytes in a buffer and re-parse after every read. A prefix of a
+//! valid message always parses to [`Parse::Partial`], never to an error —
+//! the property that makes torn reads (a request split at any byte
+//! boundary) safe — and malformed or oversized input yields
+//! [`Parse::Invalid`] instead of panicking, which the server maps to `400`.
+
+use crate::{Method, Request, Response};
+
+/// Maximum length of the request/status line in bytes.
+pub const MAX_START_LINE: usize = 8 * 1024;
+/// Maximum size of the head (start line + headers + terminator) in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a message was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed HTTP message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The outcome of parsing a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parse<T> {
+    /// The buffer holds an incomplete message; read more bytes and re-parse.
+    Partial,
+    /// A complete message occupying the first `consumed` bytes.
+    Complete {
+        /// The parsed message.
+        message: T,
+        /// Bytes of the buffer the message occupied (drain before re-parse).
+        consumed: usize,
+    },
+    /// The buffer can never become a valid message.
+    Invalid(ParseError),
+}
+
+fn invalid<T>(msg: impl Into<String>) -> Parse<T> {
+    Parse::Invalid(ParseError(msg.into()))
+}
+
+/// Locates the end of the head (`\r\n\r\n`), returning the offset just past
+/// the terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn is_token_char(byte: u8) -> bool {
+    matches!(byte,
+        b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9'
+        | b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
+        | b'^' | b'_' | b'`' | b'|' | b'~')
+}
+
+fn is_valid_header_value(value: &str) -> bool {
+    value
+        .bytes()
+        .all(|b| b == b'\t' || (b' '..=b'~').contains(&b) || b >= 0x80)
+}
+
+/// Parses the header lines shared by requests and responses.
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, ParseError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(ParseError("obsolete header folding is not supported".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError(format!("header line without ':': {line:?}")));
+        };
+        if name.is_empty() || !name.bytes().all(is_token_char) {
+            return Err(ParseError(format!("invalid header name {name:?}")));
+        }
+        let value = value.trim_matches(|c| c == ' ' || c == '\t');
+        if !is_valid_header_value(value) {
+            return Err(ParseError(format!("control bytes in value of {name:?}")));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError(format!("more than {MAX_HEADERS} header fields")));
+        }
+        headers.push((name.to_owned(), value.to_owned()));
+    }
+    Ok(headers)
+}
+
+/// Extracts the body framing from the headers: `Some(len)` for
+/// `Content-Length: len`, `None` for no body.
+fn body_length(headers: &[(String, String)]) -> Result<Option<usize>, ParseError> {
+    if headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(ParseError("chunked transfer encoding is not supported".into()));
+    }
+    let mut length: Option<usize> = None;
+    for (name, value) in headers {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed: usize = value
+            .parse()
+            .map_err(|_| ParseError(format!("invalid Content-Length {value:?}")))?;
+        if let Some(existing) = length {
+            if existing != parsed {
+                return Err(ParseError("conflicting Content-Length headers".into()));
+            }
+        }
+        if parsed > MAX_BODY_BYTES {
+            return Err(ParseError(format!("body of {parsed} bytes exceeds the limit")));
+        }
+        length = Some(parsed);
+    }
+    Ok(length)
+}
+
+/// Checks the head-section limits on a buffer that does not yet contain the
+/// `\r\n\r\n` terminator. Returns `Partial` if more bytes may still form a
+/// valid head, `Invalid` once no continuation can.
+fn check_incomplete_head<T>(buf: &[u8]) -> Parse<T> {
+    if !buf.iter().take(MAX_START_LINE).any(|&b| b == b'\n') && buf.len() > MAX_START_LINE {
+        return invalid("start line exceeds the length limit");
+    }
+    if buf.len() > MAX_HEAD_BYTES {
+        return invalid("header section exceeds the size limit");
+    }
+    Parse::Partial
+}
+
+fn parse_version(token: &str) -> Result<u8, ParseError> {
+    match token {
+        "HTTP/1.1" => Ok(1),
+        "HTTP/1.0" => Ok(0),
+        other => Err(ParseError(format!("unsupported version {other:?}"))),
+    }
+}
+
+/// Parses one HTTP request from the front of `buf`. See the module
+/// documentation for the restartable-parsing contract.
+pub fn parse_request(buf: &[u8]) -> Parse<Request> {
+    let Some(head_end) = find_head_end(buf) else {
+        return check_incomplete_head(buf);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return invalid("header section exceeds the size limit");
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end - 4]) else {
+        return invalid("head is not valid UTF-8");
+    };
+    let mut lines = head.lines();
+    let Some(start_line) = lines.next() else {
+        return invalid("empty request head");
+    };
+    if start_line.len() > MAX_START_LINE {
+        return invalid("start line exceeds the length limit");
+    }
+    let mut parts = start_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return invalid(format!("malformed request line {start_line:?}"));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_char) {
+        return invalid(format!("invalid method token {method:?}"));
+    }
+    if !(target.starts_with('/') || target == "*") {
+        return invalid(format!("unsupported request target {target:?}"));
+    }
+    let minor_version = match parse_version(version) {
+        Ok(v) => v,
+        Err(e) => return Parse::Invalid(e),
+    };
+    let headers = match parse_headers(lines) {
+        Ok(h) => h,
+        Err(e) => return Parse::Invalid(e),
+    };
+    let body_len = match body_length(&headers) {
+        Ok(l) => l.unwrap_or(0),
+        Err(e) => return Parse::Invalid(e),
+    };
+    if buf.len() < head_end + body_len {
+        return Parse::Partial;
+    }
+    Parse::Complete {
+        message: Request {
+            method: Method::from_token(method),
+            target: target.to_owned(),
+            minor_version,
+            headers,
+            body: buf[head_end..head_end + body_len].to_vec(),
+            peer: None,
+        },
+        consumed: head_end + body_len,
+    }
+}
+
+/// Parses one HTTP response from the front of `buf` (the client side of the
+/// same restartable contract).
+pub fn parse_response(buf: &[u8]) -> Parse<Response> {
+    let Some(head_end) = find_head_end(buf) else {
+        return check_incomplete_head(buf);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return invalid("header section exceeds the size limit");
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end - 4]) else {
+        return invalid("head is not valid UTF-8");
+    };
+    let mut lines = head.lines();
+    let Some(status_line) = lines.next() else {
+        return invalid("empty response head");
+    };
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(status), _reason) = (parts.next(), parts.next(), parts.next())
+    else {
+        return invalid(format!("malformed status line {status_line:?}"));
+    };
+    if let Err(e) = parse_version(version) {
+        return Parse::Invalid(e);
+    }
+    let Ok(status) = status.parse::<u16>() else {
+        return invalid(format!("invalid status code {status:?}"));
+    };
+    let headers = match parse_headers(lines) {
+        Ok(h) => h,
+        Err(e) => return Parse::Invalid(e),
+    };
+    let body_len = match body_length(&headers) {
+        Ok(l) => l.unwrap_or(0),
+        Err(e) => return Parse::Invalid(e),
+    };
+    if buf.len() < head_end + body_len {
+        return Parse::Partial;
+    }
+    Parse::Complete {
+        message: Response {
+            status,
+            headers,
+            body: buf[head_end..head_end + body_len].to_vec(),
+        },
+        consumed: head_end + body_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_request_with_headers_and_keep_alive() {
+        let bytes = b"GET /info?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Test: a b\r\n\r\n";
+        let Parse::Complete { message, consumed } = parse_request(bytes) else {
+            panic!("expected a complete request");
+        };
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(message.method, Method::Get);
+        assert_eq!(message.target, "/info?x=1");
+        assert_eq!(message.path(), "/info");
+        assert_eq!(message.header("x-test"), Some("a b"));
+        assert!(message.keep_alive());
+    }
+
+    #[test]
+    fn frames_bodies_with_content_length() {
+        let bytes = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET";
+        let Parse::Complete { message, consumed } = parse_request(bytes) else {
+            panic!("expected a complete request");
+        };
+        assert_eq!(message.body, b"hello");
+        assert_eq!(consumed, bytes.len() - 3, "trailing bytes belong to the next request");
+        // One byte short of the declared length: partial, not complete.
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhell"),
+            Parse::Partial
+        );
+    }
+
+    #[test]
+    fn http10_closes_by_default() {
+        let bytes = b"GET / HTTP/1.0\r\n\r\n";
+        let Parse::Complete { message, .. } = parse_request(bytes) else {
+            panic!("expected a complete request");
+        };
+        assert!(!message.keep_alive());
+    }
+
+    #[test]
+    fn malformed_messages_are_invalid_not_partial() {
+        for bad in [
+            b"GET\r\n\r\n".as_slice(),
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET http://e/ HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Parse::Invalid(_)),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn parses_a_response_round_trip() {
+        let response = Response::json(200, r#"{"ok":true}"#);
+        let bytes = response.to_bytes(true);
+        let Parse::Complete { message, consumed } = parse_response(&bytes) else {
+            panic!("expected a complete response");
+        };
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(message.status, 200);
+        assert_eq!(message.body, br#"{"ok":true}"#);
+        assert_eq!(message.header("connection"), Some("keep-alive"));
+    }
+}

@@ -1,0 +1,321 @@
+//! A threaded HTTP/1.1 server: nonblocking listener + fixed worker pool.
+//!
+//! Connections are accepted on a dedicated listener thread and handed to a
+//! pool of worker threads over a channel. Each worker owns a connection for
+//! its whole keep-alive lifetime, parsing requests incrementally with
+//! [`crate::parser::parse_request`] and writing `Content-Length`-framed
+//! responses. [`Server::shutdown`] (also run on drop) stops the listener,
+//! closes the channel and joins every thread.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::parser::{parse_request, Parse};
+use crate::{Request, Response};
+
+/// How often the listener thread polls the shutdown flag between accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// How often idle workers poll the shutdown flag while waiting for work.
+const WORKER_POLL: Duration = Duration::from_millis(20);
+/// Per-connection read timeout; an idle keep-alive connection is dropped
+/// after this long without bytes.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Counters describing the server's activity, all monotonically increasing.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests parsed and answered by the handler.
+    pub requests: AtomicU64,
+    /// Requests rejected with `400` because parsing failed.
+    pub parse_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Snapshot of (connections, requests, parse_errors).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.parse_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The request handler: a request in, a response out. Handlers run on worker
+/// threads and must therefore be `Send + Sync`.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// A running HTTP server (see the module documentation).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (`port 0` picks an ephemeral port) and starts the
+    /// listener plus `workers` worker threads running `handler`.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        handler: Arc<Handler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &stop, &stats, handler.as_ref()))
+                    .expect("spawning an httpd worker thread failed")
+            })
+            .collect();
+
+        let listener_handle = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("httpd-listener".into())
+                .spawn(move || listener_loop(&listener, &tx, &stop, &stats))
+                .expect("spawning the httpd listener thread failed")
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            stats,
+            listener: Some(listener_handle),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's activity counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drains the workers and joins every thread. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn listener_loop(
+    listener: &TcpListener,
+    tx: &mpsc::Sender<TcpStream>,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping `tx` here closes the channel, releasing idle workers.
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+    handler: &Handler,
+) {
+    loop {
+        let next = {
+            let guard = rx.lock().expect("httpd worker queue lock poisoned");
+            guard.recv_timeout(WORKER_POLL)
+        };
+        match next {
+            Ok(stream) => serve_connection(stream, stop, stats, handler),
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one connection's keep-alive loop until the peer closes, a response
+/// requests close, parsing fails, or shutdown is signalled.
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+    handler: &Handler,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let peer = stream.peer_addr().ok();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Answer every complete request already buffered.
+        loop {
+            match parse_request(&buf) {
+                Parse::Complete { mut message, consumed } => {
+                    buf.drain(..consumed);
+                    message.peer = peer;
+                    let response = handler(&message);
+                    let keep_alive = message.keep_alive() && !response.demands_close();
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if stream.write_all(&response.to_bytes(keep_alive)).is_err() {
+                        return;
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Parse::Partial => break,
+                Parse::Invalid(error) => {
+                    stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    let reply = Response::json(
+                        400,
+                        format!(r#"{{"error":"{}"}}"#, error.0.replace('"', "'")),
+                    );
+                    let _ = stream.write_all(&reply.to_bytes(false));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::Method;
+
+    fn echo_server() -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &Request| {
+                Response::text(200, format!("{} {}", req.method, req.path()))
+            }),
+        )
+        .expect("binding the test server failed")
+    }
+
+    #[test]
+    fn serves_requests_over_keep_alive() {
+        let server = echo_server();
+        let mut client = Client::connect(server.addr()).expect("connect failed");
+        for _ in 0..3 {
+            let response = client.get("/hello").expect("request failed");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"GET /hello");
+        }
+        let (connections, requests, parse_errors) = server.stats().snapshot();
+        assert_eq!(connections, 1, "keep-alive should reuse one connection");
+        assert_eq!(requests, 3);
+        assert_eq!(parse_errors, 0);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_close() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect failed");
+        stream
+            .write_all(b"GET / HTTP/2.0\r\n\r\n")
+            .expect("write failed");
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).expect("read failed");
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        assert!(text.contains("Connection: close"));
+        assert_eq!(server.stats().parse_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).expect("connect failed");
+        assert_eq!(client.get("/x").expect("request failed").status, 200);
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            Client::connect(addr).is_err()
+                || Client::connect(addr)
+                    .and_then(|mut c| c.get("/x"))
+                    .is_err(),
+            "the listener should be gone after shutdown"
+        );
+    }
+
+    #[test]
+    fn post_bodies_reach_the_handler() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| Response::text(200, req.body.clone())),
+        )
+        .expect("bind failed");
+        let mut client = Client::connect(server.addr()).expect("connect failed");
+        let mut request = Request::new(Method::Post, "/echo");
+        request.body = b"payload".to_vec();
+        let response = client.request(&request).expect("request failed");
+        assert_eq!(response.body, b"payload");
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`celestial_machines`] — the microVM and host model,
 //! * [`celestial_sim`] — the discrete-event engine and metrics,
 //! * [`celestial_apps`] — the paper's evaluation applications,
+//! * [`celestial_serve`] — the HTTP serving plane (middleware pipeline over
+//!   epoch-versioned snapshot reads),
 //! * [`celestial_types`] — shared types.
 //!
 //! # Example
@@ -59,6 +61,7 @@ pub use celestial_apps;
 pub use celestial_constellation;
 pub use celestial_machines;
 pub use celestial_netem;
+pub use celestial_serve;
 pub use celestial_sgp4;
 pub use celestial_sim;
 pub use celestial_types;

@@ -4,9 +4,13 @@
 //! bit-identical to the global network; `tests/chaos_convergence.rs` uses it
 //! to prove chaos runs deterministic and convergent (`docs/CHAOS.md`).
 
-use celestial::config::TestbedConfig;
+use celestial::config::{ServeConfig, TestbedConfig};
 use celestial::pipeline::PipelineMode;
 use celestial::testbed::{AppContext, GuestApplication, Testbed};
+use celestial::Coordinator;
+use celestial_constellation::Constellation;
+use celestial_serve::ServePlane;
+use httpd::Client;
 use celestial_constellation::{BoundingBox, GroundStation, Shell};
 use celestial_machines::FaultEvent;
 use celestial_netem::packet::Packet;
@@ -163,6 +167,64 @@ pub fn run_config(config: &TestbedConfig, faults: Vec<FaultEvent>) -> Observatio
         ignored_faults: testbed.ignored_faults(),
         updates: testbed.coordinator().update_count(),
     }
+}
+
+/// The deterministic routes of the serve leg: every info-API route class
+/// plus a 404 and a 400, with the requester identity pinned via
+/// `x-celestial-node` so replies do not depend on the peer address.
+/// `/info` is deliberately absent — it reports wall-clock pipeline timings
+/// and can never be bit-identical across runs.
+pub const SERVE_ROUTES: &[(&str, &[(&str, &str)])] = &[
+    ("/self", &[("x-celestial-node", "0.gst")]),
+    ("/self", &[("x-celestial-node", "5.0")]),
+    ("/shell/0", &[]),
+    ("/sat/0/5", &[]),
+    ("/gst/accra", &[]),
+    ("/path/0.gst/1.gst", &[]),
+    ("/bogus", &[]),
+    ("/sat/x/1", &[]),
+];
+
+/// The serve leg's constellation: the same 12×16 +GRID shell and
+/// ground-station pair as [`config`], built directly (no testbed) so the
+/// coordinator can be stepped one epoch at a time with a serving plane
+/// attached.
+pub fn serve_constellation() -> Constellation {
+    Constellation::builder()
+        .shell(celestial_constellation::Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .build()
+        .expect("valid constellation")
+}
+
+/// Runs a coordinator in `mode` for `epochs` epochs with a live serving
+/// plane answering from its snapshot store, requesting every
+/// [`SERVE_ROUTES`] entry over HTTP after each boundary. Returns the journal
+/// of `epoch route -> status body` lines; two runs observe the same world
+/// exactly when their journals are bit-identical.
+pub fn serve_journal(mode: PipelineMode, epochs: u32) -> Vec<String> {
+    let interval = SimDuration::from_secs(1);
+    let mut coordinator = Coordinator::with_mode(serve_constellation(), interval, mode);
+    let store = coordinator.enable_snapshots();
+    let plane = ServePlane::start(&ServeConfig::default(), store).expect("serve plane starts");
+    let mut client = Client::connect(plane.addr()).expect("connect to serve plane");
+
+    let mut journal = Vec::new();
+    for epoch in 0..epochs {
+        coordinator.update(f64::from(epoch)).expect("update");
+        for (route, headers) in SERVE_ROUTES {
+            let reply = client.get_with_headers(route, headers).expect("serve request");
+            journal.push(format!(
+                "e={} {route} -> {} {}",
+                epoch + 1,
+                reply.status,
+                String::from_utf8_lossy(&reply.body),
+            ));
+        }
+    }
+    journal
 }
 
 /// Asserts two observation sets bit-identical, field by field, with

@@ -3,7 +3,7 @@
 //! testbed shape, and survive a serde round trip; the `[chaos]` defaults
 //! documented in `docs/CHAOS.md` must match `ChaosConfig::default()`.
 
-use celestial::config::{ChaosConfig, TestbedConfig};
+use celestial::config::{ChaosConfig, ServeConfig, TestbedConfig};
 use celestial_constellation::PathAlgorithm;
 
 /// The documentation page this test validates.
@@ -70,6 +70,31 @@ fn the_documented_chaos_defaults_match_the_code() {
     let config = TestbedConfig::from_toml(&toml).expect("documented chaos TOML parses");
     // The documented values are exactly the engine's defaults.
     assert_eq!(config.chaos, Some(ChaosConfig::default()));
+}
+
+/// The serving-plane documentation page, whose `[serve]` example lists
+/// every key with its default value.
+const SERVE_DOC: &str = include_str!("../docs/SERVE.md");
+
+#[test]
+fn the_documented_serve_defaults_match_the_code() {
+    let start = SERVE_DOC
+        .find("```toml\n")
+        .expect("docs/SERVE.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = SERVE_DOC[start..].find("```").expect("the toml fence is closed") + start;
+    let block = &SERVE_DOC[start..end];
+    assert!(block.contains("[serve]"), "the example documents the [serve] table");
+    let toml = format!(
+        "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n\n{block}"
+    );
+    let config = TestbedConfig::from_toml(&toml).expect("documented serve TOML parses");
+    // The documented values are exactly the serving plane's defaults.
+    assert_eq!(config.serve, Some(ServeConfig::default()));
+    // A config with the serving plane on still round-trips through serde.
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
 }
 
 #[test]

@@ -1,0 +1,159 @@
+//! Property tests for the `httpd` shim's HTTP/1.1 parser: arbitrary header
+//! sets round-trip through serialize → parse, a request split at **every**
+//! byte boundary is `Partial` (never `Invalid`, never a panic — the
+//! restartable-parsing contract the server's read loop depends on), and
+//! oversized or malformed request lines are rejected with `Invalid` (which
+//! the server maps to 400) rather than a crash.
+
+use httpd::{parse_request, Method, Parse, Request};
+use proptest::prelude::*;
+
+/// Builds a header name from draw bytes: `X-` plus token characters, so the
+/// generated names never collide with framing headers (`Content-Length`,
+/// `Transfer-Encoding`, `Connection`).
+fn header_name(bytes: &[u8]) -> String {
+    const TOKEN: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.!#$%&'*+^`|~";
+    let mut name = String::from("X-");
+    for &b in bytes {
+        name.push(TOKEN[b as usize % TOKEN.len()] as char);
+    }
+    name
+}
+
+/// Builds a header value from draw bytes: visible ASCII only, so the value
+/// survives the parser's whitespace trimming unchanged.
+fn header_value(bytes: &[u8]) -> String {
+    bytes.iter().map(|&b| (0x21 + b % (0x7f - 0x21)) as char).collect()
+}
+
+fn request_with_headers(headers: &[(String, String)], body: &[u8]) -> Request {
+    let mut request = Request::new(Method::Get, "/info");
+    request.headers = headers.to_vec();
+    request.body = body.to_vec();
+    request
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary header sets round-trip: serialize → parse preserves names,
+    /// values, order and the body.
+    #[test]
+    fn arbitrary_header_sets_round_trip(
+        name_draws in prop::collection::vec(prop::collection::vec(0u8..255, 1..12), 0..8),
+        value_draws in prop::collection::vec(prop::collection::vec(0u8..255, 0..24), 0..8),
+        body in prop::collection::vec(0u8..255, 0..64),
+    ) {
+        let headers: Vec<(String, String)> = name_draws
+            .iter()
+            .zip(value_draws.iter().chain(std::iter::repeat(&Vec::new())))
+            .map(|(n, v)| (header_name(n), header_value(v)))
+            .collect();
+        let request = request_with_headers(&headers, &body);
+        let bytes = request.to_bytes();
+
+        match parse_request(&bytes) {
+            Parse::Complete { message, consumed } => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(&message.method, &Method::Get);
+                prop_assert_eq!(message.target.as_str(), "/info");
+                prop_assert_eq!(&message.body, &body);
+                // The serializer appends Content-Length when a body is
+                // present; everything before it is our headers, in order.
+                prop_assert_eq!(&message.headers[..headers.len()], &headers[..]);
+                for (name, value) in &headers {
+                    prop_assert_eq!(message.header(name), Some(value.as_str()));
+                    prop_assert_eq!(message.header(&name.to_uppercase()), Some(value.as_str()));
+                }
+            }
+            other => prop_assert!(false, "round trip failed: {:?}", other),
+        }
+    }
+
+    /// A valid request torn at every byte boundary parses as `Partial` for
+    /// every proper prefix — never `Invalid`, never `Complete`, never a
+    /// panic. This is exactly the contract that lets the server re-parse an
+    /// accumulating buffer after each `read()`.
+    #[test]
+    fn torn_reads_are_partial_at_every_split_point(
+        name_draws in prop::collection::vec(prop::collection::vec(0u8..255, 1..8), 0..4),
+        body in prop::collection::vec(0u8..255, 0..32),
+    ) {
+        let headers: Vec<(String, String)> = name_draws
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (header_name(n), format!("value-{i}")))
+            .collect();
+        let request = request_with_headers(&headers, &body);
+        let bytes = request.to_bytes();
+
+        for split in 0..bytes.len() {
+            match parse_request(&bytes[..split]) {
+                Parse::Partial => {}
+                Parse::Complete { .. } => {
+                    prop_assert!(false, "complete at {split} of {}", bytes.len());
+                }
+                Parse::Invalid(error) => {
+                    prop_assert!(false, "invalid at {split} of {}: {error}", bytes.len());
+                }
+            }
+        }
+        prop_assert!(matches!(parse_request(&bytes), Parse::Complete { .. }));
+    }
+
+    /// Oversized request lines are rejected as `Invalid` — both once the
+    /// full line is buffered and already from the still-unterminated prefix
+    /// beyond the limit (so a hostile peer cannot balloon the buffer).
+    #[test]
+    fn oversized_request_lines_are_rejected(excess in 1usize..2048) {
+        let target: String = std::iter::once('/')
+            .chain(std::iter::repeat('a').take(httpd::parser::MAX_START_LINE + excess))
+            .collect();
+        let bytes = Request::new(Method::Get, &target).to_bytes();
+        prop_assert!(matches!(parse_request(&bytes), Parse::Invalid(_)));
+        // The unterminated prefix (no newline yet) is already rejected.
+        let head_only = &bytes[..bytes.len().min(httpd::parser::MAX_START_LINE + excess)];
+        prop_assert!(matches!(parse_request(head_only), Parse::Invalid(_)));
+    }
+
+    /// Arbitrary byte soup never panics the parser: every outcome is one of
+    /// the three parse states.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..255, 0..512)) {
+        match parse_request(&bytes) {
+            Parse::Partial | Parse::Complete { .. } | Parse::Invalid(_) => {}
+        }
+        // Terminating the soup as a head section must still not panic.
+        let mut terminated = bytes.clone();
+        terminated.extend_from_slice(b"\r\n\r\n");
+        match parse_request(&terminated) {
+            Parse::Partial | Parse::Complete { .. } | Parse::Invalid(_) => {}
+        }
+    }
+}
+
+#[test]
+fn malformed_request_lines_are_invalid_not_partial() {
+    for bad in [
+        "GET\r\n\r\n",
+        "GET  /two-spaces HTTP/1.1\r\n\r\n",
+        "GET / HTTP/9.9\r\n\r\n",
+        "G\u{7f}T / HTTP/1.1\r\n\r\n",
+        "GET relative HTTP/1.1\r\n\r\n",
+    ] {
+        assert!(
+            matches!(parse_request(bad.as_bytes()), Parse::Invalid(_)),
+            "accepted {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn too_many_headers_are_rejected() {
+    let mut text = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..httpd::parser::MAX_HEADERS + 1 {
+        text.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    text.push_str("\r\n");
+    assert!(matches!(parse_request(text.as_bytes()), Parse::Invalid(_)));
+}
