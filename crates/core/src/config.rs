@@ -79,6 +79,88 @@ pub struct TestbedConfig {
     /// The HTTP serving plane (`[serve]` in TOML). `None` disables the
     /// server and snapshot publication entirely (see `docs/SERVE.md`).
     pub serve: Option<ServeConfig>,
+    /// Multi-tenant fan-out (`[tenants]` or `[[tenant]]` in TOML): several
+    /// independent testbeds share one epoch pipeline. `None` runs a single
+    /// tenant, bit-identical to a pre-tenancy testbed (see
+    /// `docs/TENANTS.md`).
+    pub tenants: Option<TenantsConfig>,
+}
+
+/// The `[tenants]` section: how many independent tenants share the epoch
+/// pipeline, and what they are called (see `docs/TENANTS.md`).
+///
+/// A tenant is a full testbed — machines, network emulation, faults,
+/// journal — that borrows the shared orbital state and path matrix instead
+/// of recomputing them. Tenants can alternatively be declared one by one as
+/// top-level `[[tenant]]` blocks carrying a `name` key; the two forms are
+/// mutually exclusive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantsConfig {
+    /// Number of tenants sharing the pipeline (`count`).
+    pub count: u32,
+    /// Explicit tenant names (`names`). Empty derives `tenant-0` through
+    /// `tenant-{count-1}`; non-empty lists must have exactly `count`
+    /// entries, unique and non-empty.
+    pub names: Vec<String>,
+}
+
+impl Default for TenantsConfig {
+    fn default() -> Self {
+        TenantsConfig {
+            count: 1,
+            names: Vec::new(),
+        }
+    }
+}
+
+impl TenantsConfig {
+    /// The effective tenant names, indexed by tenant id: the explicit
+    /// `names` list, or `tenant-0..tenant-{count-1}` when it is empty.
+    pub fn tenant_names(&self) -> Vec<String> {
+        if self.names.is_empty() {
+            (0..self.count).map(|i| format!("tenant-{i}")).collect()
+        } else {
+            self.names.clone()
+        }
+    }
+
+    /// Validates the tenant fan-out parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero or oversized count, a name list
+    /// whose length disagrees with `count`, or duplicate/empty names.
+    pub fn validate(&self) -> Result<()> {
+        if self.count < 1 {
+            return Err(Error::config(
+                "tenants count must be at least 1 (see docs/TENANTS.md)",
+            ));
+        }
+        if self.count > 256 {
+            return Err(Error::config(format!(
+                "tenants count must be at most 256, got {} (see docs/TENANTS.md)",
+                self.count
+            )));
+        }
+        if !self.names.is_empty() && self.names.len() != self.count as usize {
+            return Err(Error::config(format!(
+                "tenants lists {} names but count = {}; name every tenant or none \
+                 (see docs/TENANTS.md)",
+                self.names.len(),
+                self.count
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for name in &self.names {
+            if name.is_empty() {
+                return Err(Error::config("tenant names must not be empty"));
+            }
+            if !seen.insert(name.as_str()) {
+                return Err(Error::config(format!("duplicate tenant name '{name}'")));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The `[serve]` section: the HTTP serving plane answering info-API queries
@@ -251,6 +333,7 @@ impl Default for TestbedConfig {
             ballooning: false,
             chaos: None,
             serve: None,
+            tenants: None,
         }
     }
 }
@@ -429,6 +512,52 @@ impl TestbedConfig {
                 keep_alive: serve.get_bool("keep-alive").unwrap_or(defaults.keep_alive),
             });
         }
+        let tenant_blocks = table.get("tenant").and_then(|v| v.as_table_array());
+        if let Some(tenants) = table.get("tenants").and_then(|v| v.as_table()) {
+            if tenant_blocks.is_some() {
+                return Err(Error::config(
+                    "use either a [tenants] table or [[tenant]] blocks, not both \
+                     (see docs/TENANTS.md)",
+                ));
+            }
+            let defaults = TenantsConfig::default();
+            let count = match tenants.get_i64("count") {
+                Some(n) if n < 1 => {
+                    return Err(Error::config(
+                        "tenants count must be at least 1 (see docs/TENANTS.md)",
+                    ));
+                }
+                Some(n) => n as u32,
+                None => defaults.count,
+            };
+            let names = match tenants.get("names") {
+                Some(value) => value
+                    .as_array()
+                    .ok_or_else(|| Error::config("tenants names must be an array of strings"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_owned).ok_or_else(|| {
+                            Error::config("tenants names must be an array of strings")
+                        })
+                    })
+                    .collect::<Result<Vec<String>>>()?,
+                None => defaults.names,
+            };
+            config.tenants = Some(TenantsConfig { count, names });
+        } else if let Some(blocks) = tenant_blocks {
+            let names = blocks
+                .iter()
+                .map(|t| {
+                    t.get_str("name")
+                        .map(str::to_owned)
+                        .ok_or_else(|| Error::config("tenant is missing 'name' (see docs/TENANTS.md)"))
+                })
+                .collect::<Result<Vec<String>>>()?;
+            config.tenants = Some(TenantsConfig {
+                count: names.len() as u32,
+                names,
+            });
+        }
         if let Some(hosts) = table.get("host").and_then(|v| v.as_table_array()) {
             config.hosts = hosts
                 .iter()
@@ -488,6 +617,9 @@ impl TestbedConfig {
         }
         if let Some(serve) = &self.serve {
             serve.validate()?;
+        }
+        if let Some(tenants) = &self.tenants {
+            tenants.validate()?;
         }
         Ok(())
     }
@@ -659,6 +791,23 @@ impl TestbedConfigBuilder {
     /// `docs/SERVE.md`).
     pub fn serve(mut self, serve: ServeConfig) -> Self {
         self.config.serve = Some(serve);
+        self
+    }
+
+    /// Fans the testbed out to several tenants sharing one epoch pipeline
+    /// (see `docs/TENANTS.md`).
+    pub fn tenants(mut self, tenants: TenantsConfig) -> Self {
+        self.config.tenants = Some(tenants);
+        self
+    }
+
+    /// Fans the testbed out to `count` anonymous tenants (named
+    /// `tenant-0..tenant-{count-1}`; see `docs/TENANTS.md`).
+    pub fn tenant_count(mut self, count: u32) -> Self {
+        self.config.tenants = Some(TenantsConfig {
+            count,
+            names: Vec::new(),
+        });
         self
     }
 
@@ -952,6 +1101,59 @@ min-elevation-deg = 30.0
             assert!(
                 TestbedConfig::from_toml(&toml).is_err(),
                 "accepted invalid serve config {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tenants_section_parses_both_schemas() {
+        let shell = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                     planes = 2\nsatellites-per-plane = 4\n";
+        // A [tenants] table with a count derives anonymous names.
+        let counted = format!("{shell}\n[tenants]\ncount = 3\n");
+        let config = TestbedConfig::from_toml(&counted).expect("parses");
+        let tenants = config.tenants.expect("[tenants] enables the fan-out");
+        assert_eq!(tenants.count, 3);
+        assert_eq!(
+            tenants.tenant_names(),
+            vec!["tenant-0".to_owned(), "tenant-1".to_owned(), "tenant-2".to_owned()]
+        );
+        // Explicit names in the table form.
+        let named = format!("{shell}\n[tenants]\ncount = 2\nnames = [\"red\", \"blue\"]\n");
+        let config = TestbedConfig::from_toml(&named).expect("parses");
+        assert_eq!(
+            config.tenants.unwrap().tenant_names(),
+            vec!["red".to_owned(), "blue".to_owned()]
+        );
+        // One [[tenant]] block per tenant.
+        let blocks = format!("{shell}\n[[tenant]]\nname = \"red\"\n\n[[tenant]]\nname = \"blue\"\n");
+        let config = TestbedConfig::from_toml(&blocks).expect("parses");
+        let tenants = config.tenants.unwrap();
+        assert_eq!(tenants.count, 2);
+        assert_eq!(tenants.tenant_names(), vec!["red".to_owned(), "blue".to_owned()]);
+        // No tenant configuration → solo testbed.
+        let plain = TestbedConfig::from_toml(shell).expect("parses");
+        assert!(plain.tenants.is_none());
+    }
+
+    #[test]
+    fn invalid_tenant_configurations_are_rejected() {
+        let shell = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                     planes = 2\nsatellites-per-plane = 4\n";
+        for bad in [
+            "[tenants]\ncount = 0\n",
+            "[tenants]\ncount = 300\n",
+            "[tenants]\ncount = 2\nnames = [\"only\"]\n",
+            "[tenants]\ncount = 2\nnames = [\"twin\", \"twin\"]\n",
+            "[tenants]\ncount = 1\nnames = [\"\"]\n",
+            "[tenants]\nnames = [1, 2]\n",
+            "[[tenant]]\nname = \"a\"\n\n[tenants]\ncount = 2\n",
+            "[[tenant]]\nlabel = \"unnamed\"\n",
+        ] {
+            let toml = format!("{shell}\n{bad}");
+            assert!(
+                TestbedConfig::from_toml(&toml).is_err(),
+                "accepted invalid tenant config {bad:?}"
             );
         }
     }

@@ -12,6 +12,13 @@
 //! hands over. In [`PipelineMode::Pipelined`] the next epoch is precomputed
 //! on a background worker while the testbed plays the current epoch's
 //! events — the paper's core overlap trick (see `docs/PIPELINE.md`).
+//!
+//! One coordinator can fan a single pipeline out to N tenants
+//! ([`Coordinator::with_fanout`]): the shared orbital state and path matrix
+//! are computed and installed once per update, while each tenant keeps its
+//! own programme mirror and change set in a private `TenantLane` slot. The
+//! solo constructors are the tenants=1 degenerate case and stay
+//! bit-identical to the pre-tenant coordinator (see `docs/TENANTS.md`).
 
 use crate::database::{InfoDatabase, PipelineReport, ProgrammeStats};
 use crate::pipeline::{clone_deltas_into, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
@@ -20,10 +27,26 @@ use std::sync::Arc;
 use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, SolveKind, SolveStats};
 use celestial_netem::{ProgrammeDelta, ShardApplyReport, ShardPlan};
 pub use celestial_netem::PairProgram;
-use celestial_types::ids::NodeId;
+use celestial_types::ids::{NodeId, TenantId};
 use celestial_types::time::SimDuration;
 use celestial_types::{Bandwidth, Latency, Result};
 use std::collections::BTreeMap;
+
+/// One tenant's retained slice of the coordinator: its name, the most
+/// recent change set (full and per-host) and the delta-replayed
+/// full-programme mirror.
+#[derive(Debug, Default)]
+struct TenantLane {
+    name: String,
+    /// The change set of the most recent update.
+    delta: ProgrammeDelta,
+    /// The per-host partition of `delta` (empty without a shard plan).
+    host_deltas: Vec<ProgrammeDelta>,
+    /// The full programme, maintained by replaying each epoch's delta —
+    /// `O(delta)` per update, so the pipelined mode never has to ship the
+    /// full pair table across the worker boundary.
+    programme: BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>,
+}
 
 /// The central coordinator.
 #[derive(Debug)]
@@ -34,16 +57,11 @@ pub struct Coordinator {
     update_interval: SimDuration,
     database: InfoDatabase,
     pipeline: EpochPipeline,
-    /// The change set of the most recent update.
-    delta: ProgrammeDelta,
+    /// One retained slice per tenant (at least one); index 0 is the solo
+    /// tenant every single-tenant accessor delegates to.
+    lanes: Vec<TenantLane>,
     /// The host-sharding plan, when the programme is partitioned per host.
     shard_plan: Option<ShardPlan>,
-    /// The per-host partition of `delta` (empty without a shard plan).
-    host_deltas: Vec<ProgrammeDelta>,
-    /// The full programme, maintained by replaying each epoch's delta —
-    /// `O(delta)` per update, so the pipelined mode never has to ship the
-    /// full pair table across the worker boundary.
-    programme: BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>,
     last_solve: SolveStats,
     updates: u64,
     /// When enabled, every update publishes an immutable snapshot of the
@@ -82,22 +100,61 @@ impl Coordinator {
         mode: PipelineMode,
         shard_plan: Option<ShardPlan>,
     ) -> Self {
-        let database = InfoDatabase::new(
+        Self::with_fanout(
+            constellation,
+            update_interval,
+            mode,
+            shard_plan,
+            vec!["tenant-0".to_owned()],
+        )
+    }
+
+    /// Creates a coordinator fanning one epoch pipeline out to N tenants,
+    /// one per entry of `tenant_names`: the orbital propagation, snapshot
+    /// diff and path solve run once per update; each tenant gets its own
+    /// programme change stream ([`Coordinator::programme_delta_for`]) off
+    /// the shared path matrix. Tenant names route per-tenant info-API
+    /// queries (see `docs/TENANTS.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant_names` is empty.
+    pub fn with_fanout(
+        constellation: Constellation,
+        update_interval: SimDuration,
+        mode: PipelineMode,
+        shard_plan: Option<ShardPlan>,
+        tenant_names: Vec<String>,
+    ) -> Self {
+        assert!(!tenant_names.is_empty(), "a coordinator serves at least one tenant");
+        let mut database = InfoDatabase::new(
             constellation.shells().to_vec(),
             constellation.ground_stations().to_vec(),
         );
+        // Seed the tenant names into the database before the first update
+        // (and before the first snapshot), so tenant routing never 404s a
+        // configured tenant.
+        for (index, name) in tenant_names.iter().enumerate() {
+            database.update_tenant_report(index, name, 0, 0);
+        }
         let mut compute = EpochCompute::new(constellation.clone());
         compute.set_shard_plan(shard_plan);
+        compute.set_tenant_count(tenant_names.len());
         let pipeline = EpochPipeline::new(compute, mode, update_interval);
+        let lanes = tenant_names
+            .into_iter()
+            .map(|name| TenantLane {
+                name,
+                ..TenantLane::default()
+            })
+            .collect();
         Coordinator {
             constellation,
             update_interval,
             database,
             pipeline,
-            delta: ProgrammeDelta::default(),
+            lanes,
             shard_plan,
-            host_deltas: Vec::new(),
-            programme: BTreeMap::new(),
             last_solve: SolveStats {
                 kind: SolveKind::FullDijkstra,
                 solved_sources: 0,
@@ -156,12 +213,41 @@ impl Coordinator {
         self.shard_plan
     }
 
-    /// The per-host partition of the most recent update's change set,
+    /// The per-host partition of the first tenant's most recent change set,
     /// indexed by host. Empty without a shard plan. Cross-host pairs appear
     /// in both endpoint slices; the union of all slices is exactly
     /// [`Coordinator::programme_delta`].
     pub fn host_deltas(&self) -> &[ProgrammeDelta] {
-        &self.host_deltas
+        &self.lanes[0].host_deltas
+    }
+
+    /// Number of tenants this coordinator fans out to (at least 1).
+    pub fn tenant_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The configured tenant names, indexed by [`TenantId`].
+    pub fn tenant_names(&self) -> impl Iterator<Item = &str> {
+        self.lanes.iter().map(|lane| lane.name.as_str())
+    }
+
+    /// One tenant's change set of the most recent update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn programme_delta_for(&self, tenant: TenantId) -> &ProgrammeDelta {
+        &self.lanes[tenant.index()].delta
+    }
+
+    /// One tenant's per-host change-set partition of the most recent update
+    /// (empty without a shard plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn host_deltas_for(&self, tenant: TenantId) -> &[ProgrammeDelta] {
+        &self.lanes[tenant.index()].host_deltas
     }
 
     /// Records what applying the sharded programme actually cost (per-shard
@@ -200,36 +286,47 @@ impl Coordinator {
     pub fn update(&mut self, t_seconds: f64) -> Result<ConstellationDiff> {
         let mut bundle = self.pipeline.advance(t_seconds)?;
 
-        // Install state and path matrix into the database's retained
-        // buffers: no allocation in steady state.
-        self.database.update_from(&bundle.state);
-        self.database.set_paths_from(&bundle.paths);
+        // Install the shared state and path matrix into the database's
+        // retained buffers — once, no matter how many tenants: no allocation
+        // in steady state.
+        self.database.update_from(&bundle.shared.state);
+        self.database.set_paths_from(&bundle.shared.paths);
 
-        // Replay the delta onto the full-programme mirror.
-        for pair in bundle.delta.added.iter().chain(&bundle.delta.changed) {
-            self.programme
-                .insert((pair.a, pair.b), (pair.latency, pair.bandwidth));
+        // Per tenant: replay the delta onto the lane's full-programme
+        // mirror, retain the change sets, refresh the `/info` slice.
+        for (index, (lane, tenant)) in self.lanes.iter_mut().zip(&bundle.tenants).enumerate() {
+            for pair in tenant.delta.added.iter().chain(&tenant.delta.changed) {
+                lane.programme
+                    .insert((pair.a, pair.b), (pair.latency, pair.bandwidth));
+            }
+            for pair in &tenant.delta.removed {
+                lane.programme.remove(pair);
+            }
+            debug_assert_eq!(
+                lane.programme.len(),
+                tenant.programme_pairs,
+                "programme mirror diverged from the store"
+            );
+            lane.delta.clone_from(&tenant.delta);
+            clone_deltas_into(&mut lane.host_deltas, &tenant.host_deltas);
+            self.database.update_tenant_report(
+                index,
+                &lane.name,
+                tenant.programme_pairs,
+                tenant.delta.op_count(),
+            );
         }
-        for pair in &bundle.delta.removed {
-            self.programme.remove(pair);
-        }
-        debug_assert_eq!(
-            self.programme.len(),
-            bundle.programme_pairs,
-            "programme mirror diverged from the store"
-        );
 
-        self.delta.clone_from(&bundle.delta);
-        clone_deltas_into(&mut self.host_deltas, &bundle.host_deltas);
+        let solo = bundle.solo();
         if self.shard_plan.is_some() {
-            self.database.set_shard_pairs(&bundle.shard_pairs);
+            self.database.set_shard_pairs(&solo.shard_pairs);
         }
-        self.last_solve = bundle.solve;
+        self.last_solve = bundle.shared.solve;
         self.updates += 1;
         self.database.set_programme_stats(ProgrammeStats {
-            epoch: bundle.programme_epoch,
-            pairs: bundle.programme_pairs,
-            delta_ops: bundle.delta.op_count(),
+            epoch: solo.programme_epoch,
+            pairs: solo.programme_pairs,
+            delta_ops: solo.delta.op_count(),
         });
         self.database.set_pipeline_report(PipelineReport {
             stats: self.pipeline.stats(),
@@ -239,7 +336,9 @@ impl Coordinator {
             store.publish(self.updates, &self.database);
         }
 
-        let diff = std::mem::take(&mut bundle.diff);
+        let shared = Arc::get_mut(&mut bundle.shared)
+            .expect("bundle cores are uniquely owned until handover");
+        let diff = std::mem::take(&mut shared.diff);
         self.pipeline.recycle(bundle);
         Ok(diff)
     }
@@ -250,18 +349,19 @@ impl Coordinator {
         self.last_solve
     }
 
-    /// The change set produced by the most recent update: exactly the `tc`
-    /// rules the machine managers must add, re-shape or tear down. Empty
-    /// before the first update (and on steady-state updates that moved no
-    /// pair across the 0.1 ms quantization threshold).
+    /// The first tenant's change set produced by the most recent update:
+    /// exactly the `tc` rules the machine managers must add, re-shape or
+    /// tear down. Empty before the first update (and on steady-state updates
+    /// that moved no pair across the 0.1 ms quantization threshold).
     pub fn programme_delta(&self) -> &ProgrammeDelta {
-        &self.delta
+        &self.lanes[0].delta
     }
 
-    /// Number of pairs currently programmed (the full-programme size a
-    /// non-incremental coordinator would rewrite every update).
+    /// Number of pairs currently programmed for the first tenant (the
+    /// full-programme size a non-incremental coordinator would rewrite every
+    /// update).
     pub fn programme_pair_count(&self) -> usize {
-        self.programme.len()
+        self.lanes[0].programme.len()
     }
 
     /// The full per-pair network programme of the current state: the
@@ -281,10 +381,24 @@ impl Coordinator {
     ///
     /// Returns an error if no update has happened yet.
     pub fn network_programme(&self) -> Result<Vec<PairProgram>> {
+        self.network_programme_for(TenantId(0))
+    }
+
+    /// One tenant's full per-pair network programme (see
+    /// [`Coordinator::network_programme`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no update has happened yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn network_programme_for(&self, tenant: TenantId) -> Result<Vec<PairProgram>> {
         if self.updates == 0 {
             return Err(celestial_types::Error::InfoApi("no update yet".to_owned()));
         }
-        Ok(self
+        Ok(self.lanes[tenant.index()]
             .programme
             .iter()
             .map(|(&(a, b), &(latency, bandwidth))| PairProgram {
@@ -452,5 +566,58 @@ mod tests {
         assert!(c.ground_link_count() > 0);
         assert_eq!(c.update_interval(), SimDuration::from_secs(2));
         assert_eq!(c.constellation().satellite_count(), 192);
+    }
+
+    #[test]
+    fn fanned_out_coordinator_serves_every_tenant_the_solo_stream() {
+        let build = || {
+            Constellation::builder()
+                .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+                .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+                .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+                .bounding_box(BoundingBox::west_africa())
+                .build()
+                .unwrap()
+        };
+        let mut solo = Coordinator::new(build(), SimDuration::from_secs(2));
+        let names: Vec<String> = (0..3).map(|i| format!("tenant-{i}")).collect();
+        let mut fleet = Coordinator::with_fanout(
+            build(),
+            SimDuration::from_secs(2),
+            PipelineMode::Synchronous,
+            None,
+            names,
+        );
+        assert_eq!(fleet.tenant_count(), 3);
+        assert_eq!(
+            fleet.tenant_names().collect::<Vec<_>>(),
+            ["tenant-0", "tenant-1", "tenant-2"]
+        );
+        // Names resolve before the first update.
+        assert_eq!(fleet.database().tenant_index("tenant-2"), Some(2));
+        assert_eq!(fleet.database().tenant_index("tenant-9"), None);
+
+        for step in 0..3 {
+            let t = step as f64 * 2.0;
+            let a = solo.update(t).unwrap();
+            let b = fleet.update(t).unwrap();
+            assert_eq!(a, b, "shared diff diverged at t={t}");
+            for tenant in 0..3 {
+                let tenant = TenantId(tenant);
+                assert_eq!(
+                    fleet.programme_delta_for(tenant),
+                    solo.programme_delta(),
+                    "{tenant} delta diverged at t={t}"
+                );
+                assert_eq!(
+                    fleet.network_programme_for(tenant).unwrap(),
+                    solo.network_programme().unwrap()
+                );
+            }
+        }
+        // The `/info` slices carry each tenant's programme size.
+        let reports = fleet.database().tenant_reports();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.pairs == solo.programme_pair_count()));
     }
 }

@@ -63,6 +63,19 @@ pub struct ChaosReport {
     pub links_suppressed: u64,
 }
 
+/// One tenant's slice of the `/info` report: its name and the size of its
+/// network programme. Indexed by tenant; a solo run has exactly one entry.
+/// See `docs/TENANTS.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantReport {
+    /// The tenant's configured name (e.g. `tenant-0`).
+    pub name: String,
+    /// Number of pairs in the tenant's full programme.
+    pub pairs: usize,
+    /// Pair-programming operations the tenant's latest delta performed.
+    pub delta_ops: usize,
+}
+
 /// The central database behind the info API.
 #[derive(Debug, Clone)]
 pub struct InfoDatabase {
@@ -78,6 +91,9 @@ pub struct InfoDatabase {
     pipeline_report: Option<PipelineReport>,
     shard_report: Option<ShardReport>,
     chaos_report: Option<ChaosReport>,
+    /// One report per tenant; seeded with the tenant names at construction
+    /// so tenant routing resolves before the first update.
+    tenant_reports: Vec<TenantReport>,
 }
 
 impl InfoDatabase {
@@ -93,6 +109,7 @@ impl InfoDatabase {
             pipeline_report: None,
             shard_report: None,
             chaos_report: None,
+            tenant_reports: Vec::new(),
         }
     }
 
@@ -198,6 +215,33 @@ impl InfoDatabase {
     /// The chaos engine's summary, if a run has chaos configured.
     pub fn chaos_report(&self) -> Option<&ChaosReport> {
         self.chaos_report.as_ref()
+    }
+
+    /// Records one tenant's `/info` slice, growing the report vector as
+    /// needed and reusing the retained name buffer in steady state.
+    pub fn update_tenant_report(&mut self, index: usize, name: &str, pairs: usize, delta_ops: usize) {
+        if self.tenant_reports.len() <= index {
+            self.tenant_reports.resize_with(index + 1, TenantReport::default);
+        }
+        let report = &mut self.tenant_reports[index];
+        if report.name != name {
+            report.name.clear();
+            report.name.push_str(name);
+        }
+        report.pairs = pairs;
+        report.delta_ops = delta_ops;
+    }
+
+    /// The per-tenant `/info` slices, indexed by tenant. Empty only for a
+    /// database that never belonged to a coordinator (the coordinator seeds
+    /// the tenant names at construction).
+    pub fn tenant_reports(&self) -> &[TenantReport] {
+        &self.tenant_reports
+    }
+
+    /// Resolves a tenant name to its index, for routing per-tenant queries.
+    pub fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.tenant_reports.iter().position(|t| t.name == name)
     }
 
     /// The latest constellation state, if an update has happened.
@@ -419,5 +463,26 @@ mod tests {
         assert!(db.ground_station_by_name("lagos").is_none());
         assert_eq!(db.shells().len(), 1);
         assert_eq!(db.ground_stations().len(), 1);
+    }
+
+    #[test]
+    fn tenant_reports_resolve_names_to_indices() {
+        let mut db = database_with_state();
+        assert!(db.tenant_reports().is_empty());
+        assert_eq!(db.tenant_index("tenant-0"), None);
+
+        db.update_tenant_report(1, "beta", 7, 2);
+        db.update_tenant_report(0, "alpha", 5, 1);
+        assert_eq!(db.tenant_reports().len(), 2);
+        assert_eq!(db.tenant_index("alpha"), Some(0));
+        assert_eq!(db.tenant_index("beta"), Some(1));
+        assert_eq!(db.tenant_index("gamma"), None);
+        assert_eq!(db.tenant_reports()[1].pairs, 7);
+        assert_eq!(db.tenant_reports()[1].delta_ops, 2);
+
+        // Steady-state refresh keeps the entry count and updates in place.
+        db.update_tenant_report(1, "beta", 9, 0);
+        assert_eq!(db.tenant_reports().len(), 2);
+        assert_eq!(db.tenant_reports()[1].pairs, 9);
     }
 }

@@ -8,7 +8,7 @@
 //! JSON documents.
 
 use crate::database::InfoDatabase;
-use celestial_types::ids::NodeId;
+use celestial_types::ids::{NodeId, TenantId};
 use celestial_types::{Error, Result};
 use serde_json::{json, Value};
 
@@ -62,15 +62,32 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T> {
 }
 
 /// The info API server handling requests against a database.
+///
+/// The API is tenant-scoped: a fleet shares one database, and per-tenant
+/// fields of `/info` (`programmed_pairs`, `programme_delta_ops`) are read
+/// from the handler's tenant report (see `docs/TENANTS.md`). [`InfoApi::new`]
+/// serves tenant 0, which in a solo testbed is the whole testbed.
 #[derive(Debug, Clone)]
 pub struct InfoApi<'a> {
     database: &'a InfoDatabase,
+    tenant: TenantId,
 }
 
 impl<'a> InfoApi<'a> {
-    /// Creates an API handler over the given database.
+    /// Creates an API handler over the given database, answering as tenant 0
+    /// (the solo tenant).
     pub fn new(database: &'a InfoDatabase) -> Self {
-        InfoApi { database }
+        Self::for_tenant(database, TenantId(0))
+    }
+
+    /// Creates an API handler answering for one tenant of a fleet.
+    pub fn for_tenant(database: &'a InfoDatabase, tenant: TenantId) -> Self {
+        InfoApi { database, tenant }
+    }
+
+    /// The tenant this handler answers for.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Handles a request issued by `requester` (the emulated machine asking),
@@ -85,53 +102,73 @@ impl<'a> InfoApi<'a> {
     pub fn handle(&self, requester: NodeId, request: &InfoRequest) -> Result<Value> {
         match request {
             InfoRequest::SelfInfo => self.node_info(requester),
-            InfoRequest::Info => Ok(json!({
-                "shells": self.database.shells().iter().enumerate().map(|(i, s)| json!({
-                    "shell": i,
-                    "altitude_km": s.walker.altitude_km,
-                    "inclination_deg": s.walker.inclination_deg,
-                    "planes": s.walker.planes,
-                    "satellites_per_plane": s.walker.satellites_per_plane,
-                    "satellites": s.satellite_count(),
-                })).collect::<Vec<_>>(),
-                "satellites": self.database.satellite_count(),
-                "ground_stations": self.database.ground_stations().iter().map(|g| g.name.clone()).collect::<Vec<_>>(),
-                "updated_at_s": self.database.updated_at_seconds(),
-                "path_algorithm": self.database.state().map(|s| s.path_algorithm().name().to_owned()),
-                "programmed_pairs": self.database.programme_stats().map(|s| s.pairs),
-                "programme_delta_ops": self.database.programme_stats().map(|s| s.delta_ops),
-                "pipeline": self.database.pipeline_report().map(|r| r.stats.mode.name()),
-                "pipeline_handover_wait_ms": self
-                    .database
-                    .pipeline_report()
-                    .map(|r| r.stats.last_wait_ns as f64 / 1e6),
-                "pipeline_lead_ms": self
-                    .database
-                    .pipeline_report()
-                    .map(|r| r.stats.last_lead_ns as f64 / 1e6),
-                "pipeline_precomputed_handovers": self
-                    .database
-                    .pipeline_report()
-                    .map(|r| r.stats.precomputed),
-                "shards": self.database.shard_report().map(|r| r.pairs.len()),
-                "shard_pairs": self
-                    .database
-                    .shard_report()
-                    .map(|r| r.pairs.iter().map(|&p| json!(p)).collect::<Vec<_>>()),
-                "shard_apply_ms": self.database.shard_report().map(|r| {
-                    r.apply_ns
+            InfoRequest::Info => {
+                // Per-tenant slices of the shared epoch. A raw database that
+                // never saw a coordinator has no reports; fall back to the
+                // global programme stats so solo replies look pre-tenancy.
+                let reports = self.database.tenant_reports();
+                let report = reports.get(self.tenant.index());
+                let tenant_pairs = Value::Map(
+                    reports
                         .iter()
-                        .map(|&ns| json!(ns as f64 / 1e6))
-                        .collect::<Vec<_>>()
-                }),
-                "shard_apply_wall_ms": self
-                    .database
-                    .shard_report()
-                    .map(|r| r.wall_ns as f64 / 1e6),
-                "chaos_events": self.database.chaos_report().map(|r| r.events),
-                "chaos_active_faults": self.database.chaos_report().map(|r| r.active_faults),
-                "links_suppressed": self.database.chaos_report().map(|r| r.links_suppressed),
-            })),
+                        .map(|t| (Value::Str(t.name.clone()), Value::U64(t.pairs as u64)))
+                        .collect(),
+                );
+                Ok(json!({
+                    "shells": self.database.shells().iter().enumerate().map(|(i, s)| json!({
+                        "shell": i,
+                        "altitude_km": s.walker.altitude_km,
+                        "inclination_deg": s.walker.inclination_deg,
+                        "planes": s.walker.planes,
+                        "satellites_per_plane": s.walker.satellites_per_plane,
+                        "satellites": s.satellite_count(),
+                    })).collect::<Vec<_>>(),
+                    "satellites": self.database.satellite_count(),
+                    "ground_stations": self.database.ground_stations().iter().map(|g| g.name.clone()).collect::<Vec<_>>(),
+                    "updated_at_s": self.database.updated_at_seconds(),
+                    "path_algorithm": self.database.state().map(|s| s.path_algorithm().name().to_owned()),
+                    "tenant": report.map(|t| t.name.clone()),
+                    "tenants": reports.len().max(1),
+                    "tenant_programmed_pairs": tenant_pairs,
+                    "programmed_pairs": report
+                        .map(|t| t.pairs)
+                        .or_else(|| self.database.programme_stats().map(|s| s.pairs)),
+                    "programme_delta_ops": report
+                        .map(|t| t.delta_ops)
+                        .or_else(|| self.database.programme_stats().map(|s| s.delta_ops)),
+                    "pipeline": self.database.pipeline_report().map(|r| r.stats.mode.name()),
+                    "pipeline_handover_wait_ms": self
+                        .database
+                        .pipeline_report()
+                        .map(|r| r.stats.last_wait_ns as f64 / 1e6),
+                    "pipeline_lead_ms": self
+                        .database
+                        .pipeline_report()
+                        .map(|r| r.stats.last_lead_ns as f64 / 1e6),
+                    "pipeline_precomputed_handovers": self
+                        .database
+                        .pipeline_report()
+                        .map(|r| r.stats.precomputed),
+                    "shards": self.database.shard_report().map(|r| r.pairs.len()),
+                    "shard_pairs": self
+                        .database
+                        .shard_report()
+                        .map(|r| r.pairs.iter().map(|&p| json!(p)).collect::<Vec<_>>()),
+                    "shard_apply_ms": self.database.shard_report().map(|r| {
+                        r.apply_ns
+                            .iter()
+                            .map(|&ns| json!(ns as f64 / 1e6))
+                            .collect::<Vec<_>>()
+                    }),
+                    "shard_apply_wall_ms": self
+                        .database
+                        .shard_report()
+                        .map(|r| r.wall_ns as f64 / 1e6),
+                    "chaos_events": self.database.chaos_report().map(|r| r.events),
+                    "chaos_active_faults": self.database.chaos_report().map(|r| r.active_faults),
+                    "links_suppressed": self.database.chaos_report().map(|r| r.links_suppressed),
+                }))
+            }
             InfoRequest::Shell(shell) => {
                 let s = self
                     .database
@@ -340,6 +377,33 @@ mod tests {
         let shell = api.handle_path(NodeId::ground_station(0), "/shell/0").unwrap();
         assert_eq!(shell["planes"], 12);
         assert!(api.handle_path(NodeId::ground_station(0), "/shell/3").is_err());
+    }
+
+    #[test]
+    fn info_reply_is_tenant_scoped() {
+        let mut db = database();
+        db.update_tenant_report(0, "alpha", 5, 1);
+        db.update_tenant_report(1, "beta", 7, 2);
+        let api = InfoApi::for_tenant(&db, TenantId(1));
+        assert_eq!(api.tenant(), TenantId(1));
+        let info = api.handle_path(NodeId::ground_station(0), "/info").unwrap();
+        assert_eq!(info["tenant"], "beta");
+        assert_eq!(info["tenants"], 2);
+        // The scalar programme fields are the handler's tenant slice...
+        assert_eq!(info["programmed_pairs"], 7);
+        assert_eq!(info["programme_delta_ops"], 2);
+        // ...while the fleet-wide map names every tenant.
+        assert_eq!(info["tenant_programmed_pairs"]["alpha"], 5);
+        assert_eq!(info["tenant_programmed_pairs"]["beta"], 7);
+
+        // A raw pre-tenancy database still answers as a single tenant, with
+        // the global programme stats as fallback.
+        let db = database();
+        let info = InfoApi::new(&db)
+            .handle_path(NodeId::ground_station(0), "/info")
+            .unwrap();
+        assert_eq!(info["tenants"], 1);
+        assert!(info.get("tenant").and_then(Value::as_str).is_none());
     }
 
     #[test]

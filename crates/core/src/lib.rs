@@ -84,6 +84,9 @@ pub use coordinator::Coordinator;
 pub use database::InfoDatabase;
 pub use estimator::{CostModel, ResourceEstimator};
 pub use machine_manager::MachineManager;
-pub use pipeline::{EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
-pub use snapshot::{EpochSnapshot, SnapshotReader, SnapshotStore};
-pub use testbed::{AppContext, GuestApplication, Testbed};
+pub use pipeline::{
+    EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats, SharedEpoch,
+    TenantEpoch,
+};
+pub use snapshot::{EpochSnapshot, SnapshotReader, SnapshotStore, TenantView};
+pub use testbed::{AppContext, GuestApplication, Testbed, TenantRuntime};

@@ -11,10 +11,13 @@
 //!   into retained buffers ([`celestial_constellation::StateBuffers`]), the
 //!   parallel [`PathEngine`] solve and the [`ProgrammeStore`] delta. It is a
 //!   deterministic function of the sequence of epoch times it is fed.
-//! * [`EpochBundle`] is the handover unit: everything the event loop needs
-//!   to apply one epoch (state, path matrix, machine diff, programme delta,
-//!   stats). Bundles are recycled between the producer and the consumer, so
-//!   the steady state moves epochs without allocating.
+//! * [`EpochBundle`] is the handover unit: an [`Arc`]-shared immutable
+//!   [`SharedEpoch`] core (epoch time, constellation state, path matrix,
+//!   machine diff, solve stats — computed **once**) plus one [`TenantEpoch`]
+//!   per tenant (programme delta, per-host partition, programme counters)
+//!   fanned out from the same solve. Bundles are recycled between the
+//!   producer and the consumer, so the steady state moves epochs without
+//!   allocating.
 //! * [`EpochPipeline`] owns the policy: in [`PipelineMode::Synchronous`]
 //!   every epoch is computed inline at the boundary (the seed behaviour); in
 //!   [`PipelineMode::Pipelined`] a background worker thread precomputes the
@@ -33,6 +36,15 @@
 //! [`compose_deltas`]/[`compose_diffs`]), so even off-cadence callers observe
 //! a correct cumulative change stream.
 //!
+//! # Multi-tenancy
+//!
+//! One pipeline can drive N independent tenants: [`EpochCompute`] owns one
+//! [`ProgrammeStore`] per tenant ([`EpochCompute::set_tenant_count`]), so
+//! the dominant shared work — propagation, snapshot diff, path solve — runs
+//! once per epoch while the cheap programme walk runs once per tenant. The
+//! tenants=1 case is the degenerate solo testbed and is bit-identical to the
+//! pre-tenant engine. See `docs/TENANTS.md` for the shared/tenant split.
+//!
 //! `docs/PIPELINE.md` is the user-facing guide: epoch lifecycle, handover
 //! contract and the `pipeline` configuration key.
 
@@ -43,12 +55,12 @@ use celestial_constellation::{
     ShortestPaths, SolveStats, StateBuffers,
 };
 use celestial_netem::{PairProgram, ProgrammeDelta, ShardPlan};
-use celestial_types::ids::NodeId;
+use celestial_types::ids::{NodeId, TenantId};
 use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// How epoch computation is scheduled relative to the event loop.
@@ -107,11 +119,12 @@ pub struct PipelineStats {
     pub total_lead_ns: u64,
 }
 
-/// One epoch's complete handover unit: everything the event loop applies at
-/// a boundary, produced by [`EpochCompute`] and recycled between producer
-/// and consumer so the steady state allocates nothing.
-#[derive(Debug)]
-pub struct EpochBundle {
+/// The immutable tenant-shared half of one epoch: everything that is a
+/// function of the constellation alone, computed **once** per epoch no
+/// matter how many tenants the pipeline serves, and shared behind an [`Arc`]
+/// so per-tenant snapshot views are reference-counted, not copied.
+#[derive(Debug, Clone)]
+pub struct SharedEpoch {
     /// The epoch time in simulated seconds.
     pub t_seconds: f64,
     /// The computed constellation state.
@@ -120,7 +133,22 @@ pub struct EpochBundle {
     pub paths: ShortestPaths,
     /// The machine/link change set relative to the previous epoch.
     pub diff: ConstellationDiff,
-    /// The network-programme change set relative to the previous epoch.
+    /// How the path solve was executed.
+    pub solve: SolveStats,
+    /// Wall-clock nanoseconds the computation took (shared solve plus all
+    /// tenant programme walks).
+    pub compute_ns: u64,
+    /// When the computation finished (drives the precompute-lead statistic).
+    finished_at: Instant,
+}
+
+/// The per-tenant half of one epoch: the network-programme change set the
+/// tenant's own [`ProgrammeStore`] derived from the shared path matrix.
+/// Buffers are recycled epoch-to-epoch via `clone_from`.
+#[derive(Debug, Clone, Default)]
+pub struct TenantEpoch {
+    /// The tenant's network-programme change set relative to the previous
+    /// epoch.
     pub delta: ProgrammeDelta,
     /// The per-host partition of `delta`, indexed by host — empty unless
     /// the computation runs with a [`ShardPlan`] (see `docs/SHARDING.md`).
@@ -128,16 +156,53 @@ pub struct EpochBundle {
     /// Number of pairs owned by each shard after this epoch (empty without
     /// a shard plan).
     pub shard_pairs: Vec<usize>,
-    /// How the path solve was executed.
-    pub solve: SolveStats,
-    /// The programme epoch this bundle leads to (1 for the first).
+    /// The programme epoch this change set leads to (1 for the first).
     pub programme_epoch: u64,
-    /// Number of pairs in the full programme after this epoch.
+    /// Number of pairs in the tenant's full programme after this epoch.
     pub programme_pairs: usize,
-    /// Wall-clock nanoseconds the computation took.
-    pub compute_ns: u64,
-    /// When the computation finished (drives the precompute-lead statistic).
-    finished_at: Instant,
+}
+
+/// One epoch's complete handover unit: the [`Arc`]-shared immutable core
+/// plus one [`TenantEpoch`] per tenant, produced by [`EpochCompute`] and
+/// recycled between producer and consumer so the steady state allocates
+/// nothing.
+///
+/// Bundles handed out by the pipeline always hold the *only* strong
+/// reference to their core — recycling reuses it via [`Arc::get_mut`] and
+/// mints a fresh core only when a consumer kept a clone of the `Arc` alive.
+#[derive(Debug)]
+pub struct EpochBundle {
+    /// The tenant-shared immutable core of the epoch.
+    pub shared: Arc<SharedEpoch>,
+    /// One programme change set per tenant, indexed by [`TenantId`].
+    pub tenants: Vec<TenantEpoch>,
+}
+
+impl EpochBundle {
+    /// The epoch time in simulated seconds.
+    pub fn t_seconds(&self) -> f64 {
+        self.shared.t_seconds
+    }
+
+    /// Number of tenants this bundle fans out to (at least 1).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The change set of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn tenant(&self, tenant: TenantId) -> &TenantEpoch {
+        &self.tenants[tenant.index()]
+    }
+
+    /// The first tenant's change set — the whole bundle, for a solo
+    /// (tenants=1) run.
+    pub fn solo(&self) -> &TenantEpoch {
+        &self.tenants[0]
+    }
 }
 
 /// The deterministic epoch computation: constellation state, path solve and
@@ -150,7 +215,10 @@ pub struct EpochCompute {
     buffers: StateBuffers,
     previous: Option<ConstellationSnapshot>,
     engine: PathEngine,
-    programme: ProgrammeStore,
+    /// One retained programme per tenant (at least one); every store walks
+    /// the same shared path matrix, so N tenants cost N cheap programme
+    /// walks on top of one propagation + solve.
+    tenants: Vec<ProgrammeStore>,
     sources: Vec<u32>,
 }
 
@@ -175,7 +243,7 @@ impl EpochCompute {
             buffers,
             previous: None,
             engine,
-            programme: ProgrammeStore::new(),
+            tenants: vec![ProgrammeStore::new()],
             sources: Vec::new(),
         }
     }
@@ -186,16 +254,42 @@ impl EpochCompute {
     }
 
     /// Enables host-sharded programme partitioning: every epoch additionally
-    /// emits one [`ProgrammeDelta`] per host. Must be called before the
-    /// first epoch (see [`crate::netprog::ProgrammeStore::set_shard_plan`]).
+    /// emits one [`ProgrammeDelta`] per host, for every tenant. Must be
+    /// called before the first epoch (see
+    /// [`crate::netprog::ProgrammeStore::set_shard_plan`]).
     pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) {
-        self.programme.set_shard_plan(plan);
+        for store in &mut self.tenants {
+            store.set_shard_plan(plan);
+        }
     }
 
-    /// The per-host change sets of the most recent epoch (empty without a
-    /// shard plan).
+    /// Fans the programme computation out to `count` tenants: every epoch
+    /// runs the shared propagation + path solve once and one programme walk
+    /// per tenant. The new stores inherit the first tenant's shard plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, or after the first epoch — the tenant set
+    /// is part of the programme's identity, like the shard plan.
+    pub fn set_tenant_count(&mut self, count: usize) {
+        assert!(count >= 1, "an epoch computation serves at least one tenant");
+        assert!(
+            self.tenants[0].epoch() == 0,
+            "the tenant count must be fixed before the first epoch"
+        );
+        let template = self.tenants[0].clone();
+        self.tenants.resize(count, template);
+    }
+
+    /// Number of tenants this computation fans out to (at least 1).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The first tenant's per-host change sets of the most recent epoch
+    /// (empty without a shard plan).
     pub fn host_deltas(&self) -> &[ProgrammeDelta] {
-        self.programme.host_deltas()
+        self.tenants[0].host_deltas()
     }
 
     /// Runs one epoch at `t_seconds`: batch propagation into the retained
@@ -239,7 +333,11 @@ impl EpochCompute {
         }
         self.engine.solve_sources(state.graph(), &self.sources);
         let paths = self.engine.paths().expect("paths were just solved");
-        self.programme.update_epoch(state, paths, &self.sources);
+        // The fan-out: everything above ran once; each tenant's programme
+        // walk reads the same state and path matrix.
+        for store in &mut self.tenants {
+            store.update_epoch(state, paths, &self.sources);
+        }
         Ok(diff)
     }
 
@@ -253,9 +351,9 @@ impl EpochCompute {
         self.engine.paths()
     }
 
-    /// The programme delta of the most recent epoch.
+    /// The first tenant's programme delta of the most recent epoch.
     pub fn delta(&self) -> &ProgrammeDelta {
-        self.programme.delta()
+        self.tenants[0].delta()
     }
 
     /// Statistics of the most recent path solve.
@@ -263,18 +361,21 @@ impl EpochCompute {
         self.engine.last_solve()
     }
 
-    /// The current programme epoch.
+    /// The current programme epoch (tenants advance in lockstep).
     pub fn programme_epoch(&self) -> u64 {
-        self.programme.epoch()
+        self.tenants[0].epoch()
     }
 
-    /// Number of pairs in the current full programme.
+    /// Number of pairs in the first tenant's current full programme.
     pub fn programme_pairs(&self) -> usize {
-        self.programme.pair_count()
+        self.tenants[0].pair_count()
     }
 
     /// Computes one epoch and packages the results into a (possibly
-    /// recycled) bundle.
+    /// recycled) bundle. The returned bundle always holds the only strong
+    /// reference to its shared core: recycling reuses the core in place via
+    /// [`Arc::get_mut`] and falls back to a fresh core only when a consumer
+    /// kept a clone of the `Arc` alive.
     fn compute_bundle(
         &mut self,
         t_seconds: f64,
@@ -285,38 +386,59 @@ impl EpochCompute {
         let compute_ns = started.elapsed().as_nanos() as u64;
         let state = self.state().expect("state was just computed");
         let paths = self.paths().expect("paths were just solved");
-        Ok(match recycled {
+        let solve = self.last_solve();
+        let mut bundle = match recycled {
             Some(mut bundle) => {
-                bundle.t_seconds = t_seconds;
-                bundle.state.clone_from(state);
-                bundle.paths.clone_from(paths);
-                bundle.diff = diff;
-                bundle.delta.clone_from(self.delta());
-                clone_deltas_into(&mut bundle.host_deltas, self.programme.host_deltas());
-                bundle.shard_pairs.clear();
-                bundle.shard_pairs.extend_from_slice(self.programme.shard_pair_counts());
-                bundle.solve = self.last_solve();
-                bundle.programme_epoch = self.programme_epoch();
-                bundle.programme_pairs = self.programme_pairs();
-                bundle.compute_ns = compute_ns;
-                bundle.finished_at = Instant::now();
+                match Arc::get_mut(&mut bundle.shared) {
+                    Some(shared) => {
+                        shared.t_seconds = t_seconds;
+                        shared.state.clone_from(state);
+                        shared.paths.clone_from(paths);
+                        shared.diff = diff;
+                        shared.solve = solve;
+                        shared.compute_ns = compute_ns;
+                        shared.finished_at = Instant::now();
+                    }
+                    // A consumer still holds a view of the recycled core
+                    // (e.g. a retained snapshot): mint a fresh one so the
+                    // uniqueness invariant is re-established.
+                    None => {
+                        bundle.shared = Arc::new(SharedEpoch {
+                            t_seconds,
+                            state: state.clone(),
+                            paths: paths.clone(),
+                            diff,
+                            solve,
+                            compute_ns,
+                            finished_at: Instant::now(),
+                        });
+                    }
+                }
                 bundle
             }
             None => Box::new(EpochBundle {
-                t_seconds,
-                state: state.clone(),
-                paths: paths.clone(),
-                diff,
-                delta: self.delta().clone(),
-                host_deltas: self.programme.host_deltas().to_vec(),
-                shard_pairs: self.programme.shard_pair_counts().to_vec(),
-                solve: self.last_solve(),
-                programme_epoch: self.programme_epoch(),
-                programme_pairs: self.programme_pairs(),
-                compute_ns,
-                finished_at: Instant::now(),
+                shared: Arc::new(SharedEpoch {
+                    t_seconds,
+                    state: state.clone(),
+                    paths: paths.clone(),
+                    diff,
+                    solve,
+                    compute_ns,
+                    finished_at: Instant::now(),
+                }),
+                tenants: Vec::new(),
             }),
-        })
+        };
+        bundle.tenants.resize_with(self.tenants.len(), TenantEpoch::default);
+        for (out, store) in bundle.tenants.iter_mut().zip(&self.tenants) {
+            out.delta.clone_from(store.delta());
+            clone_deltas_into(&mut out.host_deltas, store.host_deltas());
+            out.shard_pairs.clear();
+            out.shard_pairs.extend_from_slice(store.shard_pair_counts());
+            out.programme_epoch = store.epoch();
+            out.programme_pairs = store.pair_count();
+        }
+        Ok(bundle)
     }
 }
 
@@ -346,10 +468,10 @@ struct WorkerRequest {
 /// // Epoch 0 is computed on demand; epoch 2 s is precomputed in the
 /// // background while the caller plays epoch 0's events.
 /// let bundle = pipeline.advance(0.0).unwrap();
-/// assert_eq!(bundle.t_seconds, 0.0);
+/// assert_eq!(bundle.t_seconds(), 0.0);
 /// pipeline.recycle(bundle);
 /// let bundle = pipeline.advance(2.0).unwrap();
-/// assert_eq!(bundle.programme_epoch, 2);
+/// assert_eq!(bundle.solo().programme_epoch, 2);
 /// assert_eq!(pipeline.stats().precomputed, 1);
 /// # pipeline.recycle(bundle);
 /// ```
@@ -519,7 +641,7 @@ impl EpochPipeline {
         // meaningful for precomputed handovers; inline computes finish the
         // moment the wait ends.
         let lead_ns = if precomputed {
-            (bundle.finished_at.elapsed().as_nanos() as u64).saturating_sub(wait_ns)
+            (bundle.shared.finished_at.elapsed().as_nanos() as u64).saturating_sub(wait_ns)
         } else {
             0
         };
@@ -581,23 +703,30 @@ fn recv_bundle(
 
 /// Composes two consecutive epoch bundles into one, as if the first epoch
 /// had never been observed separately: the final state is the second
-/// bundle's, the change sets are the composition of both.
+/// bundle's, the change sets — shared machine/link diff and every tenant's
+/// programme delta — are the composition of both.
 fn compose_bundles(first: Box<EpochBundle>, second: Box<EpochBundle>) -> Box<EpochBundle> {
-    let diff = compose_diffs(&first.diff, &second.diff);
-    let delta = compose_deltas(&first.delta, &second.delta);
-    // Per-host deltas compose shard-wise: both bundles come from the same
-    // computation, so the host vectors always have the same length.
-    let host_deltas: Vec<ProgrammeDelta> = first
-        .host_deltas
-        .iter()
-        .zip(&second.host_deltas)
-        .map(|(a, b)| compose_deltas(a, b))
-        .collect();
     let mut bundle = second;
-    bundle.diff = diff;
-    bundle.delta = delta;
-    bundle.host_deltas = host_deltas;
-    bundle.compute_ns += first.compute_ns;
+    {
+        // Both bundles come straight from `compute_bundle`, whose contract
+        // guarantees a uniquely owned core.
+        let shared = Arc::get_mut(&mut bundle.shared)
+            .expect("bundle cores are uniquely owned until handover");
+        shared.diff = compose_diffs(&first.shared.diff, &shared.diff);
+        shared.compute_ns += first.shared.compute_ns;
+    }
+    // Tenant change sets compose pairwise: both bundles come from the same
+    // computation, so the tenant vectors (and each tenant's host vector)
+    // always have the same length.
+    for (out, prior) in bundle.tenants.iter_mut().zip(&first.tenants) {
+        out.delta = compose_deltas(&prior.delta, &out.delta);
+        out.host_deltas = prior
+            .host_deltas
+            .iter()
+            .zip(&out.host_deltas)
+            .map(|(a, b)| compose_deltas(a, b))
+            .collect();
+    }
     bundle
 }
 
@@ -815,14 +944,14 @@ mod tests {
         for epoch in 0..12 {
             let a = sync.advance(t.as_secs_f64()).expect("sync epoch");
             let b = pipe.advance(t.as_secs_f64()).expect("pipelined epoch");
-            assert_eq!(a.t_seconds, b.t_seconds, "epoch {epoch}");
-            assert_eq!(a.state, b.state, "state diverged at epoch {epoch}");
-            assert_eq!(a.paths, b.paths, "paths diverged at epoch {epoch}");
-            assert_eq!(a.diff, b.diff, "diff diverged at epoch {epoch}");
-            assert_eq!(a.delta, b.delta, "delta diverged at epoch {epoch}");
-            assert_eq!(a.solve, b.solve, "solve stats diverged at epoch {epoch}");
-            assert_eq!(a.programme_epoch, b.programme_epoch);
-            assert_eq!(a.programme_pairs, b.programme_pairs);
+            assert_eq!(a.t_seconds(), b.t_seconds(), "epoch {epoch}");
+            assert_eq!(a.shared.state, b.shared.state, "state diverged at epoch {epoch}");
+            assert_eq!(a.shared.paths, b.shared.paths, "paths diverged at epoch {epoch}");
+            assert_eq!(a.shared.diff, b.shared.diff, "diff diverged at epoch {epoch}");
+            assert_eq!(a.solo().delta, b.solo().delta, "delta diverged at epoch {epoch}");
+            assert_eq!(a.shared.solve, b.shared.solve, "solve stats diverged at epoch {epoch}");
+            assert_eq!(a.solo().programme_epoch, b.solo().programme_epoch);
+            assert_eq!(a.solo().programme_pairs, b.solo().programme_pairs);
             sync.recycle(a);
             pipe.recycle(b);
             t = t + interval;
@@ -860,16 +989,98 @@ mod tests {
 
         for t in [0.0, 2.0, 1.25] {
             let bundle = pipe.advance(t).expect("pipelined epoch");
-            apply(&mut replayed, &bundle.delta);
+            apply(&mut replayed, &bundle.solo().delta);
             pipe.recycle(bundle);
         }
         for t in [0.0, 2.0, 4.0, 1.25] {
             let bundle = sync.advance(t).expect("sync epoch");
-            apply(&mut reference, &bundle.delta);
+            apply(&mut reference, &bundle.solo().delta);
             sync.recycle(bundle);
         }
         assert_eq!(pipe.stats().mispredicted, 1);
         assert_eq!(replayed, reference, "composed change stream diverged");
+    }
+
+    #[test]
+    fn mispredicted_epochs_compose_every_tenants_change_stream() {
+        // Same off-cadence sequence, but with a 3-tenant fan-out: every
+        // tenant's composed change stream must match the solo reference.
+        let interval = SimDuration::from_secs(2);
+        let mut fleet = EpochCompute::new(constellation());
+        fleet.set_tenant_count(3);
+        let mut pipe = EpochPipeline::new(fleet, PipelineMode::Pipelined, interval);
+        let mut sync =
+            EpochPipeline::new(EpochCompute::new(constellation()), PipelineMode::Synchronous, interval);
+
+        let mut replayed: Vec<BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>> =
+            vec![BTreeMap::new(); 3];
+        let mut reference: BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)> = BTreeMap::new();
+        let apply = |map: &mut BTreeMap<(NodeId, NodeId), (Latency, Bandwidth)>,
+                         delta: &ProgrammeDelta| {
+            for p in delta.added.iter().chain(&delta.changed) {
+                map.insert((p.a, p.b), (p.latency, p.bandwidth));
+            }
+            for pair in &delta.removed {
+                map.remove(pair);
+            }
+        };
+
+        for t in [0.0, 2.0, 1.25] {
+            let bundle = pipe.advance(t).expect("pipelined epoch");
+            assert_eq!(bundle.tenant_count(), 3);
+            for (map, tenant) in replayed.iter_mut().zip(&bundle.tenants) {
+                apply(map, &tenant.delta);
+            }
+            pipe.recycle(bundle);
+        }
+        for t in [0.0, 2.0, 4.0, 1.25] {
+            let bundle = sync.advance(t).expect("sync epoch");
+            apply(&mut reference, &bundle.solo().delta);
+            sync.recycle(bundle);
+        }
+        assert_eq!(pipe.stats().mispredicted, 1);
+        for (tenant, map) in replayed.iter().enumerate() {
+            assert_eq!(map, &reference, "tenant {tenant} composed stream diverged");
+        }
+    }
+
+    #[test]
+    fn fanned_out_tenants_match_the_solo_programme() {
+        // Identical per-tenant configuration ⇒ every tenant's change set is
+        // the solo tenant's, epoch after epoch, off one shared solve.
+        let mut solo = EpochCompute::new(constellation());
+        let mut fleet = EpochCompute::new(constellation());
+        fleet.set_tenant_count(4);
+        assert_eq!(fleet.tenant_count(), 4);
+        for step in 0..4 {
+            let t = step as f64 * 2.0;
+            let a = solo.compute_bundle(t, None).expect("solo epoch");
+            let b = fleet.compute_bundle(t, None).expect("fleet epoch");
+            assert_eq!(b.tenant_count(), 4);
+            assert_eq!(a.shared.state, b.shared.state, "shared state diverged at t={t}");
+            assert_eq!(a.shared.paths, b.shared.paths, "shared paths diverged at t={t}");
+            for (index, tenant) in b.tenants.iter().enumerate() {
+                assert_eq!(
+                    tenant.delta,
+                    a.solo().delta,
+                    "tenant {index} delta diverged at t={t}"
+                );
+                assert_eq!(tenant.programme_epoch, a.solo().programme_epoch);
+                assert_eq!(tenant.programme_pairs, a.solo().programme_pairs);
+            }
+            assert_eq!(
+                b.tenant(celestial_types::ids::TenantId(2)).delta,
+                b.solo().delta
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first epoch")]
+    fn changing_the_tenant_count_mid_life_panics() {
+        let mut compute = EpochCompute::new(constellation());
+        compute.compute(0.0).expect("epoch");
+        compute.set_tenant_count(2);
     }
 
     #[test]
@@ -1000,20 +1211,33 @@ mod tests {
         let mut pipe =
             EpochPipeline::new(EpochCompute::new(constellation()), PipelineMode::Pipelined, interval);
         let mut seen: Vec<usize> = Vec::new();
+        let mut cores: Vec<usize> = Vec::new();
         let mut t = SimInstant::EPOCH;
         for _ in 0..8 {
             let bundle = pipe.advance(t.as_secs_f64()).expect("epoch");
+            assert_eq!(
+                Arc::strong_count(&bundle.shared),
+                1,
+                "handed-over cores are uniquely owned"
+            );
             seen.push(&*bundle as *const EpochBundle as usize);
+            cores.push(Arc::as_ptr(&bundle.shared) as usize);
             pipe.recycle(bundle);
             t = t + interval;
         }
         // The first two epochs may mint fresh bundles (nothing recycled was
         // available yet when their computes were scheduled); from then on
-        // the same allocations must rotate.
+        // the same allocations must rotate — the boxes and the shared cores
+        // inside them alike.
         let steady: std::collections::BTreeSet<usize> = seen[2..].iter().copied().collect();
         assert!(
             steady.iter().all(|address| seen[..2].contains(address)),
             "steady-state epochs minted fresh bundles: {seen:?}"
+        );
+        let steady_cores: std::collections::BTreeSet<usize> = cores[2..].iter().copied().collect();
+        assert!(
+            steady_cores.iter().all(|address| cores[..2].contains(address)),
+            "steady-state epochs minted fresh shared cores: {cores:?}"
         );
     }
 

@@ -15,6 +15,7 @@
 //! `clone_from` — after warm-up, publishing allocates nothing.
 
 use crate::database::InfoDatabase;
+use celestial_types::ids::TenantId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -26,6 +27,41 @@ pub struct EpochSnapshot {
     pub epoch: u64,
     /// The information database as of `epoch`, including the path matrix.
     pub database: InfoDatabase,
+}
+
+impl EpochSnapshot {
+    /// Resolves a tenant name to a [`TenantView`] of this snapshot.
+    ///
+    /// The empty name selects tenant 0 — the only tenant of a solo testbed —
+    /// so pre-tenancy clients that send no tenant header keep working
+    /// unchanged. An unknown name returns `None` (the serving plane maps it
+    /// to HTTP 404). The view is an `Arc` clone plus an id: every tenant of
+    /// a fleet reads the same snapshot core (see `docs/TENANTS.md`).
+    pub fn tenant_view(self: &Arc<Self>, name: &str) -> Option<TenantView> {
+        let tenant = if name.is_empty() {
+            TenantId(0)
+        } else {
+            TenantId(self.database.tenant_index(name)? as u32)
+        };
+        Some(TenantView {
+            tenant,
+            snapshot: Arc::clone(self),
+        })
+    }
+}
+
+/// A tenant-scoped handle on a shared [`EpochSnapshot`].
+///
+/// Fleets share one snapshot per epoch; a view pins the tenant a request is
+/// answered for without copying any of the epoch's data. Obtained from
+/// [`EpochSnapshot::tenant_view`].
+#[derive(Debug, Clone)]
+pub struct TenantView {
+    /// The tenant this view answers for.
+    pub tenant: TenantId,
+    /// The shared epoch snapshot (one `Arc` per epoch, shared by all
+    /// tenants).
+    pub snapshot: Arc<EpochSnapshot>,
 }
 
 /// The publish side: owned by whoever drives the coordinator.
@@ -234,6 +270,37 @@ mod tests {
         // The first publish retires the epoch-0 snapshot into the pool; from
         // the second on, every publish reuses a spare.
         assert!(recycled >= published - 1, "recycled {recycled} of {published}");
+    }
+
+    #[test]
+    fn tenant_views_share_one_snapshot_core() {
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 6, 8)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut c = crate::Coordinator::with_fanout(
+            constellation,
+            SimDuration::from_secs(2),
+            crate::PipelineMode::Synchronous,
+            None,
+            vec!["alpha".to_owned(), "beta".to_owned()],
+        );
+        let store = Arc::new(SnapshotStore::new(c.database().clone()));
+        c.update(0.0).unwrap();
+        store.publish(c.update_count(), c.database());
+
+        let snapshot = store.load();
+        let alpha = snapshot.tenant_view("alpha").expect("alpha exists");
+        let beta = snapshot.tenant_view("beta").expect("beta exists");
+        assert_eq!(alpha.tenant, celestial_types::ids::TenantId(0));
+        assert_eq!(beta.tenant, celestial_types::ids::TenantId(1));
+        // Views are Arc clones of the SAME epoch core, not copies.
+        assert!(Arc::ptr_eq(&alpha.snapshot, &beta.snapshot));
+        // The empty name is the solo default; unknown names resolve to None.
+        assert_eq!(snapshot.tenant_view("").unwrap().tenant.index(), 0);
+        assert!(snapshot.tenant_view("gamma").is_none());
     }
 
     #[test]

@@ -8,21 +8,32 @@
 //! delivery is governed by the emulated network, reacts to timers, and may
 //! query the info API exactly as a real guest would query the per-host HTTP
 //! server.
+//!
+//! # Multi-tenancy
+//!
+//! A testbed runs one or more *tenants* over a single shared epoch pipeline
+//! (see `docs/TENANTS.md`). Each tenant is a full [`TenantRuntime`] — its
+//! own machine managers, network plane, fault schedule and RNG — while the
+//! expensive orbital propagation and path solve are computed once per epoch
+//! and fanned out. A solo testbed is the one-tenant degenerate case and
+//! behaves bit-identically to a pre-tenancy run; fleets execute one guest
+//! application per tenant through [`Testbed::run_fleet`].
 
 use crate::config::{ChaosConfig, TestbedConfig};
 use crate::coordinator::Coordinator;
 use crate::database::InfoDatabase;
 use crate::dns::DnsService;
 use crate::machine_manager::MachineManager;
+use celestial_netem::ProgrammeDelta;
 use celestial_constellation::{Constellation, FlapWindow, LinkSuppression};
 use celestial_machines::chaos::{ChaosEngine, ChaosSpec, ChaosTopology};
 use celestial_machines::{FaultEvent, FaultKind, FirecrackerModel};
 use celestial_netem::overlay::HostOverlay;
 use celestial_netem::packet::Packet;
-use celestial_netem::shard::{NetworkPlane, PlacementPolicy, ShardPlan};
+use celestial_netem::shard::{NetworkPlane, PlacementPolicy, ShardApplyReport, ShardPlan};
 use celestial_sim::metrics::TimeSeries;
 use celestial_sim::{SimRng, Simulation};
-use celestial_types::ids::{HostId, NodeId};
+use celestial_types::ids::{HostId, NodeId, TenantId};
 use celestial_types::resources::MachineResources;
 use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Error, Latency, Result};
@@ -85,6 +96,7 @@ enum Command {
 /// The API surface available to a guest application inside a callback.
 pub struct AppContext<'a> {
     now: SimInstant,
+    tenant: TenantId,
     database: &'a InfoDatabase,
     dns: &'a DnsService,
     managers: &'a [MachineManager],
@@ -98,6 +110,11 @@ impl<'a> AppContext<'a> {
     /// The current simulated time.
     pub fn now(&self) -> SimInstant {
         self.now
+    }
+
+    /// The tenant this application runs as (tenant 0 in a solo testbed).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The coordinator's information database (the guest-visible info API).
@@ -201,7 +218,10 @@ impl<'a> AppContext<'a> {
     }
 }
 
-/// Events of the testbed's internal discrete-event loop.
+/// Events of the testbed's internal discrete-event loop. Each scheduled
+/// event carries the index of the tenant it belongs to, so a fleet's tenants
+/// interleave on one queue while every tenant's relative order matches its
+/// solo run (the queue is FIFO-stable at equal timestamps).
 #[derive(Debug)]
 enum Event {
     ConstellationUpdate,
@@ -220,21 +240,25 @@ enum AppCall {
     Message(Packet),
 }
 
-/// The assembled testbed.
-pub struct Testbed {
-    config: TestbedConfig,
-    coordinator: Coordinator,
+/// One tenant's private half of the testbed: machine managers, network
+/// plane, placements, fault schedule, RNG and counters.
+///
+/// Every tenant borrows the shared orbital state and path matrix computed
+/// once per epoch by the coordinator's pipeline; everything in this struct
+/// is isolated per tenant (see `docs/TENANTS.md`).
+#[derive(Debug)]
+pub struct TenantRuntime {
+    id: TenantId,
+    name: String,
     managers: Vec<MachineManager>,
     node_to_host: BTreeMap<NodeId, usize>,
     network: NetworkPlane,
     placement: PlacementPolicy,
-    dns: DnsService,
     rng: SimRng,
     scheduled_faults: Vec<FaultEvent>,
     host_cpu: Vec<TimeSeries>,
     host_memory: Vec<TimeSeries>,
     host_processes: Vec<TimeSeries>,
-    now: SimInstant,
     messages_delivered: u64,
     messages_dropped: u64,
     failed_recoveries: u64,
@@ -244,11 +268,345 @@ pub struct Testbed {
     /// Nodes currently degraded (reduced CPU share); their recovery restores
     /// the quota instead of re-activating the machine.
     degraded: BTreeSet<NodeId>,
+    /// Injected fault windows currently in effect.
+    active_faults: u64,
+}
+
+impl TenantRuntime {
+    fn new(
+        id: TenantId,
+        name: String,
+        config: &TestbedConfig,
+        shard_plan: Option<ShardPlan>,
+        scheduled_faults: Vec<FaultEvent>,
+    ) -> Self {
+        let model = FirecrackerModel {
+            ballooning: config.ballooning,
+            ..FirecrackerModel::default()
+        };
+        let managers: Vec<MachineManager> = config
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| MachineManager::new(HostId(i as u32), h.cores, h.memory_mib, model))
+            .collect();
+        let mut network = match shard_plan {
+            Some(plan) => NetworkPlane::sharded(plan),
+            None => NetworkPlane::global(HostOverlay::new(config.hosts.len() as u32)),
+        };
+        if let Some(us) = config.host_latency_us {
+            network.set_default_host_latency(Latency::from_micros(us));
+        }
+        let host_count = managers.len();
+        TenantRuntime {
+            id,
+            name,
+            managers,
+            node_to_host: BTreeMap::new(),
+            network,
+            placement: PlacementPolicy::RoundRobin,
+            // Every tenant draws from an identical stream seeded by the run
+            // seed, exactly like a solo testbed: a pinned tenant's run is
+            // reproducible independently of how many neighbours it has.
+            rng: SimRng::seed_from_u64(config.seed),
+            scheduled_faults,
+            host_cpu: vec![TimeSeries::new(); host_count],
+            host_memory: vec![TimeSeries::new(); host_count],
+            host_processes: vec![TimeSeries::new(); host_count],
+            messages_delivered: 0,
+            messages_dropped: 0,
+            failed_recoveries: 0,
+            ignored_faults: 0,
+            degraded: BTreeSet::new(),
+            active_faults: 0,
+        }
+    }
+
+    /// This tenant's identifier.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// This tenant's configured name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This tenant's machine managers, one per host.
+    pub fn managers(&self) -> &[MachineManager] {
+        &self.managers
+    }
+
+    /// This tenant's network plane.
+    pub fn network(&self) -> &NetworkPlane {
+        &self.network
+    }
+
+    /// Counters of this tenant's application messages
+    /// `(delivered, dropped)`.
+    pub fn message_counters(&self) -> (u64, u64) {
+        (self.messages_delivered, self.messages_dropped)
+    }
+
+    /// Number of this tenant's post-fault reboots that failed.
+    pub fn failed_recoveries(&self) -> u64 {
+        self.failed_recoveries
+    }
+
+    /// Number of this tenant's injected faults that were ignored because
+    /// the target machine could not take them.
+    pub fn ignored_faults(&self) -> u64 {
+        self.ignored_faults
+    }
+
+    /// Number of this tenant's injected fault windows currently in effect.
+    pub fn active_faults(&self) -> u64 {
+        self.active_faults
+    }
+
+    /// This tenant's per-host CPU utilisation traces (percent).
+    pub fn host_cpu_series(&self) -> &[TimeSeries] {
+        &self.host_cpu
+    }
+
+    /// This tenant's per-host memory utilisation traces (percent).
+    pub fn host_memory_series(&self) -> &[TimeSeries] {
+        &self.host_memory
+    }
+
+    /// This tenant's per-host Firecracker process counts.
+    pub fn host_process_series(&self) -> &[TimeSeries] {
+        &self.host_processes
+    }
+
+    fn host_for(&mut self, node: NodeId) -> usize {
+        if let Some(host) = self.node_to_host.get(&node) {
+            return *host;
+        }
+        // The placement policy is the same pure function the coordinator's
+        // programme partitioning uses, so a sharded plane's slices always
+        // agree with where the machines actually run.
+        let host = self.placement.host_for(node, self.managers.len());
+        self.node_to_host.insert(node, host.index());
+        self.network.place(node, host);
+        host.index()
+    }
+
+    fn boot_ground_stations(&mut self, config: &TestbedConfig) -> Result<()> {
+        for (i, gst) in config.ground_stations.iter().enumerate() {
+            let node = NodeId::ground_station(i as u32);
+            let resources = gst.resources.clone();
+            let host = self.host_for(node);
+            let ready = self.managers[host].activate(node, &resources, SimInstant::EPOCH)?;
+            self.managers[host].finish_boot(node, ready)?;
+        }
+        Ok(())
+    }
+
+    fn sample(&mut self, t: SimInstant) {
+        for (i, manager) in self.managers.iter().enumerate() {
+            let sample = manager.sample();
+            self.host_cpu[i].record(t, sample.cpu * 100.0);
+            self.host_memory[i].record(t, sample.memory * 100.0);
+            self.host_processes[i].record(t, sample.firecracker_processes as f64);
+        }
+    }
+
+    /// Applies one epoch's machine lifecycle and network programme to this
+    /// tenant, returning the apply report when the plane is sharded.
+    fn apply_epoch(
+        &mut self,
+        sim: &mut Simulation<(usize, Event)>,
+        now: SimInstant,
+        config: &TestbedConfig,
+        to_activate: &[NodeId],
+        suspended: &[NodeId],
+        delta: &ProgrammeDelta,
+        host_deltas: &[ProgrammeDelta],
+    ) -> Result<Option<ShardApplyReport>> {
+        // Machine lifecycle: boot newly active satellites, resume returning
+        // ones, suspend those that left the bounding box. Ground stations
+        // are booted during setup and never suspended.
+        for node in to_activate {
+            let resources = resources_for(config, *node);
+            let host = self.host_for(*node);
+            let ready = self.managers[host].activate(*node, &resources, now)?;
+            if ready > now {
+                sim.schedule_at(ready, (self.id.index(), Event::BootComplete(*node)));
+            }
+        }
+        for node in suspended {
+            let host = self.host_for(*node);
+            if self.managers[host].has_machine(*node) {
+                self.managers[host].suspend(*node)?;
+            }
+        }
+
+        // Network programming: apply this tenant's change set. New pairs may
+        // involve machines the placement has not seen yet; place them before
+        // programming so compensation sees their hosts.
+        let fresh_nodes: Vec<NodeId> = delta
+            .added
+            .iter()
+            .flat_map(|pair| [pair.a, pair.b])
+            .filter(|node| !self.node_to_host.contains_key(node))
+            .collect();
+        for node in fresh_nodes {
+            self.host_for(node);
+        }
+        match &mut self.network {
+            NetworkPlane::Global(network) => {
+                network.apply_delta(delta);
+                Ok(None)
+            }
+            NetworkPlane::Sharded(sharded) => {
+                // Every host applies its own slice, in parallel — the
+                // multi-host handover of the paper's architecture.
+                Ok(Some(sharded.apply_delta_sharded(host_deltas)))
+            }
+        }
+    }
+
+    fn inject_fault(&mut self, sim: &mut Simulation<(usize, Event)>, fault: FaultEvent) {
+        let host = self.host_for(fault.node);
+        let applied = match fault.kind {
+            // Degradation shrinks the CPU quota through the cgroup path;
+            // the machine keeps running.
+            FaultKind::Degradation { cpu_share_percent } => self.managers[host]
+                .degrade(fault.node, cpu_share_percent)
+                .map(|()| {
+                    self.degraded.insert(fault.node);
+                })
+                .is_ok(),
+            FaultKind::CrashAndReboot | FaultKind::PermanentFailure => {
+                self.managers[host].fail(fault.node).is_ok()
+            }
+        };
+        if applied {
+            self.active_faults += 1;
+            if let Some(recover_at) = fault.recover_at {
+                sim.schedule_at(recover_at, (self.id.index(), Event::Recover(fault.node)));
+            }
+        } else {
+            // A fault on a machine that cannot take it — already down inside
+            // an earlier outage window, never created, or not running for a
+            // degradation — is ignored and counted, and schedules no
+            // recovery: the earlier window's recovery is already pending.
+            self.ignored_faults += 1;
+        }
+    }
+
+    fn recover(
+        &mut self,
+        sim: &mut Simulation<(usize, Event)>,
+        config: &TestbedConfig,
+        now: SimInstant,
+        node: NodeId,
+    ) -> Result<()> {
+        self.active_faults = self.active_faults.saturating_sub(1);
+        let host = self.host_for(node);
+        if self.degraded.remove(&node) {
+            // Degradation recovery: restore the full quota.
+            if self.managers[host].restore(node).is_err() {
+                self.failed_recoveries += 1;
+            }
+            return Ok(());
+        }
+        let resources = resources_for(config, node);
+        match self.managers[host].activate(node, &resources, now) {
+            Ok(ready) => {
+                if ready > now {
+                    sim.schedule_at(ready, (self.id.index(), Event::BootComplete(node)));
+                }
+            }
+            // A failed post-fault reboot must not vanish: count it so
+            // experiments can detect machines that never came back.
+            Err(_) => self.failed_recoveries += 1,
+        }
+        Ok(())
+    }
+
+    fn apply_commands(
+        &mut self,
+        sim: &mut Simulation<(usize, Event)>,
+        now: SimInstant,
+        config: &TestbedConfig,
+        commands: Vec<Command>,
+    ) -> Result<()> {
+        for command in commands {
+            match command {
+                Command::Send {
+                    from,
+                    to,
+                    size_bytes,
+                    payload,
+                } => {
+                    let host = self.host_for(from);
+                    if !self.managers[host].is_running(from) {
+                        self.messages_dropped += 1;
+                        continue;
+                    }
+                    let packet = Packet::with_size_and_payload(from, to, size_bytes, payload);
+                    let deliveries = self.network.send(&packet, now, &mut self.rng);
+                    if deliveries.is_empty() {
+                        self.messages_dropped += 1;
+                    }
+                    for (arrival, delivered) in deliveries {
+                        sim.schedule_at(arrival, (self.id.index(), Event::Deliver(delivered)));
+                    }
+                }
+                Command::SetTimer { delay, tag } => {
+                    sim.schedule_at(now + delay, (self.id.index(), Event::AppTimer(tag)));
+                }
+                Command::SetCpuLoad { node, load } => {
+                    let host = self.host_for(node);
+                    self.managers[host].set_cpu_load(node, load);
+                }
+                Command::FailMachine { node } => {
+                    let host = self.host_for(node);
+                    self.managers[host]
+                        .fail(node)
+                        .map_err(|e| Error::Application(e.to_string()))?;
+                }
+                Command::RebootMachine { node } => {
+                    let resources = resources_for(config, node);
+                    let host = self.host_for(node);
+                    let ready = self.managers[host].activate(node, &resources, now)?;
+                    if ready > now {
+                        sim.schedule_at(ready, (self.id.index(), Event::BootComplete(node)));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn resources_for(config: &TestbedConfig, node: NodeId) -> MachineResources {
+    match node {
+        NodeId::Satellite(sat) => config
+            .shells
+            .get(sat.shell.index())
+            .map(|s| s.resources.clone())
+            .unwrap_or_default(),
+        NodeId::GroundStation(gst) => config
+            .ground_stations
+            .get(gst.index())
+            .map(|g| g.resources.clone())
+            .unwrap_or_default(),
+    }
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    config: TestbedConfig,
+    coordinator: Coordinator,
+    tenants: Vec<TenantRuntime>,
+    dns: DnsService,
+    now: SimInstant,
     /// Total chaos events lowered from the chaos schedule (fault events plus
     /// link-flap windows); zero when chaos is disabled.
     chaos_events: u64,
-    /// Injected fault windows currently in effect.
-    active_faults: u64,
     /// Whether a `[chaos]` section is configured (drives `/info` reporting).
     chaos_enabled: bool,
 }
@@ -290,11 +648,17 @@ impl Testbed {
         // coordinator partitions its programme with the same plan the
         // emulation places machines with, so each host's slice is complete.
         let shard_plan = config.shards.map(ShardPlan::new);
-        let mut coordinator = Coordinator::with_options(
+        let tenant_names: Vec<String> = config
+            .tenants
+            .as_ref()
+            .map(|t| t.tenant_names())
+            .unwrap_or_else(|| vec!["tenant-0".to_owned()]);
+        let mut coordinator = Coordinator::with_fanout(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),
             config.pipeline,
             shard_plan,
+            tenant_names.clone(),
         );
         // With a `[serve]` section every update publishes an epoch snapshot
         // for the lock-free serving plane (see docs/SERVE.md).
@@ -302,47 +666,23 @@ impl Testbed {
             coordinator.enable_snapshots();
         }
 
-        let model = FirecrackerModel {
-            ballooning: config.ballooning,
-            ..FirecrackerModel::default()
-        };
-        let managers: Vec<MachineManager> = config
-            .hosts
-            .iter()
+        // Every tenant runs the same chaos schedule against its own
+        // machines, just as every tenant sees the same orbital mechanics.
+        let tenants: Vec<TenantRuntime> = tenant_names
+            .into_iter()
             .enumerate()
-            .map(|(i, h)| MachineManager::new(HostId(i as u32), h.cores, h.memory_mib, model))
+            .map(|(i, name)| {
+                TenantRuntime::new(TenantId(i as u32), name, config, shard_plan, chaos_faults.clone())
+            })
             .collect();
 
-        let mut network = match shard_plan {
-            Some(plan) => NetworkPlane::sharded(plan),
-            None => NetworkPlane::global(HostOverlay::new(config.hosts.len() as u32)),
-        };
-        if let Some(us) = config.host_latency_us {
-            network.set_default_host_latency(Latency::from_micros(us));
-        }
-
-        let host_count = managers.len();
         Ok(Testbed {
             config: config.clone(),
             coordinator,
-            managers,
-            node_to_host: BTreeMap::new(),
-            network,
-            placement: PlacementPolicy::RoundRobin,
+            tenants,
             dns,
-            rng: SimRng::seed_from_u64(config.seed),
-            scheduled_faults: chaos_faults,
-            host_cpu: vec![TimeSeries::new(); host_count],
-            host_memory: vec![TimeSeries::new(); host_count],
-            host_processes: vec![TimeSeries::new(); host_count],
             now: SimInstant::EPOCH,
-            messages_delivered: 0,
-            messages_dropped: 0,
-            failed_recoveries: 0,
-            ignored_faults: 0,
-            degraded: BTreeSet::new(),
             chaos_events,
-            active_faults: 0,
             chaos_enabled: config.chaos.is_some(),
         })
     }
@@ -485,51 +825,75 @@ impl Testbed {
         &self.dns
     }
 
-    /// The machine managers, one per host.
+    /// Number of tenants sharing this testbed's epoch pipeline (1 for a
+    /// solo testbed; see `docs/TENANTS.md`).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// One tenant's runtime, by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn tenant(&self, tenant: TenantId) -> &TenantRuntime {
+        &self.tenants[tenant.index()]
+    }
+
+    /// All tenant runtimes, indexed by [`TenantId`].
+    pub fn tenants(&self) -> &[TenantRuntime] {
+        &self.tenants
+    }
+
+    /// The machine managers of tenant 0, one per host.
     pub fn managers(&self) -> &[MachineManager] {
-        &self.managers
+        &self.tenants[0].managers
     }
 
-    /// The network plane: the single global rule table, or one shard per
-    /// host when `shards = N` is configured (see `docs/SHARDING.md`).
+    /// Tenant 0's network plane: the single global rule table, or one shard
+    /// per host when `shards = N` is configured (see `docs/SHARDING.md`).
     pub fn network(&self) -> &NetworkPlane {
-        &self.network
+        &self.tenants[0].network
     }
 
-    /// Per-host CPU utilisation traces recorded during the run (percent).
+    /// Tenant 0's per-host CPU utilisation traces recorded during the run
+    /// (percent).
     pub fn host_cpu_series(&self) -> &[TimeSeries] {
-        &self.host_cpu
+        &self.tenants[0].host_cpu
     }
 
-    /// Per-host memory utilisation traces recorded during the run (percent).
+    /// Tenant 0's per-host memory utilisation traces recorded during the
+    /// run (percent).
     pub fn host_memory_series(&self) -> &[TimeSeries] {
-        &self.host_memory
+        &self.tenants[0].host_memory
     }
 
-    /// Per-host Firecracker process counts recorded during the run.
+    /// Tenant 0's per-host Firecracker process counts recorded during the
+    /// run.
     pub fn host_process_series(&self) -> &[TimeSeries] {
-        &self.host_processes
+        &self.tenants[0].host_processes
     }
 
-    /// Counters of application messages `(delivered, dropped)`.
+    /// Counters of tenant 0's application messages `(delivered, dropped)`.
     pub fn message_counters(&self) -> (u64, u64) {
-        (self.messages_delivered, self.messages_dropped)
+        self.tenants[0].message_counters()
     }
 
-    /// Number of post-fault reboots that failed (the machine could not be
-    /// re-activated when its recovery event fired). A healthy run reports
-    /// zero; failures no longer vanish silently.
+    /// Number of tenant 0's post-fault reboots that failed (the machine
+    /// could not be re-activated when its recovery event fired). A healthy
+    /// run reports zero; failures no longer vanish silently.
     pub fn failed_recoveries(&self) -> u64 {
-        self.failed_recoveries
+        self.tenants[0].failed_recoveries
     }
 
-    /// Number of injected faults that were ignored because the target
-    /// machine could not take them — e.g. a second crash landing inside an
-    /// earlier outage window, or a degradation of a machine that is not
-    /// running. Mirrors [`failed_recoveries`](Self::failed_recoveries):
-    /// nothing vanishes silently.
+    /// Number of tenant 0's injected faults that were ignored because the
+    /// target machine could not take them — e.g. a second crash landing
+    /// inside an earlier outage window, or a degradation of a machine that
+    /// is not running. Mirrors
+    /// [`failed_recoveries`](Self::failed_recoveries): nothing vanishes
+    /// silently.
     pub fn ignored_faults(&self) -> u64 {
-        self.ignored_faults
+        self.tenants[0].ignored_faults
     }
 
     /// Total chaos events lowered from the `[chaos]` schedule (fault events
@@ -538,54 +902,96 @@ impl Testbed {
         self.chaos_events
     }
 
-    /// Number of injected fault windows currently in effect.
+    /// Number of tenant 0's injected fault windows currently in effect.
     pub fn active_faults(&self) -> u64 {
-        self.active_faults
+        self.tenants[0].active_faults
     }
 
     /// Schedules fault events (e.g. generated by
-    /// [`celestial_machines::FaultInjector`]) to be injected during the run.
+    /// [`celestial_machines::FaultInjector`]) to be injected into tenant 0
+    /// during the run.
     pub fn schedule_faults(&mut self, faults: impl IntoIterator<Item = FaultEvent>) {
-        self.scheduled_faults.extend(faults);
+        self.tenants[0].scheduled_faults.extend(faults);
+    }
+
+    /// Schedules fault events to be injected into one tenant during the
+    /// run; other tenants are unaffected (see `docs/TENANTS.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn schedule_faults_for(
+        &mut self,
+        tenant: TenantId,
+        faults: impl IntoIterator<Item = FaultEvent>,
+    ) {
+        self.tenants[tenant.index()].scheduled_faults.extend(faults);
     }
 
     /// Runs a guest application for the configured experiment duration.
     ///
+    /// The application runs as tenant 0; fleets run one application per
+    /// tenant through [`run_fleet`](Self::run_fleet).
+    ///
     /// # Errors
     ///
-    /// Propagates constellation, machine and configuration errors.
+    /// Propagates constellation, machine and configuration errors, and
+    /// rejects multi-tenant testbeds (which need one application per
+    /// tenant).
     pub fn run(&mut self, app: &mut dyn GuestApplication) -> Result<()> {
+        let mut apps: [&mut dyn GuestApplication; 1] = [app];
+        self.run_fleet(&mut apps)
+    }
+
+    /// Runs one guest application per tenant for the configured experiment
+    /// duration, interleaving all tenants over the shared epoch pipeline.
+    ///
+    /// `apps[i]` runs as tenant `i`. Tenants are isolated: each has its own
+    /// machines, network, faults and RNG, so a tenant's observations are
+    /// bit-identical whether it runs solo or inside a fleet (see
+    /// `docs/TENANTS.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Application`] when the number of applications does
+    /// not match the number of tenants, and propagates constellation,
+    /// machine and configuration errors.
+    pub fn run_fleet(&mut self, apps: &mut [&mut dyn GuestApplication]) -> Result<()> {
+        if apps.len() != self.tenants.len() {
+            return Err(Error::Application(format!(
+                "the fleet has {} tenants but {} applications were supplied",
+                self.tenants.len(),
+                apps.len()
+            )));
+        }
         let end = SimInstant::from_secs_f64(self.config.duration_s);
-        let mut sim: Simulation<Event> = Simulation::new();
+        let mut sim: Simulation<(usize, Event)> = Simulation::new();
 
         // Setup: boot every ground-station machine so applications can start
         // immediately (the paper's experiments have a setup phase before the
         // measured window).
-        let gst_resources: Vec<(NodeId, MachineResources)> = self
-            .config
-            .ground_stations
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (NodeId::ground_station(i as u32), g.resources.clone()))
-            .collect();
-        for (node, resources) in &gst_resources {
-            let host = self.host_for(*node);
-            let ready = self.managers[host].activate(*node, resources, SimInstant::EPOCH)?;
-            self.managers[host].finish_boot(*node, ready)?;
+        for tenant in &mut self.tenants {
+            tenant.boot_ground_stations(&self.config)?;
         }
 
         // First constellation update, then recurring events.
         self.apply_constellation_update(&mut sim, SimInstant::EPOCH)?;
         let interval = self.coordinator.update_interval();
-        sim.schedule_at(SimInstant::EPOCH + interval, Event::ConstellationUpdate);
-        sim.schedule_at(SimInstant::EPOCH, Event::UtilizationSample);
-        for fault in std::mem::take(&mut self.scheduled_faults) {
-            sim.schedule_at(fault.at, Event::Fault(fault));
+        sim.schedule_at(SimInstant::EPOCH + interval, (0, Event::ConstellationUpdate));
+        for i in 0..self.tenants.len() {
+            sim.schedule_at(SimInstant::EPOCH, (i, Event::UtilizationSample));
+        }
+        for i in 0..self.tenants.len() {
+            for fault in std::mem::take(&mut self.tenants[i].scheduled_faults) {
+                sim.schedule_at(fault.at, (i, Event::Fault(fault)));
+            }
         }
 
-        self.run_app_callback(&mut sim, SimInstant::EPOCH, app, AppCall::Start)?;
+        for (i, app) in apps.iter_mut().enumerate() {
+            self.run_app_callback(&mut sim, SimInstant::EPOCH, i, &mut **app, AppCall::Start)?;
+        }
 
-        while let Some((t, event)) = sim.step() {
+        while let Some((t, (i, event))) = sim.step() {
             if t > end {
                 break;
             }
@@ -593,88 +999,53 @@ impl Testbed {
             match event {
                 Event::ConstellationUpdate => {
                     self.apply_constellation_update(&mut sim, t)?;
-                    sim.schedule_at(t + interval, Event::ConstellationUpdate);
-                    self.run_app_callback(&mut sim, t, app, AppCall::ConstellationUpdate)?;
+                    sim.schedule_at(t + interval, (0, Event::ConstellationUpdate));
+                    for (j, app) in apps.iter_mut().enumerate() {
+                        self.run_app_callback(
+                            &mut sim,
+                            t,
+                            j,
+                            &mut **app,
+                            AppCall::ConstellationUpdate,
+                        )?;
+                    }
                 }
                 Event::UtilizationSample => {
-                    for (i, manager) in self.managers.iter().enumerate() {
-                        let sample = manager.sample();
-                        self.host_cpu[i].record(t, sample.cpu * 100.0);
-                        self.host_memory[i].record(t, sample.memory * 100.0);
-                        self.host_processes[i].record(t, sample.firecracker_processes as f64);
-                    }
+                    self.tenants[i].sample(t);
                     sim.schedule_at(
                         t + SimDuration::from_secs_f64(self.config.utilization_sample_interval_s),
-                        Event::UtilizationSample,
+                        (i, Event::UtilizationSample),
                     );
                 }
                 Event::BootComplete(node) => {
-                    let host = self.host_for(node);
-                    self.managers[host].finish_boot(node, t)?;
+                    let tenant = &mut self.tenants[i];
+                    let host = tenant.host_for(node);
+                    tenant.managers[host].finish_boot(node, t)?;
                 }
                 Event::AppTimer(tag) => {
-                    self.run_app_callback(&mut sim, t, app, AppCall::Timer(tag))?;
+                    self.run_app_callback(&mut sim, t, i, &mut *apps[i], AppCall::Timer(tag))?;
                 }
                 Event::Deliver(packet) => {
-                    let host = self.host_for(packet.destination);
-                    if self.managers[host].is_running(packet.destination) {
-                        self.messages_delivered += 1;
-                        self.run_app_callback(&mut sim, t, app, AppCall::Message(packet))?;
+                    let tenant = &mut self.tenants[i];
+                    let host = tenant.host_for(packet.destination);
+                    if tenant.managers[host].is_running(packet.destination) {
+                        tenant.messages_delivered += 1;
+                        self.run_app_callback(
+                            &mut sim,
+                            t,
+                            i,
+                            &mut *apps[i],
+                            AppCall::Message(packet),
+                        )?;
                     } else {
-                        self.messages_dropped += 1;
+                        tenant.messages_dropped += 1;
                     }
                 }
                 Event::Fault(fault) => {
-                    let host = self.host_for(fault.node);
-                    let applied = match fault.kind {
-                        // Degradation shrinks the CPU quota through the
-                        // cgroup path; the machine keeps running.
-                        FaultKind::Degradation { cpu_share_percent } => self.managers[host]
-                            .degrade(fault.node, cpu_share_percent)
-                            .map(|()| {
-                                self.degraded.insert(fault.node);
-                            })
-                            .is_ok(),
-                        FaultKind::CrashAndReboot | FaultKind::PermanentFailure => {
-                            self.managers[host].fail(fault.node).is_ok()
-                        }
-                    };
-                    if applied {
-                        self.active_faults += 1;
-                        if let Some(recover_at) = fault.recover_at {
-                            sim.schedule_at(recover_at, Event::Recover(fault.node));
-                        }
-                    } else {
-                        // A fault on a machine that cannot take it — already
-                        // down inside an earlier outage window, never
-                        // created, or not running for a degradation — is
-                        // ignored and counted, and schedules no recovery:
-                        // the earlier window's recovery is already pending.
-                        self.ignored_faults += 1;
-                    }
+                    self.tenants[i].inject_fault(&mut sim, fault);
                 }
                 Event::Recover(node) => {
-                    self.active_faults = self.active_faults.saturating_sub(1);
-                    let host = self.host_for(node);
-                    if self.degraded.remove(&node) {
-                        // Degradation recovery: restore the full quota.
-                        if self.managers[host].restore(node).is_err() {
-                            self.failed_recoveries += 1;
-                        }
-                        continue;
-                    }
-                    let resources = self.resources_for(node);
-                    match self.managers[host].activate(node, &resources, t) {
-                        Ok(ready) => {
-                            if ready > t {
-                                sim.schedule_at(ready, Event::BootComplete(node));
-                            }
-                        }
-                        // A failed post-fault reboot must not vanish: count
-                        // it so experiments can detect machines that never
-                        // came back.
-                        Err(_) => self.failed_recoveries += 1,
-                    }
+                    self.tenants[i].recover(&mut sim, &self.config, t, node)?;
                 }
             }
         }
@@ -682,39 +1053,9 @@ impl Testbed {
         Ok(())
     }
 
-    fn host_for(&mut self, node: NodeId) -> usize {
-        if let Some(host) = self.node_to_host.get(&node) {
-            return *host;
-        }
-        // The placement policy is the same pure function the coordinator's
-        // programme partitioning uses, so a sharded plane's slices always
-        // agree with where the machines actually run.
-        let host = self.placement.host_for(node, self.managers.len());
-        self.node_to_host.insert(node, host.index());
-        self.network.place(node, host);
-        host.index()
-    }
-
-    fn resources_for(&self, node: NodeId) -> MachineResources {
-        match node {
-            NodeId::Satellite(sat) => self
-                .config
-                .shells
-                .get(sat.shell.index())
-                .map(|s| s.resources.clone())
-                .unwrap_or_default(),
-            NodeId::GroundStation(gst) => self
-                .config
-                .ground_stations
-                .get(gst.index())
-                .map(|g| g.resources.clone())
-                .unwrap_or_default(),
-        }
-    }
-
     fn apply_constellation_update(
         &mut self,
-        sim: &mut Simulation<Event>,
+        sim: &mut Simulation<(usize, Event)>,
         now: SimInstant,
     ) -> Result<()> {
         let diff = self.coordinator.update(now.as_secs_f64())?;
@@ -728,13 +1069,15 @@ impl Testbed {
                 .database()
                 .state()
                 .map_or(0, |s| s.suppressed_link_count() as u64);
-            self.coordinator
-                .record_chaos(self.chaos_events, self.active_faults, suppressed);
+            self.coordinator.record_chaos(
+                self.chaos_events,
+                self.tenants[0].active_faults,
+                suppressed,
+            );
         }
 
-        // Machine lifecycle: boot newly active satellites, resume returning
-        // ones, suspend those that left the bounding box. Ground stations are
-        // booted during setup and never suspended.
+        // The orbital diff is shared: every tenant boots and suspends the
+        // same machines, then applies its own programme change set.
         let mut to_activate: Vec<NodeId> = Vec::new();
         for (node, activity) in &diff.machines_added {
             if *activity == celestial_constellation::snapshot::MachineActivity::Active {
@@ -742,46 +1085,24 @@ impl Testbed {
             }
         }
         to_activate.extend(diff.activated.iter().copied());
-        for node in to_activate {
-            let resources = self.resources_for(node);
-            let host = self.host_for(node);
-            let ready = self.managers[host].activate(node, &resources, now)?;
-            if ready > now {
-                sim.schedule_at(ready, Event::BootComplete(node));
-            }
-        }
-        for node in &diff.suspended {
-            let host = self.host_for(*node);
-            if self.managers[host].has_machine(*node) {
-                self.managers[host].suspend(*node)?;
-            }
-        }
 
-        // Network programming: apply the coordinator's change set. Pairs
-        // whose quantized latency and bottleneck bandwidth are unchanged
-        // keep their rules untouched — the testbed no longer shadows the
-        // programme in its own bookkeeping.
-        let delta = self.coordinator.programme_delta();
-        // New pairs may involve machines the placement has not seen yet;
-        // place them before programming so compensation sees their hosts.
-        let fresh_nodes: Vec<NodeId> = delta
-            .added
-            .iter()
-            .flat_map(|pair| [pair.a, pair.b])
-            .filter(|node| !self.node_to_host.contains_key(node))
-            .collect();
-        for node in fresh_nodes {
-            self.host_for(node);
-        }
-        match &mut self.network {
-            NetworkPlane::Global(network) => {
-                network.apply_delta(self.coordinator.programme_delta());
-            }
-            NetworkPlane::Sharded(sharded) => {
-                // Every host applies its own slice, in parallel — the
-                // multi-host handover of the paper's architecture.
-                let report = sharded.apply_delta_sharded(self.coordinator.host_deltas());
-                self.coordinator.record_shard_apply(&report);
+        for i in 0..self.tenants.len() {
+            let tenant = TenantId(i as u32);
+            let report = self.tenants[i].apply_epoch(
+                sim,
+                now,
+                &self.config,
+                &to_activate,
+                &diff.suspended,
+                self.coordinator.programme_delta_for(tenant),
+                self.coordinator.host_deltas_for(tenant),
+            )?;
+            // The `/info` shard-apply report tracks tenant 0, keeping solo
+            // reporting bit-identical to a pre-tenancy run.
+            if i == 0 {
+                if let Some(report) = report {
+                    self.coordinator.record_shard_apply(&report);
+                }
             }
         }
         Ok(())
@@ -789,19 +1110,22 @@ impl Testbed {
 
     fn run_app_callback(
         &mut self,
-        sim: &mut Simulation<Event>,
+        sim: &mut Simulation<(usize, Event)>,
         now: SimInstant,
+        index: usize,
         app: &mut dyn GuestApplication,
         call: AppCall,
     ) -> Result<()> {
+        let tenant = &mut self.tenants[index];
         let mut ctx = AppContext {
             now,
+            tenant: tenant.id,
             database: self.coordinator.database(),
             dns: &self.dns,
-            managers: &self.managers,
-            node_to_host: &self.node_to_host,
-            network: &self.network,
-            rng: &mut self.rng,
+            managers: &tenant.managers,
+            node_to_host: &tenant.node_to_host,
+            network: &tenant.network,
+            rng: &mut tenant.rng,
             commands: Vec::new(),
         };
         match call {
@@ -811,61 +1135,7 @@ impl Testbed {
             AppCall::Message(packet) => app.on_message(&packet, &mut ctx),
         }
         let commands = ctx.commands;
-        self.apply_commands(sim, now, commands)
-    }
-
-    fn apply_commands(
-        &mut self,
-        sim: &mut Simulation<Event>,
-        now: SimInstant,
-        commands: Vec<Command>,
-    ) -> Result<()> {
-        for command in commands {
-            match command {
-                Command::Send {
-                    from,
-                    to,
-                    size_bytes,
-                    payload,
-                } => {
-                    let host = self.host_for(from);
-                    if !self.managers[host].is_running(from) {
-                        self.messages_dropped += 1;
-                        continue;
-                    }
-                    let packet = Packet::with_size_and_payload(from, to, size_bytes, payload);
-                    let deliveries = self.network.send(&packet, now, &mut self.rng);
-                    if deliveries.is_empty() {
-                        self.messages_dropped += 1;
-                    }
-                    for (arrival, delivered) in deliveries {
-                        sim.schedule_at(arrival, Event::Deliver(delivered));
-                    }
-                }
-                Command::SetTimer { delay, tag } => {
-                    sim.schedule_at(now + delay, Event::AppTimer(tag));
-                }
-                Command::SetCpuLoad { node, load } => {
-                    let host = self.host_for(node);
-                    self.managers[host].set_cpu_load(node, load);
-                }
-                Command::FailMachine { node } => {
-                    let host = self.host_for(node);
-                    self.managers[host]
-                        .fail(node)
-                        .map_err(|e| Error::Application(e.to_string()))?;
-                }
-                Command::RebootMachine { node } => {
-                    let resources = self.resources_for(node);
-                    let host = self.host_for(node);
-                    let ready = self.managers[host].activate(node, &resources, now)?;
-                    if ready > now {
-                        sim.schedule_at(ready, Event::BootComplete(node));
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.tenants[index].apply_commands(sim, now, &self.config, commands)
     }
 }
 
@@ -1139,5 +1409,82 @@ mod tests {
         testbed.run(&mut app).unwrap();
         assert!(testbed.coordinator().database().chaos_report().is_none());
         assert_eq!(testbed.chaos_events(), 0);
+    }
+
+    #[test]
+    fn a_fleet_runs_every_tenant_identically_to_a_solo_run() {
+        let solo_config = west_africa_config(20.0);
+        let mut solo = Testbed::new(&solo_config).unwrap();
+        let mut solo_app = PingPong::default();
+        solo.run(&mut solo_app).unwrap();
+
+        let mut fleet_config = west_africa_config(20.0);
+        fleet_config.tenants = Some(crate::config::TenantsConfig {
+            count: 3,
+            names: Vec::new(),
+        });
+        let mut fleet = Testbed::new(&fleet_config).unwrap();
+        assert_eq!(fleet.tenant_count(), 3);
+        let mut apps = [PingPong::default(), PingPong::default(), PingPong::default()];
+        {
+            let mut refs: Vec<&mut dyn GuestApplication> = apps
+                .iter_mut()
+                .map(|a| a as &mut dyn GuestApplication)
+                .collect();
+            fleet.run_fleet(&mut refs).unwrap();
+        }
+        for (i, app) in apps.iter().enumerate() {
+            assert_eq!(
+                app.rtts_ms, solo_app.rtts_ms,
+                "tenant {i} diverged from the solo run"
+            );
+            let tenant = fleet.tenant(TenantId(i as u32));
+            assert_eq!(tenant.message_counters(), solo.message_counters());
+            assert_eq!(tenant.failed_recoveries(), 0);
+            assert_eq!(tenant.name(), format!("tenant-{i}"));
+        }
+    }
+
+    #[test]
+    fn fleet_faults_stay_with_their_tenant() {
+        let mut config = west_africa_config(20.0);
+        config.tenants = Some(crate::config::TenantsConfig {
+            count: 2,
+            names: vec!["victim".to_owned(), "bystander".to_owned()],
+        });
+        let mut testbed = Testbed::new(&config).unwrap();
+        let accra = NodeId::ground_station(0);
+        testbed.schedule_faults_for(
+            TenantId(0),
+            [FaultEvent {
+                node: accra,
+                at: SimInstant::from_secs_f64(5.0),
+                kind: celestial_machines::FaultKind::CrashAndReboot,
+                recover_at: Some(SimInstant::from_secs_f64(10.0)),
+            }],
+        );
+        let mut victim = PingPong::default();
+        let mut bystander = PingPong::default();
+        {
+            let mut refs: Vec<&mut dyn GuestApplication> = vec![&mut victim, &mut bystander];
+            testbed.run_fleet(&mut refs).unwrap();
+        }
+        let (_, victim_dropped) = testbed.tenant(TenantId(0)).message_counters();
+        let (_, bystander_dropped) = testbed.tenant(TenantId(1)).message_counters();
+        assert!(victim_dropped > 0, "the victim's crash must drop messages");
+        assert_eq!(bystander_dropped, 0, "the bystander must be unaffected");
+        assert_eq!(testbed.tenant(TenantId(0)).name(), "victim");
+        assert_eq!(testbed.tenant(TenantId(1)).name(), "bystander");
+    }
+
+    #[test]
+    fn run_fleet_rejects_a_mismatched_application_count() {
+        let mut config = west_africa_config(10.0);
+        config.tenants = Some(crate::config::TenantsConfig { count: 2, names: Vec::new() });
+        let mut testbed = Testbed::new(&config).unwrap();
+        let mut app = PingPong::default();
+        let mut refs: Vec<&mut dyn GuestApplication> = vec![&mut app];
+        let err = testbed.run_fleet(&mut refs).unwrap_err();
+        assert!(err.to_string().contains("2 tenants"), "{err}");
     }
 }

@@ -11,7 +11,7 @@
 use crate::pipeline::{Envelope, Handler, ServeReply};
 use celestial::info_api::InfoApi;
 use celestial::snapshot::{EpochSnapshot, SnapshotReader, SnapshotStore};
-use celestial_types::ids::NodeId;
+use celestial_types::ids::{NodeId, TenantId};
 use celestial_types::Error;
 use serde_json::Value;
 use std::cell::RefCell;
@@ -55,9 +55,15 @@ impl InfoHandler {
         &self.store
     }
 
-    /// Answers `path` for `requester_header` against `snapshot`.
-    fn answer(snapshot: &EpochSnapshot, requester_header: Option<&str>, path: &str) -> ServeReply {
-        let api = InfoApi::new(&snapshot.database);
+    /// Answers `path` for `requester_header` against `snapshot`, scoped to
+    /// `tenant`.
+    fn answer(
+        snapshot: &EpochSnapshot,
+        tenant: TenantId,
+        requester_header: Option<&str>,
+        path: &str,
+    ) -> ServeReply {
+        let api = InfoApi::for_tenant(&snapshot.database, tenant);
         let requester = match requester_header {
             Some(name) => match api.parse_node(name) {
                 Ok(node) => node,
@@ -73,6 +79,21 @@ impl InfoHandler {
             Err(error) => error_reply(&error),
         }
     }
+
+    /// Resolves the envelope's tenant name against `snapshot`: the empty
+    /// name is tenant 0 (the solo default), anything else must be a
+    /// configured tenant (see `docs/TENANTS.md`).
+    fn resolve_tenant(snapshot: &EpochSnapshot, name: &str) -> Result<TenantId, ServeReply> {
+        if name.is_empty() {
+            return Ok(TenantId(0));
+        }
+        match snapshot.database.tenant_index(name) {
+            Some(index) => Ok(TenantId(index as u32)),
+            None => Err(error_reply(&Error::not_found(format!(
+                "unknown tenant '{name}'"
+            )))),
+        }
+    }
 }
 
 impl Handler for InfoHandler {
@@ -82,7 +103,12 @@ impl Handler for InfoHandler {
             envelope.epoch = snapshot.epoch;
             let requester = envelope.request.header("x-celestial-node").map(str::to_owned);
             let path = envelope.request.path().to_owned();
-            let mut reply = InfoHandler::answer(snapshot, requester.as_deref(), &path);
+            let mut reply = match InfoHandler::resolve_tenant(snapshot, &envelope.tenant) {
+                Ok(tenant) => {
+                    InfoHandler::answer(snapshot, tenant, requester.as_deref(), &path)
+                }
+                Err(reply) => reply,
+            };
             if reply.status >= 400 {
                 stamp_epoch(&mut reply.body, snapshot.epoch);
             }
@@ -187,6 +213,49 @@ mod tests {
         }
         // Malformed parameters on a known route stay 400.
         assert_eq!(get(&pipeline, "/sat/x/1").status, 400);
+    }
+
+    #[test]
+    fn tenant_header_routes_to_the_named_tenant_or_404s() {
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 6, 8)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut coordinator = Coordinator::with_fanout(
+            constellation,
+            SimDuration::from_secs(2),
+            celestial::PipelineMode::Synchronous,
+            None,
+            vec!["alpha".to_owned(), "beta".to_owned()],
+        );
+        let store = coordinator.enable_snapshots();
+        coordinator.update(0.0).unwrap();
+        let pipeline = Pipeline::new(InfoHandler::new(store));
+
+        let tenant_get = |tenant: &str, path: &str| {
+            let mut request = Request::new(Method::Get, path);
+            request.headers.push(("x-celestial-tenant".into(), tenant.into()));
+            pipeline.handle(&mut Envelope::new(request))
+        };
+
+        let reply = tenant_get("beta", "/info");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body.get("tenant").and_then(Value::as_str), Some("beta"));
+        assert_eq!(reply.body.get("tenants").and_then(Value::as_u64), Some(2));
+
+        // No header: the default tenant (tenant 0).
+        let reply = get(&pipeline, "/info");
+        assert_eq!(reply.body.get("tenant").and_then(Value::as_str), Some("alpha"));
+
+        // An unknown tenant is a 404 with the epoch stamped like any other
+        // error reply.
+        let reply = tenant_get("gamma", "/self");
+        assert_eq!(reply.status, 404);
+        let error = reply.body.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains("unknown tenant 'gamma'"), "{error}");
+        assert_eq!(reply.body.get("snapshot_epoch").and_then(Value::as_u64), Some(1));
     }
 
     #[test]

@@ -38,18 +38,22 @@ impl Middleware for AuthMiddleware {
     }
 }
 
-/// A per-client token bucket refilled at **epoch granularity**: a client
-/// holds up to `burst` tokens, each request spends one, and every epoch
-/// boundary the store advances past refills `per_epoch` tokens. Keying the
-/// refill on the snapshot epoch instead of wall clock keeps the limiter
-/// deterministic under virtual time — the same request schedule against the
-/// same epoch sequence always admits and rejects the same requests.
+/// A token bucket per `(tenant, client)` pair refilled at **epoch
+/// granularity**: a client holds up to `burst` tokens, each request spends
+/// one, and every epoch boundary the store advances past refills
+/// `per_epoch` tokens. Keying the refill on the snapshot epoch instead of
+/// wall clock keeps the limiter deterministic under virtual time — the same
+/// request schedule against the same epoch sequence always admits and
+/// rejects the same requests. Keying the bucket on the tenant as well as
+/// the client keeps tenants isolated: one tenant's chatty client cannot
+/// starve the same client identity under another tenant (see
+/// `docs/TENANTS.md`).
 #[derive(Debug)]
 pub struct RateLimitMiddleware {
     burst: u32,
     per_epoch: u32,
     store: Arc<SnapshotStore>,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<HashMap<(String, String), Bucket>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -69,13 +73,14 @@ impl RateLimitMiddleware {
         }
     }
 
-    /// The tokens `client` would have available at the store's current
-    /// epoch, before spending any (new clients start at full burst).
-    pub fn available(&self, client: &str) -> u32 {
+    /// The tokens `client` would have available under `tenant` at the
+    /// store's current epoch, before spending any (new clients start at
+    /// full burst). Pre-tenancy callers pass `""` — the default tenant.
+    pub fn available(&self, tenant: &str, client: &str) -> u32 {
         let epoch = self.store.epoch();
         let buckets = self.buckets.lock().expect("rate-limit lock poisoned");
         buckets
-            .get(client)
+            .get(&(tenant.to_owned(), client.to_owned()))
             .map_or(self.burst, |b| self.refilled(*b, epoch))
     }
 
@@ -97,7 +102,8 @@ impl Middleware for RateLimitMiddleware {
         }
         let epoch = self.store.epoch();
         let mut buckets = self.buckets.lock().expect("rate-limit lock poisoned");
-        let bucket = buckets.entry(envelope.client.clone()).or_insert(Bucket {
+        let key = (envelope.tenant.clone(), envelope.client.clone());
+        let bucket = buckets.entry(key).or_insert(Bucket {
             tokens: self.burst,
             epoch,
         });
@@ -232,7 +238,7 @@ mod tests {
     fn rate_limiter_exhausts_the_burst_within_one_epoch() {
         let store = empty_store();
         let limiter = RateLimitMiddleware::new(3, 2, Arc::clone(&store));
-        assert_eq!(limiter.available("alice"), 3);
+        assert_eq!(limiter.available("", "alice"), 3);
         let pipeline = Pipeline::new(ok_handler()).with(limiter);
 
         for _ in 0..3 {
@@ -241,6 +247,29 @@ mod tests {
         assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 429);
         // Clients are isolated: bob still has his full burst.
         assert_eq!(pipeline.handle(&mut envelope_for("bob")).status, 200);
+    }
+
+    #[test]
+    fn rate_limit_buckets_are_tenant_scoped() {
+        let limiter = RateLimitMiddleware::new(2, 1, empty_store());
+        let pipeline = Pipeline::new(ok_handler()).with(limiter);
+
+        let tenant_envelope = |tenant: &str| {
+            let mut request = Request::new(Method::Get, "/info");
+            request.headers.push(("x-celestial-client".into(), "alice".into()));
+            request.headers.push(("x-celestial-tenant".into(), tenant.into()));
+            Envelope::new(request)
+        };
+
+        // alice drains her burst under tenant-0...
+        for _ in 0..2 {
+            assert_eq!(pipeline.handle(&mut tenant_envelope("tenant-0")).status, 200);
+        }
+        assert_eq!(pipeline.handle(&mut tenant_envelope("tenant-0")).status, 429);
+        // ...but the same client identity under another tenant — and under
+        // the default tenant — still has its own full bucket.
+        assert_eq!(pipeline.handle(&mut tenant_envelope("tenant-1")).status, 200);
+        assert_eq!(pipeline.handle(&mut envelope_for("alice")).status, 200);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct Envelope {
     /// The rate-limit identity of the caller: the `x-celestial-client`
     /// header if present, else the bearer token, else the peer IP.
     pub client: String,
+    /// The tenant the request addresses: the `x-celestial-tenant` header,
+    /// or empty for the default tenant (tenant 0 — the only tenant of a
+    /// solo testbed). Resolution happens at the handler; an unknown name
+    /// is a 404 (see `docs/TENANTS.md`).
+    pub tenant: String,
     /// The snapshot epoch the request is answered against; `0` until the
     /// handler resolves a snapshot.
     pub epoch: u64,
@@ -35,9 +40,14 @@ impl Envelope {
             .or_else(|| bearer_token(&request).map(str::to_owned))
             .or_else(|| request.peer.map(|p| p.ip().to_string()))
             .unwrap_or_else(|| "anonymous".to_owned());
+        let tenant = request
+            .header("x-celestial-tenant")
+            .map(str::to_owned)
+            .unwrap_or_default();
         Envelope {
             request,
             client,
+            tenant,
             epoch: 0,
         }
     }
@@ -288,5 +298,14 @@ mod tests {
         assert_eq!(Envelope::new(request).client, "10.0.0.7");
 
         assert_eq!(envelope("/info").client, "anonymous");
+    }
+
+    #[test]
+    fn tenant_comes_from_its_header_and_defaults_to_empty() {
+        let mut request = Request::new(Method::Get, "/info");
+        request.headers.push(("x-celestial-tenant".into(), "tenant-3".into()));
+        assert_eq!(Envelope::new(request).tenant, "tenant-3");
+        // No header: the empty tenant, which handlers resolve to tenant 0.
+        assert_eq!(envelope("/info").tenant, "");
     }
 }

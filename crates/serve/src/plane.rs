@@ -204,6 +204,30 @@ mod tests {
     }
 
     #[test]
+    fn tenant_header_is_honoured_over_http() {
+        let (mut coordinator, store) = serving_coordinator();
+        coordinator.update(0.0).unwrap();
+        let plane = ServePlane::start(&ServeConfig::default(), store).expect("plane starts");
+        let mut client = Client::connect(plane.addr()).expect("connect");
+
+        // A solo coordinator serves exactly one tenant, `tenant-0`.
+        let reply = client
+            .get_with_headers("/info", &[("x-celestial-tenant", "tenant-0")])
+            .expect("request");
+        assert_eq!(reply.status, 200);
+        let body: Value = serde_json::from_str(std::str::from_utf8(&reply.body).unwrap())
+            .expect("json body");
+        assert_eq!(body.get("tenant").and_then(Value::as_str), Some("tenant-0"));
+        assert_eq!(body.get("tenants").and_then(Value::as_u64), Some(1));
+
+        // Unknown tenants are 404 at the HTTP layer too.
+        let reply = client
+            .get_with_headers("/self", &[("x-celestial-tenant", "nope")])
+            .expect("request");
+        assert_eq!(reply.status, 404);
+    }
+
+    #[test]
     fn keep_alive_false_closes_after_each_response() {
         let (mut coordinator, store) = serving_coordinator();
         coordinator.update(0.0).unwrap();

@@ -191,6 +191,26 @@ impl fmt::Display for HostId {
     }
 }
 
+/// Identifier of a testbed tenant sharing one epoch pipeline.
+///
+/// Tenants are numbered in the order they appear in the configuration file,
+/// starting at zero; a solo testbed is tenant 0 of a one-tenant fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// Returns the numeric index of this tenant.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant {}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +273,8 @@ mod tests {
         assert!(!ShellId(3).to_string().is_empty());
         assert!(!MachineId(9).to_string().is_empty());
         assert!(!HostId(4).to_string().is_empty());
+        assert!(!TenantId(2).to_string().is_empty());
+        assert_eq!(TenantId(2).index(), 2);
         assert!(!NodeId::satellite(0, 0).to_string().is_empty());
     }
 }

@@ -4,10 +4,11 @@
 //! bit-identical to the global network; `tests/chaos_convergence.rs` uses it
 //! to prove chaos runs deterministic and convergent (`docs/CHAOS.md`).
 
-use celestial::config::{ServeConfig, TestbedConfig};
+use celestial::config::{ServeConfig, TenantsConfig, TestbedConfig};
 use celestial::pipeline::PipelineMode;
 use celestial::testbed::{AppContext, GuestApplication, Testbed};
 use celestial::Coordinator;
+use celestial_types::ids::TenantId;
 use celestial_constellation::Constellation;
 use celestial_serve::ServePlane;
 use httpd::Client;
@@ -165,6 +166,49 @@ pub fn run_config(config: &TestbedConfig, faults: Vec<FaultEvent>) -> Observatio
         clamps: testbed.network().latency_clamp_count(),
         failed_recoveries: testbed.failed_recoveries(),
         ignored_faults: testbed.ignored_faults(),
+        updates: testbed.coordinator().update_count(),
+    }
+}
+
+/// Runs a fleet of `tenants` journalling applications over `config` and
+/// captures the observations of the tenant at index `pinned`.
+/// `noise_faults` are scheduled on every tenant **except** the pinned one,
+/// so a lockstep comparison against a fault-free solo run proves tenant
+/// isolation on top of bit-identity (see `docs/TENANTS.md`).
+pub fn run_fleet_config(
+    config: &TestbedConfig,
+    tenants: u32,
+    pinned: usize,
+    noise_faults: Vec<FaultEvent>,
+) -> Observations {
+    let mut config = config.clone();
+    config.tenants = Some(TenantsConfig {
+        count: tenants,
+        names: Vec::new(),
+    });
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    for index in 0..tenants as usize {
+        if index != pinned {
+            testbed.schedule_faults_for(TenantId(index as u32), noise_faults.clone());
+        }
+    }
+    let mut apps: Vec<Journal> = (0..tenants).map(|_| Journal::default()).collect();
+    let mut refs: Vec<&mut dyn GuestApplication> = apps
+        .iter_mut()
+        .map(|app| app as &mut dyn GuestApplication)
+        .collect();
+    testbed.run_fleet(&mut refs).expect("fleet run");
+
+    let tenant = testbed.tenant(TenantId(pinned as u32));
+    let app = apps.swap_remove(pinned);
+    Observations {
+        epochs: app.epochs,
+        rtts_ms: app.rtts_ms,
+        messages: tenant.message_counters(),
+        network: tenant.network().counters(),
+        clamps: tenant.network().latency_clamp_count(),
+        failed_recoveries: tenant.failed_recoveries(),
+        ignored_faults: tenant.ignored_faults(),
         updates: testbed.coordinator().update_count(),
     }
 }

@@ -3,7 +3,7 @@
 //! testbed shape, and survive a serde round trip; the `[chaos]` defaults
 //! documented in `docs/CHAOS.md` must match `ChaosConfig::default()`.
 
-use celestial::config::{ChaosConfig, ServeConfig, TestbedConfig};
+use celestial::config::{ChaosConfig, ServeConfig, TenantsConfig, TestbedConfig};
 use celestial_constellation::PathAlgorithm;
 
 /// The documentation page this test validates.
@@ -92,6 +92,31 @@ fn the_documented_serve_defaults_match_the_code() {
     // The documented values are exactly the serving plane's defaults.
     assert_eq!(config.serve, Some(ServeConfig::default()));
     // A config with the serving plane on still round-trips through serde.
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
+}
+
+/// The multi-tenancy documentation page, whose `[tenants]` example lists
+/// every key with its default value.
+const TENANTS_DOC: &str = include_str!("../docs/TENANTS.md");
+
+#[test]
+fn the_documented_tenants_defaults_match_the_code() {
+    let start = TENANTS_DOC
+        .find("```toml\n")
+        .expect("docs/TENANTS.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = TENANTS_DOC[start..].find("```").expect("the toml fence is closed") + start;
+    let block = &TENANTS_DOC[start..end];
+    assert!(block.contains("[tenants]"), "the example documents the [tenants] table");
+    let toml = format!(
+        "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n\n{block}"
+    );
+    let config = TestbedConfig::from_toml(&toml).expect("documented tenants TOML parses");
+    // The documented values are exactly the fan-out's defaults.
+    assert_eq!(config.tenants, Some(TenantsConfig::default()));
+    // A config with tenancy on still round-trips through serde.
     let json = serde_json::to_string(&config).expect("serializes");
     let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(config, back);

@@ -1,0 +1,74 @@
+//! Lockstep tests of the multi-tenant fan-out: a tenant pinned inside a
+//! 16-tenant fleet must be **bit-identical** to the same configuration run
+//! solo — the same per-epoch journal, RTTs, message and network counters —
+//! across {synchronous, pipelined} pipelines × {global, sharded} network
+//! planes, even while every *other* tenant runs a fault schedule. This is
+//! the isolation contract of `docs/TENANTS.md`: one pipeline serving N
+//! testbeds changes nothing any single testbed observes.
+
+mod common;
+
+use celestial::pipeline::PipelineMode;
+use celestial_machines::{FaultEvent, FaultKind};
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use common::lockstep::{assert_lockstep, config, run_config, run_fleet_config};
+
+const TENANTS: u32 = 16;
+const PINNED: usize = 7;
+const DURATION_S: f64 = 105.0;
+
+/// The noise schedule the 15 *other* tenants run: a mid-run crash with
+/// recovery on accra and a lasting degradation on abuja. The pinned tenant
+/// gets no faults and must match a fault-free solo run exactly.
+fn noise_faults() -> Vec<FaultEvent> {
+    vec![
+        FaultEvent {
+            node: NodeId::ground_station(0),
+            at: SimInstant::from_secs_f64(5.0),
+            kind: FaultKind::CrashAndReboot,
+            recover_at: Some(SimInstant::from_secs_f64(9.0)),
+        },
+        FaultEvent {
+            node: NodeId::ground_station(1),
+            at: SimInstant::from_secs_f64(11.0),
+            kind: FaultKind::Degradation { cpu_share_percent: 10 },
+            recover_at: None,
+        },
+    ]
+}
+
+fn assert_pinned_tenant_matches_solo(mode: PipelineMode, sharded: bool) {
+    let hosts = if sharded { 4 } else { 1 };
+    let config = config(11, DURATION_S, mode, hosts, sharded);
+    let solo = run_config(&config, Vec::new());
+    assert!(!solo.rtts_ms.is_empty(), "the solo run must observe traffic");
+
+    let pinned = run_fleet_config(&config, TENANTS, PINNED, noise_faults());
+    let label = format!(
+        "tenant {PINNED}/{TENANTS} ({} / {})",
+        mode.name(),
+        if sharded { "sharded" } else { "global" },
+    );
+    assert_lockstep(&label, &solo, &pinned);
+}
+
+#[test]
+fn pinned_tenant_is_bit_identical_to_solo_synchronous_global() {
+    assert_pinned_tenant_matches_solo(PipelineMode::Synchronous, false);
+}
+
+#[test]
+fn pinned_tenant_is_bit_identical_to_solo_synchronous_sharded() {
+    assert_pinned_tenant_matches_solo(PipelineMode::Synchronous, true);
+}
+
+#[test]
+fn pinned_tenant_is_bit_identical_to_solo_pipelined_global() {
+    assert_pinned_tenant_matches_solo(PipelineMode::Pipelined, false);
+}
+
+#[test]
+fn pinned_tenant_is_bit_identical_to_solo_pipelined_sharded() {
+    assert_pinned_tenant_matches_solo(PipelineMode::Pipelined, true);
+}
