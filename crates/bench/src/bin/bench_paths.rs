@@ -236,6 +236,41 @@ fn main() {
         record("floyd_warshall", ns, iters);
     }
 
+    // Node-count sweep: the scaling curve of the engine's full solve, the
+    // baseline the scoped megascale bench (BENCH_megascale.json) prunes
+    // against. Each record carries its own node count; the sweep stops well
+    // short of mega scale because the full solve is exactly what stops
+    // scaling there.
+    let sweep_scales: &[(u32, u32)] =
+        if options.planes <= 8 { &[(4, 4), (8, 8)] } else { &[(16, 16), (32, 32), (48, 48)] };
+    let mut sweep: Vec<Value> = Vec::new();
+    for &(planes, per_plane) in sweep_scales {
+        let scale_options = Options {
+            planes,
+            per_plane,
+            out: options.out.clone(),
+        };
+        let graph = graph_at(&scale_options, 0.0);
+        let mut engine = PathEngine::new(PathAlgorithm::Dijkstra);
+        let (ns, iters) = measure(2, || {
+            engine.solve(&graph);
+            engine.last_solve().solved_sources
+        });
+        println!(
+            "engine_full_sweep            {ns:>14} ns/op  ({iters} iterations, {} nodes)",
+            graph.node_count()
+        );
+        sweep.push(json!({
+            "algorithm": "engine_full_solve",
+            "planes": planes,
+            "satellites_per_plane": per_plane,
+            "nodes": graph.node_count(),
+            "edges": graph.edge_count(),
+            "ns_per_op": ns,
+            "iterations": iters,
+        }));
+    }
+
     let document = json!({
         "bench": "paths",
         "nodes": nodes,
@@ -243,6 +278,7 @@ fn main() {
         "planes": options.planes,
         "satellites_per_plane": options.per_plane,
         "results": results,
+        "node_sweep": sweep,
     });
     let body = serde_json::to_string(&document).expect("serializable document");
     std::fs::write(&options.out, &body).expect("write BENCH_paths.json");

@@ -115,18 +115,31 @@ impl BoundingBox {
     }
 
     /// Grows the box by `margin_deg` degrees in every direction, clamping
-    /// latitudes to the poles.
+    /// latitudes to the poles. Antimeridian-crossing boxes stay crossing
+    /// (their edges move apart across 180°); any box whose expanded
+    /// longitude span reaches 360° becomes the full longitude range.
     pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
-        let lon_min = self.lon_min - margin_deg;
-        let lon_max = self.lon_max + margin_deg;
-        // If the expansion makes the box wrap the entire globe, use the full
-        // longitude range.
-        let covers_all = !self.crosses_antimeridian() && (lon_max - lon_min) >= 360.0;
+        // The longitude span must be measured the same way `contains` reads
+        // the box: across the antimeridian when lon_min > lon_max.
+        let lon_span = if self.crosses_antimeridian() {
+            360.0 - (self.lon_min - self.lon_max)
+        } else {
+            self.lon_max - self.lon_min
+        };
+        let covers_all = lon_span + 2.0 * margin_deg >= 360.0;
         BoundingBox {
             lat_min: (self.lat_min - margin_deg).max(-90.0),
             lat_max: (self.lat_max + margin_deg).min(90.0),
-            lon_min: if covers_all { -180.0 } else { normalize_longitude(lon_min) },
-            lon_max: if covers_all { 180.0 } else { normalize_longitude(lon_max) },
+            lon_min: if covers_all {
+                -180.0
+            } else {
+                normalize_longitude(self.lon_min - margin_deg)
+            },
+            lon_max: if covers_all {
+                180.0
+            } else {
+                normalize_longitude(self.lon_max + margin_deg)
+            },
         }
     }
 }
@@ -190,6 +203,42 @@ mod tests {
     }
 
     #[test]
+    fn expanding_a_pacific_box_keeps_it_crossing() {
+        // Regression: the crossing-box span used to be measured as
+        // lon_max - lon_min (negative), so a Pacific-style box could
+        // normalize into a small non-covering box after expansion.
+        let b = BoundingBox::pacific().expanded(10.0);
+        assert!(b.crosses_antimeridian());
+        assert!(b.contains(&Geodetic::new(21.36, -157.98, 0.0))); // Hawaii
+        assert!(b.contains(&Geodetic::new(35.0, 140.0, 0.0))); // Japan
+        assert!(b.contains(&Geodetic::new(0.0, 180.0, 0.0))); // dateline
+        assert!(!b.contains(&Geodetic::new(48.0, 11.0, 0.0))); // Munich
+    }
+
+    #[test]
+    fn expanding_a_wide_crossing_box_covers_the_whole_longitude_range() {
+        // A crossing box spanning 350° of longitude grows past 360° with a
+        // 10° margin and must become the full range, not re-normalize.
+        let b = BoundingBox::new(-10.0, 10.0, -170.0, -175.0).expanded(10.0);
+        assert!(!b.crosses_antimeridian());
+        assert_eq!(b.lon_min, -180.0);
+        assert_eq!(b.lon_max, 180.0);
+        assert!(b.contains(&Geodetic::new(0.0, -172.5, 0.0)));
+    }
+
+    #[test]
+    fn expansion_across_the_antimeridian_produces_a_crossing_box() {
+        // A non-crossing box hugging the antimeridian crosses it once
+        // expanded; the expanded box must contain the original and the
+        // overflowed longitudes on the far side.
+        let b = BoundingBox::new(-10.0, 10.0, 165.0, 175.0).expanded(10.0);
+        assert!(b.crosses_antimeridian());
+        assert!(b.contains(&Geodetic::new(0.0, 170.0, 0.0)));
+        assert!(b.contains(&Geodetic::new(0.0, -179.0, 0.0)));
+        assert!(!b.contains(&Geodetic::new(0.0, 0.0, 0.0)));
+    }
+
+    #[test]
     #[should_panic(expected = "lat_min")]
     fn inverted_latitudes_panic() {
         BoundingBox::new(10.0, -10.0, 0.0, 10.0);
@@ -214,6 +263,25 @@ mod tests {
             margin in 0.0f64..20.0,
         ) {
             let b = BoundingBox::new(lat - 5.0, lat + 5.0, lon - 5.0, lon + 5.0);
+            let point = Geodetic::new(lat, lon, 0.0);
+            prop_assert!(b.contains(&point));
+            prop_assert!(b.expanded(margin).contains(&point));
+        }
+
+        #[test]
+        fn expanded_crossing_box_contains_original_points(
+            lat in -60.0f64..60.0,
+            west in 100.0f64..179.0,
+            east in -179.0f64..-100.0,
+            probe in 0.0f64..1.0,
+            margin in 0.0f64..30.0,
+        ) {
+            // A genuinely crossing box; probe a point inside it by walking
+            // eastwards from the western edge across 180°.
+            let b = BoundingBox::new(lat - 5.0, lat + 5.0, west, east);
+            prop_assert!(b.crosses_antimeridian());
+            let span = 360.0 - (west - east);
+            let lon = normalize_longitude(west + probe * span);
             let point = Geodetic::new(lat, lon, 0.0);
             prop_assert!(b.contains(&point));
             prop_assert!(b.expanded(margin).contains(&point));

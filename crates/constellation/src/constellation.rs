@@ -578,6 +578,22 @@ impl ConstellationState {
         &self.graph
     }
 
+    /// ECEF positions of all satellites, in node-index order (the flat slice
+    /// the scope derivation scans without per-node id translation).
+    pub(crate) fn satellite_positions_raw(&self) -> &[Cartesian] {
+        &self.satellite_positions
+    }
+
+    /// ECEF positions of all ground stations, in node-index order.
+    pub(crate) fn ground_positions_raw(&self) -> &[Cartesian] {
+        &self.ground_positions
+    }
+
+    /// Bounding-box activity flags of all satellites, in node-index order.
+    pub(crate) fn active_raw(&self) -> &[bool] {
+        &self.active
+    }
+
     /// Maps a node identifier to its global node index in this state.
     ///
     /// # Errors

@@ -26,6 +26,8 @@
 //! `docs/PATHS.md` is the user-facing guide to choosing between the
 //! algorithms and to the `path-algorithm` configuration key.
 
+use crate::bbox::BoundingBox;
+use crate::constellation::ConstellationState;
 use crate::path::{
     Cost, DijkstraHeap, Edge, NetworkGraph, PathAlgorithm, ShortestPaths,
     AUTO_FLOYD_WARSHALL_MAX_NODES, UNREACHABLE,
@@ -54,6 +56,10 @@ pub enum SolveKind {
     /// Rows untouched by the edge delta were reused from the previous
     /// timestep; only affected sources were re-solved.
     Incremental,
+    /// A [`SolveScope`]-restricted solve: bounded per-source Dijkstra runs
+    /// that terminate once every required (programme) target is settled,
+    /// plus full rows for the ALT landmarks.
+    Scoped,
 }
 
 /// Statistics about the most recent solve, for logging, benchmarks and
@@ -70,6 +76,251 @@ pub struct SolveStats {
     pub edges_added: usize,
     /// Edges removed (or re-weighted) relative to the previous timestep.
     pub edges_removed: usize,
+    /// Scoped solves only: number of in-scope source rows solved.
+    pub scope_sources: usize,
+    /// Scoped solves only: number of required (programme) target nodes each
+    /// bounded row had to settle before terminating.
+    pub scope_required: usize,
+    /// Scoped solves only: number of fully solved ALT landmark rows.
+    pub scope_landmarks: usize,
+    /// Scoped solves only: total nodes settled across all bounded rows —
+    /// the figure that shows how much work the early termination saved
+    /// (compare with `scope_sources × node_count` for a full solve).
+    pub scope_settled: u64,
+}
+
+impl Default for SolveStats {
+    fn default() -> Self {
+        SolveStats {
+            kind: SolveKind::FullDijkstra,
+            solved_sources: 0,
+            reused_sources: 0,
+            edges_added: 0,
+            edges_removed: 0,
+            scope_sources: 0,
+            scope_required: 0,
+            scope_landmarks: 0,
+            scope_settled: 0,
+        }
+    }
+}
+
+/// Tuning knobs of the scope derivation (the `[paths]` table of the
+/// configuration file; see `docs/MEGASCALE.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScopeParams {
+    /// Degrees by which the configured bounding box is expanded to admit
+    /// near-boundary satellites into the solve scope.
+    pub margin_deg: f64,
+    /// Per ground station, the `k` nearest satellites (by ECEF distance,
+    /// ties broken by node index) added to the scope regardless of the box.
+    pub k_nearest: usize,
+    /// Number of fully solved landmark rows kept for the ALT fallback of
+    /// out-of-scope queries. Landmark node ids are a pure function of the
+    /// satellite count, so they only change when the topology class does.
+    pub landmarks: usize,
+}
+
+impl Default for ScopeParams {
+    fn default() -> Self {
+        ScopeParams {
+            margin_deg: 10.0,
+            k_nearest: 16,
+            landmarks: 8,
+        }
+    }
+}
+
+/// The set of source rows a scoped solve computes, split into *required*
+/// nodes (the programme sources — active satellites and ground stations —
+/// whose pairwise entries must come out bit-identical to a full solve) and
+/// the wider *scope* (expanded-bounding-box satellites, per-ground-station
+/// nearest neighbourhoods and ALT landmarks) that pads the search so the
+/// bounded rows stay cheap without ever being read directly.
+///
+/// The scope is a reusable buffer: [`SolveScope::derive`] refills it from a
+/// constellation state every epoch without allocating in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScope {
+    node_count: u32,
+    /// Strictly ascending solve sources (scope ∪ required ∪ landmarks).
+    sources: Vec<u32>,
+    /// Node-indexed required bitset; required nodes are always sources.
+    required: Vec<bool>,
+    required_count: u32,
+    /// Sorted landmark node ids (always a subset of `sources`).
+    landmarks: Vec<u32>,
+    /// Node-indexed scope bitset (scratch for the derivation).
+    scope: Vec<bool>,
+    /// Scratch for the per-ground-station k-nearest selection.
+    nearest: Vec<(f64, u32)>,
+    /// Satellites inside the configured (unexpanded) bounding box.
+    active_satellites: usize,
+    /// Satellites in the solve scope (expanded box + neighbourhoods +
+    /// landmarks).
+    scope_satellites: usize,
+}
+
+impl SolveScope {
+    /// An empty scope; fill it with [`SolveScope::derive`] or
+    /// [`SolveScope::from_sets`].
+    pub fn new() -> Self {
+        SolveScope::default()
+    }
+
+    /// Derives the scope for one constellation state: required rows are the
+    /// programme sources (bounding-box-active satellites plus every ground
+    /// station); the scope widens that by satellites inside the box expanded
+    /// by `params.margin_deg`, the `params.k_nearest` satellites closest to
+    /// each ground station, and `params.landmarks` evenly spaced landmark
+    /// satellites whose rows are solved fully for the ALT fallback.
+    pub fn derive(
+        &mut self,
+        state: &ConstellationState,
+        bounding_box: &BoundingBox,
+        params: &ScopeParams,
+    ) {
+        let n = state.node_count();
+        let sat_total = state.satellite_count();
+        let sats = state.satellite_positions_raw();
+        let active = state.active_raw();
+        let expanded = bounding_box.expanded(params.margin_deg.max(0.0));
+        self.node_count = n as u32;
+        self.required.clear();
+        self.required.resize(n, false);
+        self.scope.clear();
+        self.scope.resize(n, false);
+        let mut required_count = 0u32;
+        let mut active_satellites = 0usize;
+        for i in 0..sat_total {
+            if active[i] {
+                // Bounding-box-active satellites are programme sources; the
+                // expanded box contains the configured box (margin >= 0), so
+                // every required satellite is in scope.
+                self.required[i] = true;
+                self.scope[i] = true;
+                required_count += 1;
+                active_satellites += 1;
+            } else if expanded.contains(&sats[i].to_geodetic()) {
+                self.scope[i] = true;
+            }
+        }
+        for g in sat_total..n {
+            self.required[g] = true;
+            self.scope[g] = true;
+            required_count += 1;
+        }
+        // The k nearest satellites to each ground station join the scope:
+        // uplink-relevant rows stay cheap even when a station sits right at
+        // the box edge. ECEF distance, ties broken by node index, so the
+        // selection is deterministic.
+        let k = params.k_nearest.min(sat_total);
+        if k > 0 {
+            for gp in state.ground_positions_raw() {
+                self.nearest.clear();
+                self.nearest
+                    .extend(sats.iter().enumerate().map(|(i, p)| (p.distance_to(gp), i as u32)));
+                self.nearest
+                    .select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for &(_, i) in &self.nearest[..k] {
+                    self.scope[i as usize] = true;
+                }
+            }
+        }
+        // Landmarks: evenly spaced satellite indices — a pure function of
+        // the satellite count, so the set only changes when the topology
+        // class does (never between epochs of one constellation).
+        self.landmarks.clear();
+        let landmark_count = params.landmarks.min(sat_total);
+        for j in 0..landmark_count {
+            let idx = (j * sat_total / landmark_count) as u32;
+            self.landmarks.push(idx);
+            self.scope[idx as usize] = true;
+        }
+        self.required_count = required_count;
+        self.active_satellites = active_satellites;
+        self.sources.clear();
+        self.sources
+            .extend((0..n as u32).filter(|&i| self.scope[i as usize]));
+        self.scope_satellites = self
+            .sources
+            .iter()
+            .take_while(|&&s| (s as usize) < sat_total)
+            .count();
+    }
+
+    /// Builds a scope from explicit node sets — the constructor benches and
+    /// property tests use to exercise arbitrary scopes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node index is out of range.
+    pub fn from_sets(
+        node_count: usize,
+        required_nodes: &[u32],
+        extra_scope_nodes: &[u32],
+        landmarks: &[u32],
+    ) -> Self {
+        let mut scope = SolveScope::new();
+        scope.node_count = node_count as u32;
+        scope.required.resize(node_count, false);
+        scope.scope.resize(node_count, false);
+        for &r in required_nodes {
+            let r = r as usize;
+            assert!(r < node_count, "required node out of range");
+            if !scope.required[r] {
+                scope.required[r] = true;
+                scope.required_count += 1;
+            }
+            scope.scope[r] = true;
+        }
+        for &s in extra_scope_nodes {
+            assert!((s as usize) < node_count, "scope node out of range");
+            scope.scope[s as usize] = true;
+        }
+        for &l in landmarks {
+            assert!((l as usize) < node_count, "landmark out of range");
+            scope.scope[l as usize] = true;
+        }
+        scope.landmarks.extend_from_slice(landmarks);
+        scope.landmarks.sort_unstable();
+        scope.landmarks.dedup();
+        scope
+            .sources
+            .extend((0..node_count as u32).filter(|&i| scope.scope[i as usize]));
+        scope
+    }
+
+    /// The strictly ascending solve sources.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Whether `node` is a required (programme) node.
+    pub fn is_required(&self, node: usize) -> bool {
+        self.required.get(node).copied().unwrap_or(false)
+    }
+
+    /// Number of required (programme) nodes.
+    pub fn required_count(&self) -> usize {
+        self.required_count as usize
+    }
+
+    /// The sorted landmark node ids.
+    pub fn landmarks(&self) -> &[u32] {
+        &self.landmarks
+    }
+
+    /// Satellites inside the configured (unexpanded) bounding box — the
+    /// `scope_active_satellites` figure the `/info` route reports.
+    pub fn active_satellites(&self) -> usize {
+        self.active_satellites
+    }
+
+    /// Satellites admitted to the solve scope.
+    pub fn scope_satellites(&self) -> usize {
+        self.scope_satellites
+    }
 }
 
 /// A reusable, parallel, incrementally recomputing shortest-path solver.
@@ -106,6 +357,9 @@ pub struct PathEngine {
     prev_edges: Vec<Edge>,
     /// Whether `paths` holds a valid previous solve to build on.
     have_prev: bool,
+    /// Whether the previous solve was scoped (bounded rows can never seed an
+    /// incremental solve — their tentative entries are not reusable).
+    prev_scoped: bool,
     /// The current (front) result.
     paths: ShortestPaths,
     /// The back buffer the next solve is assembled into.
@@ -117,6 +371,8 @@ pub struct PathEngine {
     removed: Vec<Edge>,
     affected: Vec<bool>,
     all_sources: Vec<u32>,
+    /// Per-row settled-node counts of the most recent scoped solve (scratch).
+    row_settled: Vec<u32>,
     stats: SolveStats,
 }
 
@@ -137,6 +393,7 @@ impl PathEngine {
             threads: threads.max(1),
             prev_edges: Vec::new(),
             have_prev: false,
+            prev_scoped: false,
             paths: ShortestPaths::empty(0),
             spare: ShortestPaths::empty(0),
             heaps: Vec::new(),
@@ -144,13 +401,8 @@ impl PathEngine {
             removed: Vec::new(),
             affected: Vec::new(),
             all_sources: Vec::new(),
-            stats: SolveStats {
-                kind: SolveKind::FullDijkstra,
-                solved_sources: 0,
-                reused_sources: 0,
-                edges_added: 0,
-                edges_removed: 0,
-            },
+            row_settled: Vec::new(),
+            stats: SolveStats::default(),
         }
     }
 
@@ -215,14 +467,8 @@ impl PathEngine {
             // Degenerate empty graph: an empty result, no rows to chunk.
             self.spare.reset(0, sources);
             std::mem::swap(&mut self.paths, &mut self.spare);
-            self.stats = SolveStats {
-                kind: SolveKind::FullDijkstra,
-                solved_sources: 0,
-                reused_sources: 0,
-                edges_added: 0,
-                edges_removed: 0,
-            };
-            self.finish(graph);
+            self.stats = SolveStats::default();
+            self.finish(graph, false);
             return;
         }
 
@@ -243,11 +489,9 @@ impl PathEngine {
             self.stats = SolveStats {
                 kind: SolveKind::FloydWarshall,
                 solved_sources: n,
-                reused_sources: 0,
-                edges_added: 0,
-                edges_removed: 0,
+                ..SolveStats::default()
             };
-            self.finish(graph);
+            self.finish(graph, false);
             return;
         }
 
@@ -336,21 +580,157 @@ impl PathEngine {
             reused_sources: reused,
             edges_added: if incremental { self.added.len() } else { 0 },
             edges_removed: if incremental { self.removed.len() } else { 0 },
+            ..SolveStats::default()
         };
-        self.finish(graph);
+        self.finish(graph, false);
+    }
+
+    /// Solves the rows of a [`SolveScope`]: every source row is computed with
+    /// a bounded Dijkstra that stops once all of the scope's *required* nodes
+    /// are settled (landmark rows run to completion for the ALT fallback).
+    ///
+    /// The exactness contract — checked by the property tests and relied on
+    /// by every reader: for any pair of required nodes `a, b`, the returned
+    /// result's `latency_micros(a, b)`, `predecessor(a, b)` and `path(a, b)`
+    /// are bit-identical to a full [`PathEngine::solve_sources`] over the
+    /// same sources; entries outside a row's exactness bound answer `None`
+    /// and must be re-queried through
+    /// [`ShortestPaths::one_shot_latency`](crate::path::ShortestPaths::one_shot_latency).
+    ///
+    /// Scoped solves never reuse previous rows and never seed a later
+    /// incremental solve (a bounded row's tentative entries are not
+    /// reusable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scope was derived for a different node count than
+    /// `graph` has.
+    pub fn solve_scope(&mut self, graph: &NetworkGraph, scope: &SolveScope) -> &ShortestPaths {
+        let n = graph.node_count();
+        assert_eq!(
+            scope.node_count as usize, n,
+            "scope node count does not match the graph"
+        );
+
+        let use_floyd_warshall = match self.algorithm {
+            PathAlgorithm::FloydWarshall => true,
+            PathAlgorithm::Auto => n <= AUTO_FLOYD_WARSHALL_MAX_NODES,
+            _ => false,
+        };
+        if n == 0 || use_floyd_warshall {
+            // Tiny graphs: the full cubic sweep is cheaper than bounding and
+            // yields every row exact, which satisfies the scope trivially.
+            self.solve_sources_inner(graph, &scope.sources);
+            return &self.paths;
+        }
+
+        // Scoped solves never reuse previous rows, so they skip the
+        // double-buffer swap and write into the result in place: at mega
+        // scale the row matrix runs to hundreds of megabytes, and keeping a
+        // second one both doubles peak memory and pays a first-touch stall
+        // for every page of the spare on the second epoch.
+        self.paths.reset(n as u32, &scope.sources);
+        self.paths.landmarks.extend_from_slice(&scope.landmarks);
+        self.row_settled.clear();
+        self.row_settled.resize(scope.sources.len(), 0);
+        {
+            let ShortestPaths {
+                dist: spare_dist,
+                prev: spare_prev,
+                exact_bounds,
+                ..
+            } = &mut self.paths;
+            // One job per row: (source, landmark?, dist, prev, bound,
+            // settled). Landmark rows run the unbounded kernel and keep
+            // their reset-time bound of UNREACHABLE (fully exact).
+            let mut jobs: Vec<(u32, bool, &mut [Cost], &mut [u32], &mut Cost, &mut u32)> =
+                Vec::with_capacity(scope.sources.len());
+            for ((((dist_row, prev_row), bound), settled), &source) in spare_dist
+                .chunks_mut(n)
+                .zip(spare_prev.chunks_mut(n))
+                .zip(exact_bounds.iter_mut())
+                .zip(self.row_settled.iter_mut())
+                .zip(scope.sources.iter())
+            {
+                let landmark = scope.landmarks.binary_search(&source).is_ok();
+                jobs.push((source, landmark, dist_row, prev_row, bound, settled));
+            }
+
+            let workers = self.threads.min(jobs.len()).max(1);
+            while self.heaps.len() < workers {
+                self.heaps.push(DijkstraHeap::new());
+            }
+            let required = &scope.required;
+            let required_count = scope.required_count;
+            let run = |job: &mut (u32, bool, &mut [Cost], &mut [u32], &mut Cost, &mut u32),
+                       heap: &mut DijkstraHeap| {
+                let (source, landmark, dist_row, prev_row, bound, settled) = job;
+                if *landmark {
+                    graph.dijkstra_into(*source, dist_row, prev_row, heap);
+                    **settled = n as u32;
+                } else {
+                    let (b, s) = graph.dijkstra_bounded_into(
+                        *source,
+                        required,
+                        required_count,
+                        dist_row,
+                        prev_row,
+                        heap,
+                    );
+                    **bound = b;
+                    **settled = s;
+                }
+            };
+            if workers <= 1 {
+                if let Some(heap) = self.heaps.first_mut() {
+                    for job in &mut jobs {
+                        run(job, heap);
+                    }
+                } else {
+                    debug_assert!(jobs.is_empty());
+                }
+            } else {
+                let per_worker = jobs.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    for (chunk, heap) in jobs.chunks_mut(per_worker).zip(self.heaps.iter_mut()) {
+                        s.spawn(move || {
+                            for job in chunk {
+                                run(job, heap);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        self.stats = SolveStats {
+            kind: SolveKind::Scoped,
+            solved_sources: scope.sources.len(),
+            scope_sources: scope.sources.len(),
+            scope_required: scope.required_count as usize,
+            scope_landmarks: scope.landmarks.len(),
+            scope_settled: self.row_settled.iter().map(|&s| u64::from(s)).sum(),
+            ..SolveStats::default()
+        };
+        self.finish(graph, true);
+        &self.paths
     }
 
     /// Records the solved graph's edges as the new previous timestep.
-    fn finish(&mut self, graph: &NetworkGraph) {
+    fn finish(&mut self, graph: &NetworkGraph, scoped: bool) {
         self.prev_edges.clear();
         self.prev_edges.extend_from_slice(graph.edges());
         self.have_prev = true;
+        self.prev_scoped = scoped;
     }
 
     /// Whether the previous solve can seed an incremental one: same node
-    /// count and the same solved source set, in the same order.
+    /// count and the same solved source set, in the same order — and the
+    /// previous solve was not scoped (bounded rows hold tentative entries
+    /// that must never be copied forward).
     fn compatible_previous(&self, graph: &NetworkGraph, sources: &[u32]) -> bool {
         self.have_prev
+            && !self.prev_scoped
             && self.paths.node_count() == graph.node_count()
             && self.paths.solved_sources() == sources
     }
@@ -627,8 +1007,153 @@ mod tests {
         assert_matches_reference(&big, &paths);
     }
 
+    #[test]
+    fn scoped_solve_reports_scope_stats_and_landmark_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 80;
+        let graph = NetworkGraph::from_edges(n, random_edges(&mut rng, n, 60));
+        let required: Vec<u32> = vec![3, 9, 27, 77];
+        let scope = SolveScope::from_sets(n, &required, &[40, 41], &[0, 50]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 2);
+        let paths = engine.solve_scope(&graph, &scope).clone();
+        let stats = engine.last_solve();
+        assert_eq!(stats.kind, SolveKind::Scoped);
+        assert_eq!(stats.scope_sources, scope.sources().len());
+        assert_eq!(stats.scope_required, 4);
+        assert_eq!(stats.scope_landmarks, 2);
+        assert!(stats.scope_settled > 0);
+        assert_eq!(paths.landmark_nodes(), &[0, 50]);
+        // Landmark rows are fully exact: every target answers.
+        for t in 0..n {
+            assert!(paths.is_exact(0, t));
+            assert!(paths.is_exact(50, t));
+        }
+        // A scoped solve never seeds an incremental one.
+        engine.solve_sources(&graph, &[3, 9, 27, 77]);
+        assert_eq!(engine.last_solve().kind, SolveKind::FullDijkstra);
+    }
+
+    #[test]
+    fn out_of_scope_entries_answer_none_and_fall_back_to_one_shot() {
+        // A long line: a bounded row from source 0 with only nearby targets
+        // required stops early, so the far end must be inexact.
+        let n = 200;
+        let edges: Vec<Edge> = (1..n as u32).map(|i| (i - 1, i, 10)).collect();
+        let graph = NetworkGraph::from_edges(n, edges);
+        let scope = SolveScope::from_sets(n, &[0, 1, 2, 3], &[], &[]);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 1);
+        let paths = engine.solve_scope(&graph, &scope);
+        assert!(paths.is_exact(0, 3));
+        assert_eq!(paths.latency_micros(0, 3), Some(30));
+        assert!(!paths.is_exact(0, n - 1), "far end is beyond the bound");
+        assert_eq!(paths.latency_micros(0, n - 1), None);
+        assert_eq!(paths.path(0, n - 1), None);
+        assert_eq!(paths.next_hop(0, n - 1), None);
+        assert_eq!(paths.predecessor(0, n - 1), None);
+        // The one-shot fallback answers the pruned query exactly.
+        assert_eq!(
+            paths.one_shot_latency(&graph, 0, n - 1),
+            Some(10 * (n as Cost - 1))
+        );
+        let settled = engine.last_solve().scope_settled;
+        assert!(
+            settled < 4 * n as u64 / 2,
+            "bounded rows must not settle the whole line ({settled} settled)"
+        );
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+        // The headline exactness guarantee of the scoped solve: across
+        // random timestep sequences, random scopes and every thread count,
+        // each entry a scoped result reports (anything within a row's
+        // exactness bound — in particular every required↔required pair) is
+        // bit-identical to the full solve over the same sources.
+        #[test]
+        fn scoped_solves_are_bit_identical_to_full_solves(
+            seed in 0u64..400,
+            n in 4usize..70,
+            extra in 0usize..50,
+            churn in 1usize..8,
+            steps in 1usize..4,
+            threads in 1usize..5,
+            required_mask in 1u64..u64::MAX,
+            scope_mask in 0u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut edges = random_edges(&mut rng, n, extra);
+            let required: Vec<u32> = (0..n as u32).filter(|i| required_mask & (1 << (i % 61)) != 0).collect();
+            let extra_scope: Vec<u32> = (0..n as u32).filter(|i| scope_mask & (1 << (i % 53)) != 0).collect();
+            let landmarks: Vec<u32> = vec![0, (n / 2) as u32];
+            prop_assume!(!required.is_empty());
+            let scope = SolveScope::from_sets(n, &required, &extra_scope, &landmarks);
+            // Dijkstra keeps the graph above the Auto/FW cutoff irrelevant:
+            // we want the bounded kernel exercised at every size.
+            let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, threads);
+            let mut reference = PathEngine::with_threads(PathAlgorithm::Dijkstra, 1);
+            for _ in 0..steps {
+                let graph = NetworkGraph::from_edges(n, edges.clone());
+                let scoped = engine.solve_scope(&graph, &scope).clone();
+                let full = reference.solve_sources(&graph, scope.sources()).clone();
+                prop_assert_eq!(scoped.solved_sources(), full.solved_sources());
+                for &a in scope.sources() {
+                    let a = a as usize;
+                    for b in 0..n {
+                        if scoped.is_exact(a, b) {
+                            // Bit-identical: latency AND predecessor.
+                            prop_assert_eq!(
+                                scoped.latency_micros(a, b),
+                                full.latency_micros(a, b),
+                                "latency {}->{}", a, b
+                            );
+                            prop_assert_eq!(
+                                scoped.predecessor(a, b),
+                                full.predecessor(a, b),
+                                "predecessor {}->{}", a, b
+                            );
+                            prop_assert_eq!(scoped.path(a, b), full.path(a, b));
+                        } else {
+                            // Inexact entries must never leak a value...
+                            prop_assert_eq!(scoped.latency_micros(a, b), None);
+                            prop_assert_eq!(scoped.predecessor(a, b), None);
+                            // ...and only non-required targets may be inexact.
+                            prop_assert!(
+                                !scope.is_required(a) || !scope.is_required(b),
+                                "required pair {}->{} left inexact", a, b
+                            );
+                        }
+                    }
+                }
+                // Every required↔required entry is exact, hence (checked
+                // above) bit-identical.
+                for &a in &required {
+                    for &b in &required {
+                        prop_assert!(scoped.is_exact(a as usize, b as usize));
+                    }
+                }
+                edges = mutate_edges(&mut rng, n, &edges, churn);
+            }
+        }
+
+        // Scoped solves are deterministic: any two thread counts produce the
+        // same bytes (rows, bounds, landmarks — full struct equality).
+        #[test]
+        fn scoped_solves_are_deterministic_across_thread_counts(
+            seed in 0u64..200,
+            n in 4usize..60,
+            extra in 0usize..40,
+            required_mask in 1u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = NetworkGraph::from_edges(n, random_edges(&mut rng, n, extra));
+            let required: Vec<u32> = (0..n as u32).filter(|i| required_mask & (1 << (i % 59)) != 0).collect();
+            prop_assume!(!required.is_empty());
+            let scope = SolveScope::from_sets(n, &required, &[], &[0]);
+            let mut one = PathEngine::with_threads(PathAlgorithm::Dijkstra, 1);
+            let mut many = PathEngine::with_threads(PathAlgorithm::Dijkstra, 4);
+            prop_assert_eq!(one.solve_scope(&graph, &scope), many.solve_scope(&graph, &scope));
+        }
+
         #[test]
         fn incremental_equals_full_recompute_across_timesteps(
             seed in 0u64..500,

@@ -55,7 +55,7 @@ pub mod suppression;
 
 pub use bbox::BoundingBox;
 pub use constellation::{Constellation, ConstellationBuilder, ConstellationState, StateBuffers};
-pub use engine::{PathEngine, SolveKind, SolveStats};
+pub use engine::{PathEngine, ScopeParams, SolveKind, SolveScope, SolveStats};
 pub use ground_station::GroundStation;
 pub use links::{Link, LinkKind};
 pub use path::{NetworkGraph, PathAlgorithm, ShortestPaths};

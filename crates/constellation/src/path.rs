@@ -417,6 +417,74 @@ impl NetworkGraph {
         }
     }
 
+    /// Runs a *bounded* Dijkstra from `source`: the standard kernel, but the
+    /// search stops once every node flagged in `required` has been settled
+    /// and the equal-distance frontier has drained. Returns the exactness
+    /// bound and the number of settled nodes.
+    ///
+    /// The contract, which [`ShortestPaths`] accessors enforce: every node
+    /// whose distance entry is `<=` the returned bound was settled, and its
+    /// distance *and* predecessor entries are bit-identical to what the
+    /// unbounded [`NetworkGraph::dijkstra_into`] would have produced (the two
+    /// kernels perform the same pops and relaxations in the same order up to
+    /// the cut-off — Dijkstra pops in nondecreasing distance order, and a
+    /// settled entry can never be improved afterwards). Entries above the
+    /// bound are tentative garbage and must never be read. A returned bound
+    /// of [`UNREACHABLE`] means the search ran to completion (the heap
+    /// drained), so the whole row is exact — including genuinely unreachable
+    /// targets.
+    pub(crate) fn dijkstra_bounded_into(
+        &self,
+        source: u32,
+        required: &[bool],
+        required_count: u32,
+        dist: &mut [Cost],
+        prev: &mut [u32],
+        heap: &mut DijkstraHeap,
+    ) -> (Cost, u32) {
+        dist.fill(UNREACHABLE);
+        prev.fill(NO_NODE);
+        heap.clear();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0, source)));
+        let mut remaining = required_count;
+        let mut bound: Cost = 0;
+        let mut settled: u32 = 0;
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // Stale heap entry.
+            }
+            if remaining == 0 && d > bound {
+                // Every required target is settled and the equal-distance
+                // frontier has drained: all entries <= bound are final, all
+                // unsettled entries are strictly above it. Stop before
+                // settling `u` so the invariant holds exactly.
+                return (bound, settled);
+            }
+            settled += 1;
+            if required[u as usize] {
+                remaining -= 1;
+                // Pops come off the heap in nondecreasing distance order, so
+                // the bound only ever grows.
+                bound = d;
+            }
+            let start = self.offsets[u as usize] as usize;
+            let end = self.offsets[u as usize + 1] as usize;
+            for (&v, &w) in self.targets[start..end].iter().zip(&self.weights[start..end]) {
+                let candidate = d.saturating_add(w);
+                if candidate < dist[v as usize] {
+                    dist[v as usize] = candidate;
+                    prev[v as usize] = u;
+                    heap.push(Reverse((candidate, v)));
+                }
+            }
+        }
+        // The heap drained: Dijkstra ran to completion and the row is fully
+        // exact (required targets that were never reached are genuinely
+        // unreachable).
+        (UNREACHABLE, settled)
+    }
+
     /// Computes all-pairs shortest paths with Dijkstra run from every source
     /// (sequentially; the parallel driver is
     /// [`crate::engine::PathEngine`]).
@@ -557,6 +625,17 @@ pub struct ShortestPaths {
     /// `prev[row][t]` is the node before `t` on the shortest path from the
     /// row's source, `NO_NODE` for the source itself and unreachable nodes.
     pub(crate) prev: Vec<u32>,
+    /// Per-row exactness bound, `sources.len()` entries: a row's entry for
+    /// target `t` is exact (bit-identical to an unbounded solve) if and only
+    /// if `dist[row][t] <= exact_bounds[row]`. [`UNREACHABLE`] marks a fully
+    /// exact row — every unbounded solve produces that, so the bound only
+    /// bites for rows produced by a scoped (bounded) solve. Every accessor
+    /// checks the bound; tentative entries above it never escape.
+    pub(crate) exact_bounds: Vec<Cost>,
+    /// Node ids of the landmark rows of a scoped solve: rows solved fully
+    /// (bound [`UNREACHABLE`]) so that one-shot out-of-scope queries can use
+    /// them as an ALT heuristic. Empty for unscoped solves.
+    pub(crate) landmarks: Vec<u32>,
 }
 
 impl Clone for ShortestPaths {
@@ -567,6 +646,8 @@ impl Clone for ShortestPaths {
             sources: self.sources.clone(),
             dist: self.dist.clone(),
             prev: self.prev.clone(),
+            exact_bounds: self.exact_bounds.clone(),
+            landmarks: self.landmarks.clone(),
         }
     }
 
@@ -579,6 +660,8 @@ impl Clone for ShortestPaths {
         self.sources.clone_from(&source.sources);
         self.dist.clone_from(&source.dist);
         self.prev.clone_from(&source.prev);
+        self.exact_bounds.clone_from(&source.exact_bounds);
+        self.landmarks.clone_from(&source.landmarks);
     }
 }
 
@@ -591,6 +674,8 @@ impl ShortestPaths {
             sources: Vec::new(),
             dist: Vec::new(),
             prev: Vec::new(),
+            exact_bounds: Vec::new(),
+            landmarks: Vec::new(),
         }
     }
 
@@ -603,6 +688,8 @@ impl ShortestPaths {
             sources: (0..node_count).collect(),
             dist: vec![UNREACHABLE; n * n],
             prev: vec![NO_NODE; n * n],
+            exact_bounds: vec![UNREACHABLE; n],
+            landmarks: Vec::new(),
         }
     }
 
@@ -622,6 +709,11 @@ impl ShortestPaths {
         self.dist.resize(sources.len() * n, UNREACHABLE);
         self.prev.clear();
         self.prev.resize(sources.len() * n, NO_NODE);
+        // Every row starts fully exact; a scoped solve lowers the bounds of
+        // the rows it terminates early.
+        self.exact_bounds.clear();
+        self.exact_bounds.resize(sources.len(), UNREACHABLE);
+        self.landmarks.clear();
     }
 
     /// The mutable distance and predecessor row of one solved source row.
@@ -646,6 +738,25 @@ impl ShortestPaths {
         self.row_of(a).is_some()
     }
 
+    /// Whether the entry for `a → b` is *exact*: `a` was solved as a source
+    /// and the entry lies within the row's exactness bound, so it is
+    /// bit-identical to what an unbounded solve would report (including
+    /// "exactly known unreachable" for fully solved rows). Scoped solves
+    /// leave out-of-scope entries inexact; readers must fall back to a
+    /// one-shot query ([`ShortestPaths::one_shot_latency`]) for those.
+    pub fn is_exact(&self, a: usize, b: usize) -> bool {
+        match self.row_of(a) {
+            Some(row) => self.dist[row * self.node_count as usize + b] <= self.exact_bounds[row],
+            None => false,
+        }
+    }
+
+    /// The node ids whose rows a scoped solve computed fully as ALT
+    /// landmarks; empty for unscoped solves.
+    pub fn landmark_nodes(&self) -> &[u32] {
+        &self.landmarks
+    }
+
     /// The solved source nodes, in row order.
     pub fn solved_sources(&self) -> &[u32] {
         &self.sources
@@ -657,7 +768,7 @@ impl ShortestPaths {
     pub fn latency_micros(&self, a: usize, b: usize) -> Option<Cost> {
         let row = self.row_of(a)?;
         let d = self.dist[row * self.node_count as usize + b];
-        if d == UNREACHABLE {
+        if d == UNREACHABLE || d > self.exact_bounds[row] {
             None
         } else {
             Some(d)
@@ -670,7 +781,13 @@ impl ShortestPaths {
     /// bandwidth without a second graph traversal.
     pub fn predecessor(&self, a: usize, b: usize) -> Option<usize> {
         let row = self.row_of(a)?;
-        let p = self.prev[row * self.node_count as usize + b];
+        let n = self.node_count as usize;
+        // A tentative (inexact) entry's predecessor is garbage relative to a
+        // full solve; never expose it.
+        if self.dist[row * n + b] > self.exact_bounds[row] {
+            return None;
+        }
+        let p = self.prev[row * n + b];
         if p == NO_NODE {
             None
         } else {
@@ -686,6 +803,9 @@ impl ShortestPaths {
         }
         let row = self.row_of(a)?;
         let n = self.node_count as usize;
+        if self.dist[row * n + b] > self.exact_bounds[row] {
+            return None;
+        }
         let mut hop = b;
         // A shortest path visits each node at most once, so bound the loop.
         for _ in 0..n {
@@ -721,7 +841,8 @@ impl ShortestPaths {
             return Some(vec![a]);
         }
         let n = self.node_count as usize;
-        if self.dist[row * n + b] == UNREACHABLE {
+        let d = self.dist[row * n + b];
+        if d == UNREACHABLE || d > self.exact_bounds[row] {
             return None;
         }
         let mut path = vec![b];
@@ -750,6 +871,115 @@ impl ShortestPaths {
     /// Number of solved source rows.
     pub fn source_count(&self) -> usize {
         self.sources.len()
+    }
+
+    /// Exact latency of the shortest `a → b` path computed by a one-shot
+    /// goal-directed search on `graph` — the fallback for queries a scoped
+    /// solve left inexact. Uses ALT (A* with the landmark rows of this solve
+    /// as the heuristic: `h(v) = max_l |d(l, b) − d(l, v)|`, admissible and
+    /// consistent by the triangle inequality on an undirected graph); with no
+    /// landmark rows it degrades to plain Dijkstra with an early exit at the
+    /// target. Allocates per query and runs sequentially — use only for
+    /// sporadic out-of-scope queries, never on the epoch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have this result's node count, or `a`/`b`
+    /// are out of range.
+    pub fn one_shot_latency(&self, graph: &NetworkGraph, a: usize, b: usize) -> Option<Cost> {
+        self.one_shot(graph, a, b).map(|(cost, _)| cost)
+    }
+
+    /// The full node sequence of a one-shot exact `a → b` search — the path
+    /// companion of [`ShortestPaths::one_shot_latency`]. The latency is
+    /// always the true shortest; among equally short paths the goal-directed
+    /// search may pick a different (still shortest) one than a full solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have this result's node count, or `a`/`b`
+    /// are out of range.
+    pub fn one_shot_path(&self, graph: &NetworkGraph, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let (_, prev) = self.one_shot(graph, a, b)?;
+        let mut path = vec![b];
+        let mut here = b;
+        let n = self.node_count as usize;
+        for _ in 0..n {
+            let p = prev[here];
+            if p == NO_NODE {
+                return None;
+            }
+            path.push(p as usize);
+            if p as usize == a {
+                path.reverse();
+                return Some(path);
+            }
+            here = p as usize;
+        }
+        None
+    }
+
+    /// The shared ALT kernel: returns the exact distance and the predecessor
+    /// array of the search (meaningful only along the `a → b` chain).
+    fn one_shot(&self, graph: &NetworkGraph, a: usize, b: usize) -> Option<(Cost, Vec<u32>)> {
+        let n = self.node_count as usize;
+        assert_eq!(graph.node_count(), n, "graph/result node count mismatch");
+        assert!(a < n && b < n, "node index out of range");
+        if a == b {
+            return Some((0, vec![NO_NODE; n]));
+        }
+        // Collect the landmark rows once: (row distances, distance to the
+        // target). Rows where the target is unreachable still contribute —
+        // `|∞ − d|` is not meaningful, so such landmarks are skipped per
+        // node below.
+        let landmark_rows: Vec<(&[Cost], Cost)> = self
+            .landmarks
+            .iter()
+            .filter_map(|&l| self.row_of(l as usize))
+            .map(|row| {
+                let dist = &self.dist[row * n..(row + 1) * n];
+                (dist, dist[b])
+            })
+            .collect();
+        let h = |v: usize| -> Cost {
+            let mut best = 0;
+            for &(dist, to_target) in &landmark_rows {
+                let to_v = dist[v];
+                if to_target == UNREACHABLE || to_v == UNREACHABLE {
+                    continue;
+                }
+                best = best.max(to_target.abs_diff(to_v));
+            }
+            best
+        };
+        let mut dist = vec![UNREACHABLE; n];
+        let mut prev = vec![NO_NODE; n];
+        // Heap keyed by (f = g + h, g, node) so the stale check needs no
+        // heuristic re-evaluation.
+        let mut heap: BinaryHeap<Reverse<(Cost, Cost, u32)>> = BinaryHeap::new();
+        dist[a] = 0;
+        heap.push(Reverse((h(a), 0, a as u32)));
+        while let Some(Reverse((_, g, u))) = heap.pop() {
+            let u = u as usize;
+            if g > dist[u] {
+                continue;
+            }
+            if u == b {
+                return Some((g, prev));
+            }
+            for (v, w) in graph.neighbors(u) {
+                let candidate = g.saturating_add(w);
+                if candidate < dist[v as usize] {
+                    dist[v as usize] = candidate;
+                    prev[v as usize] = u as u32;
+                    heap.push(Reverse((candidate.saturating_add(h(v as usize)), candidate, v)));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -968,8 +1198,152 @@ mod tests {
         assert_eq!(PathAlgorithm::Auto.name(), "auto");
     }
 
+    /// A random connected graph: a spanning chain plus `extra` random edges.
+    fn random_connected(seed: u64, n: usize, extra: usize) -> NetworkGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = NetworkGraph::new(n);
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            g.add_edge(parent, i, rng.gen_range(1..1000));
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                g.add_edge(a, b, rng.gen_range(1..1000));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bounded_dijkstra_with_every_node_required_matches_the_full_kernel() {
+        let g = random_connected(3, 40, 60);
+        let n = g.node_count();
+        let mut heap = DijkstraHeap::new();
+        let required = vec![true; n];
+        for source in 0..n as u32 {
+            let (full_dist, full_prev) = g.dijkstra(source as usize);
+            let mut dist = vec![0; n];
+            let mut prev = vec![0; n];
+            let (bound, settled) =
+                g.dijkstra_bounded_into(source, &required, n as u32, &mut dist, &mut prev, &mut heap);
+            assert_eq!(bound, UNREACHABLE, "all-required search runs to completion");
+            assert_eq!(settled as usize, n);
+            assert_eq!(dist, full_dist);
+            assert_eq!(prev, full_prev);
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_is_fully_exact_when_required_nodes_are_unreachable() {
+        // Two components; requiring a node in the far component forces the
+        // search to drain the heap, which must report the row fully exact.
+        let mut g = NetworkGraph::new(5);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, 5);
+        let mut required = vec![false; 5];
+        required[3] = true;
+        let mut dist = vec![0; 5];
+        let mut prev = vec![0; 5];
+        let mut heap = DijkstraHeap::new();
+        let (bound, _) = g.dijkstra_bounded_into(0, &required, 1, &mut dist, &mut prev, &mut heap);
+        assert_eq!(bound, UNREACHABLE);
+        let (full_dist, full_prev) = g.dijkstra(0);
+        assert_eq!(dist, full_dist);
+        assert_eq!(prev, full_prev);
+    }
+
+    #[test]
+    fn one_shot_queries_match_the_full_solve_with_and_without_landmarks() {
+        let g = random_connected(11, 40, 60);
+        let n = g.node_count();
+        let mut paths = g.all_pairs_dijkstra();
+        for landmarks in [vec![], vec![0u32, (n / 2) as u32, (n - 1) as u32]] {
+            paths.landmarks = landmarks;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        paths.one_shot_latency(&g, a, b),
+                        paths.latency_micros(a, b),
+                        "one-shot {a}→{b} with {} landmarks",
+                        paths.landmarks.len()
+                    );
+                    let p = paths.one_shot_path(&g, a, b).expect("connected");
+                    assert_eq!(*p.first().unwrap(), a);
+                    assert_eq!(*p.last().unwrap(), b);
+                    // The one-shot path's cost equals the shortest cost even
+                    // if the tie-broken route differs from the full solve's.
+                    let cost: Cost = p
+                        .windows(2)
+                        .map(|w| {
+                            g.neighbors(w[0])
+                                .find(|&(v, _)| v as usize == w[1])
+                                .expect("path edges exist")
+                                .1
+                        })
+                        .sum();
+                    assert_eq!(Some(cost), paths.latency_micros(a, b).or(Some(0)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_reports_unreachable_pairs() {
+        let mut g = NetworkGraph::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, 5);
+        let mut paths = g.all_pairs_dijkstra();
+        paths.landmarks = vec![0];
+        assert_eq!(paths.one_shot_latency(&g, 0, 2), None);
+        assert_eq!(paths.one_shot_path(&g, 1, 3), None);
+        assert_eq!(paths.one_shot_latency(&g, 0, 1), Some(5));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn bounded_dijkstra_rows_are_bit_identical_below_the_bound(
+            seed in 0u64..500,
+            n in 2usize..30,
+            extra in 0usize..40,
+            required_mask in 0u64..u64::MAX,
+        ) {
+            let g = random_connected(seed, n, extra);
+            let required: Vec<bool> = (0..n).map(|i| required_mask & (1 << (i % 64)) != 0).collect();
+            let required_count = required.iter().filter(|&&r| r).count() as u32;
+            let mut heap = DijkstraHeap::new();
+            let mut dist = vec![0; n];
+            let mut prev = vec![0; n];
+            for source in 0..n as u32 {
+                let (bound, settled) = g.dijkstra_bounded_into(
+                    source, &required, required_count, &mut dist, &mut prev, &mut heap,
+                );
+                let (full_dist, full_prev) = g.dijkstra(source as usize);
+                let mut below = 0usize;
+                for v in 0..n {
+                    // Every required node must be exact.
+                    if required[v] {
+                        prop_assert!(full_dist[v] == UNREACHABLE || full_dist[v] <= bound);
+                    }
+                    // Every entry at or below the bound is bit-identical to
+                    // the full kernel (distance and predecessor).
+                    if dist[v] <= bound {
+                        below += 1;
+                        prop_assert_eq!(dist[v], full_dist[v]);
+                        prop_assert_eq!(prev[v], full_prev[v]);
+                    } else {
+                        // Tentative entries never under-report the truth.
+                        prop_assert!(dist[v] >= full_dist[v]);
+                    }
+                }
+                if bound != UNREACHABLE {
+                    prop_assert_eq!(below, settled as usize);
+                }
+            }
+        }
+
         #[test]
         fn dijkstra_equals_floyd_warshall(seed in 0u64..1000, n in 2usize..25, extra in 0usize..40) {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -9,7 +9,7 @@
 
 use crate::pipeline::PipelineMode;
 use crate::toml::{self, TableExt, TomlTable};
-use celestial_constellation::{BoundingBox, GroundStation, PathAlgorithm, Shell};
+use celestial_constellation::{BoundingBox, GroundStation, PathAlgorithm, ScopeParams, Shell};
 use celestial_sgp4::WalkerShell;
 use celestial_types::constants::DEFAULT_MIN_ELEVATION_DEG;
 use celestial_types::geo::Geodetic;
@@ -84,6 +84,67 @@ pub struct TestbedConfig {
     /// tenant, bit-identical to a pre-tenancy testbed (see
     /// `docs/TENANTS.md`).
     pub tenants: Option<TenantsConfig>,
+    /// Scale-aware path-solve tuning (`[paths]` in TOML). `None` uses the
+    /// defaults; the scoped solve is exact on every programmed row for any
+    /// parameter choice, so this tunes cost, never results (see
+    /// `docs/MEGASCALE.md`).
+    pub paths: Option<PathsConfig>,
+}
+
+/// The `[paths]` section: parameters of the scale-aware solve scope (see
+/// `docs/MEGASCALE.md`). All three knobs trade solve work against the
+/// one-shot fallback rate of out-of-scope `/path` queries — the programmed
+/// rules are bit-identical for every setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathsConfig {
+    /// Degrees the bounding box is expanded by to form the solve scope
+    /// (`scope-margin-deg`). Satellites inside the margin get solved rows so
+    /// they answer `/path` queries without a fallback shortly before they
+    /// activate.
+    pub scope_margin_deg: f64,
+    /// Number of nearest satellites solved per ground station (`k-nearest`),
+    /// covering uplink neighbourhoods outside the margin.
+    pub k_nearest: u32,
+    /// Number of fully solved landmark rows kept for the ALT-accelerated
+    /// one-shot fallback (`landmarks`).
+    pub landmarks: u32,
+}
+
+impl Default for PathsConfig {
+    fn default() -> Self {
+        PathsConfig {
+            scope_margin_deg: 10.0,
+            k_nearest: 16,
+            landmarks: 8,
+        }
+    }
+}
+
+impl PathsConfig {
+    /// Validates the solve-scope parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a negative or non-finite margin.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.scope_margin_deg >= 0.0 && self.scope_margin_deg.is_finite()) {
+            return Err(Error::config(format!(
+                "paths scope-margin-deg must be non-negative and finite, got {} \
+                 (see docs/MEGASCALE.md)",
+                self.scope_margin_deg
+            )));
+        }
+        Ok(())
+    }
+
+    /// The engine-facing parameter set this configuration selects.
+    pub fn scope_params(&self) -> ScopeParams {
+        ScopeParams {
+            margin_deg: self.scope_margin_deg,
+            k_nearest: self.k_nearest as usize,
+            landmarks: self.landmarks as usize,
+        }
+    }
 }
 
 /// The `[tenants]` section: how many independent tenants share the epoch
@@ -334,6 +395,7 @@ impl Default for TestbedConfig {
             chaos: None,
             serve: None,
             tenants: None,
+            paths: None,
         }
     }
 }
@@ -512,6 +574,25 @@ impl TestbedConfig {
                 keep_alive: serve.get_bool("keep-alive").unwrap_or(defaults.keep_alive),
             });
         }
+        if let Some(paths) = table.get("paths").and_then(|v| v.as_table()) {
+            let defaults = PathsConfig::default();
+            let count = |key: &str, default: u32| -> Result<u32> {
+                match paths.get_i64(key) {
+                    Some(n) if n < 0 => {
+                        Err(Error::config(format!("paths {key} must be non-negative")))
+                    }
+                    Some(n) => Ok(n as u32),
+                    None => Ok(default),
+                }
+            };
+            config.paths = Some(PathsConfig {
+                scope_margin_deg: paths
+                    .get_f64("scope-margin-deg")
+                    .unwrap_or(defaults.scope_margin_deg),
+                k_nearest: count("k-nearest", defaults.k_nearest)?,
+                landmarks: count("landmarks", defaults.landmarks)?,
+            });
+        }
         let tenant_blocks = table.get("tenant").and_then(|v| v.as_table_array());
         if let Some(tenants) = table.get("tenants").and_then(|v| v.as_table()) {
             if tenant_blocks.is_some() {
@@ -620,6 +701,9 @@ impl TestbedConfig {
         }
         if let Some(tenants) = &self.tenants {
             tenants.validate()?;
+        }
+        if let Some(paths) = &self.paths {
+            paths.validate()?;
         }
         Ok(())
     }
@@ -791,6 +875,12 @@ impl TestbedConfigBuilder {
     /// `docs/SERVE.md`).
     pub fn serve(mut self, serve: ServeConfig) -> Self {
         self.config.serve = Some(serve);
+        self
+    }
+
+    /// Tunes the scale-aware solve scope (see `docs/MEGASCALE.md`).
+    pub fn paths(mut self, paths: PathsConfig) -> Self {
+        self.config.paths = Some(paths);
         self
     }
 
@@ -1101,6 +1191,44 @@ min-elevation-deg = 30.0
             assert!(
                 TestbedConfig::from_toml(&toml).is_err(),
                 "accepted invalid serve config {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_section_parses_with_defaults_and_overrides() {
+        let toml = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n\
+                    [paths]\nscope-margin-deg = 5.0\nk-nearest = 4\n";
+        let config = TestbedConfig::from_toml(toml).expect("parses");
+        let paths = config.paths.expect("[paths] section tunes the scope");
+        assert_eq!(paths.scope_margin_deg, 5.0);
+        assert_eq!(paths.k_nearest, 4);
+        // Unspecified keys keep the documented defaults.
+        assert_eq!(paths.landmarks, PathsConfig::default().landmarks);
+        // The engine-facing parameters mirror the section.
+        let params = paths.scope_params();
+        assert_eq!(params.margin_deg, 5.0);
+        assert_eq!(params.k_nearest, 4);
+        assert_eq!(params.landmarks, 8);
+        // No [paths] section → the engine defaults apply.
+        let plain = TestbedConfig::from_toml(
+            "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 2\nsatellites-per-plane = 4\n",
+        )
+        .expect("parses");
+        assert!(plain.paths.is_none());
+        assert_eq!(PathsConfig::default().scope_params(), ScopeParams::default());
+    }
+
+    #[test]
+    fn paths_section_rejects_invalid_values() {
+        let base = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                    planes = 2\nsatellites-per-plane = 4\n\n[paths]\n";
+        for bad in ["scope-margin-deg = -1.0\n", "k-nearest = -1\n", "landmarks = -3\n"] {
+            let toml = format!("{base}{bad}");
+            assert!(
+                TestbedConfig::from_toml(&toml).is_err(),
+                "accepted invalid paths config {bad:?}"
             );
         }
     }

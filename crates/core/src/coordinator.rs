@@ -24,7 +24,7 @@ use crate::database::{InfoDatabase, PipelineReport, ProgrammeStats};
 use crate::pipeline::{clone_deltas_into, EpochCompute, EpochPipeline, PipelineMode, PipelineStats};
 use crate::snapshot::SnapshotStore;
 use std::sync::Arc;
-use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, SolveKind, SolveStats};
+use celestial_constellation::{Constellation, ConstellationDiff, LinkKind, ScopeParams, SolveStats};
 use celestial_netem::{ProgrammeDelta, ShardApplyReport, ShardPlan};
 pub use celestial_netem::PairProgram;
 use celestial_types::ids::{NodeId, TenantId};
@@ -126,6 +126,33 @@ impl Coordinator {
         shard_plan: Option<ShardPlan>,
         tenant_names: Vec<String>,
     ) -> Self {
+        Self::with_scoped_fanout(
+            constellation,
+            update_interval,
+            mode,
+            shard_plan,
+            tenant_names,
+            ScopeParams::default(),
+        )
+    }
+
+    /// [`Coordinator::with_fanout`] with explicit solve-scope parameters
+    /// (the `[paths]` configuration table). The parameters tune how much of
+    /// the constellation each epoch's path solve covers — never the results:
+    /// every row the programme or a query reads is exact for any setting
+    /// (see `docs/MEGASCALE.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant_names` is empty.
+    pub fn with_scoped_fanout(
+        constellation: Constellation,
+        update_interval: SimDuration,
+        mode: PipelineMode,
+        shard_plan: Option<ShardPlan>,
+        tenant_names: Vec<String>,
+        scope_params: ScopeParams,
+    ) -> Self {
         assert!(!tenant_names.is_empty(), "a coordinator serves at least one tenant");
         let mut database = InfoDatabase::new(
             constellation.shells().to_vec(),
@@ -140,6 +167,7 @@ impl Coordinator {
         let mut compute = EpochCompute::new(constellation.clone());
         compute.set_shard_plan(shard_plan);
         compute.set_tenant_count(tenant_names.len());
+        compute.set_scope_params(scope_params);
         let pipeline = EpochPipeline::new(compute, mode, update_interval);
         let lanes = tenant_names
             .into_iter()
@@ -155,13 +183,7 @@ impl Coordinator {
             pipeline,
             lanes,
             shard_plan,
-            last_solve: SolveStats {
-                kind: SolveKind::FullDijkstra,
-                solved_sources: 0,
-                reused_sources: 0,
-                edges_added: 0,
-                edges_removed: 0,
-            },
+            last_solve: SolveStats::default(),
             updates: 0,
             snapshots: None,
         }
@@ -331,6 +353,7 @@ impl Coordinator {
         self.database.set_pipeline_report(PipelineReport {
             stats: self.pipeline.stats(),
         });
+        self.database.set_scope_report(bundle.shared.scope);
 
         if let Some(store) = &self.snapshots {
             store.publish(self.updates, &self.database);
@@ -549,12 +572,21 @@ mod tests {
         c.update(0.0).unwrap();
         let stats = c.last_path_solve();
         let state = c.database().state().unwrap();
-        let expected = state.active_satellites().len() + state.ground_station_count();
-        assert_eq!(stats.solved_sources, expected);
-        // The engine result is installed in the database and covers exactly
-        // the restricted source rows.
+        let programme = state.active_satellites().len() + state.ground_station_count();
+        // The scoped solve guarantees exactness for every programme row
+        // (active satellites + ground stations); the rows it runs are that
+        // set plus the margin/neighbourhood scope — still far below a full
+        // all-sources solve.
+        assert_eq!(stats.scope_required, programme);
+        assert!(stats.solved_sources >= programme);
+        assert!(stats.solved_sources < state.node_count());
+        let report = c.database().scope_report().expect("scope recorded");
+        assert_eq!(report.required, programme);
+        assert_eq!(report.active_satellites, state.active_satellites().len());
+        assert!(report.scope_satellites >= report.active_satellites);
+        assert!(report.predicted_satellites > 0);
         let paths = c.database().paths().expect("paths installed");
-        assert_eq!(paths.source_count(), expected);
+        assert_eq!(paths.source_count(), stats.solved_sources);
         assert!(paths.is_solved(state.node_count() - 1), "ground station solved");
     }
 

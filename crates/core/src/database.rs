@@ -5,7 +5,7 @@
 //! Calculation on every tick; the per-host HTTP servers answer application
 //! queries from it (§3.2). [`InfoDatabase`] is that database.
 
-use crate::pipeline::PipelineStats;
+use crate::pipeline::{PipelineStats, ScopeReport};
 use celestial_constellation::{ConstellationState, GroundStation, Shell, ShortestPaths};
 use celestial_types::geo::Geodetic;
 use celestial_types::ids::{GroundStationId, NodeId, SatelliteId};
@@ -89,6 +89,7 @@ pub struct InfoDatabase {
     paths_valid: bool,
     programme_stats: Option<ProgrammeStats>,
     pipeline_report: Option<PipelineReport>,
+    scope_report: Option<ScopeReport>,
     shard_report: Option<ShardReport>,
     chaos_report: Option<ChaosReport>,
     /// One report per tenant; seeded with the tenant names at construction
@@ -107,6 +108,7 @@ impl InfoDatabase {
             paths_valid: false,
             programme_stats: None,
             pipeline_report: None,
+            scope_report: None,
             shard_report: None,
             chaos_report: None,
             tenant_reports: Vec::new(),
@@ -181,6 +183,17 @@ impl InfoDatabase {
     /// The epoch pipeline's behaviour at the latest update, if any.
     pub fn pipeline_report(&self) -> Option<PipelineReport> {
         self.pipeline_report
+    }
+
+    /// Records the scale-aware solve scope of the latest update.
+    pub fn set_scope_report(&mut self, report: ScopeReport) {
+        self.scope_report = Some(report);
+    }
+
+    /// The solve scope of the latest update, if any (all zeros when the
+    /// epoch ran an unscoped solve).
+    pub fn scope_report(&self) -> Option<ScopeReport> {
+        self.scope_report
     }
 
     /// Records the per-shard pair counts of the latest update (host-sharded
@@ -318,8 +331,12 @@ impl InfoDatabase {
     /// currently connected.
     ///
     /// Answered from the coordinator's precomputed path matrix when `a` was
-    /// solved as a source (ground stations and active satellites always
-    /// are); otherwise falls back to a one-shot Dijkstra run on the graph.
+    /// solved as a source and the entry is exact (ground stations and active
+    /// satellites always are — the scoped solve's exactness contract). An
+    /// entry a scoped solve left inexact is answered by the matrix's
+    /// landmark-accelerated one-shot query; an unsolved row falls back to a
+    /// one-shot Dijkstra run on the graph. Every route returns the same
+    /// latency — only the work differs.
     ///
     /// # Errors
     ///
@@ -329,7 +346,12 @@ impl InfoDatabase {
         let source = state.node_index(a)?;
         let target = state.node_index(b)?;
         if let Some(paths) = self.solved_row(state, source) {
-            return Ok(paths.latency_micros(source, target).map(Latency::from_micros));
+            if paths.is_exact(source, target) {
+                return Ok(paths.latency_micros(source, target).map(Latency::from_micros));
+            }
+            return Ok(paths
+                .one_shot_latency(state.graph(), source, target)
+                .map(Latency::from_micros));
         }
         state.latency_between(a, b)
     }
@@ -347,7 +369,15 @@ impl InfoDatabase {
         let source = state.node_index(a)?;
         let target = state.node_index(b)?;
         if let Some(paths) = self.solved_row(state, source) {
-            return match paths.path(source, target) {
+            let indices = if paths.is_exact(source, target) {
+                paths.path(source, target)
+            } else {
+                // A scoped solve left this entry inexact: the matrix's
+                // landmark-accelerated one-shot query answers it without a
+                // full row solve.
+                paths.one_shot_path(state.graph(), source, target)
+            };
+            return match indices {
                 Some(indices) => indices
                     .into_iter()
                     .map(|idx| state.node_id(idx))

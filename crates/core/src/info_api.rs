@@ -164,6 +164,13 @@ impl<'a> InfoApi<'a> {
                         .database
                         .shard_report()
                         .map(|r| r.wall_ns as f64 / 1e6),
+                    "scope_active_satellites": self.database.scope_report().map(|r| r.active_satellites),
+                    "scope_predicted_satellites": self.database.scope_report().map(|r| r.predicted_satellites),
+                    "scope_satellites": self.database.scope_report().map(|r| r.scope_satellites),
+                    "scope_sources": self.database.scope_report().map(|r| r.sources),
+                    "scope_required": self.database.scope_report().map(|r| r.required),
+                    "scope_landmarks": self.database.scope_report().map(|r| r.landmarks),
+                    "scope_settled": self.database.scope_report().map(|r| r.settled),
                     "chaos_events": self.database.chaos_report().map(|r| r.events),
                     "chaos_active_faults": self.database.chaos_report().map(|r| r.active_faults),
                     "links_suppressed": self.database.chaos_report().map(|r| r.links_suppressed),
@@ -404,6 +411,35 @@ mod tests {
             .unwrap();
         assert_eq!(info["tenants"], 1);
         assert!(info.get("tenant").and_then(Value::as_str).is_none());
+    }
+
+    #[test]
+    fn info_reports_the_solve_scope() {
+        let mut db = database();
+        db.set_scope_report(crate::pipeline::ScopeReport {
+            active_satellites: 18,
+            predicted_satellites: 21,
+            scope_satellites: 40,
+            sources: 58,
+            required: 19,
+            landmarks: 8,
+            settled: 12_345,
+        });
+        let info = InfoApi::new(&db)
+            .handle_path(NodeId::ground_station(0), "/info")
+            .unwrap();
+        assert_eq!(info["scope_active_satellites"], 18);
+        assert_eq!(info["scope_predicted_satellites"], 21);
+        assert_eq!(info["scope_satellites"], 40);
+        assert_eq!(info["scope_sources"], 58);
+        assert_eq!(info["scope_required"], 19);
+        assert_eq!(info["scope_landmarks"], 8);
+        assert_eq!(info["scope_settled"], 12_345);
+        // A database that never saw a coordinator reports no scope.
+        let info = InfoApi::new(&database())
+            .handle_path(NodeId::ground_station(0), "/info")
+            .unwrap();
+        assert!(info.get("scope_sources").map(Value::is_null).unwrap_or(true));
     }
 
     #[test]

@@ -85,8 +85,8 @@ pub use database::InfoDatabase;
 pub use estimator::{CostModel, ResourceEstimator};
 pub use machine_manager::MachineManager;
 pub use pipeline::{
-    EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats, SharedEpoch,
-    TenantEpoch,
+    EpochBundle, EpochCompute, EpochPipeline, PipelineMode, PipelineStats, ScopeReport,
+    SharedEpoch, TenantEpoch,
 };
 pub use snapshot::{EpochSnapshot, SnapshotReader, SnapshotStore, TenantView};
 pub use testbed::{AppContext, GuestApplication, Testbed, TenantRuntime};

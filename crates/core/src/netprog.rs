@@ -30,6 +30,9 @@ use celestial_types::{Bandwidth, Latency};
 /// Sentinel for an unoccupied slot (no programmed rule for the pair).
 const EMPTY_LATENCY: u64 = u64::MAX;
 
+/// Sentinel for a node outside the current slot window.
+const WINDOW_NONE: u32 = u32::MAX;
+
 /// One retained rule: quantized latency and bottleneck bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
@@ -83,9 +86,20 @@ pub fn bottleneck_bandwidth(
 
 /// The dense, epoch-retained programme of per-pair `tc` rules.
 ///
-/// Rules are kept in a triangular node-indexed buffer (`node_count·(node_count−1)/2`
-/// slots, canonical pair order `a < b` by node index) plus a sorted list of
-/// occupied pairs. One constellation update performs a single merge walk of
+/// Rules are kept in a triangular *window-indexed* buffer plus a sorted list
+/// of occupied pairs. The window is the set of programmable nodes of the
+/// current epoch (ground stations plus active satellites); only pairs of
+/// window nodes can ever be programmed, so the buffer needs
+/// `w·(w−1)/2` slots for a window of `w` nodes instead of
+/// `node_count·(node_count−1)/2` over the whole constellation — at
+/// mega-constellation scale (16 384 nodes, a few hundred programmable ones)
+/// that is the difference between ~50 k slots and ~134 M. When the window
+/// shifts between epochs the surviving pairs' slots migrate to the new
+/// layout in `O(pairs)`; a pair whose endpoint left the window loses its
+/// slot, which is safe because the merge walk never reads a removed pair's
+/// retained value — it only emits the pair's identity.
+///
+/// One constellation update performs a single merge walk of
 /// the previous and the fresh occupied-pair lists — `O(pairs)` with no
 /// per-update map allocation — and produces the [`ProgrammeDelta`] whose
 /// `changed` entries are judged *after* 0.1 ms latency quantization and
@@ -93,8 +107,29 @@ pub fn bottleneck_bandwidth(
 #[derive(Debug, Clone, Default)]
 pub struct ProgrammeStore {
     node_count: usize,
-    /// Triangular slot buffer, `EMPTY_SLOT` where no rule exists.
+    /// Triangular slot buffer over *window* indices, `EMPTY_SLOT` where no
+    /// rule exists.
     slots: Vec<Slot>,
+    /// Node index → window index, `WINDOW_NONE` for out-of-window nodes.
+    window: Vec<u32>,
+    /// Window index → node index, strictly ascending (so `a < b` in node
+    /// space implies `wa < wb` in window space and canonical pair order is
+    /// preserved).
+    window_nodes: Vec<u32>,
+    /// Whether the window has been initialised (distinguishes the empty
+    /// window of a fresh store from a deliberately empty one).
+    window_ready: bool,
+    /// Scratch for window migration: the next epoch's node → window map.
+    spare_window: Vec<u32>,
+    /// Scratch for window migration: the next epoch's window node list.
+    spare_window_nodes: Vec<u32>,
+    /// Scratch for window migration: the next epoch's slot buffer.
+    spare_slots: Vec<Slot>,
+    /// Per-source scratch rows of the metric phase, reused across epochs.
+    metric_rows: Vec<Vec<(u32, u64, u64)>>,
+    /// Worker threads for the metric phase of [`ProgrammeStore::update_epoch`]
+    /// (`0`/`1` = inline).
+    threads: usize,
     /// Sorted packed `(a << 32) | b` indices of currently occupied pairs.
     pairs: Vec<u64>,
     /// Scratch: the fresh epoch's occupied pairs (sorted by construction).
@@ -176,6 +211,14 @@ impl ProgrammeStore {
         self.pairs.len()
     }
 
+    /// Sets the worker-thread budget for the metric phase of
+    /// [`ProgrammeStore::update_epoch`] (`0` and `1` both mean inline). The
+    /// emitted delta is bit-identical for every thread count: rows are
+    /// computed in parallel but recorded in canonical order.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
     /// Number of completed epochs.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -208,6 +251,11 @@ impl ProgrammeStore {
     /// as unreachable (removed if previously programmed) — never as
     /// uncapped.
     ///
+    /// The slot window of this epoch is exactly `sources`; metric rows are
+    /// computed in parallel when a thread budget is set
+    /// ([`ProgrammeStore::set_threads`]) and recorded sequentially in
+    /// canonical order, so the delta is bit-identical across thread counts.
+    ///
     /// # Panics
     ///
     /// Panics if `sources` is not strictly ascending.
@@ -221,11 +269,23 @@ impl ProgrammeStore {
             sources.windows(2).all(|w| w[0] < w[1]),
             "programme sources must be strictly ascending"
         );
-        self.begin_epoch(state.node_count());
+        self.begin_epoch_over(state.node_count(), Some(sources));
         let graph = state.graph();
-        for (i, &a) in sources.iter().enumerate() {
-            let a = a as usize;
-            for &b in &sources[i + 1..] {
+
+        // Metric phase: one row of `(target, quantized latency µs, bps)`
+        // tuples per source, fanned out over the thread budget. Rows are
+        // independent, so only the sequential record order below matters for
+        // determinism.
+        let rows = sources.len();
+        if self.metric_rows.len() < rows {
+            self.metric_rows.resize_with(rows, Vec::new);
+        }
+        for row in &mut self.metric_rows[..rows] {
+            row.clear();
+        }
+        let fill = |index: usize, out: &mut Vec<(u32, u64, u64)>| {
+            let a = sources[index] as usize;
+            for &b in &sources[index + 1..] {
                 let b = b as usize;
                 let Some(latency_micros) = paths.latency_micros(a, b) else {
                     continue;
@@ -234,26 +294,71 @@ impl ProgrammeStore {
                     continue;
                 };
                 let quantized = Latency::from_micros(latency_micros).quantized_tenth_ms();
-                self.record(a, b, quantized, bandwidth);
+                out.push((b as u32, quantized.as_micros(), bandwidth.as_bps()));
             }
+        };
+        let workers = self.threads.clamp(1, rows.max(1));
+        if workers <= 1 {
+            for (index, out) in self.metric_rows[..rows].iter_mut().enumerate() {
+                fill(index, out);
+            }
+        } else {
+            let per_worker = rows.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (chunk_index, chunk) in
+                    self.metric_rows[..rows].chunks_mut(per_worker).enumerate()
+                {
+                    scope.spawn(move || {
+                        for (offset, out) in chunk.iter_mut().enumerate() {
+                            fill(chunk_index * per_worker + offset, out);
+                        }
+                    });
+                }
+            });
+        }
+        for index in 0..rows {
+            let row = std::mem::take(&mut self.metric_rows[index]);
+            let a = sources[index] as usize;
+            for &(b, latency_micros, bandwidth_bps) in &row {
+                self.record(
+                    a,
+                    b as usize,
+                    Latency::from_micros(latency_micros),
+                    Bandwidth::from_bps(bandwidth_bps),
+                );
+            }
+            // Hand the allocation back for the next epoch.
+            self.metric_rows[index] = row;
         }
         self.commit(|index| state.node_id(index).expect("pair index in range"))
     }
 
-    /// Starts a fresh epoch over `node_count` nodes, sizing the dense buffer
-    /// on first use.
+    /// Starts a fresh epoch over `node_count` nodes with the identity slot
+    /// window (every node programmable). Test and embedding convenience —
+    /// [`ProgrammeStore::update_epoch`] windows on its source list instead.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn begin_epoch(&mut self, node_count: usize) {
+        self.begin_epoch_over(node_count, None);
+    }
+
+    /// Starts a fresh epoch over `node_count` nodes, re-deriving the slot
+    /// window (`None` = identity) and migrating retained slots when it
+    /// shifted.
     ///
     /// A store serves a single topology: node indices are the identity of
     /// the retained pairs, so changing the node count mid-life would silently
     /// orphan every previously emitted rule (no `removed` entries could be
     /// resolved against the new index space). That is a programming error,
     /// not a constellation event — the constellation's node count is fixed
-    /// at build time — so it panics instead of guessing.
+    /// at build time — so it panics instead of guessing. The *window* may
+    /// shift freely between epochs: satellites drift in and out of the
+    /// bounding box every update.
     ///
     /// # Panics
     ///
-    /// Panics if the node count differs from a previous epoch's.
-    fn begin_epoch(&mut self, node_count: usize) {
+    /// Panics if the node count differs from a previous epoch's, or if the
+    /// window is not strictly ascending or references a node out of range.
+    fn begin_epoch_over(&mut self, node_count: usize, window: Option<&[u32]>) {
         if self.node_count != node_count {
             assert!(
                 self.epoch == 0,
@@ -262,8 +367,62 @@ impl ProgrammeStore {
             );
             self.node_count = node_count;
             self.slots.clear();
-            self.slots.resize(node_count * node_count.saturating_sub(1) / 2, EMPTY_SLOT);
             self.pairs.clear();
+            self.window.clear();
+            self.window_nodes.clear();
+            self.window_ready = false;
+        }
+        let unchanged = self.window_ready
+            && match window {
+                // The identity window is recognisable by length alone: a
+                // strictly ascending list of `node_count` in-range nodes is
+                // exactly `0..node_count`.
+                None => self.window_nodes.len() == node_count,
+                Some(nodes) => nodes == self.window_nodes.as_slice(),
+            };
+        if !unchanged {
+            self.spare_window_nodes.clear();
+            match window {
+                None => self.spare_window_nodes.extend(0..node_count as u32),
+                Some(nodes) => {
+                    assert!(
+                        nodes.windows(2).all(|w| w[0] < w[1]),
+                        "slot window must be strictly ascending"
+                    );
+                    assert!(
+                        nodes.last().is_none_or(|&last| (last as usize) < node_count),
+                        "slot window references a node out of range"
+                    );
+                    self.spare_window_nodes.extend_from_slice(nodes);
+                }
+            }
+            self.spare_window.clear();
+            self.spare_window.resize(node_count, WINDOW_NONE);
+            for (index, &node) in self.spare_window_nodes.iter().enumerate() {
+                self.spare_window[node as usize] = index as u32;
+            }
+            let width = self.spare_window_nodes.len();
+            self.spare_slots.clear();
+            self.spare_slots
+                .resize(width * width.saturating_sub(1) / 2, EMPTY_SLOT);
+            // Migrate the retained slots of surviving pairs into the new
+            // layout. A pair whose endpoint left the window drops its slot:
+            // it cannot be re-recorded this epoch (fresh pairs are window
+            // pairs), so the merge walk will emit it as removed — and the
+            // removal branch never reads the retained value.
+            for &packed in &self.pairs {
+                let (a, b) = unpack(packed);
+                let (wa, wb) = (self.spare_window[a], self.spare_window[b]);
+                if wa == WINDOW_NONE || wb == WINDOW_NONE {
+                    continue;
+                }
+                self.spare_slots[tri_at(width, wa as usize, wb as usize)] =
+                    self.slots[self.tri(a, b)];
+            }
+            std::mem::swap(&mut self.slots, &mut self.spare_slots);
+            std::mem::swap(&mut self.window, &mut self.spare_window);
+            std::mem::swap(&mut self.window_nodes, &mut self.spare_window_nodes);
+            self.window_ready = true;
         }
         self.fresh_pairs.clear();
         self.fresh_slots.clear();
@@ -274,6 +433,10 @@ impl ProgrammeStore {
     /// ascending source list guarantees.
     fn record(&mut self, a: usize, b: usize, latency: Latency, bandwidth: Bandwidth) {
         debug_assert!(a < b, "canonical pair order");
+        debug_assert!(
+            self.window[a] != WINDOW_NONE && self.window[b] != WINDOW_NONE,
+            "recorded pairs must lie inside the slot window"
+        );
         let packed = pack(a, b);
         debug_assert!(
             self.fresh_pairs.last().is_none_or(|&last| last < packed),
@@ -323,10 +486,16 @@ impl ProgrammeStore {
                     j += 1;
                 }
                 (true, false) => {
-                    // Previously programmed, now unreachable.
+                    // Previously programmed, now unreachable. If either
+                    // endpoint left the slot window this epoch the retained
+                    // slot was already dropped by the window migration; only
+                    // surviving pairs still own a slot to clear. Either way
+                    // the removal itself is emitted.
                     let (a, b) = unpack(old.expect("take_old"));
-                    let slot_index = self.tri(a, b);
-                    self.slots[slot_index] = EMPTY_SLOT;
+                    if self.window[a] != WINDOW_NONE && self.window[b] != WINDOW_NONE {
+                        let slot_index = self.tri(a, b);
+                        self.slots[slot_index] = EMPTY_SLOT;
+                    }
                     let pair = (resolve(a), resolve(b));
                     self.delta.removed.push(pair);
                     self.route_removed(pair);
@@ -351,9 +520,17 @@ impl ProgrammeStore {
         &self.delta
     }
 
-    /// Triangular index of the canonical pair `(a, b)`, `a < b`.
+    /// Triangular index of the canonical pair `(a, b)`, `a < b`, both inside
+    /// the slot window. `window_nodes` is strictly ascending, so `a < b`
+    /// implies `window[a] < window[b]` and the window-space pair stays
+    /// canonical.
     fn tri(&self, a: usize, b: usize) -> usize {
-        a * (2 * self.node_count - a - 1) / 2 + (b - a - 1)
+        let (wa, wb) = (self.window[a] as usize, self.window[b] as usize);
+        debug_assert!(
+            self.window[a] != WINDOW_NONE && self.window[b] != WINDOW_NONE,
+            "triangular lookup outside the slot window"
+        );
+        tri_at(self.window_nodes.len(), wa, wb)
     }
 
     /// Routes a newly reachable pair into its endpoint shards (no-op without
@@ -392,6 +569,12 @@ impl ProgrammeStore {
             self.shard_pairs[hb.index()] = self.shard_pairs[hb.index()].saturating_sub(1);
         }
     }
+}
+
+/// Triangular index of the window-space pair `(wa, wb)`, `wa < wb`, for a
+/// window of `width` nodes.
+fn tri_at(width: usize, wa: usize, wb: usize) -> usize {
+    wa * (2 * width - wa - 1) / 2 + (wb - wa - 1)
 }
 
 fn pack(a: usize, b: usize) -> u64 {
@@ -601,6 +784,122 @@ mod tests {
         record_ms(&mut store, 0, 1, 4.0, 100);
         store.commit(resolve);
         store.begin_epoch(5);
+    }
+
+    #[test]
+    fn shifting_the_window_migrates_surviving_slots() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch_over(100, Some(&[0, 1, 3]));
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 6.0, 10);
+        record_ms(&mut store, 1, 3, 2.0, 50);
+        store.commit(resolve);
+        assert_eq!(store.slots.len(), 3, "window-sized buffer, not node-sized");
+
+        // Node 3 leaves the window, node 4 enters. The surviving pair (0,1)
+        // must keep its retained slot across the migration: re-recording it
+        // unchanged emits nothing.
+        store.begin_epoch_over(100, Some(&[0, 1, 4]));
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 4, 3.0, 25);
+        let delta = store.commit(resolve).clone();
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.added[0].b, NodeId::ground_station(4));
+        assert!(delta.changed.is_empty(), "migrated slot still compares equal");
+        assert_eq!(
+            delta.removed,
+            vec![
+                (NodeId::ground_station(0), NodeId::ground_station(3)),
+                (NodeId::ground_station(1), NodeId::ground_station(3)),
+            ],
+            "pairs with a departed endpoint are removed"
+        );
+        assert_eq!(store.pair_count(), 2);
+
+        // Node 3 re-enters: the pair comes back as a plain addition.
+        store.begin_epoch_over(100, Some(&[0, 1, 3, 4]));
+        record_ms(&mut store, 0, 1, 4.0, 100);
+        record_ms(&mut store, 0, 3, 7.0, 10);
+        record_ms(&mut store, 0, 4, 3.0, 25);
+        let delta = store.commit(resolve);
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.added[0].latency, Latency::from_millis_f64(7.0));
+        assert!(delta.changed.is_empty() && delta.removed.is_empty());
+    }
+
+    #[test]
+    fn windowed_epochs_match_identity_window_epochs() {
+        // The same recorded metric sequence must produce bit-identical
+        // deltas whether the slot buffer spans all nodes or only the
+        // per-epoch window — the windowing is a memory layout, not a
+        // semantic change.
+        let epochs: &[(&[u32], &[(usize, usize, f64, u64)])] = &[
+            (&[0, 2, 5, 7], &[(0, 2, 4.0, 100), (0, 7, 6.0, 10), (5, 7, 2.0, 50)]),
+            (&[0, 2, 6, 7], &[(0, 2, 4.0, 100), (0, 7, 6.1, 10), (6, 7, 1.0, 25)]),
+            (&[0, 2, 6, 7], &[(0, 2, 4.0, 100), (0, 7, 6.1, 10), (6, 7, 1.0, 25)]),
+            (&[0, 5, 6, 7], &[(0, 5, 9.0, 5), (6, 7, 1.0, 30)]),
+        ];
+        let mut windowed = ProgrammeStore::new();
+        let mut identity = ProgrammeStore::new();
+        for &(window, records) in epochs {
+            windowed.begin_epoch_over(8, Some(window));
+            identity.begin_epoch_over(8, None);
+            for &(a, b, ms, mbps) in records {
+                record_ms(&mut windowed, a, b, ms, mbps);
+                record_ms(&mut identity, a, b, ms, mbps);
+            }
+            assert_eq!(windowed.commit(resolve), identity.commit(resolve));
+            assert_eq!(
+                windowed.iter().collect::<Vec<_>>(),
+                identity.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn update_epoch_is_deterministic_across_thread_counts() {
+        use celestial_constellation::{BoundingBox, Constellation, GroundStation, Shell};
+        use celestial_sgp4::WalkerShell;
+        use celestial_types::geo::Geodetic;
+
+        let constellation = Constellation::builder()
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 6, 8)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .build()
+            .unwrap();
+        let mut serial = ProgrammeStore::new();
+        let mut threaded = ProgrammeStore::new();
+        threaded.set_threads(4);
+        let mut engine = PathEngine::with_threads(PathAlgorithm::Dijkstra, 1);
+        for step in 0..4 {
+            let state = constellation.state_at(step as f64 * 15.0).unwrap();
+            let mut sources: Vec<u32> = Vec::new();
+            for sat in state.active_satellites() {
+                sources.push(state.node_index(NodeId::Satellite(sat)).unwrap() as u32);
+            }
+            for gst in 0..state.ground_station_count() as u32 {
+                sources.push(state.node_index(NodeId::ground_station(gst)).unwrap() as u32);
+            }
+            let paths = engine.solve_sources(state.graph(), &sources).clone();
+            assert_eq!(
+                serial.update_epoch(&state, &paths, &sources),
+                threaded.update_epoch(&state, &paths, &sources),
+                "delta diverged at step {step}"
+            );
+            assert_eq!(
+                serial.iter().collect::<Vec<_>>(),
+                threaded.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn an_unsorted_window_panics() {
+        let mut store = ProgrammeStore::new();
+        store.begin_epoch_over(4, Some(&[2, 1]));
     }
 
     #[test]

@@ -51,8 +51,8 @@
 use crate::netprog::ProgrammeStore;
 use celestial_constellation::snapshot::{LinkProperties, MachineActivity};
 use celestial_constellation::{
-    Constellation, ConstellationDiff, ConstellationSnapshot, ConstellationState, PathEngine,
-    ShortestPaths, SolveStats, StateBuffers,
+    Constellation, ConstellationDiff, ConstellationSnapshot, ConstellationState, PathAlgorithm,
+    PathEngine, ScopeParams, ShortestPaths, SolveKind, SolveScope, SolveStats, StateBuffers,
 };
 use celestial_netem::{PairProgram, ProgrammeDelta, ShardPlan};
 use celestial_types::ids::{NodeId, TenantId};
@@ -119,6 +119,32 @@ pub struct PipelineStats {
     pub total_lead_ns: u64,
 }
 
+/// Summary of the scale-aware solve scope of one epoch, surfaced through
+/// the `/info` route (`scope*` fields). All zeros when the epoch ran an
+/// unscoped solve (e.g. the incremental algorithm). See `docs/MEGASCALE.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScopeReport {
+    /// Satellites inside the (unexpanded) bounding box this epoch — the
+    /// microVMs that are actually live.
+    pub active_satellites: usize,
+    /// The `area_fraction`-predicted active satellite count (the resource
+    /// estimator's expectation), for comparison against the observed value.
+    pub predicted_satellites: usize,
+    /// Satellites inside the margin-expanded solve scope.
+    pub scope_satellites: usize,
+    /// Rows the scoped solve ran (scope satellites + ground stations +
+    /// k-nearest neighbourhoods + landmarks).
+    pub sources: usize,
+    /// Nodes every solved row is guaranteed exact for (active satellites +
+    /// ground stations — the programme sources).
+    pub required: usize,
+    /// Landmark rows solved fully for the one-shot fallback's ALT heuristic.
+    pub landmarks: usize,
+    /// Total nodes settled across all bounded row solves (the work the
+    /// scope actually did; a full solve would settle `sources × nodes`).
+    pub settled: u64,
+}
+
 /// The immutable tenant-shared half of one epoch: everything that is a
 /// function of the constellation alone, computed **once** per epoch no
 /// matter how many tenants the pipeline serves, and shared behind an [`Arc`]
@@ -135,6 +161,8 @@ pub struct SharedEpoch {
     pub diff: ConstellationDiff,
     /// How the path solve was executed.
     pub solve: SolveStats,
+    /// The solve scope of this epoch (all zeros for unscoped solves).
+    pub scope: ScopeReport,
     /// Wall-clock nanoseconds the computation took (shared solve plus all
     /// tenant programme walks).
     pub compute_ns: u64,
@@ -220,6 +248,11 @@ pub struct EpochCompute {
     /// walks on top of one propagation + solve.
     tenants: Vec<ProgrammeStore>,
     sources: Vec<u32>,
+    /// The reusable scale-aware solve scope (see `docs/MEGASCALE.md`): the
+    /// solve runs over the margin-expanded bounding box plus per-ground-
+    /// station neighbourhoods instead of every row the full solve would.
+    scope: SolveScope,
+    scope_params: ScopeParams,
 }
 
 impl EpochCompute {
@@ -238,14 +271,30 @@ impl EpochCompute {
 
     fn with_buffers(constellation: Constellation, buffers: StateBuffers) -> Self {
         let engine = PathEngine::new(constellation.path_algorithm());
+        // The programme walk's metric phase fans out over the same worker
+        // budget as propagation; the recorded delta is bit-identical for
+        // every thread count.
+        let mut store = ProgrammeStore::new();
+        store.set_threads(buffers.threads());
         EpochCompute {
             constellation,
             buffers,
             previous: None,
             engine,
-            tenants: vec![ProgrammeStore::new()],
+            tenants: vec![store],
             sources: Vec::new(),
+            scope: SolveScope::new(),
+            scope_params: ScopeParams::default(),
         }
+    }
+
+    /// Overrides the scale-aware solve-scope parameters (bounding-box margin,
+    /// per-ground-station neighbourhood size, ALT landmark count). Takes
+    /// effect from the next epoch; the scoped solve is bit-identical to a
+    /// full solve on every row the programme reads for *any* parameter
+    /// choice, so this tunes cost, never results.
+    pub fn set_scope_params(&mut self, params: ScopeParams) {
+        self.scope_params = params;
     }
 
     /// The constellation this computation serves.
@@ -331,7 +380,20 @@ impl EpochCompute {
             self.sources
                 .push(state.node_index(NodeId::ground_station(gst))? as u32);
         }
-        self.engine.solve_sources(state.graph(), &self.sources);
+        // The scale-aware scoped solve: derive the solve scope from the
+        // bounding box (margin-expanded, plus per-ground-station
+        // neighbourhoods and ALT landmarks) and run bounded rows that are
+        // bit-identical to full rows on every programme source — the
+        // property-tested exactness contract (`docs/MEGASCALE.md`). The
+        // incremental algorithm keeps the full solve: its row reuse across
+        // epochs is incompatible with bounded rows.
+        if self.constellation.path_algorithm() == PathAlgorithm::Incremental {
+            self.engine.solve_sources(state.graph(), &self.sources);
+        } else {
+            let bounding_box = self.constellation.bounding_box();
+            self.scope.derive(state, &bounding_box, &self.scope_params);
+            self.engine.solve_scope(state.graph(), &self.scope);
+        }
         let paths = self.engine.paths().expect("paths were just solved");
         // The fan-out: everything above ran once; each tenant's programme
         // walk reads the same state and path matrix.
@@ -361,6 +423,27 @@ impl EpochCompute {
         self.engine.last_solve()
     }
 
+    /// The solve scope of the most recent epoch, as surfaced through `/info`
+    /// (all zeros when the epoch ran an unscoped solve).
+    pub fn scope_report(&self) -> ScopeReport {
+        let stats = self.engine.last_solve();
+        if stats.kind != SolveKind::Scoped {
+            return ScopeReport::default();
+        }
+        let total = self.buffers.state().map_or(0, |s| s.satellite_count());
+        let predicted =
+            (self.constellation.bounding_box().area_fraction() * total as f64).round() as usize;
+        ScopeReport {
+            active_satellites: self.scope.active_satellites(),
+            predicted_satellites: predicted,
+            scope_satellites: self.scope.scope_satellites(),
+            sources: stats.scope_sources,
+            required: stats.scope_required,
+            landmarks: stats.scope_landmarks,
+            settled: stats.scope_settled,
+        }
+    }
+
     /// The current programme epoch (tenants advance in lockstep).
     pub fn programme_epoch(&self) -> u64 {
         self.tenants[0].epoch()
@@ -387,6 +470,7 @@ impl EpochCompute {
         let state = self.state().expect("state was just computed");
         let paths = self.paths().expect("paths were just solved");
         let solve = self.last_solve();
+        let scope = self.scope_report();
         let mut bundle = match recycled {
             Some(mut bundle) => {
                 match Arc::get_mut(&mut bundle.shared) {
@@ -396,6 +480,7 @@ impl EpochCompute {
                         shared.paths.clone_from(paths);
                         shared.diff = diff;
                         shared.solve = solve;
+                        shared.scope = scope;
                         shared.compute_ns = compute_ns;
                         shared.finished_at = Instant::now();
                     }
@@ -409,6 +494,7 @@ impl EpochCompute {
                             paths: paths.clone(),
                             diff,
                             solve,
+                            scope,
                             compute_ns,
                             finished_at: Instant::now(),
                         });
@@ -423,6 +509,7 @@ impl EpochCompute {
                     paths: paths.clone(),
                     diff,
                     solve,
+                    scope,
                     compute_ns,
                     finished_at: Instant::now(),
                 }),

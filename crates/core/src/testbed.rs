@@ -653,12 +653,13 @@ impl Testbed {
             .as_ref()
             .map(|t| t.tenant_names())
             .unwrap_or_else(|| vec!["tenant-0".to_owned()]);
-        let mut coordinator = Coordinator::with_fanout(
+        let mut coordinator = Coordinator::with_scoped_fanout(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),
             config.pipeline,
             shard_plan,
             tenant_names.clone(),
+            config.paths.map(|p| p.scope_params()).unwrap_or_default(),
         );
         // With a `[serve]` section every update publishes an epoch snapshot
         // for the lock-free serving plane (see docs/SERVE.md).

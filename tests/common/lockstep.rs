@@ -57,6 +57,43 @@ pub fn config(seed: u64, duration_s: f64, mode: PipelineMode, hosts: u32, sharde
     builder.build().expect("valid config")
 }
 
+/// Whether the megascale lockstep legs are enabled: they re-run the suites
+/// on a 72×22 Starlink-class shell (1,584 satellites) with the scoped
+/// solve pruning most source rows, which is too heavy for the default
+/// `cargo test` pass. CI runs them in a dedicated release-mode leg with
+/// `CELESTIAL_MEGASCALE=1` (see `docs/MEGASCALE.md`).
+pub fn megascale_enabled() -> bool {
+    std::env::var("CELESTIAL_MEGASCALE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The megascale lockstep configuration: the same ground stations, bounding
+/// box and host latency as [`config`], on a 72×22 shell at a reduced epoch
+/// count — enough boundaries for satellites to enter and leave the scope
+/// while keeping a four-way lockstep comparison affordable.
+pub fn megascale_config(
+    seed: u64,
+    duration_s: f64,
+    mode: PipelineMode,
+    hosts: u32,
+    sharded: bool,
+) -> TestbedConfig {
+    let mut builder = TestbedConfig::builder()
+        .seed(seed)
+        .update_interval_s(1.0)
+        .duration_s(duration_s)
+        .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 72, 22)))
+        .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+        .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+        .bounding_box(BoundingBox::west_africa())
+        .pipeline(mode)
+        .host_latency_us(6_000)
+        .hosts(vec![celestial::config::HostConfig::default(); hosts as usize]);
+    if sharded {
+        builder = builder.shards(hosts);
+    }
+    builder.build().expect("valid config")
+}
+
 /// A ping-pong application journalling every constellation update: the
 /// `/info`-visible programme counters, the emulated and expected pair
 /// latency, machine liveness, and the network-plane counters including the

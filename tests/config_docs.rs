@@ -3,7 +3,7 @@
 //! testbed shape, and survive a serde round trip; the `[chaos]` defaults
 //! documented in `docs/CHAOS.md` must match `ChaosConfig::default()`.
 
-use celestial::config::{ChaosConfig, ServeConfig, TenantsConfig, TestbedConfig};
+use celestial::config::{ChaosConfig, PathsConfig, ServeConfig, TenantsConfig, TestbedConfig};
 use celestial_constellation::PathAlgorithm;
 
 /// The documentation page this test validates.
@@ -117,6 +117,31 @@ fn the_documented_tenants_defaults_match_the_code() {
     // The documented values are exactly the fan-out's defaults.
     assert_eq!(config.tenants, Some(TenantsConfig::default()));
     // A config with tenancy on still round-trips through serde.
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
+}
+
+/// The mega-constellation documentation page, whose `[paths]` example
+/// lists every key with its default value.
+const MEGASCALE_DOC: &str = include_str!("../docs/MEGASCALE.md");
+
+#[test]
+fn the_documented_paths_defaults_match_the_code() {
+    let start = MEGASCALE_DOC
+        .find("```toml\n")
+        .expect("docs/MEGASCALE.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = MEGASCALE_DOC[start..].find("```").expect("the toml fence is closed") + start;
+    let block = &MEGASCALE_DOC[start..end];
+    assert!(block.contains("[paths]"), "the example documents the [paths] table");
+    let toml = format!(
+        "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n\n{block}"
+    );
+    let config = TestbedConfig::from_toml(&toml).expect("documented paths TOML parses");
+    // The documented values are exactly the solve scope's defaults.
+    assert_eq!(config.paths, Some(PathsConfig::default()));
+    // A config with the scope tuned still round-trips through serde.
     let json = serde_json::to_string(&config).expect("serializes");
     let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(config, back);

@@ -11,7 +11,10 @@
 
 mod common;
 
-use common::lockstep::{assert_lockstep, config, host_matrix, run_config, Observations};
+use common::lockstep::{
+    assert_lockstep, config, host_matrix, megascale_config, megascale_enabled, run_config,
+    Observations,
+};
 
 use celestial::pipeline::PipelineMode;
 use celestial::testbed::{GuestApplication, Testbed};
@@ -74,6 +77,37 @@ fn sharded_plane_is_bit_identical_to_the_global_network() {
         ] {
             assert_lockstep(&format!("{label}@{hosts}"), &reference, &observed);
         }
+    }
+}
+
+/// The megascale leg (gated behind `CELESTIAL_MEGASCALE=1`): the same
+/// four-way bit-identity on a 72×22 Starlink-class shell over 12 epochs,
+/// with the scoped solve pruning 90%+ of the 1,586 source rows and one
+/// mid-run ground-station crash. Proves global ≡ sharded and sync ≡
+/// pipelined survive the scale jump (see `docs/MEGASCALE.md`).
+#[test]
+fn megascale_sharded_plane_is_bit_identical_to_the_global_network() {
+    if !megascale_enabled() {
+        eprintln!("skipping: set CELESTIAL_MEGASCALE=1 to run the 72×22 leg");
+        return;
+    }
+    let faults = vec![FaultEvent {
+        node: NodeId::ground_station(1),
+        at: SimInstant::from_secs_f64(4.3),
+        kind: FaultKind::CrashAndReboot,
+        recover_at: Some(SimInstant::from_secs_f64(7.7)),
+    }];
+    let run = |mode: PipelineMode, sharded: bool| {
+        run_config(&megascale_config(11, 12.0, mode, 4, sharded), faults.clone())
+    };
+    let reference = run(PipelineMode::Synchronous, false);
+    assert!(!reference.rtts_ms.is_empty(), "the megascale run must observe traffic");
+    for (label, observed) in [
+        ("megascale global/pipelined", run(PipelineMode::Pipelined, false)),
+        ("megascale sharded/synchronous", run(PipelineMode::Synchronous, true)),
+        ("megascale sharded/pipelined", run(PipelineMode::Pipelined, true)),
+    ] {
+        assert_lockstep(label, &reference, &observed);
     }
 }
 

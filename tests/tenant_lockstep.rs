@@ -12,7 +12,9 @@ use celestial::pipeline::PipelineMode;
 use celestial_machines::{FaultEvent, FaultKind};
 use celestial_types::ids::NodeId;
 use celestial_types::time::SimInstant;
-use common::lockstep::{assert_lockstep, config, run_config, run_fleet_config};
+use common::lockstep::{
+    assert_lockstep, config, megascale_config, megascale_enabled, run_config, run_fleet_config,
+};
 
 const TENANTS: u32 = 16;
 const PINNED: usize = 7;
@@ -71,4 +73,23 @@ fn pinned_tenant_is_bit_identical_to_solo_pipelined_global() {
 #[test]
 fn pinned_tenant_is_bit_identical_to_solo_pipelined_sharded() {
     assert_pinned_tenant_matches_solo(PipelineMode::Pipelined, true);
+}
+
+/// The megascale leg (gated behind `CELESTIAL_MEGASCALE=1`): a pinned
+/// tenant inside a 4-tenant fleet on a 72×22 Starlink-class shell over 10
+/// epochs must match a fault-free solo run exactly, in both pipeline modes
+/// — the fan-out and the scoped solve compose (see `docs/MEGASCALE.md`).
+#[test]
+fn megascale_pinned_tenant_is_bit_identical_to_solo() {
+    if !megascale_enabled() {
+        eprintln!("skipping: set CELESTIAL_MEGASCALE=1 to run the 72×22 leg");
+        return;
+    }
+    for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+        let config = megascale_config(11, 10.0, mode, 1, false);
+        let solo = run_config(&config, Vec::new());
+        assert!(!solo.rtts_ms.is_empty(), "the solo run must observe traffic");
+        let pinned = run_fleet_config(&config, 4, 2, noise_faults());
+        assert_lockstep(&format!("megascale tenant 2/4 ({})", mode.name()), &solo, &pinned);
+    }
 }
