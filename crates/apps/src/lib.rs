@@ -15,6 +15,10 @@
 //!   location on Ford Island or directly on the satellites (Fig. 11).
 //! * [`workload`] — constant-bit-rate traffic sources and scenario
 //!   generators shared by both applications.
+//! * [`scenario`] — the scenario engine: composable workload blocks (CBR,
+//!   mobile, IoT, CDN, failover) expanded into thousands of generated
+//!   tenants with flow-level population aggregation, riding the
+//!   multi-tenant fan-out (`docs/SCENARIOS.md`).
 //!
 //! # Examples
 //!
@@ -32,8 +36,10 @@
 pub mod dart;
 pub mod lstm;
 pub mod meetup;
+pub mod scenario;
 pub mod workload;
 
 pub use dart::{DartConfig, DartDeployment, DartExperiment};
 pub use lstm::StackedLstm;
 pub use meetup::{BridgeDeployment, MeetupConfig, MeetupExperiment};
+pub use scenario::ScenarioTenant;

@@ -1,0 +1,453 @@
+//! The scenario engine: composable workload blocks expanded into generated
+//! tenant fleets (`docs/SCENARIOS.md`).
+//!
+//! The paper evaluates Celestial with exactly two hand-written guest
+//! applications (meetup §4, DART §5). The scenario engine generalises them: a
+//! `[scenario]` table composes reusable building blocks — CBR flows,
+//! handover-chasing mobile clients, bursty IoT fleets, CDN-style edge caches
+//! with origin fallback, and region-blackout failover consumers — into N
+//! generated tenants riding the multi-tenant fan-out
+//! (`Testbed::run_fleet`).
+//!
+//! Per-block populations are aggregated at **flow level** on the
+//! deterministic sim engine: each block accounts for its population's
+//! emissions in closed form ([`FlowPopulation`]) and puts one probe message
+//! per epoch window on the wire, so a tenant with a million simulated users
+//! costs the event queue no more than one with a hundred. All randomness
+//! comes from each tenant's own `SimRng::derive("scenario.<tenant>.<block>")`
+//! stream, which is what makes any generated scenario bit-reproducible
+//! across runs, thread counts and {sync, pipelined} × {global, sharded} —
+//! the paper's fig. 6 claim, generalised.
+
+use crate::workload::{CbrSource, MessageHeader};
+use celestial::config::{ScenarioBlock, ScenarioBlockKind, TestbedConfig};
+use celestial::testbed::{AppContext, GuestApplication};
+use celestial_netem::packet::Packet;
+use celestial_sim::flow::FlowPopulation;
+use celestial_sim::SimRng;
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use celestial_types::{Error, Result};
+
+/// Wire size floor for a probe message: the [`MessageHeader`] itself.
+const HEADER_BYTES: u64 = 21;
+
+/// One workload block instantiated inside one generated tenant.
+struct BlockRuntime {
+    /// The configured block this runtime instantiates.
+    spec: ScenarioBlock,
+    /// Effective block name (`<kind>-<index>` when unnamed).
+    name: String,
+    /// Station names after positional resolution ("" → first/last station).
+    source_name: String,
+    sink_name: String,
+    fallback_name: String,
+    /// Per-user CBR law, shared by the whole population.
+    cbr: CbrSource,
+    /// The population aggregated at flow level.
+    flow: FlowPopulation,
+    /// CDN hit ratio in integer permille, so the hit split is exact.
+    hit_permille: u64,
+    /// Derived RNG stream `scenario.<tenant>.<block>` (seeded in
+    /// `on_start`).
+    rng: Option<SimRng>,
+    /// Resolved node ids (in `on_start`).
+    source: Option<NodeId>,
+    sink: Option<NodeId>,
+    fallback: Option<NodeId>,
+    /// The mobile block's currently chased uplink satellite.
+    uplink: Option<NodeId>,
+    // Exact aggregate accounting, cumulative over the run.
+    events: u64,
+    bytes: u64,
+    bursts: u64,
+    handovers: u64,
+    hits: u64,
+    misses: u64,
+    failovers: u64,
+    probes_sent: u64,
+    deliveries: u64,
+}
+
+impl BlockRuntime {
+    fn new(spec: ScenarioBlock, index: usize, config: &TestbedConfig) -> Self {
+        let first = config.ground_stations.first().expect("validated: stations exist");
+        let last = config.ground_stations.last().expect("validated: stations exist");
+        let pick = |role: &str, default: &str| -> String {
+            if role.is_empty() { default.to_owned() } else { role.to_owned() }
+        };
+        let name = spec.effective_name(index);
+        let cbr = CbrSource::new(spec.bitrate_bps, spec.interval());
+        let flow = FlowPopulation::new(spec.population, spec.interval());
+        BlockRuntime {
+            name,
+            source_name: pick(&spec.source, &first.name),
+            sink_name: pick(&spec.sink, &last.name),
+            fallback_name: pick(&spec.fallback, &last.name),
+            cbr,
+            flow,
+            hit_permille: (spec.hit_ratio * 1_000.0).round() as u64,
+            spec,
+            rng: None,
+            source: None,
+            sink: None,
+            fallback: None,
+            uplink: None,
+            events: 0,
+            bytes: 0,
+            bursts: 0,
+            handovers: 0,
+            hits: 0,
+            misses: 0,
+            failovers: 0,
+            probes_sent: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// Accounts the window `(t0, t1]` for this block's population and puts
+    /// the window's probe message(s) on the wire.
+    fn emit_window(
+        &mut self,
+        index: usize,
+        t0: SimInstant,
+        t1: SimInstant,
+        ctx: &mut AppContext<'_>,
+    ) {
+        let mut events = self.flow.events_between(t0, t1);
+        // The IoT fleet draws exactly one burst decision per window, so the
+        // derived stream advances identically whether or not bursts land.
+        if self.spec.kind == ScenarioBlockKind::Iot {
+            let burst = self
+                .rng
+                .as_mut()
+                .expect("on_start derived the stream")
+                .chance(self.spec.burst_prob);
+            if burst && events > 0 {
+                events = events.saturating_mul(u64::from(self.spec.burst_factor));
+                self.bursts += 1;
+            }
+        }
+
+        // Exact aggregate byte accounting: the per-packet residual carry
+        // applied at the aggregate event index (see CbrSource).
+        let before = self.cbr.cumulative_bytes(self.events);
+        self.events += events;
+        let after = self.cbr.cumulative_bytes(self.events);
+        self.bytes += after - before;
+
+        let (Some(source), Some(sink), Some(fallback)) = (self.source, self.sink, self.fallback)
+        else {
+            return;
+        };
+
+        // Kind-specific routing of the window's aggregate flow.
+        let mut targets: Vec<NodeId> = Vec::with_capacity(2);
+        match self.spec.kind {
+            ScenarioBlockKind::Cbr | ScenarioBlockKind::Iot => {
+                if events > 0 {
+                    targets.push(sink);
+                }
+            }
+            ScenarioBlockKind::Mobile => {
+                // Chase handovers: re-pick the best uplink every epoch and
+                // count the switches.
+                let best = ctx.best_uplink(source);
+                if best != self.uplink {
+                    if self.uplink.is_some() {
+                        self.handovers += 1;
+                    }
+                    self.uplink = best;
+                }
+                if events > 0 {
+                    targets.push(best.unwrap_or(sink));
+                }
+            }
+            ScenarioBlockKind::Cdn => {
+                // Requests hit the edge cache (best uplink satellite) at the
+                // configured ratio; misses fall through to the origin. With
+                // no edge in view every request is a miss.
+                let edge = ctx.best_uplink(source);
+                let (hit_delta, miss_delta) = match edge {
+                    Some(_) => {
+                        let hits = events * self.hit_permille / 1_000;
+                        (hits, events - hits)
+                    }
+                    None => (0, events),
+                };
+                self.hits += hit_delta;
+                self.misses += miss_delta;
+                if hit_delta > 0 {
+                    targets.push(edge.expect("hits imply an edge"));
+                }
+                if miss_delta > 0 {
+                    targets.push(fallback);
+                }
+            }
+            ScenarioBlockKind::Failover => {
+                // Stream from the primary while it runs; fail over to the
+                // backup when the region is dark.
+                let target = if ctx.is_running(sink) {
+                    sink
+                } else {
+                    self.failovers += 1;
+                    fallback
+                };
+                if events > 0 {
+                    targets.push(target);
+                }
+            }
+        }
+
+        for target in targets {
+            let header = MessageHeader {
+                kind: self.spec.kind as u8,
+                origin: index as u32,
+                sent_at_micros: ctx.now().duration_since(SimInstant::EPOCH).as_micros(),
+                sequence: self.probes_sent,
+            };
+            let size = self.cbr.packet_size_for(self.probes_sent).max(HEADER_BYTES);
+            ctx.send(source, target, size, header.encode());
+            self.probes_sent += 1;
+        }
+    }
+
+    /// One journal fragment capturing everything this block observed.
+    fn journal_fragment(&self) -> String {
+        format!(
+            "{}[e={} B={} burst={} ho={} hit={} miss={} fo={} tx={} rx={}]",
+            self.name,
+            self.events,
+            self.bytes,
+            self.bursts,
+            self.handovers,
+            self.hits,
+            self.misses,
+            self.failovers,
+            self.probes_sent,
+            self.deliveries,
+        )
+    }
+}
+
+/// One generated tenant: every configured block, instantiated against the
+/// tenant's own derived RNG streams, journalling per-epoch observations.
+pub struct ScenarioTenant {
+    name: String,
+    blocks: Vec<BlockRuntime>,
+    last_window_end: SimInstant,
+    epochs: Vec<String>,
+    latencies_ms: Vec<f64>,
+}
+
+impl ScenarioTenant {
+    /// Generates the tenant at `index` of the configured scenario fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `config` carries no `[scenario]` table
+    /// or the index is out of range.
+    pub fn for_index(config: &TestbedConfig, index: u32) -> Result<Self> {
+        let scenario = config
+            .scenario
+            .as_ref()
+            .ok_or_else(|| Error::config("the configuration has no [scenario] table"))?;
+        if index >= scenario.tenants {
+            return Err(Error::config(format!(
+                "scenario tenant index {index} out of range (fleet has {})",
+                scenario.tenants
+            )));
+        }
+        let name = format!("scenario-{index:04}");
+        let blocks = scenario
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| BlockRuntime::new(spec.clone(), i, config))
+            .collect();
+        Ok(ScenarioTenant {
+            name,
+            blocks,
+            last_window_end: SimInstant::EPOCH,
+            epochs: Vec::new(),
+            latencies_ms: Vec::new(),
+        })
+    }
+
+    /// Generates the whole fleet, one tenant application per generated
+    /// tenant, in tenant-id order (ready for `Testbed::run_fleet`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `config` carries no `[scenario]`
+    /// table.
+    pub fn generate(config: &TestbedConfig) -> Result<Vec<Self>> {
+        let scenario = config
+            .scenario
+            .as_ref()
+            .ok_or_else(|| Error::config("the configuration has no [scenario] table"))?;
+        (0..scenario.tenants).map(|i| Self::for_index(config, i)).collect()
+    }
+
+    /// The generated tenant's name (`scenario-<index>`), which seeds its
+    /// derived RNG streams.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-epoch journal: one line per constellation update capturing
+    /// every block's cumulative counters and the programme state. Two runs
+    /// observed the same world exactly when their journals are
+    /// bit-identical.
+    pub fn journal(&self) -> &[String] {
+        &self.epochs
+    }
+
+    /// One-way delivery latencies of every probe received, in order.
+    pub fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+
+    /// Aggregate emissions accounted across all blocks (flow level).
+    pub fn total_events(&self) -> u64 {
+        self.blocks.iter().map(|b| b.events).sum()
+    }
+
+    /// Aggregate payload bytes accounted across all blocks.
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Probe messages delivered back to this tenant's machines.
+    pub fn deliveries(&self) -> u64 {
+        self.blocks.iter().map(|b| b.deliveries).sum()
+    }
+
+    /// Simulated users this tenant aggregates (the sum of block
+    /// populations).
+    pub fn users(&self) -> u64 {
+        self.blocks.iter().map(|b| b.spec.population).sum()
+    }
+}
+
+impl GuestApplication for ScenarioTenant {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        // Derive one independent stream per block. `derive` does not advance
+        // the parent, so blocks neither perturb each other nor the tenant's
+        // base stream — and the labels carry the tenant name, so every
+        // tenant behaves differently while staying bit-reproducible.
+        for block in &mut self.blocks {
+            let label = format!("scenario.{}.{}", self.name, block.name);
+            block.rng = Some(ctx.rng().derive(&label));
+            block.source = ctx.ground_station(&block.source_name);
+            block.sink = ctx.ground_station(&block.sink_name);
+            block.fallback = ctx.ground_station(&block.fallback_name);
+        }
+        self.last_window_end = ctx.now();
+    }
+
+    fn on_constellation_update(&mut self, ctx: &mut AppContext<'_>) {
+        let now = ctx.now();
+        let t0 = self.last_window_end;
+        self.last_window_end = now;
+        for index in 0..self.blocks.len() {
+            self.blocks[index].emit_window(index, t0, now, ctx);
+        }
+        let stats = ctx.database().programme_stats();
+        let fragments: Vec<String> = self.blocks.iter().map(BlockRuntime::journal_fragment).collect();
+        self.epochs.push(format!(
+            "t={:?} stats={:?} {}",
+            ctx.database().updated_at_seconds(),
+            stats.map(|s| (s.epoch, s.pairs, s.delta_ops)),
+            fragments.join(" "),
+        ));
+    }
+
+    fn on_message(&mut self, message: &Packet, ctx: &mut AppContext<'_>) {
+        let Some(header) = MessageHeader::decode(&message.payload) else {
+            return;
+        };
+        let Some(block) = self.blocks.get_mut(header.origin as usize) else {
+            return;
+        };
+        block.deliveries += 1;
+        let sent = SimInstant::from_micros(header.sent_at_micros);
+        self.latencies_ms
+            .push(ctx.now().duration_since(sent).as_millis_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celestial::config::ScenarioConfig;
+    use celestial_constellation::{BoundingBox, GroundStation, Shell};
+    use celestial_sgp4::WalkerShell;
+    use celestial_types::geo::Geodetic;
+
+    fn config(blocks: Vec<ScenarioBlock>, tenants: u32) -> TestbedConfig {
+        TestbedConfig::builder()
+            .seed(7)
+            .update_interval_s(1.0)
+            .duration_s(5.0)
+            .shell(Shell::from_walker(WalkerShell::new(550.0, 53.0, 12, 16)))
+            .ground_station(GroundStation::new("accra", Geodetic::new(5.6037, -0.187, 0.0)))
+            .ground_station(GroundStation::new("abuja", Geodetic::new(9.0765, 7.3986, 0.0)))
+            .bounding_box(BoundingBox::west_africa())
+            .scenario(ScenarioConfig { tenants, blocks })
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn generation_expands_every_tenant_with_every_block() {
+        let blocks = vec![
+            ScenarioBlock { population: 250, ..ScenarioBlock::default() },
+            ScenarioBlock {
+                kind: ScenarioBlockKind::Iot,
+                population: 750,
+                ..ScenarioBlock::default()
+            },
+        ];
+        let config = config(blocks, 16);
+        let fleet = ScenarioTenant::generate(&config).expect("generates");
+        assert_eq!(fleet.len(), 16);
+        assert_eq!(fleet[0].name(), "scenario-0000");
+        assert_eq!(fleet[15].name(), "scenario-0015");
+        for tenant in &fleet {
+            assert_eq!(tenant.users(), 1_000);
+            assert_eq!(tenant.blocks.len(), 2);
+        }
+        // Station roles resolve positionally: source → first, sink → last.
+        assert_eq!(fleet[0].blocks[0].source_name, "accra");
+        assert_eq!(fleet[0].blocks[0].sink_name, "abuja");
+        // Out-of-range indexes and scenario-less configs are rejected.
+        assert!(ScenarioTenant::for_index(&config, 16).is_err());
+        let mut plain = config.clone();
+        plain.scenario = None;
+        assert!(ScenarioTenant::generate(&plain).is_err());
+    }
+
+    #[test]
+    fn flow_accounting_scales_with_population_not_events() {
+        // A million-user block accounts a million users' emissions but puts
+        // only one probe per window on the wire.
+        let blocks = vec![ScenarioBlock {
+            population: 1_000_000,
+            interval_ms: 1_000.0,
+            ..ScenarioBlock::default()
+        }];
+        let config = config(blocks, 1);
+        let mut tenant = ScenarioTenant::for_index(&config, 0).expect("generates");
+        let flow = tenant.blocks[0].flow;
+        assert_eq!(
+            flow.events_between(SimInstant::EPOCH, SimInstant::from_millis(1_000)),
+            1_000_000
+        );
+        // The byte account follows the exact CBR law at the aggregate index.
+        let cbr = tenant.blocks[0].cbr;
+        tenant.blocks[0].events = 12_345;
+        tenant.blocks[0].bytes = cbr.cumulative_bytes(12_345);
+        assert_eq!(tenant.total_bytes(), cbr.cumulative_bytes(12_345));
+    }
+}

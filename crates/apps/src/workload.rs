@@ -2,9 +2,10 @@
 //! applications.
 
 use celestial_constellation::GroundStation;
+use celestial_sim::flow::cumulative_floor;
 use celestial_sim::SimRng;
 use celestial_types::geo::Geodetic;
-use celestial_types::time::SimDuration;
+use celestial_types::time::{SimDuration, SimInstant};
 use celestial_types::{Bandwidth, MachineResources};
 use serde::{Deserialize, Serialize};
 
@@ -31,18 +32,75 @@ impl CbrSource {
         CbrSource::new(2_600_000, SimDuration::from_millis(20))
     }
 
-    /// The size in bytes of each packet so that the configured bit rate is
-    /// met at the configured interval.
+    /// The *nominal* size in bytes of each packet so that the configured bit
+    /// rate is met at the configured interval, rounded to whole bytes.
+    ///
+    /// For rates where `bitrate·interval/8` is not integral the rounding
+    /// makes the delivered rate drift; use
+    /// [`packet_size_for`](Self::packet_size_for) for the exact per-packet
+    /// sizes that carry the rounding residual forward instead.
     pub fn packet_size_bytes(&self) -> u64 {
         (self.bitrate_bps as f64 * self.packet_interval.as_secs_f64() / 8.0).round() as u64
     }
 
-    /// Number of packets sent over the given duration.
-    pub fn packets_over(&self, duration: SimDuration) -> u64 {
+    /// Cumulative payload bytes carried by the first `packets` packets:
+    /// `⌊packets·bitrate·interval/8⌋`, exact in integer microsecond ticks.
+    ///
+    /// Successive differences of this prefix distribute the per-packet
+    /// rounding residual across the stream, so the delivered byte count never
+    /// deviates from the configured bit rate by as much as one byte at any
+    /// packet boundary — for *any* rate, not just ones where
+    /// `bitrate·interval/8` is integral.
+    pub fn cumulative_bytes(&self, packets: u64) -> u64 {
+        // bits per packet·1e6 = bitrate · interval_µs; bytes = /8 /1e6.
+        let num = self.bitrate_bps.saturating_mul(self.packet_interval.as_micros());
+        cumulative_floor(packets, num, 8_000_000)
+    }
+
+    /// The exact size in bytes of packet number `sequence` (0-based), sized
+    /// so that cumulative delivery tracks the configured bit rate without
+    /// drift (see [`cumulative_bytes`](Self::cumulative_bytes)).
+    pub fn packet_size_for(&self, sequence: u64) -> u64 {
+        self.cumulative_bytes(sequence + 1) - self.cumulative_bytes(sequence)
+    }
+
+    /// Number of packets emitted up to and including time `t` by a source
+    /// that started at the epoch: `⌊t/interval⌋`.
+    pub fn packets_before(&self, t: SimInstant) -> u64 {
         if self.packet_interval.is_zero() {
             return 0;
         }
-        duration.as_micros() / self.packet_interval.as_micros()
+        t.duration_since(SimInstant::EPOCH).as_micros() / self.packet_interval.as_micros()
+    }
+
+    /// Number of packets emitted inside the window `(t0, t1]`, carrying the
+    /// source's phase across window boundaries: `⌊t1/ivl⌋ − ⌊t0/ivl⌋`.
+    ///
+    /// Unlike truncating each window independently, these counts telescope —
+    /// summing over any partition of a run equals the one-shot count, even
+    /// when the interval does not divide the window (e.g. 30 ms packets
+    /// observed in 1 s epochs). Returns 0 when `t1 <= t0`.
+    pub fn packets_between(&self, t0: SimInstant, t1: SimInstant) -> u64 {
+        if t1 <= t0 {
+            return 0;
+        }
+        self.packets_before(t1) - self.packets_before(t0)
+    }
+
+    /// Payload bytes delivered inside the window `(t0, t1]` under the exact
+    /// accounting of [`cumulative_bytes`](Self::cumulative_bytes).
+    pub fn bytes_between(&self, t0: SimInstant, t1: SimInstant) -> u64 {
+        if t1 <= t0 {
+            return 0;
+        }
+        self.cumulative_bytes(self.packets_before(t1))
+            - self.cumulative_bytes(self.packets_before(t0))
+    }
+
+    /// Number of packets sent over the given duration by a source starting
+    /// at phase zero (equivalent to `packets_between(EPOCH, EPOCH+duration)`).
+    pub fn packets_over(&self, duration: SimDuration) -> u64 {
+        self.packets_before(SimInstant::EPOCH + duration)
     }
 }
 
@@ -133,11 +191,18 @@ fn random_pacific_position(rng: &mut SimRng) -> Geodetic {
 /// Assigns each buoy the `group_size` nearest sinks (by great-circle
 /// distance), the "ships and islands in the vicinity of the sensor" of the
 /// paper's §5 scenario.
+///
+/// The function is total: `group_size` is clamped to the number of sinks (a
+/// generated block may ask for a larger vicinity than the fleet offers, and
+/// gets every sink, nearest first), an empty sink set yields empty groups,
+/// and NaN distances (degenerate generated positions) order after all finite
+/// distances via [`f64::total_cmp`] instead of panicking.
 pub fn assign_sink_groups(
     buoys: &[Geodetic],
     sinks: &[Geodetic],
     group_size: usize,
 ) -> Vec<Vec<usize>> {
+    let take = group_size.min(sinks.len());
     buoys
         .iter()
         .map(|buoy| {
@@ -146,8 +211,8 @@ pub fn assign_sink_groups(
                 .enumerate()
                 .map(|(i, sink)| (i, buoy.great_circle_distance_km(sink)))
                 .collect();
-            by_distance.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"));
-            by_distance.into_iter().take(group_size).map(|(i, _)| i).collect()
+            by_distance.sort_by(|a, b| a.1.total_cmp(&b.1));
+            by_distance.into_iter().take(take).map(|(i, _)| i).collect()
         })
         .collect()
 }
@@ -163,6 +228,105 @@ mod tests {
         assert_eq!(stream.packets_over(SimDuration::from_secs(1)), 50);
         // 50 packets of 6,500 bytes per second is 2.6 Mb/s.
         assert_eq!(stream.packet_size_bytes() * 50 * 8, 2_600_000);
+    }
+
+    #[test]
+    fn windowed_packet_counts_equal_the_one_shot_count() {
+        // 30 ms does not divide the 1 s window: the old per-window
+        // truncation (`window/interval`) lost a fractional packet every
+        // window (33·100 = 3,300), while the whole run holds 3,333.
+        let source = CbrSource::new(1_000_000, SimDuration::from_millis(30));
+        let horizon = SimDuration::from_secs(100);
+        let total = source.packets_over(horizon);
+        assert_eq!(total, 3_333);
+        let mut summed = 0;
+        let mut windows = Vec::new();
+        for s in 0..100 {
+            let t0 = SimInstant::EPOCH + SimDuration::from_secs(s);
+            let t1 = SimInstant::EPOCH + SimDuration::from_secs(s + 1);
+            let n = source.packets_between(t0, t1);
+            windows.push(n);
+            summed += n;
+        }
+        assert_eq!(summed, total, "window sums must equal the one-shot count");
+        // The phase carry shows up as unequal window counts (33 vs 34).
+        assert!(windows.contains(&33) && windows.contains(&34));
+        // Telescoping holds for irregular partitions too.
+        let cuts = [0_u64, 7, 1_204, 29_999, 30_000, 65_432, 100_000];
+        let pieces: u64 = cuts
+            .windows(2)
+            .map(|w| {
+                source.packets_between(
+                    SimInstant::from_millis(w[0]),
+                    SimInstant::from_millis(w[1]),
+                )
+            })
+            .sum();
+        assert_eq!(pieces, total);
+        // Degenerate windows and intervals are total.
+        let t = SimInstant::from_millis(500);
+        assert_eq!(source.packets_between(t, t), 0);
+        let frozen = CbrSource::new(1_000, SimDuration::ZERO);
+        assert_eq!(frozen.packets_over(SimDuration::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn exact_byte_accounting_matches_the_bitrate_for_awkward_rates() {
+        // Rates where bitrate·interval/8 is not integral: a fixed rounded
+        // packet size drifts, the cumulative-floor accounting must not.
+        let awkward = [
+            CbrSource::new(1_000_003, SimDuration::from_millis(30)),
+            CbrSource::new(88_000, SimDuration::from_millis(7)),
+            CbrSource::new(64_123, SimDuration::from_millis(333)),
+            CbrSource::new(999_999, SimDuration::from_millis(1)),
+            CbrSource::paper_video_stream(),
+        ];
+        for source in awkward {
+            let packets = source.packets_over(SimDuration::from_secs(100));
+            // The prefix never deviates from the ideal rate by a full byte,
+            // at any packet boundary.
+            for k in [0, 1, 2, 3, packets / 2, packets.saturating_sub(1), packets] {
+                let ideal =
+                    k as f64 * source.bitrate_bps as f64 * source.packet_interval.as_secs_f64()
+                        / 8.0;
+                let got = source.cumulative_bytes(k) as f64;
+                assert!(
+                    (got - ideal).abs() < 1.0,
+                    "{} bps / {:?}: cumulative drift {} bytes after {k} packets",
+                    source.bitrate_bps,
+                    source.packet_interval,
+                    got - ideal,
+                );
+            }
+            // Per-packet sizes telescope to the cumulative total and differ
+            // by at most one byte from each other.
+            let sizes: Vec<u64> = (0..packets.min(10_000)).map(|k| source.packet_size_for(k)).collect();
+            let span = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
+            assert!(span <= 1, "packet sizes vary by more than the residual byte");
+            assert_eq!(
+                sizes.iter().sum::<u64>(),
+                source.cumulative_bytes(packets.min(10_000)),
+            );
+            // Windowed byte accounting telescopes like the packet counts.
+            let mut summed = 0;
+            for s in 0..100 {
+                summed += source.bytes_between(
+                    SimInstant::EPOCH + SimDuration::from_secs(s),
+                    SimInstant::EPOCH + SimDuration::from_secs(s + 1),
+                );
+            }
+            assert_eq!(summed, source.cumulative_bytes(packets));
+        }
+        // The paper's lucky rate stays bit-for-bit what it always was.
+        let paper = CbrSource::paper_video_stream();
+        assert_eq!(paper.packet_size_for(0), 6_500);
+        assert_eq!(paper.packet_size_for(49), 6_500);
+        // An awkward rate demonstrates the bug the fix removes: the rounded
+        // fixed size drifts by >1 byte per second against the exact account.
+        let drifty = CbrSource::new(1_000_003, SimDuration::from_millis(30));
+        let rounded_total = drifty.packet_size_bytes() * drifty.packets_over(SimDuration::from_secs(100));
+        let exact_total = drifty.cumulative_bytes(drifty.packets_over(SimDuration::from_secs(100)));
+        assert!(rounded_total != exact_total, "the awkward rate must exercise the residual");
     }
 
     #[test]
@@ -223,5 +387,31 @@ mod tests {
         assert_eq!(groups[0].len(), 2);
         assert!(groups[0].contains(&0));
         assert!(groups[0].contains(&2));
+    }
+
+    #[test]
+    fn sink_groups_are_total_for_degenerate_inputs() {
+        let buoys = vec![Geodetic::new(0.0, 180.0, 0.0), Geodetic::new(10.0, 170.0, 0.0)];
+        let sinks = vec![Geodetic::new(0.0, 179.0, 0.0), Geodetic::new(5.0, 175.0, 0.0)];
+        // Oversized groups clamp to the whole sink set, nearest first.
+        let groups = assign_sink_groups(&buoys, &sinks, 10);
+        assert_eq!(groups.len(), 2);
+        for group in &groups {
+            assert_eq!(group.len(), 2, "clamped to every sink");
+        }
+        assert_eq!(groups[0][0], 0, "nearest sink still leads the group");
+        // No sinks: every buoy gets an empty vicinity instead of a panic.
+        let empty = assign_sink_groups(&buoys, &[], 3);
+        assert_eq!(empty, vec![Vec::<usize>::new(), Vec::new()]);
+        // No buoys: no groups.
+        assert!(assign_sink_groups(&[], &sinks, 3).is_empty());
+        // A NaN distance (degenerate generated position) orders last rather
+        // than panicking the sort.
+        let degenerate = vec![
+            Geodetic::new(f64::NAN, 180.0, 0.0),
+            Geodetic::new(0.0, 179.0, 0.0),
+        ];
+        let groups = assign_sink_groups(&buoys[..1], &degenerate, 2);
+        assert_eq!(groups[0], vec![1, 0], "NaN distance sorts after finite ones");
     }
 }

@@ -89,6 +89,11 @@ pub struct TestbedConfig {
     /// parameter choice, so this tunes cost, never results (see
     /// `docs/MEGASCALE.md`).
     pub paths: Option<PathsConfig>,
+    /// Generated tenant fleet (`[scenario]` plus `[[scenario.block]]` in
+    /// TOML): composable workload blocks expanded into N generated tenants
+    /// riding the multi-tenant fan-out, with populations aggregated at flow
+    /// level. Mutually exclusive with `[tenants]` (see `docs/SCENARIOS.md`).
+    pub scenario: Option<ScenarioConfig>,
 }
 
 /// The `[paths]` section: parameters of the scale-aware solve scope (see
@@ -197,9 +202,9 @@ impl TenantsConfig {
                 "tenants count must be at least 1 (see docs/TENANTS.md)",
             ));
         }
-        if self.count > 256 {
+        if self.count > 4096 {
             return Err(Error::config(format!(
-                "tenants count must be at most 256, got {} (see docs/TENANTS.md)",
+                "tenants count must be at most 4096, got {} (see docs/TENANTS.md)",
                 self.count
             )));
         }
@@ -218,6 +223,225 @@ impl TenantsConfig {
             }
             if !seen.insert(name.as_str()) {
                 return Err(Error::config(format!("duplicate tenant name '{name}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The kinds of reusable workload blocks a `[[scenario.block]]` may select
+/// (see `docs/SCENARIOS.md` for the behaviour of each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioBlockKind {
+    /// Constant-bit-rate flows from a source to a sink ground station.
+    Cbr,
+    /// Handover-chasing mobile clients streaming through the currently best
+    /// uplink satellite of their ground station.
+    Mobile,
+    /// A bursty IoT fleet (DART-style): baseline readings with
+    /// seed-deterministic burst windows multiplying the emission rate.
+    Iot,
+    /// A CDN-style edge cache: requests served from the best uplink
+    /// satellite at the configured hit ratio, misses falling back to the
+    /// origin ground station.
+    Cdn,
+    /// Region-blackout failover consumers: stream from the primary sink
+    /// while it runs, fail over to the backup when it is down.
+    Failover,
+}
+
+impl ScenarioBlockKind {
+    /// All block kinds, in documentation order.
+    pub const ALL: [ScenarioBlockKind; 5] = [
+        ScenarioBlockKind::Cbr,
+        ScenarioBlockKind::Mobile,
+        ScenarioBlockKind::Iot,
+        ScenarioBlockKind::Cdn,
+        ScenarioBlockKind::Failover,
+    ];
+
+    /// The TOML name of the kind (`kind = "..."`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioBlockKind::Cbr => "cbr",
+            ScenarioBlockKind::Mobile => "mobile",
+            ScenarioBlockKind::Iot => "iot",
+            ScenarioBlockKind::Cdn => "cdn",
+            ScenarioBlockKind::Failover => "failover",
+        }
+    }
+}
+
+/// One `[[scenario.block]]`: a reusable workload building block replicated
+/// into every generated tenant (see `docs/SCENARIOS.md`).
+///
+/// Station roles are names from the `[[ground-station]]` list; the empty
+/// string resolves positionally (source → first station, sink and fallback →
+/// last station), so a minimal block needs no explicit wiring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioBlock {
+    /// Which workload the block runs (`kind`).
+    pub kind: ScenarioBlockKind,
+    /// Block name (`name`), seeding the block's derived RNG stream
+    /// `scenario.<tenant>.<block>`; empty derives `<kind>-<index>`.
+    pub name: String,
+    /// Number of simulated users aggregated at flow level (`population`).
+    pub population: u64,
+    /// Ground station the users attach to (`source`).
+    pub source: String,
+    /// Primary destination ground station (`sink`).
+    pub sink: String,
+    /// CDN origin / failover backup ground station (`fallback`).
+    pub fallback: String,
+    /// Per-user bit rate in bits per second (`bitrate-bps`).
+    pub bitrate_bps: u64,
+    /// Per-user emission interval in milliseconds (`interval-ms`).
+    pub interval_ms: f64,
+    /// Fraction of CDN requests served at the edge (`hit-ratio`, in [0, 1]).
+    pub hit_ratio: f64,
+    /// Probability an IoT window bursts (`burst-prob`, in [0, 1]).
+    pub burst_prob: f64,
+    /// Emission-rate multiplier inside an IoT burst (`burst-factor`).
+    pub burst_factor: u32,
+}
+
+impl Default for ScenarioBlock {
+    fn default() -> Self {
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Cbr,
+            name: String::new(),
+            population: 100,
+            source: String::new(),
+            sink: String::new(),
+            fallback: String::new(),
+            bitrate_bps: 2_600_000,
+            interval_ms: 1_000.0,
+            hit_ratio: 0.9,
+            burst_prob: 0.1,
+            burst_factor: 10,
+        }
+    }
+}
+
+impl ScenarioBlock {
+    /// The per-user emission interval, rounded to whole microseconds (the
+    /// sim's tick), which is what keeps flow accounting exactly integral.
+    pub fn interval(&self) -> celestial_types::time::SimDuration {
+        celestial_types::time::SimDuration::from_micros((self.interval_ms * 1_000.0).round() as u64)
+    }
+
+    /// The block's effective name: `name`, or `<kind>-<index>` when empty.
+    pub fn effective_name(&self, index: usize) -> String {
+        if self.name.is_empty() {
+            format!("{}-{index}", self.kind.name())
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+/// The `[scenario]` section: a generator expanding composable workload
+/// blocks into a fleet of generated tenants (see `docs/SCENARIOS.md`).
+///
+/// Every generated tenant runs every block; per-block populations are
+/// aggregated at flow level on the deterministic engine, so thousands of
+/// tenants with millions of aggregate users stay affordable and
+/// bit-reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of generated tenants sharing the epoch pipeline (`tenants`).
+    pub tenants: u32,
+    /// The workload blocks every tenant is composed of
+    /// (`[[scenario.block]]`).
+    pub blocks: Vec<ScenarioBlock>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            tenants: 1,
+            blocks: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The generated tenant names, indexed by tenant id:
+    /// `scenario-0000..scenario-{tenants-1}`.
+    pub fn tenant_names(&self) -> Vec<String> {
+        (0..self.tenants).map(|i| format!("scenario-{i:04}")).collect()
+    }
+
+    /// Simulated users per generated tenant (the sum of block populations).
+    pub fn users_per_tenant(&self) -> u64 {
+        self.blocks.iter().map(|b| b.population).sum()
+    }
+
+    /// Aggregate simulated users across the whole generated fleet.
+    pub fn aggregate_users(&self) -> u64 {
+        u64::from(self.tenants) * self.users_per_tenant()
+    }
+
+    /// Validates the scenario parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero or oversized tenant count, an
+    /// empty block list, out-of-range block parameters, or duplicate block
+    /// names.
+    pub fn validate(&self) -> Result<()> {
+        if self.tenants < 1 {
+            return Err(Error::config(
+                "scenario tenants must be at least 1 (see docs/SCENARIOS.md)",
+            ));
+        }
+        if self.tenants > 4096 {
+            return Err(Error::config(format!(
+                "scenario tenants must be at most 4096, got {} (see docs/SCENARIOS.md)",
+                self.tenants
+            )));
+        }
+        if self.blocks.is_empty() {
+            return Err(Error::config(
+                "a scenario needs at least one [[scenario.block]] (see docs/SCENARIOS.md)",
+            ));
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for (index, block) in self.blocks.iter().enumerate() {
+            let name = block.effective_name(index);
+            if !names.insert(name.clone()) {
+                return Err(Error::config(format!(
+                    "duplicate scenario block name '{name}' (block names seed RNG \
+                     streams and must be unique; see docs/SCENARIOS.md)"
+                )));
+            }
+            if block.population < 1 {
+                return Err(Error::config(format!(
+                    "scenario block '{name}' population must be at least 1"
+                )));
+            }
+            if block.bitrate_bps < 1 {
+                return Err(Error::config(format!(
+                    "scenario block '{name}' bitrate-bps must be at least 1"
+                )));
+            }
+            if !(block.interval_ms > 0.0 && block.interval_ms.is_finite()) {
+                return Err(Error::config(format!(
+                    "scenario block '{name}' interval-ms must be positive and finite, got {}",
+                    block.interval_ms
+                )));
+            }
+            for (key, value) in [("hit-ratio", block.hit_ratio), ("burst-prob", block.burst_prob)] {
+                if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                    return Err(Error::config(format!(
+                        "scenario block '{name}' {key} must be in [0, 1], got {value}"
+                    )));
+                }
+            }
+            if block.burst_factor < 1 {
+                return Err(Error::config(format!(
+                    "scenario block '{name}' burst-factor must be at least 1"
+                )));
             }
         }
         Ok(())
@@ -396,6 +620,7 @@ impl Default for TestbedConfig {
             serve: None,
             tenants: None,
             paths: None,
+            scenario: None,
         }
     }
 }
@@ -639,6 +864,25 @@ impl TestbedConfig {
                 names,
             });
         }
+        if let Some(scenario) = table.get("scenario").and_then(|v| v.as_table()) {
+            let defaults = ScenarioConfig::default();
+            let tenants = match scenario.get_i64("tenants") {
+                Some(n) if n < 1 => {
+                    return Err(Error::config(
+                        "scenario tenants must be at least 1 (see docs/SCENARIOS.md)",
+                    ));
+                }
+                Some(n) => n as u32,
+                None => defaults.tenants,
+            };
+            let mut blocks = Vec::new();
+            if let Some(list) = scenario.get("block").and_then(|v| v.as_table_array()) {
+                for block in list {
+                    blocks.push(parse_scenario_block(block)?);
+                }
+            }
+            config.scenario = Some(ScenarioConfig { tenants, blocks });
+        }
         if let Some(hosts) = table.get("host").and_then(|v| v.as_table_array()) {
             config.hosts = hosts
                 .iter()
@@ -705,6 +949,32 @@ impl TestbedConfig {
         if let Some(paths) = &self.paths {
             paths.validate()?;
         }
+        if let Some(scenario) = &self.scenario {
+            scenario.validate()?;
+            if self.tenants.is_some() {
+                return Err(Error::config(
+                    "use either a [scenario] generator or a [tenants] fan-out, not both \
+                     (the scenario generates its own tenant fleet; see docs/SCENARIOS.md)",
+                ));
+            }
+            if self.ground_stations.is_empty() {
+                return Err(Error::config(
+                    "a scenario needs at least one ground station to attach its blocks to \
+                     (see docs/SCENARIOS.md)",
+                ));
+            }
+            for (index, block) in scenario.blocks.iter().enumerate() {
+                for role in [&block.source, &block.sink, &block.fallback] {
+                    if !role.is_empty() && !self.ground_stations.iter().any(|g| &g.name == role) {
+                        return Err(Error::config(format!(
+                            "scenario block '{}' references unknown ground station '{role}' \
+                             (see docs/SCENARIOS.md)",
+                            block.effective_name(index)
+                        )));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -747,6 +1017,53 @@ fn parse_shell(table: &TomlTable) -> Result<Shell> {
     let memory = table.get_i64("memory-mib").unwrap_or(512) as u64;
     shell = shell.with_resources(MachineResources::new(vcpus, memory));
     Ok(shell)
+}
+
+fn parse_scenario_block(table: &TomlTable) -> Result<ScenarioBlock> {
+    let defaults = ScenarioBlock::default();
+    let kind = match table.get_str("kind") {
+        Some(text) => ScenarioBlockKind::ALL
+            .iter()
+            .find(|k| k.name() == text)
+            .copied()
+            .ok_or_else(|| {
+                let expected: Vec<String> = ScenarioBlockKind::ALL
+                    .iter()
+                    .map(|k| format!("\"{}\"", k.name()))
+                    .collect();
+                Error::config(format!(
+                    "unknown scenario block kind \"{text}\"; expected one of {} \
+                     (see docs/SCENARIOS.md)",
+                    expected.join(", ")
+                ))
+            })?,
+        None => defaults.kind,
+    };
+    let nonneg = |key: &str, default: u64| -> Result<u64> {
+        match table.get_i64(key) {
+            Some(n) if n < 0 => Err(Error::config(format!(
+                "scenario block {key} must be non-negative"
+            ))),
+            Some(n) => Ok(n as u64),
+            None => Ok(default),
+        }
+    };
+    let station = |key: &str, default: &str| -> String {
+        table.get_str(key).unwrap_or(default).to_owned()
+    };
+    Ok(ScenarioBlock {
+        kind,
+        name: station("name", &defaults.name),
+        population: nonneg("population", defaults.population)?,
+        source: station("source", &defaults.source),
+        sink: station("sink", &defaults.sink),
+        fallback: station("fallback", &defaults.fallback),
+        bitrate_bps: nonneg("bitrate-bps", defaults.bitrate_bps)?,
+        interval_ms: table.get_f64("interval-ms").unwrap_or(defaults.interval_ms),
+        hit_ratio: table.get_f64("hit-ratio").unwrap_or(defaults.hit_ratio),
+        burst_prob: table.get_f64("burst-prob").unwrap_or(defaults.burst_prob),
+        burst_factor: nonneg("burst-factor", u64::from(defaults.burst_factor))? as u32,
+    })
 }
 
 fn parse_ground_station(table: &TomlTable) -> Result<GroundStation> {
@@ -898,6 +1215,13 @@ impl TestbedConfigBuilder {
             count,
             names: Vec::new(),
         });
+        self
+    }
+
+    /// Generates a tenant fleet from composable workload blocks (see
+    /// `docs/SCENARIOS.md`).
+    pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.config.scenario = Some(scenario);
         self
     }
 
@@ -1270,7 +1594,7 @@ min-elevation-deg = 30.0
                      planes = 2\nsatellites-per-plane = 4\n";
         for bad in [
             "[tenants]\ncount = 0\n",
-            "[tenants]\ncount = 300\n",
+            "[tenants]\ncount = 5000\n",
             "[tenants]\ncount = 2\nnames = [\"only\"]\n",
             "[tenants]\ncount = 2\nnames = [\"twin\", \"twin\"]\n",
             "[tenants]\ncount = 1\nnames = [\"\"]\n",
@@ -1284,6 +1608,82 @@ min-elevation-deg = 30.0
                 "accepted invalid tenant config {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn scenario_section_parses_with_defaults_and_overrides() {
+        let shell = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                     planes = 2\nsatellites-per-plane = 4\n\
+                     [[ground-station]]\nname = \"accra\"\nlat = 5.6\nlon = -0.19\n\
+                     [[ground-station]]\nname = \"abuja\"\nlat = 9.08\nlon = 7.4\n";
+        let toml = format!(
+            "{shell}\n[scenario]\ntenants = 8\n\n\
+             [[scenario.block]]\nkind = \"cbr\"\npopulation = 250\n\n\
+             [[scenario.block]]\nkind = \"iot\"\nname = \"buoys\"\nburst-prob = 0.25\n\
+             source = \"abuja\"\nsink = \"accra\"\n"
+        );
+        let config = TestbedConfig::from_toml(&toml).expect("parses");
+        let scenario = config.scenario.clone().expect("[scenario] enables the generator");
+        assert_eq!(scenario.tenants, 8);
+        assert_eq!(scenario.blocks.len(), 2);
+        assert_eq!(scenario.blocks[0].kind, ScenarioBlockKind::Cbr);
+        assert_eq!(scenario.blocks[0].population, 250);
+        assert_eq!(scenario.blocks[0].effective_name(0), "cbr-0");
+        // Unspecified keys keep the documented defaults.
+        let defaults = ScenarioBlock::default();
+        assert_eq!(scenario.blocks[0].bitrate_bps, defaults.bitrate_bps);
+        assert_eq!(scenario.blocks[0].interval_ms, defaults.interval_ms);
+        assert_eq!(scenario.blocks[1].kind, ScenarioBlockKind::Iot);
+        assert_eq!(scenario.blocks[1].effective_name(1), "buoys");
+        assert_eq!(scenario.blocks[1].burst_prob, 0.25);
+        assert_eq!(scenario.blocks[1].source, "abuja");
+        assert_eq!(scenario.users_per_tenant(), 350);
+        assert_eq!(scenario.aggregate_users(), 8 * 350);
+        assert_eq!(scenario.tenant_names()[7], "scenario-0007");
+        // A scenario config round-trips through serde.
+        let json = serde_json::to_string(&config).expect("serializes");
+        let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(config, back);
+        // No [scenario] section → no generated fleet.
+        let plain = TestbedConfig::from_toml(shell).expect("parses");
+        assert!(plain.scenario.is_none());
+    }
+
+    #[test]
+    fn invalid_scenario_configurations_are_rejected() {
+        let shell = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                     planes = 2\nsatellites-per-plane = 4\n\
+                     [[ground-station]]\nname = \"accra\"\nlat = 5.6\nlon = -0.19\n";
+        for bad in [
+            // No blocks at all.
+            "[scenario]\ntenants = 4\n",
+            // Tenant count out of range.
+            "[scenario]\ntenants = 0\n\n[[scenario.block]]\nkind = \"cbr\"\n",
+            "[scenario]\ntenants = 5000\n\n[[scenario.block]]\nkind = \"cbr\"\n",
+            // Unknown kind, bad parameters, duplicate names.
+            "[[scenario.block]]\nkind = \"warp\"\n",
+            "[[scenario.block]]\npopulation = 0\n",
+            "[[scenario.block]]\ninterval-ms = 0.0\n",
+            "[[scenario.block]]\nhit-ratio = 1.5\n",
+            "[[scenario.block]]\nburst-prob = -0.1\n",
+            "[[scenario.block]]\nburst-factor = 0\n",
+            "[[scenario.block]]\nname = \"twin\"\n\n[[scenario.block]]\nname = \"twin\"\n",
+            // Unknown ground-station reference.
+            "[[scenario.block]]\nsource = \"nowhere\"\n",
+            // Mutually exclusive with the [tenants] fan-out.
+            "[tenants]\ncount = 2\n\n[[scenario.block]]\nkind = \"cbr\"\n",
+        ] {
+            let toml = format!("{shell}\n{bad}");
+            assert!(
+                TestbedConfig::from_toml(&toml).is_err(),
+                "accepted invalid scenario config {bad:?}"
+            );
+        }
+        // A scenario without ground stations cannot attach its blocks.
+        let no_stations = "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\n\
+                           planes = 2\nsatellites-per-plane = 4\n\n\
+                           [[scenario.block]]\nkind = \"cbr\"\n";
+        assert!(TestbedConfig::from_toml(no_stations).is_err());
     }
 
     #[test]

@@ -648,11 +648,18 @@ impl Testbed {
         // coordinator partitions its programme with the same plan the
         // emulation places machines with, so each host's slice is complete.
         let shard_plan = config.shards.map(ShardPlan::new);
-        let tenant_names: Vec<String> = config
-            .tenants
-            .as_ref()
-            .map(|t| t.tenant_names())
-            .unwrap_or_else(|| vec!["tenant-0".to_owned()]);
+        // A [scenario] generates its own tenant fleet (scenario-0000..N,
+        // mutually exclusive with [tenants] — enforced by validation);
+        // otherwise the [tenants] fan-out or a solo tenant applies.
+        let tenant_names: Vec<String> = if let Some(scenario) = &config.scenario {
+            scenario.tenant_names()
+        } else {
+            config
+                .tenants
+                .as_ref()
+                .map(|t| t.tenant_names())
+                .unwrap_or_else(|| vec!["tenant-0".to_owned()])
+        };
         let mut coordinator = Coordinator::with_scoped_fanout(
             constellation,
             SimDuration::from_secs_f64(config.update_interval_s),

@@ -4,8 +4,10 @@
 //! Celestial passes all experiment parameters in a single TOML file to limit
 //! side effects and ensure repeatable testing (§3.1). The subset supported
 //! here covers what such configuration files need: top-level key/value pairs,
-//! `[tables]`, `[[arrays of tables]]`, strings, integers, floats, booleans
-//! and flat arrays. Nested inline tables and dotted keys are not supported.
+//! `[tables]`, `[[arrays of tables]]`, dotted section names one or more
+//! levels deep (`[[scenario.block]]` nests under the `scenario` table,
+//! creating it implicitly if needed), strings, integers, floats, booleans
+//! and flat arrays. Inline tables and dotted *keys* are not supported.
 
 use celestial_types::{Error, Result};
 use std::collections::BTreeMap;
@@ -100,8 +102,12 @@ impl TomlValue {
 pub fn parse(input: &str) -> Result<TomlTable> {
     let mut root: TomlTable = BTreeMap::new();
     // Path of the table currently being filled: None = root, otherwise the
-    // section name and whether it is an array-of-tables element.
-    let mut current_section: Option<(String, bool)> = None;
+    // dot-separated section path and whether it is an array-of-tables
+    // element.
+    let mut current_section: Option<(Vec<String>, bool)> = None;
+    // Explicit `[name]` headers already seen, to reject duplicates while
+    // still allowing tables created implicitly by dotted children.
+    let mut declared: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
 
     for (line_no, raw_line) in input.lines().enumerate() {
         let line = strip_comment(raw_line).trim();
@@ -109,10 +115,12 @@ pub fn parse(input: &str) -> Result<TomlTable> {
             continue;
         }
         if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
-            let name = name.trim().to_owned();
-            validate_section_name(&name, line_no)?;
-            match root
-                .entry(name.clone())
+            let name = name.trim();
+            let path = section_path(name, line_no)?;
+            let parent = open_parent(&mut root, &path, line_no)?;
+            let last = path.last().expect("section paths are non-empty");
+            match parent
+                .entry(last.clone())
                 .or_insert_with(|| TomlValue::TableArray(Vec::new()))
             {
                 TomlValue::TableArray(tables) => tables.push(BTreeMap::new()),
@@ -123,18 +131,31 @@ pub fn parse(input: &str) -> Result<TomlTable> {
                     )))
                 }
             }
-            current_section = Some((name, true));
+            current_section = Some((path, true));
         } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            let name = name.trim().to_owned();
-            validate_section_name(&name, line_no)?;
-            if root.contains_key(&name) {
+            let name = name.trim();
+            let path = section_path(name, line_no)?;
+            if !declared.insert(path.join(".")) {
                 return Err(Error::config(format!(
                     "line {}: table '{name}' defined twice",
                     line_no + 1
                 )));
             }
-            root.insert(name.clone(), TomlValue::Table(BTreeMap::new()));
-            current_section = Some((name, false));
+            let parent = open_parent(&mut root, &path, line_no)?;
+            let last = path.last().expect("section paths are non-empty");
+            match parent
+                .entry(last.clone())
+                .or_insert_with(|| TomlValue::Table(BTreeMap::new()))
+            {
+                TomlValue::Table(_) => {}
+                _ => {
+                    return Err(Error::config(format!(
+                        "line {}: '{name}' is already defined as an array of tables",
+                        line_no + 1
+                    )))
+                }
+            }
+            current_section = Some((path, false));
         } else if let Some((key, value)) = line.split_once('=') {
             let key = key.trim().to_owned();
             if key.is_empty() {
@@ -143,13 +164,7 @@ pub fn parse(input: &str) -> Result<TomlTable> {
             let value = parse_value(value.trim(), line_no)?;
             let target: &mut TomlTable = match &current_section {
                 None => &mut root,
-                Some((name, is_array)) => match root.get_mut(name) {
-                    Some(TomlValue::Table(t)) if !is_array => t,
-                    Some(TomlValue::TableArray(tables)) if *is_array => {
-                        tables.last_mut().expect("section header pushed a table")
-                    }
-                    _ => unreachable!("section bookkeeping is consistent"),
-                },
+                Some((path, _)) => open_section(&mut root, path),
             };
             if target.insert(key.clone(), value).is_some() {
                 return Err(Error::config(format!(
@@ -167,14 +182,66 @@ pub fn parse(input: &str) -> Result<TomlTable> {
     Ok(root)
 }
 
-fn validate_section_name(name: &str, line_no: usize) -> Result<()> {
-    if name.is_empty() || name.contains('.') || name.contains('[') || name.contains(']') {
+/// Splits a section header into its dot-separated path segments.
+fn section_path(name: &str, line_no: usize) -> Result<Vec<String>> {
+    let segments: Vec<String> = name.split('.').map(|s| s.trim().to_owned()).collect();
+    if name.is_empty()
+        || segments
+            .iter()
+            .any(|s| s.is_empty() || s.contains('[') || s.contains(']'))
+    {
         return Err(Error::config(format!(
             "line {}: unsupported section name '{name}'",
             line_no + 1
         )));
     }
-    Ok(())
+    Ok(segments)
+}
+
+/// Returns the table the section's *parent* path names, creating
+/// intermediate tables implicitly (so `[[scenario.block]]` may appear before
+/// any `[scenario]` header). Intermediate array-of-tables segments resolve to
+/// their most recent element, as in standard TOML.
+fn open_parent<'a>(
+    root: &'a mut TomlTable,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut TomlTable> {
+    let mut table = root;
+    for segment in &path[..path.len() - 1] {
+        let value = table
+            .entry(segment.clone())
+            .or_insert_with(|| TomlValue::Table(BTreeMap::new()));
+        table = match value {
+            TomlValue::Table(t) => t,
+            TomlValue::TableArray(tables) => {
+                tables.last_mut().expect("array headers always push an element")
+            }
+            _ => {
+                return Err(Error::config(format!(
+                    "line {}: '{segment}' is not a table",
+                    line_no + 1
+                )))
+            }
+        };
+    }
+    Ok(table)
+}
+
+/// Navigates to the table the current section header selected (the most
+/// recent element when a path segment is an array of tables).
+fn open_section<'a>(root: &'a mut TomlTable, path: &[String]) -> &'a mut TomlTable {
+    let mut table = root;
+    for segment in path {
+        table = match table.get_mut(segment).expect("section header inserted the path") {
+            TomlValue::Table(t) => t,
+            TomlValue::TableArray(tables) => {
+                tables.last_mut().expect("section header pushed a table")
+            }
+            _ => unreachable!("section bookkeeping is consistent"),
+        };
+    }
+    table
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -365,8 +432,49 @@ planes = 32
         assert!(parse("this is not toml").is_err());
         assert!(parse("key = ").is_err());
         assert!(parse("key = \"unterminated").is_err());
-        assert!(parse("[bad.name]\n").is_err());
+        assert!(parse("[bad..name]\n").is_err());
+        assert!(parse("[.bad]\n").is_err());
         assert!(parse("= 3").is_err());
+    }
+
+    #[test]
+    fn parses_dotted_sections_and_nested_table_arrays() {
+        let doc = r#"
+[scenario]
+tenants = 4
+
+[[scenario.block]]
+kind = "cbr"
+population = 100
+
+[[scenario.block]]
+kind = "iot"
+"#;
+        let table = parse(doc).expect("valid document");
+        let scenario = table["scenario"].as_table().expect("table");
+        assert_eq!(scenario.get_i64("tenants"), Some(4));
+        let blocks = scenario["block"].as_table_array().expect("table array");
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].get_str("kind"), Some("cbr"));
+        assert_eq!(blocks[0].get_i64("population"), Some(100));
+        assert_eq!(blocks[1].get_str("kind"), Some("iot"));
+    }
+
+    #[test]
+    fn dotted_sections_create_parents_implicitly_and_merge_later_headers() {
+        // The child appears before any [scenario] header; the parent table is
+        // created implicitly and a later explicit header fills the same table.
+        let doc = "[[scenario.block]]\nkind = \"cbr\"\n\n[scenario]\ntenants = 2\n";
+        let table = parse(doc).expect("valid document");
+        let scenario = table["scenario"].as_table().expect("table");
+        assert_eq!(scenario.get_i64("tenants"), Some(2));
+        assert_eq!(scenario["block"].as_table_array().unwrap().len(), 1);
+        // Duplicate explicit headers are still rejected.
+        assert!(parse("[a.b]\nx = 1\n[a.b]\ny = 2").is_err());
+        // A dotted child under a scalar is rejected.
+        assert!(parse("a = 1\n[[a.b]]\nx = 1").is_err());
+        // Table/array mixing is rejected at nested level too.
+        assert!(parse("[a.b]\nx = 1\n[[a.b]]\ny = 2").is_err());
     }
 
     #[test]

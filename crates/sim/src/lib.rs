@@ -8,6 +8,8 @@
 //! * [`event`] — a time-ordered event queue with stable FIFO ordering of
 //!   simultaneous events,
 //! * [`engine`] — a simulation driver that advances the virtual clock,
+//! * [`flow`] — exact flow-level aggregation of large emitter populations
+//!   (the scenario engine's counting primitives, `docs/SCENARIOS.md`),
 //! * [`rng`] — a seeded random-number source with the distributions the
 //!   testbed needs (uniform, normal, exponential),
 //! * [`metrics`] — measurement recorders: time series, latency CDFs, rolling
@@ -34,10 +36,12 @@
 
 pub mod engine;
 pub mod event;
+pub mod flow;
 pub mod metrics;
 pub mod rng;
 
 pub use engine::Simulation;
 pub use event::EventQueue;
+pub use flow::FlowPopulation;
 pub use metrics::{Cdf, LatencyRecorder, SummaryStats, TimeSeries};
 pub use rng::SimRng;

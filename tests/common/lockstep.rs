@@ -4,7 +4,10 @@
 //! bit-identical to the global network; `tests/chaos_convergence.rs` uses it
 //! to prove chaos runs deterministic and convergent (`docs/CHAOS.md`).
 
-use celestial::config::{ServeConfig, TenantsConfig, TestbedConfig};
+use celestial::config::{
+    ScenarioBlock, ScenarioBlockKind, ScenarioConfig, ServeConfig, TenantsConfig, TestbedConfig,
+};
+use celestial_apps::ScenarioTenant;
 use celestial::pipeline::PipelineMode;
 use celestial::testbed::{AppContext, GuestApplication, Testbed};
 use celestial::Coordinator;
@@ -332,4 +335,130 @@ pub fn assert_lockstep(label: &str, reference: &Observations, observed: &Observa
         "{label} ignored faults"
     );
     assert_eq!(reference.updates, observed.updates, "{label} update count");
+}
+
+/// The scenario lockstep block set: one block of every kind, with
+/// deliberately awkward intervals (30 ms, 250 ms, 333 ms) that never divide
+/// the 1 s epochs, so flow-window accounting is exercised off the aligned
+/// path. Stations are left positional except the failover pair, which is
+/// wired backwards (primary accra, backup abuja) to cover explicit naming.
+pub fn scenario_blocks() -> Vec<ScenarioBlock> {
+    vec![
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Cbr,
+            name: "calls".to_owned(),
+            population: 300,
+            bitrate_bps: 2_600_000,
+            interval_ms: 30.0,
+            ..ScenarioBlock::default()
+        },
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Mobile,
+            name: "riders".to_owned(),
+            population: 200,
+            ..ScenarioBlock::default()
+        },
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Iot,
+            name: "buoys".to_owned(),
+            population: 400,
+            interval_ms: 333.0,
+            burst_prob: 0.2,
+            burst_factor: 8,
+            ..ScenarioBlock::default()
+        },
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Cdn,
+            name: "edge".to_owned(),
+            population: 150,
+            interval_ms: 250.0,
+            hit_ratio: 0.85,
+            ..ScenarioBlock::default()
+        },
+        ScenarioBlock {
+            kind: ScenarioBlockKind::Failover,
+            name: "backup".to_owned(),
+            population: 100,
+            sink: "accra".to_owned(),
+            fallback: "abuja".to_owned(),
+            ..ScenarioBlock::default()
+        },
+    ]
+}
+
+/// The scenario lockstep configuration: [`config`] plus a `[scenario]`
+/// generator composing [`scenario_blocks`] into `tenants` generated tenants.
+pub fn scenario_config(
+    seed: u64,
+    duration_s: f64,
+    mode: PipelineMode,
+    hosts: u32,
+    sharded: bool,
+    tenants: u32,
+) -> TestbedConfig {
+    let mut config = config(seed, duration_s, mode, hosts, sharded);
+    config.scenario = Some(ScenarioConfig {
+        tenants,
+        blocks: scenario_blocks(),
+    });
+    config.validate().expect("valid scenario config");
+    config
+}
+
+/// Captures one scenario tenant's observations: its per-epoch journal (all
+/// block counters), probe latencies, and the tenant-scoped runtime counters.
+fn scenario_observations(
+    testbed: &Testbed,
+    tenant: TenantId,
+    app: &ScenarioTenant,
+) -> Observations {
+    let runtime = testbed.tenant(tenant);
+    Observations {
+        epochs: app.journal().to_vec(),
+        rtts_ms: app.latencies_ms().to_vec(),
+        messages: runtime.message_counters(),
+        network: runtime.network().counters(),
+        clamps: runtime.network().latency_clamp_count(),
+        failed_recoveries: runtime.failed_recoveries(),
+        ignored_faults: runtime.ignored_faults(),
+        updates: testbed.coordinator().update_count(),
+    }
+}
+
+/// Runs the generated tenant at `pinned` **solo**, fault-free: the fleet
+/// config reduced to a single generated tenant, running the pinned tenant's
+/// own generated application (same name, hence the same derived
+/// `scenario.<tenant>.<block>` RNG streams as inside the fleet).
+pub fn run_scenario_solo(config: &TestbedConfig, pinned: u32) -> Observations {
+    let mut app = ScenarioTenant::for_index(config, pinned).expect("generate pinned tenant");
+    let mut solo = config.clone();
+    solo.scenario.as_mut().expect("scenario config").tenants = 1;
+    let mut testbed = Testbed::new(&solo).expect("testbed");
+    testbed.run(&mut app).expect("solo run");
+    scenario_observations(&testbed, TenantId(0), &app)
+}
+
+/// Runs the full generated scenario fleet with `noise_faults` scheduled on
+/// every tenant **except** `pinned`, and captures the pinned tenant's
+/// observations (compare against [`run_scenario_solo`] for the isolation
+/// contract, `docs/SCENARIOS.md`).
+pub fn run_scenario_fleet(
+    config: &TestbedConfig,
+    pinned: usize,
+    noise_faults: Vec<FaultEvent>,
+) -> Observations {
+    let tenants = config.scenario.as_ref().expect("scenario config").tenants;
+    let mut testbed = Testbed::new(config).expect("testbed");
+    for index in 0..tenants as usize {
+        if index != pinned {
+            testbed.schedule_faults_for(TenantId(index as u32), noise_faults.clone());
+        }
+    }
+    let mut apps = ScenarioTenant::generate(config).expect("generate fleet");
+    let mut refs: Vec<&mut dyn GuestApplication> = apps
+        .iter_mut()
+        .map(|app| app as &mut dyn GuestApplication)
+        .collect();
+    testbed.run_fleet(&mut refs).expect("fleet run");
+    scenario_observations(&testbed, TenantId(pinned as u32), &apps[pinned])
 }

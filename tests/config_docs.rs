@@ -3,7 +3,10 @@
 //! testbed shape, and survive a serde round trip; the `[chaos]` defaults
 //! documented in `docs/CHAOS.md` must match `ChaosConfig::default()`.
 
-use celestial::config::{ChaosConfig, PathsConfig, ServeConfig, TenantsConfig, TestbedConfig};
+use celestial::config::{
+    ChaosConfig, PathsConfig, ScenarioBlock, ScenarioConfig, ServeConfig, TenantsConfig,
+    TestbedConfig,
+};
 use celestial_constellation::PathAlgorithm;
 
 /// The documentation page this test validates.
@@ -142,6 +145,44 @@ fn the_documented_paths_defaults_match_the_code() {
     // The documented values are exactly the solve scope's defaults.
     assert_eq!(config.paths, Some(PathsConfig::default()));
     // A config with the scope tuned still round-trips through serde.
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
+}
+
+/// The scenario-engine documentation page, whose `[scenario]` example lists
+/// every key of the table and of a block with its default value.
+const SCENARIOS_DOC: &str = include_str!("../docs/SCENARIOS.md");
+
+#[test]
+fn the_documented_scenario_defaults_match_the_code() {
+    let start = SCENARIOS_DOC
+        .find("```toml\n")
+        .expect("docs/SCENARIOS.md contains a ```toml example")
+        + "```toml\n".len();
+    let end = SCENARIOS_DOC[start..].find("```").expect("the toml fence is closed") + start;
+    let block = &SCENARIOS_DOC[start..end];
+    assert!(block.contains("[scenario]"), "the example documents the [scenario] table");
+    assert!(
+        block.contains("[[scenario.block]]"),
+        "the example documents a [[scenario.block]]"
+    );
+    // A scenario needs a ground station to attach its blocks to.
+    let toml = format!(
+        "[[shell]]\naltitude-km = 550.0\ninclination-deg = 53.0\nplanes = 1\nsatellites-per-plane = 2\n\n\
+         [[ground-station]]\nname = \"accra\"\nlat = 5.6037\nlon = -0.187\n\n{block}"
+    );
+    let config = TestbedConfig::from_toml(&toml).expect("documented scenario TOML parses");
+    // The documented values are exactly the generator's defaults: one
+    // tenant, one all-default block.
+    assert_eq!(
+        config.scenario,
+        Some(ScenarioConfig {
+            tenants: 1,
+            blocks: vec![ScenarioBlock::default()],
+        })
+    );
+    // A config with the generator on still round-trips through serde.
     let json = serde_json::to_string(&config).expect("serializes");
     let back: TestbedConfig = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(config, back);

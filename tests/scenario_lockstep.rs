@@ -1,0 +1,224 @@
+//! Lockstep tests of the scenario engine (`docs/SCENARIOS.md`): a generated
+//! tenant pinned inside a 64-tenant scenario fleet must be **bit-identical**
+//! to the same generated application run solo — the same per-epoch block
+//! counters, probe latencies, message and network counters — across
+//! {synchronous, pipelined} pipelines × {global, sharded} network planes,
+//! even while every *other* generated tenant runs a fault schedule. This is
+//! the paper's fig. 6 reproducibility claim generalised from two
+//! hand-written applications to arbitrary generated scenarios.
+
+mod common;
+
+use celestial::config::{ScenarioBlock, ScenarioBlockKind, ScenarioConfig, TestbedConfig};
+use celestial::pipeline::PipelineMode;
+use celestial::{EpochCompute, Testbed};
+use celestial_apps::workload::CbrSource;
+use celestial_apps::ScenarioTenant;
+use celestial_machines::{FaultEvent, FaultKind};
+use celestial_types::ids::NodeId;
+use celestial_types::time::SimInstant;
+use common::lockstep::{
+    assert_lockstep, run_scenario_fleet, run_scenario_solo, scenario_config,
+};
+use proptest::prelude::*;
+
+const TENANTS: u32 = 64;
+const PINNED: usize = 19;
+// Long enough for the accra–abuja ground pair to get a programmed path
+// (epoch ~55 of this constellation), so the CBR and failover blocks see
+// delivered traffic inside the comparison, not just the satellite-bound
+// mobile and CDN probes.
+const DURATION_S: f64 = 75.0;
+
+/// The noise schedule the 63 *other* tenants run: a mid-run crash with
+/// recovery on accra (which flips the failover block of those tenants onto
+/// its backup) and a lasting degradation on abuja. The pinned tenant gets no
+/// faults and must match a fault-free solo run exactly.
+fn noise_faults() -> Vec<FaultEvent> {
+    vec![
+        FaultEvent {
+            node: NodeId::ground_station(0),
+            at: SimInstant::from_secs_f64(5.0),
+            kind: FaultKind::CrashAndReboot,
+            recover_at: Some(SimInstant::from_secs_f64(9.0)),
+        },
+        FaultEvent {
+            node: NodeId::ground_station(1),
+            at: SimInstant::from_secs_f64(11.0),
+            kind: FaultKind::Degradation { cpu_share_percent: 10 },
+            recover_at: None,
+        },
+    ]
+}
+
+fn assert_pinned_scenario_matches_solo(mode: PipelineMode, sharded: bool) {
+    let hosts = if sharded { 4 } else { 1 };
+    let config = scenario_config(23, DURATION_S, mode, hosts, sharded, TENANTS);
+    let solo = run_scenario_solo(&config, PINNED as u32);
+    assert!(!solo.rtts_ms.is_empty(), "the solo run must observe probe traffic");
+    assert!(
+        solo.epochs.iter().any(|line| line.contains("buoys")),
+        "the journal must carry per-block counters"
+    );
+
+    let pinned = run_scenario_fleet(&config, PINNED, noise_faults());
+    let label = format!(
+        "scenario tenant {PINNED}/{TENANTS} ({} / {})",
+        mode.name(),
+        if sharded { "sharded" } else { "global" },
+    );
+    assert_lockstep(&label, &solo, &pinned);
+}
+
+#[test]
+fn pinned_scenario_tenant_is_bit_identical_to_solo_synchronous_global() {
+    assert_pinned_scenario_matches_solo(PipelineMode::Synchronous, false);
+}
+
+#[test]
+fn pinned_scenario_tenant_is_bit_identical_to_solo_synchronous_sharded() {
+    assert_pinned_scenario_matches_solo(PipelineMode::Synchronous, true);
+}
+
+#[test]
+fn pinned_scenario_tenant_is_bit_identical_to_solo_pipelined_global() {
+    assert_pinned_scenario_matches_solo(PipelineMode::Pipelined, false);
+}
+
+#[test]
+fn pinned_scenario_tenant_is_bit_identical_to_solo_pipelined_sharded() {
+    assert_pinned_scenario_matches_solo(PipelineMode::Pipelined, true);
+}
+
+/// Two runs of the identical scenario fleet observe the identical world:
+/// nothing in the engine leaks wall-clock, iteration-order or
+/// address-dependent state into a generated tenant.
+#[test]
+fn repeated_scenario_runs_are_bit_identical() {
+    let config = scenario_config(23, 20.0, PipelineMode::Synchronous, 1, false, 16);
+    let first = run_scenario_fleet(&config, 5, noise_faults());
+    let second = run_scenario_fleet(&config, 5, noise_faults());
+    assert_lockstep("repeated scenario run", &first, &second);
+}
+
+/// A scenario tenant observes the world only through the info database and
+/// its network plane, both pure functions of the per-epoch deltas — so
+/// thread-count invariance of the epoch computation is thread-count
+/// invariance of every generated scenario. Proven here on the scenario
+/// configuration's own constellation, one worker against five.
+#[test]
+fn scenario_epochs_are_thread_count_invariant() {
+    let config = scenario_config(23, DURATION_S, PipelineMode::Synchronous, 1, false, TENANTS);
+    let constellation = Testbed::new(&config).expect("testbed").constellation().clone();
+    let mut one = EpochCompute::with_threads(constellation.clone(), 1);
+    let mut many = EpochCompute::with_threads(constellation, 5);
+    for step in 0..8 {
+        let t = f64::from(step);
+        let d1 = one.compute(t).expect("epoch");
+        let d2 = many.compute(t).expect("epoch");
+        assert_eq!(d1, d2, "scenario epoch delta diverged at t={t}");
+        assert_eq!(one.state(), many.state(), "scenario state diverged at t={t}");
+    }
+}
+
+/// The shipped `examples/scenario.toml` composes a thousand-tenant,
+/// million-user scenario entirely in TOML: all five block kinds, 1,024
+/// generated tenants, ≥1M aggregate users, and the whole fleet of guest
+/// applications generates from it.
+#[test]
+fn the_example_toml_composes_a_thousand_tenant_scenario() {
+    let toml = include_str!("../examples/scenario.toml");
+    let config = TestbedConfig::from_toml(toml).expect("examples/scenario.toml parses");
+    let scenario = config.scenario.as_ref().expect("the example defines [scenario]");
+    assert_eq!(scenario.tenants, 1_024);
+    assert!(scenario.aggregate_users() >= 1_000_000, "a million aggregate users");
+    let kinds: std::collections::BTreeSet<&str> =
+        scenario.blocks.iter().map(|b| b.kind.name()).collect();
+    assert!(kinds.len() >= 4, "composes at least four distinct block kinds, got {kinds:?}");
+
+    let fleet = ScenarioTenant::generate(&config).expect("the fleet generates");
+    assert_eq!(fleet.len(), 1_024);
+    let users: u64 = fleet.iter().map(ScenarioTenant::users).sum();
+    assert_eq!(users, scenario.aggregate_users());
+    assert_eq!(fleet[1_023].name(), "scenario-1023");
+}
+
+/// A single-block CBR scenario's aggregate byte account follows the exact
+/// CBR law at the aggregate event index: the run-long total equals
+/// `cumulative_bytes(total_events)`, byte-for-byte — the whole-run analogue
+/// of the windowed `packets_between` telescoping.
+#[test]
+fn scenario_byte_accounting_follows_the_exact_cbr_law() {
+    // The accra–abuja pair only gets a programmed path from epoch ~55 of
+    // this constellation, so run long enough for probes to actually arrive.
+    let mut config = scenario_config(7, 75.0, PipelineMode::Synchronous, 1, false, 1);
+    let block = ScenarioBlock {
+        kind: ScenarioBlockKind::Cbr,
+        name: "calls".to_owned(),
+        population: 1_000,
+        bitrate_bps: 1_000_003,
+        interval_ms: 30.0,
+        ..ScenarioBlock::default()
+    };
+    config.scenario = Some(ScenarioConfig { tenants: 1, blocks: vec![block.clone()] });
+    config.validate().expect("valid config");
+
+    let mut app = ScenarioTenant::for_index(&config, 0).expect("generates");
+    let mut testbed = Testbed::new(&config).expect("testbed");
+    testbed.run(&mut app).expect("run");
+
+    assert!(app.total_events() > 0, "the population must emit");
+    assert!(app.deliveries() > 0, "probes must arrive");
+    let cbr = CbrSource::new(block.bitrate_bps, block.interval());
+    assert_eq!(
+        app.total_bytes(),
+        cbr.cumulative_bytes(app.total_events()),
+        "aggregate bytes must follow the exact per-event CBR law"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Arbitrary generated scenarios are bit-reproducible **and** isolated:
+    /// for random block kinds, populations and intervals, a pinned tenant
+    /// inside the generated fleet matches its own solo run exactly, and two
+    /// fleet runs match each other.
+    #[test]
+    fn arbitrary_generated_scenarios_are_bit_reproducible(
+        seed in 0u64..10_000,
+        kind_a in 0usize..5,
+        kind_b in 0usize..5,
+        pop_a in 1u64..5_000,
+        pop_b in 1u64..5_000,
+        ivl_a in 15.0f64..1_500.0,
+        ivl_b in 15.0f64..1_500.0,
+    ) {
+        let mut config = scenario_config(seed, 10.0, PipelineMode::Synchronous, 1, false, 3);
+        let blocks = vec![
+            ScenarioBlock {
+                kind: ScenarioBlockKind::ALL[kind_a],
+                name: "a".to_owned(),
+                population: pop_a,
+                interval_ms: ivl_a,
+                ..ScenarioBlock::default()
+            },
+            ScenarioBlock {
+                kind: ScenarioBlockKind::ALL[kind_b],
+                name: "b".to_owned(),
+                population: pop_b,
+                interval_ms: ivl_b,
+                ..ScenarioBlock::default()
+            },
+        ];
+        let tenants = 3;
+        config.scenario = Some(ScenarioConfig { tenants, blocks });
+        config.validate().expect("valid generated config");
+
+        let solo = run_scenario_solo(&config, 1);
+        let pinned = run_scenario_fleet(&config, 1, noise_faults());
+        assert_lockstep("generated scenario solo vs fleet", &solo, &pinned);
+        let again = run_scenario_fleet(&config, 1, noise_faults());
+        assert_lockstep("generated scenario repeat", &pinned, &again);
+    }
+}
